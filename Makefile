@@ -1,0 +1,31 @@
+# Convenience targets for the CAER reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures report examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli all
+
+report:
+	$(PYTHON) -m repro.cli report
+
+examples:
+	$(PYTHON) examples/quickstart.py 0.05
+	$(PYTHON) examples/datacenter_colocation.py
+	$(PYTHON) examples/heuristic_tuning.py
+	$(PYTHON) examples/contention_analysis.py
+	$(PYTHON) examples/online_monitoring.py
+
+clean:
+	rm -rf results/figures.txt .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,33 @@
+"""Cross-validation bench: analytic predictor vs. the simulator.
+
+Predicts the whole of Figure 1 in closed form and checks that the
+prediction ranks the benchmarks like the simulation does, keeps the
+sensitive/insensitive groups apart, and stays within a factor band on
+the mean.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.crossval import analytic_figure1, rank_correlation
+
+
+def bench_crossval_figure1(benchmark, campaign):
+    table = benchmark.pedantic(
+        analytic_figure1, args=(campaign,), rounds=1, iterations=1
+    )
+    emit(table.render())
+
+    predicted = table.column("predicted")
+    simulated = table.column("simulated")
+
+    assert rank_correlation(predicted, simulated) > 0.6
+    # Mean prediction lands in the same band as the simulation.
+    mean_p = sum(predicted) / len(predicted)
+    mean_s = sum(simulated) / len(simulated)
+    assert abs(mean_p - mean_s) < 0.12
+    # Per-benchmark error stays bounded (the dominant-phase
+    # approximation is coarse for the phased benchmarks).
+    errors = table.column("error")
+    assert sum(abs(e) for e in errors) / len(errors) < 0.15

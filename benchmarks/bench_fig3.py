@@ -1,0 +1,35 @@
+"""Figure 3: per-period LLC misses vs. instructions retired.
+
+Renders the two benchmarks' time series (xalancbmk, mcf) and asserts
+the paper's reading: a clear *inverse* relationship between a period's
+LLC misses and its instruction retirement, plus visible phase structure
+in the miss series.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure3, figure3_correlations
+
+
+def bench_figure3(benchmark, campaign):
+    charts = benchmark.pedantic(
+        figure3, args=(campaign,), rounds=1, iterations=1
+    )
+    for chart in charts.values():
+        emit(chart)
+    table = figure3_correlations(campaign)
+    emit(table.render())
+
+    # Inverse relationship: strongly negative correlation for both.
+    for r in table.column("pearson_r"):
+        assert r < -0.6
+
+    # Phase structure: the miss series must swing through distinctly
+    # heavy and light stretches (max >> min over period buckets).
+    for bench_name in ("483.xalancbmk", "429.mcf"):
+        series = campaign.solo(bench_name).miss_series
+        heavy = sorted(series)[-len(series) // 10]
+        light = sorted(series)[len(series) // 10]
+        assert heavy > 2 * max(light, 1)

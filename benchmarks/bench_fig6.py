@@ -1,0 +1,40 @@
+"""Figure 6: cross-core interference penalty under each configuration.
+
+The paper's central result: raw co-location costs ~17% on average;
+CAER burst-shutter cuts it to ~6% and rule-based to ~4%, with the
+reduction visible on (nearly) every benchmark.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure6
+
+
+def bench_figure6(benchmark, campaign):
+    table = benchmark.pedantic(
+        figure6, args=(campaign,), rounds=1, iterations=1
+    )
+    emit(table.render())
+
+    raw = table.mean("co-location") - 1.0
+    shutter = table.mean("caer_shutter") - 1.0
+    rule = table.mean("caer_rule") - 1.0
+
+    # Ordering of the means: raw > shutter > rule (paper: .17/.06/.04).
+    assert raw > shutter > rule
+    # Bands around the paper's means.
+    assert 0.08 <= raw <= 0.30
+    assert shutter <= 0.12
+    assert rule <= 0.08
+    # CAER must cut the mean penalty by at least half.
+    assert shutter < 0.6 * raw
+    assert rule < 0.5 * raw
+
+    # Per-benchmark: rule-based may never make things *worse* than raw
+    # by more than noise.
+    for raw_s, rule_s in zip(
+        table.column("co-location"), table.column("caer_rule")
+    ):
+        assert rule_s <= raw_s + 0.05

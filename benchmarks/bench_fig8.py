@@ -1,0 +1,29 @@
+"""Figure 8: share of the cross-core interference penalty eliminated.
+
+Another view of Figure 6: higher is better, 1.0 means the penalty was
+fully removed.  The paper's rule-based heuristic slightly outperforms
+burst-shutter on average.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import figure8
+
+
+def bench_figure8(benchmark, campaign):
+    table = benchmark.pedantic(
+        figure8, args=(campaign,), rounds=1, iterations=1
+    )
+    emit(table.render())
+
+    for column in ("caer_shutter", "caer_rule"):
+        values = table.column(column)
+        assert all(0.0 <= v <= 1.0 for v in values)
+        # CAER must eliminate most of the interference on average.
+        assert table.mean(column) > 0.5
+
+    # Paper: "rule based ... slightly outperforms our shutter based
+    # approach on average".
+    assert table.mean("caer_rule") >= table.mean("caer_shutter") - 0.05

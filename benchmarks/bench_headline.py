@@ -1,0 +1,30 @@
+"""The headline numbers of §1/§6.
+
+"Allowing co-location with CAER, as opposed to disallowing co-location,
+we are able to increase the utilization of the multicore CPU by 58% on
+average.  Meanwhile CAER brings the overhead due to allowing
+co-location from 17% down to just 4% on average."
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import headline_numbers
+
+
+def bench_headline(benchmark, campaign):
+    numbers = benchmark.pedantic(
+        headline_numbers, args=(campaign,), rounds=1, iterations=1
+    )
+    emit(numbers.render())
+
+    # Penalty chain: 17% -> 6% (shutter) -> 4% (rule), with bands.
+    assert 0.08 <= numbers.raw_penalty <= 0.30
+    assert numbers.shutter_penalty < numbers.raw_penalty
+    assert numbers.rule_penalty <= numbers.shutter_penalty + 0.02
+    assert numbers.rule_penalty <= 0.08
+
+    # Utilization gained in the paper's band (~0.58-0.60).
+    assert 0.35 <= numbers.shutter_utilization <= 0.80
+    assert 0.35 <= numbers.rule_utilization <= 0.80

@@ -1,0 +1,47 @@
+"""Shared campaign for the figure benches.
+
+All benches draw their simulation runs from one session-scoped
+:class:`~repro.experiments.campaign.Campaign`, memoised in memory and on
+disk, so figures that share runs (1/2, 6/7/8, 9/10) simulate each run
+exactly once per settings change.
+
+Run length follows ``REPRO_LENGTH`` (default 0.2).  The first full
+invocation simulates the whole suite (several minutes); subsequent
+invocations replay from the cache.
+
+Rendered figures are printed (visible with ``pytest -s``) *and*
+appended to ``results/figures.txt`` at the repository root, because
+pytest captures per-test stdout by default.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.campaign import Campaign, CampaignSettings
+
+RESULTS_FILE = (
+    Path(__file__).resolve().parent.parent / "results" / "figures.txt"
+)
+
+
+@pytest.fixture(scope="session")
+def campaign() -> Campaign:
+    return Campaign(CampaignSettings.from_env())
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_FILE.parent.mkdir(exist_ok=True)
+    RESULTS_FILE.write_text("")
+
+
+def emit(text: str) -> None:
+    """Print a rendered figure and append it to results/figures.txt."""
+    print()
+    print(text)
+    with open(RESULTS_FILE, "a") as handle:
+        handle.write(text)
+        handle.write("\n")

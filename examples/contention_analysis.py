@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Offline contention analysis with the analytical model.
+
+CAER detects contention *online* from performance counters; the related
+work the paper cites (Chandra et al., reuse-distance theory) predicts
+it *offline* from memory-behaviour profiles.  This example runs that
+other road: it profiles a few SPEC models' reuse-distance curves,
+solves the shared-L3 occupancy fixed point against the lbm contender,
+predicts each victim's slowdown — and then checks one prediction
+against the trace-driven simulator.
+
+Run:  python examples/contention_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MachineConfig, benchmark, run_colocated, run_solo
+from repro.analytic import MissRateCurve, predict_colocation
+
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+VICTIMS = ("429.mcf", "473.astar", "444.namd")
+
+
+def show_mrc(name: str) -> None:
+    spec = benchmark(name, L3)
+    phase = max(spec.phases, key=lambda p: p.duration_instructions)
+    pattern = phase.pattern.instantiate(np.random.default_rng(0), 0)
+    curve = MissRateCurve.from_pattern(pattern, 30_000)
+    points = [int(L3 * f) for f in (0.125, 0.25, 0.5, 1.0)]
+    rates = "  ".join(
+        f"{c / L3:>5.0%}:{curve.miss_rate(c):>6.1%}" for c in points
+    )
+    print(f"{name:<14} miss rate vs L3 share   {rates}")
+
+
+def main() -> None:
+    print("== Reuse-distance profiles (dominant phase) ==")
+    for name in VICTIMS:
+        show_mrc(name)
+
+    print("\n== Predicted slowdown next to lbm ==")
+    lbm = benchmark("470.lbm", L3)
+    for name in VICTIMS:
+        prediction = predict_colocation(benchmark(name, L3), lbm, MACHINE)
+        print(
+            f"{name:<14} slowdown {prediction.slowdown:>6.3f}   "
+            f"L3 share kept {prediction.victim_occupancy_fraction:>5.1%}   "
+            f"memory queue {prediction.queue_delay:>5.1f} cycles"
+        )
+
+    print("\n== Cross-check one prediction against the simulator ==")
+    victim = benchmark("429.mcf", L3, length=0.06)
+    contender = benchmark("470.lbm", L3, length=0.06)
+    solo = run_solo(victim, MACHINE)
+    colo = run_colocated(victim, contender, MACHINE)
+    simulated = (
+        colo.latency_sensitive().completion_periods
+        / solo.latency_sensitive().completion_periods
+    )
+    predicted = predict_colocation(
+        benchmark("429.mcf", L3), benchmark("470.lbm", L3), MACHINE
+    ).slowdown
+    print(f"mcf + lbm: predicted {predicted:.3f}, simulated {simulated:.3f}")
+
+
+if __name__ == "__main__":
+    main()

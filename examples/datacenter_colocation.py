@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Datacenter co-location: a phased "web search" service plus batch jobs.
+
+The paper's motivation (§1) is the web-service datacenter: user-facing,
+latency-sensitive applications must not suffer cross-core interference,
+so operators simply refuse to co-locate batch work — wasting ~85% of
+their machines.  This example builds that scenario directly:
+
+* a *search-like* latency-sensitive service with bursty phases (heavy
+  index-walk bursts between quiet snippet-generation stretches), and
+* **two** relaunching batch analytics jobs on neighbouring cores —
+  exercising CAER's multi-batch directive path ("all of the batch
+  processes must react together", §3.2).
+
+It then compares the three policies an operator could pick: disallow
+co-location, allow it blindly, or allow it under CAER.
+
+Run:  python examples/datacenter_colocation.py
+"""
+
+from __future__ import annotations
+
+from repro import CaerConfig, MachineConfig
+from repro.arch.chip import MulticoreChip
+from repro.caer.metrics import utilization_gained
+from repro.caer.runtime import CaerRuntime
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import AppClass, SimProcess
+from repro.workloads.base import PhaseSpec, WorkloadSpec
+from repro.workloads.patterns import (
+    SequentialStreamSpec,
+    UniformRandomSpec,
+    ZipfSpec,
+)
+
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+
+
+def search_service() -> WorkloadSpec:
+    """A web-search-like service: index-walk bursts, quiet stretches."""
+    index_walk = PhaseSpec(
+        pattern=UniformRandomSpec(lines=int(0.7 * L3)),
+        duration_instructions=30_000.0,
+        mem_ratio=0.25,
+        base_cpi=0.45,
+        overlap=1.4,
+    )
+    snippets = PhaseSpec(
+        pattern=ZipfSpec(lines=int(0.06 * L3), alpha=1.2),
+        duration_instructions=60_000.0,
+        mem_ratio=0.15,
+        base_cpi=0.5,
+        overlap=1.6,
+    )
+    return WorkloadSpec(
+        name="web-search",
+        phases=(index_walk, snippets),
+        total_instructions=900_000.0,
+    )
+
+
+def analytics_job(name: str) -> WorkloadSpec:
+    """A log-crunching batch job: streaming over a large dataset."""
+    phase = PhaseSpec(
+        pattern=SequentialStreamSpec(lines=3 * L3, line_repeats=4),
+        duration_instructions=100_000.0,
+        mem_ratio=0.35,
+        base_cpi=0.4,
+        overlap=3.0,
+    )
+    return WorkloadSpec(
+        name=name, phases=(phase,), total_instructions=300_000.0
+    )
+
+
+def run_policy(caer_config: CaerConfig | None,
+               batch_count: int) -> tuple[int, float]:
+    """Return (search completion periods, batch utilization gained)."""
+    chip = MulticoreChip(MACHINE)
+    processes = [
+        SimProcess(search_service(), 0, launch_period=3, seed=1),
+    ]
+    for i in range(batch_count):
+        processes.append(
+            SimProcess(
+                analytics_job(f"analytics-{i}"),
+                core_id=1 + i,
+                app_class=AppClass.BATCH,
+                relaunch=True,
+                seed=100 + i,
+            )
+        )
+    engine = SimulationEngine(chip, processes)
+    if caer_config is not None:
+        engine.period_hooks.append(CaerRuntime(engine, caer_config))
+    result = engine.run()
+    gained = utilization_gained(result) if batch_count else 0.0
+    return result.latency_sensitive().completion_periods, gained
+
+
+def main() -> None:
+    alone, _ = run_policy(None, batch_count=0)
+    print(f"{'operator policy':<34} {'latency':>8} {'slowdown':>9} "
+          f"{'batch util':>11}")
+    print(f"{'disallow co-location':<34} {alone:>8} {1.0:>9.3f} "
+          f"{0.0:>11.1%}")
+    for label, config in [
+        ("co-locate blindly (2 batch jobs)", None),
+        ("co-locate under CAER rule-based", CaerConfig.rule_based()),
+        ("co-locate under CAER shutter", CaerConfig.shutter()),
+    ]:
+        latency, gained = run_policy(config, batch_count=2)
+        print(
+            f"{label:<34} {latency:>8} {latency / alone:>9.3f} "
+            f"{gained:>11.1%}"
+        )
+    print(
+        "\nCAER lets the operator run batch analytics on the idle "
+        "cores while keeping the\nsearch service close to its "
+        "isolated latency — the paper's headline trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Exploring the QoS knob: the burst-shutter impact factor.
+
+§6.2 calls the impact threshold "a 'knob' which intuitively sets the
+sensitivity of detection": how much cross-core interference the
+latency-sensitive application is willing to withstand before CAER
+throttles the batch.  The paper reserves the tuning space for future
+work; this example maps it for one sensitive victim (429.mcf) and one
+insensitive victim (444.namd), printing the penalty/utilization
+frontier each setting buys.
+
+Run:  python examples/heuristic_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CaerConfig,
+    MachineConfig,
+    benchmark,
+    caer_factory,
+    run_colocated,
+    run_solo,
+)
+from repro.caer.metrics import utilization_gained
+
+LENGTH = 0.08
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+IMPACT_FACTORS = (0.01, 0.05, 0.10, 0.25, 0.50, 1.00)
+
+
+def frontier(victim_name: str) -> None:
+    victim = benchmark(victim_name, L3, length=LENGTH)
+    lbm = benchmark("470.lbm", L3, length=LENGTH)
+    solo_periods = (
+        run_solo(victim, MACHINE).latency_sensitive().completion_periods
+    )
+    print(f"\n-- {victim_name} --")
+    print(f"{'impact factor':>13} {'penalty':>8} {'batch util':>11}")
+    for impact in IMPACT_FACTORS:
+        config = CaerConfig.shutter(impact_factor=impact)
+        result = run_colocated(
+            victim, lbm, MACHINE, caer_factory=caer_factory(config)
+        )
+        penalty = (
+            result.latency_sensitive().completion_periods / solo_periods
+            - 1.0
+        )
+        print(
+            f"{impact:>13.2f} {penalty:>8.1%} "
+            f"{utilization_gained(result):>11.1%}"
+        )
+
+
+def main() -> None:
+    print(
+        "Raising the impact factor makes detection less sensitive: "
+        "more batch utilization,\nmore interference tolerated.  A "
+        "sensitive victim needs a low setting; an insensitive\none "
+        "tolerates any setting."
+    )
+    frontier("429.mcf")
+    frontier("444.namd")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Operating CAER: decision logs, accuracy scoring, and trace export.
+
+The runtime is only trustworthy if you can see what it did.  This
+example runs a controlled experiment — the contender is present for a
+*known* interval, so ground truth exists — then:
+
+* summarises the decision log (Figure 5 state occupancy, verdict mix,
+  throttle fraction);
+* scores every verdict against the ground-truth interval
+  (precision/recall, the formal version of §6.4's false-positive/
+  false-negative discussion);
+* exports the per-period records and decisions as CSV for external
+  tooling.
+
+Run:  python examples/online_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import CaerConfig, MachineConfig
+from repro.arch.chip import MulticoreChip
+from repro.caer.analysis import score_verdicts, summarise_decisions
+from repro.caer.runtime import CaerRuntime
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import AppClass, SimProcess
+from repro.sim.trace import decisions_to_csv, periods_to_csv
+from repro.workloads import synthetic
+
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+
+#: The contender launches late and finishes early, giving a clean
+#: ground-truth contention interval in the middle of the run.
+CONTENDER_LAUNCH = 40
+
+
+def run_once(config: CaerConfig):
+    """One controlled run; returns (result, ground-truth interval)."""
+    victim = synthetic.zipf_worker(
+        lines=int(0.8 * L3), alpha=0.5, instructions=1_200_000.0
+    )
+    contender = synthetic.streamer(lines=4 * L3, instructions=500_000.0)
+    chip = MulticoreChip(MACHINE)
+    ls = SimProcess(victim, 0, seed=1)
+    batch = SimProcess(
+        contender, 1, AppClass.BATCH, name="contender",
+        launch_period=CONTENDER_LAUNCH, seed=2,
+    )
+    engine = SimulationEngine(chip, [ls, batch])
+    engine.period_hooks.append(CaerRuntime(engine, config))
+    result = engine.run()
+    end = (
+        result.process("contender").first_completion_period
+        or result.total_periods
+    )
+    return result, range(CONTENDER_LAUNCH + 1, end + 1)
+
+
+def main() -> None:
+    # The burst-shutter heuristic issues one explicit verdict per
+    # detection cycle, giving the cleanest verdict stream to score.
+    # Its geometry must match the L3's turnover time-constant: with
+    # ~530 contender insertions/period over 512 16-way sets, evicting
+    # (or recovering) the victim's share of the cache takes ~15
+    # periods, so the paper's 5+5 cycle samples mid-transient.
+    print("== Shutter geometry vs. detection quality ==")
+    print(f"{'geometry':<22} {'precision':>9} {'recall':>7} "
+          f"{'accuracy':>9}")
+    for switch, end_point in ((5, 10), (10, 20), (14, 28)):
+        config = CaerConfig.shutter(
+            switch_point=switch, end_point=end_point
+        )
+        result, contended = run_once(config)
+        report = score_verdicts(result, contended)
+        print(
+            f"switch={switch:<3} end={end_point:<10} "
+            f"{report.precision:>9.2f} {report.recall:>7.2f} "
+            f"{report.accuracy:>9.2f}"
+        )
+
+    result, contended = run_once(
+        CaerConfig.shutter(switch_point=14, end_point=28)
+    )
+    print("\n== Decision-log summary (switch=14, end=28) ==")
+    print(summarise_decisions(result).render())
+
+    print("\n== Exports ==")
+    periods_csv = periods_to_csv(result)
+    decisions_csv = decisions_to_csv(result)
+    print(f"per-period CSV: {len(periods_csv.splitlines()) - 1} rows, "
+          f"columns: {periods_csv.splitlines()[0]}")
+    print(f"decision CSV:   {len(decisions_csv.splitlines()) - 1} rows, "
+          f"columns: {decisions_csv.splitlines()[0]}")
+    print("\nfirst decision rows:")
+    for line in decisions_csv.splitlines()[:4]:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

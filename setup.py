@@ -1,0 +1,12 @@
+"""Legacy setup shim (see setup.cfg for metadata).
+
+The offline environment ships setuptools without the ``wheel`` package,
+so pip's PEP 660 editable path (which builds a wheel) cannot run.  With
+this ``setup.py`` present and no ``[build-system]`` table in
+``pyproject.toml``, ``pip install -e .`` falls back to the legacy
+``setup.py develop`` route, which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro: a reproduction of CAER — Contention Aware Execution.
+
+Mars, Vachharajani, Hundt, Soffa: *Contention Aware Execution: Online
+Contention Detection and Response*, CGO 2010.
+
+The library has four layers:
+
+* :mod:`repro.arch` + :mod:`repro.workloads` — the simulated substrate:
+  a Nehalem-style multicore (private L1/L2, shared inclusive L3,
+  bandwidth-limited memory, per-core PMUs) and synthetic models of the
+  21 C/C++ SPEC CPU2006 benchmarks;
+* :mod:`repro.sim` + :mod:`repro.perfmon` — the execution engine that
+  advances the chip one probe period at a time and the Perfmon2-like
+  counter-sampling API;
+* :mod:`repro.caer` — the paper's contribution: the contention-aware
+  runtime with its Burst-Shutter and Rule-Based detectors, red-light/
+  green-light and soft-lock responses, and evaluation metrics;
+* :mod:`repro.experiments` — drivers that regenerate every figure of
+  the paper's evaluation, plus tuning-space ablations.
+
+Quickstart::
+
+    from repro import (CaerConfig, MachineConfig, benchmark,
+                       caer_factory, run_colocated, run_solo)
+    from repro.caer import slowdown, utilization_gained
+
+    machine = MachineConfig.scaled_nehalem()
+    l3 = machine.l3.capacity_lines
+    mcf, lbm = benchmark("429.mcf", l3), benchmark("470.lbm", l3)
+
+    solo = run_solo(mcf, machine)
+    managed = run_colocated(mcf, lbm, machine,
+                            caer_factory=caer_factory(
+                                CaerConfig.rule_based()))
+    print(slowdown(managed, solo), utilization_gained(managed))
+"""
+
+from .caer import (
+    BurstShutterDetector,
+    CaerConfig,
+    CaerRuntime,
+    RandomDetector,
+    RedLightGreenLight,
+    RuleBasedDetector,
+    SoftLock,
+    caer_factory,
+)
+from .config import CacheGeometry, CacheLatencies, MachineConfig
+from .sim import (
+    AppClass,
+    RunResult,
+    SimProcess,
+    SimulationEngine,
+    run_colocated,
+    run_solo,
+)
+from .workloads import benchmark, benchmark_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "CacheGeometry",
+    "CacheLatencies",
+    "benchmark",
+    "benchmark_names",
+    "run_solo",
+    "run_colocated",
+    "SimulationEngine",
+    "SimProcess",
+    "AppClass",
+    "RunResult",
+    "CaerConfig",
+    "CaerRuntime",
+    "caer_factory",
+    "BurstShutterDetector",
+    "RuleBasedDetector",
+    "RandomDetector",
+    "RedLightGreenLight",
+    "SoftLock",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Analytical cache-contention model.
+
+The paper's related work leans on analytical contention prediction
+(Chandra et al., HPCA'05; reuse-distance theory, Ding & Zhong PLDI'03).
+This package provides that substrate: reuse-distance profiling of an
+address trace (:mod:`repro.analytic.stack_distance`), miss-rate curves
+(:mod:`repro.analytic.mrc`), a fixed-point shared-cache occupancy model
+(:mod:`repro.analytic.sharing`), and a co-location slowdown predictor
+(:mod:`repro.analytic.predictor`) that mirrors the simulator's core and
+memory models in closed form.
+
+It serves two roles: fast screening of workload configurations without
+simulation, and cross-validation — the test-suite checks its
+predictions against the trace-driven simulator on microbenchmarks.
+"""
+
+from .mrc import MissRateCurve
+from .predictor import (
+    ColocationPrediction,
+    predict_colocation,
+    predict_colocation_phased,
+    predict_solo,
+)
+from .sharing import SharedCacheModel
+from .stack_distance import reuse_distance_histogram
+
+__all__ = [
+    "reuse_distance_histogram",
+    "MissRateCurve",
+    "SharedCacheModel",
+    "ColocationPrediction",
+    "predict_colocation",
+    "predict_colocation_phased",
+    "predict_solo",
+]

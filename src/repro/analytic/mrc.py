@@ -1,0 +1,117 @@
+"""Miss-rate curves from reuse-distance histograms.
+
+Under fully-associative LRU an access with reuse distance ``d`` hits a
+cache of ``c`` lines iff ``d < c``, so the miss-rate curve is the
+complementary CDF of the reuse-distance distribution (cold misses miss
+at every size).  Set-associative caches of practical associativity
+track the fully-associative curve closely enough for the occupancy
+modelling this package does.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+
+from ..errors import WorkloadError
+from .stack_distance import (
+    reuse_distance_histogram,
+    sample_trace,
+    singleton_count,
+)
+
+
+class MissRateCurve:
+    """miss_rate(cache_lines) for one access stream."""
+
+    def __init__(
+        self,
+        histogram: dict[int, int],
+        cold: int,
+        singletons: int = 0,
+    ):
+        """Build from a reuse-distance histogram plus cold-miss count.
+
+        ``singletons`` is how many of the ``cold`` first touches belong
+        to lines never revisited within the profiled window; those miss
+        in steady state too, while the rest are transient warm-up.
+        """
+        if cold < 0 or any(v < 0 for v in histogram.values()):
+            raise WorkloadError("negative counts in reuse histogram")
+        if not 0 <= singletons <= cold:
+            raise WorkloadError(
+                f"singletons ({singletons}) out of range 0..{cold}"
+            )
+        self._total = sum(histogram.values()) + cold
+        if self._total == 0:
+            raise WorkloadError("empty reuse histogram")
+        self._cold = cold
+        self._singletons = singletons
+        # Sorted distances with cumulative counts for O(log n) queries.
+        self._distances = sorted(histogram)
+        cumulative = []
+        running = 0
+        for d in self._distances:
+            running += histogram[d]
+            cumulative.append(running)
+        self._cumulative = cumulative
+
+    @classmethod
+    def from_trace(cls, trace: Iterable[int]) -> "MissRateCurve":
+        """Profile a concrete address trace."""
+        trace = list(trace)
+        histogram, cold = reuse_distance_histogram(trace)
+        return cls(histogram, cold, singletons=singleton_count(trace))
+
+    @classmethod
+    def from_pattern(
+        cls, pattern: "object", samples: int = 50_000
+    ) -> "MissRateCurve":
+        """Profile a live access pattern by sampling it."""
+        return cls.from_trace(sample_trace(pattern, samples))
+
+    def hit_rate(self, cache_lines: float) -> float:
+        """Fraction of accesses with reuse distance < ``cache_lines``."""
+        if cache_lines <= 0:
+            return 0.0
+        index = bisect.bisect_left(self._distances, cache_lines)
+        hits = self._cumulative[index - 1] if index else 0
+        return hits / self._total
+
+    def miss_rate(self, cache_lines: float) -> float:
+        """Misses per access at the given cache size (incl. cold)."""
+        return 1.0 - self.hit_rate(cache_lines)
+
+    @property
+    def cold_fraction(self) -> float:
+        """Fraction of accesses that are first touches."""
+        return self._cold / self._total
+
+    @property
+    def compulsory_floor(self) -> float:
+        """Miss rate with an infinite cache (cold misses only)."""
+        return self.cold_fraction
+
+    @property
+    def singleton_fraction(self) -> float:
+        """Accesses to lines never revisited in the profiled window."""
+        return self._singletons / self._total
+
+    @property
+    def transient_cold_fraction(self) -> float:
+        """First touches of lines the workload later revisits.
+
+        This is the genuinely one-off warm-up portion of the cold
+        misses; steady-state miss modelling should exclude it.
+        """
+        return (self._cold - self._singletons) / self._total
+
+    def footprint(self) -> int:
+        """Distinct lines observed in the profiled trace."""
+        return self._cold
+
+    def __repr__(self) -> str:
+        return (
+            f"MissRateCurve(total={self._total}, "
+            f"cold={self.cold_fraction:.3f})"
+        )

@@ -1,0 +1,116 @@
+"""Reuse-distance (LRU stack distance) profiling.
+
+The reuse distance of an access is the number of *distinct* lines
+referenced since the previous access to the same line; under
+fully-associative LRU, an access hits a cache of ``C`` lines iff its
+reuse distance is less than ``C`` (Mattson's stack algorithm).  The
+histogram of reuse distances therefore yields the whole miss-rate curve
+in one pass.
+
+The implementation is the classic O(N log N) algorithm: previous-use
+times in a dict, distinct-count queries via a Fenwick (binary indexed)
+tree over access timestamps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import WorkloadError
+
+#: Bucket index used for first-time (cold) accesses.
+COLD = -1
+
+
+class _Fenwick:
+    """Binary indexed tree over ``n`` slots supporting prefix sums."""
+
+    def __init__(self, n: int):
+        self._n = n
+        self._tree = [0] * (n + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self._n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of slots [0, index]."""
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of slots [lo, hi]."""
+        if lo > hi:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo else 0)
+
+
+def reuse_distances(trace: Iterable[int]) -> list[int]:
+    """Per-access reuse distances (:data:`COLD` for first touches)."""
+    trace = list(trace)
+    tree = _Fenwick(len(trace))
+    last_use: dict[int, int] = {}
+    distances: list[int] = []
+    for t, addr in enumerate(trace):
+        prev = last_use.get(addr)
+        if prev is None:
+            distances.append(COLD)
+        else:
+            # Distinct lines touched strictly between prev and t: each
+            # line's *latest* use in that window is marked in the tree.
+            distances.append(tree.range_sum(prev + 1, t - 1))
+            tree.add(prev, -1)
+        tree.add(t, 1)
+        last_use[addr] = t
+    return distances
+
+
+def reuse_distance_histogram(
+    trace: Iterable[int],
+) -> tuple[dict[int, int], int]:
+    """Histogram of reuse distances plus the cold-miss count.
+
+    Returns ``(histogram, cold)`` where ``histogram[d]`` counts accesses
+    with reuse distance ``d`` and ``cold`` counts first touches.
+    """
+    histogram: dict[int, int] = {}
+    cold = 0
+    for d in reuse_distances(trace):
+        if d == COLD:
+            cold += 1
+        else:
+            histogram[d] = histogram.get(d, 0) + 1
+    return histogram, cold
+
+
+def singleton_count(trace: Iterable[int]) -> int:
+    """Lines touched exactly once in the trace.
+
+    A single-touch line's first (and only) access misses at every cache
+    size *every time the workload reaches it* — for cyclic workloads
+    whose period exceeds the profiled window this is steady-state
+    missing, not a one-off compulsory miss.  The complement
+    (``cold - singletons``) counts genuinely transient first touches of
+    lines the workload demonstrably revisits.
+    """
+    counts: dict[int, int] = {}
+    for addr in trace:
+        counts[addr] = counts.get(addr, 0) + 1
+    return sum(1 for c in counts.values() if c == 1)
+
+
+def sample_trace(pattern: "object", length: int) -> list[int]:
+    """Materialise ``length`` accesses from a live pattern.
+
+    ``pattern`` is any :class:`repro.workloads.base.AccessPattern`.
+    """
+    if length <= 0:
+        raise WorkloadError(f"trace length must be positive: {length}")
+    next_address = pattern.next_address
+    return [next_address() for _ in range(length)]

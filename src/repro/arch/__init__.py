@@ -1,0 +1,43 @@
+"""Simulated multicore hardware substrate.
+
+This package provides the machine that CAER runs on in this
+reproduction: set-associative caches (:mod:`repro.arch.cache`), a
+private-L1/L2 + shared-inclusive-L3 hierarchy
+(:mod:`repro.arch.hierarchy`), a latency/bandwidth main-memory model
+(:mod:`repro.arch.memory`), per-core performance counters
+(:mod:`repro.arch.pmu`), a stall-based core execution model
+(:mod:`repro.arch.core`), and the assembled chip
+(:mod:`repro.arch.chip`).
+"""
+
+from .cache import SetAssociativeCache
+from .chip import MulticoreChip
+from .core import Core
+from .hierarchy import CacheHierarchy, HierarchyCounters
+from .memory import MainMemory
+from .pmu import CorePMU, PMUSample
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "MulticoreChip",
+    "Core",
+    "CacheHierarchy",
+    "HierarchyCounters",
+    "MainMemory",
+    "CorePMU",
+    "PMUSample",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+]

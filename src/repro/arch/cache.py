@@ -1,0 +1,167 @@
+"""A set-associative cache operating on line addresses.
+
+Addresses throughout the library are *cache line numbers* (integers);
+byte offsets within a line never matter to the contention phenomena the
+paper studies, so they are not modelled.  The set index is the low bits
+of the line number, exactly as on real hardware where the line number is
+the byte address shifted right by ``log2(line_bytes)``.
+
+The cache does not fetch on miss by itself — miss handling (walking the
+hierarchy, filling lines on the way back) is the job of
+:class:`repro.arch.hierarchy.CacheHierarchy`.  This keeps the cache a
+pure container with three verbs: :meth:`probe`, :meth:`fill`,
+:meth:`invalidate`.
+"""
+
+from __future__ import annotations
+
+from ..config import CacheGeometry
+from .replacement import ReplacementPolicy
+
+
+class CacheStats:
+    """Cumulative event counts of one cache."""
+
+    __slots__ = ("hits", "misses", "fills", "evictions", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total probes observed (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per probe; 0.0 for an untouched cache."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"fills={self.fills}, evictions={self.evictions}, "
+            f"invalidations={self.invalidations})"
+        )
+
+
+class SetAssociativeCache:
+    """One level of cache: ``num_sets`` sets of ``associativity`` ways."""
+
+    def __init__(
+        self,
+        name: str,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+    ):
+        self.name = name
+        self.geometry = geometry
+        self.policy = policy
+        self.stats = CacheStats()
+        self._num_sets = geometry.num_sets
+        self._set_mask = geometry.num_sets - 1
+        self._assoc = geometry.associativity
+        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
+
+    # -- hot path ------------------------------------------------------
+
+    def probe(self, addr: int) -> bool:
+        """Look up ``addr``; update recency state and hit/miss counters."""
+        contents = self._sets[addr & self._set_mask]
+        try:
+            way = contents.index(addr)
+        except ValueError:
+            self.stats.misses += 1
+            return False
+        self.policy.on_hit(contents, way, addr & self._set_mask)
+        self.stats.hits += 1
+        return True
+
+    def fill(self, addr: int) -> int | None:
+        """Bring ``addr`` into the cache; return the evicted line, if any.
+
+        Filling an already-resident line refreshes its recency instead of
+        duplicating it (this arises when two cores fill the same shared
+        line back-to-back).
+        """
+        set_index = addr & self._set_mask
+        contents = self._sets[set_index]
+        try:
+            way = contents.index(addr)
+        except ValueError:
+            pass
+        else:
+            self.policy.on_hit(contents, way, set_index)
+            return None
+        victim: int | None = None
+        if len(contents) >= self._assoc:
+            victim_way = self.policy.victim_index(contents, set_index)
+            victim = contents[victim_way]
+            self.policy.on_invalidate(contents, victim_way, set_index)
+            self.stats.evictions += 1
+        self.policy.on_fill(contents, addr, set_index)
+        self.stats.fills += 1
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop ``addr`` if resident; return whether it was present."""
+        set_index = addr & self._set_mask
+        contents = self._sets[set_index]
+        try:
+            way = contents.index(addr)
+        except ValueError:
+            return False
+        self.policy.on_invalidate(contents, way, set_index)
+        self.stats.invalidations += 1
+        return True
+
+    # -- inspection ----------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """Membership test with no side effects (for tests/assertions)."""
+        return addr in self._sets[addr & self._set_mask]
+
+    def set_contents(self, set_index: int) -> tuple[int, ...]:
+        """Snapshot of one set's resident lines (policy order)."""
+        return tuple(self._sets[set_index])
+
+    def resident_lines(self) -> set[int]:
+        """All line addresses currently resident (for invariant checks)."""
+        resident: set[int] = set()
+        for contents in self._sets:
+            resident.update(contents)
+        return resident
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(contents) for contents in self._sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total line capacity, from the geometry."""
+        return self.geometry.capacity_lines
+
+    def flush(self) -> None:
+        """Empty the cache (keeps statistics)."""
+        for contents in self._sets:
+            contents.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.name!r}, sets={self._num_sets}, "
+            f"ways={self._assoc}, occupancy={self.occupancy})"
+        )

@@ -1,0 +1,77 @@
+"""The assembled multicore chip.
+
+:class:`MulticoreChip` wires cores, the shared cache hierarchy, the
+memory channel, and one PMU per core into the object the simulation
+engine drives.  It corresponds to the "Intel Core i7 920 Quad Core"
+box of the paper's experimental setup (§6.1), at the configured scale.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from .core import Core
+from .hierarchy import CacheHierarchy
+from .memory import MainMemory
+from .pmu import CorePMU
+
+
+class MulticoreChip:
+    """Cores + private/shared caches + memory + per-core PMUs."""
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        seed: int = 0,
+        memory: MainMemory | None = None,
+    ):
+        self.machine = machine or MachineConfig.scaled_nehalem()
+        self.seed = seed
+        self.memory = memory or MainMemory(self.machine.latencies.memory)
+        self.hierarchy = CacheHierarchy(self.machine, seed=seed)
+        self.hierarchy.memory = self.memory
+        self.cores = [
+            Core(c, self.machine, self.hierarchy, self.memory)
+            for c in range(self.machine.num_cores)
+        ]
+        self.pmus = [
+            CorePMU(self.cores[c], self.hierarchy.counters[c])
+            for c in range(self.machine.num_cores)
+        ]
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores on the chip."""
+        return self.machine.num_cores
+
+    def core(self, core_id: int) -> Core:
+        """The core object for ``core_id`` (validated)."""
+        if not 0 <= core_id < self.num_cores:
+            raise ConfigError(f"no such core: {core_id}")
+        return self.cores[core_id]
+
+    def pmu(self, core_id: int) -> CorePMU:
+        """The PMU bank of ``core_id`` (validated)."""
+        if not 0 <= core_id < self.num_cores:
+            raise ConfigError(f"no such core: {core_id}")
+        return self.pmus[core_id]
+
+    def reset(self) -> None:
+        """Restore the chip to power-on state (cold caches, zero counters)."""
+        self.memory.reset()
+        self.hierarchy = CacheHierarchy(self.machine, seed=self.seed)
+        self.hierarchy.memory = self.memory
+        self.cores = [
+            Core(c, self.machine, self.hierarchy, self.memory)
+            for c in range(self.machine.num_cores)
+        ]
+        self.pmus = [
+            CorePMU(self.cores[c], self.hierarchy.counters[c])
+            for c in range(self.machine.num_cores)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"MulticoreChip({self.machine.name!r}, cores={self.num_cores}, "
+            f"l3_lines={self.machine.l3.capacity_lines})"
+        )

@@ -1,0 +1,122 @@
+"""The core execution model.
+
+Each core runs one process at a time and is modelled as an in-order
+engine whose progress is gated by memory stalls:
+
+* every instruction costs the workload's ``base_cpi`` cycles of pipeline
+  time (this folds in L1-hit latency, which real pipelines hide);
+* every access that misses L1 additionally stalls the core for the extra
+  latency of the level that served it, divided by the workload's
+  ``overlap`` factor (memory-level parallelism: streaming codes overlap
+  several outstanding misses, pointer chasers cannot).
+
+The loop advances one *memory access* at a time — between accesses the
+workload retires ``1 / mem_ratio`` instructions — which is what makes a
+whole-benchmark simulation tractable in Python while still reproducing
+the paper's Figure 3 phenomenon: periods with many LLC misses are
+periods with few instructions retired.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from .hierarchy import CacheHierarchy
+from .memory import MainMemory
+
+
+class Core:
+    """One core: executes a process against the shared hierarchy."""
+
+    def __init__(
+        self,
+        core_id: int,
+        machine: MachineConfig,
+        hierarchy: CacheHierarchy,
+        memory: MainMemory,
+    ):
+        self.core_id = core_id
+        self.machine = machine
+        self.hierarchy = hierarchy
+        self.memory = memory
+        #: cumulative cycles this core spent executing (not idling)
+        self.cycles_executed = 0.0
+        #: cumulative instructions retired on this core
+        self.instructions_retired = 0.0
+        #: cumulative memory accesses issued
+        self.accesses_issued = 0
+        lat = machine.latencies
+        # Extra stall beyond an L1 hit, indexed by serving level (1..3);
+        # level 4 is priced dynamically by the memory channel.
+        self._extra_stall = (0.0, 0.0, float(lat.l2 - lat.l1),
+                             float(lat.l3 - lat.l1))
+        self._l1_latency = float(lat.l1)
+
+    def run(self, process: "object", cycle_budget: float,
+            start_cycle: float = 0.0) -> float:
+        """Execute ``process`` for up to ``cycle_budget`` cycles.
+
+        ``process`` is a :class:`repro.sim.process.SimProcess` (duck
+        typed to avoid a package cycle): it exposes ``finished``,
+        ``current_phase()`` and ``account(accesses)``.
+
+        Returns the cycles actually consumed — less than the budget only
+        if the process ran to completion inside it.
+        """
+        if cycle_budget <= 0.0:
+            return 0.0
+        used = 0.0
+        total_accesses = 0
+        total_instructions = 0.0
+        hier_access = self.hierarchy.access
+        mem_access = self.memory.access
+        extra = self._extra_stall
+        l1_lat = self._l1_latency
+        cid = self.core_id
+
+        while used < cycle_budget and not process.finished:
+            phase = process.current_phase()
+            self.hierarchy.set_store_ratio(cid, phase.store_ratio)
+            next_address = phase.pattern.next_address
+            ipa = phase.instructions_per_access
+            cpa = phase.compute_cycles_per_access
+            inv_overlap = 1.0 / phase.overlap
+            chunk = process.accesses_left_in_phase()
+            done = 0
+            while done < chunk and used < cycle_budget:
+                level = hier_access(cid, next_address())
+                if level == 1:
+                    used += cpa
+                elif level == 4:
+                    stall = mem_access(start_cycle + used) - l1_lat
+                    used += cpa + stall * inv_overlap
+                else:
+                    used += cpa + extra[level] * inv_overlap
+                done += 1
+            total_accesses += done
+            total_instructions += done * ipa
+            process.account(done)
+
+        self.cycles_executed += used if used <= cycle_budget else cycle_budget
+        self.accesses_issued += total_accesses
+        self.instructions_retired += total_instructions
+        return min(used, cycle_budget)
+
+    def idle(self, cycles: float) -> None:
+        """Account an idle stretch (no counters advance; hook for tests)."""
+
+    def charge_overhead(self, cycles: float) -> None:
+        """Charge runtime-overhead cycles to this core.
+
+        Used by the perfmon layer to model the (small) cost of probing
+        the PMU each period: the cycles are consumed but retire no
+        instructions.
+        """
+        if cycles < 0:
+            raise ValueError(f"overhead cycles must be >= 0, got {cycles}")
+        self.cycles_executed += cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"Core({self.core_id}, cycles={self.cycles_executed:.0f}, "
+            f"instructions={self.instructions_retired:.0f})"
+        )

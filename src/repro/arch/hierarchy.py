@@ -1,0 +1,314 @@
+"""The Nehalem-style cache hierarchy: private L1/L2, shared inclusive L3.
+
+This module implements the piece of hardware the whole paper revolves
+around.  Contention is *emergent* here, not injected: every core's L3
+fills go through common LRU sets, so a core that inserts lines quickly
+(a streaming batch application such as ``lbm``) progressively evicts the
+lines of its neighbours, raising their L3 miss counts — which is exactly
+the signal CAER's detectors watch.  Because the L3 is inclusive, an L3
+eviction also *back-invalidates* the victim line from its owner's
+private L1/L2, amplifying cross-core interference just as on the real
+i7 920.
+
+:class:`CacheHierarchy` exposes a single hot-path verb,
+:meth:`CacheHierarchy.access`, returning the level that served the
+access (1, 2, 3, or 4 = main memory) so the core model can charge the
+right latency, and per-core cumulative counters that the PMU layer
+exposes to CAER.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from .cache import SetAssociativeCache
+from .replacement import make_policy
+
+#: Access outcome levels returned by :meth:`CacheHierarchy.access`.
+L1_HIT, L2_HIT, L3_HIT, MEMORY = 1, 2, 3, 4
+
+
+class HierarchyCounters:
+    """Cumulative per-core memory-system event counts.
+
+    The PMU layer (:mod:`repro.arch.pmu`) snapshots these to produce the
+    per-period deltas CAER consumes; they are therefore monotone and are
+    never reset during a run.
+    """
+
+    __slots__ = (
+        "l1_hits",
+        "l1_misses",
+        "l2_hits",
+        "l2_misses",
+        "l3_hits",
+        "l3_misses",
+        "back_invalidations",
+        "lines_stolen",
+        "prefetch_fills",
+        "writebacks",
+    )
+
+    def __init__(self) -> None:
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.l3_hits = 0
+        self.l3_misses = 0
+        #: private-cache lines of *this* core killed by L3 evictions
+        self.back_invalidations = 0
+        #: L3 lines of this core evicted by *another* core's fills
+        self.lines_stolen = 0
+        #: lines brought into the L3 by the next-line prefetcher
+        self.prefetch_fills = 0
+        #: dirty L3 lines of this core written back to memory
+        self.writebacks = 0
+
+    @property
+    def llc_references(self) -> int:
+        """Accesses that reached the shared last-level cache."""
+        return self.l3_hits + self.l3_misses
+
+    @property
+    def llc_misses(self) -> int:
+        """Accesses that left the chip (the paper's key event)."""
+        return self.l3_misses
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot, for logging and tests."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return f"HierarchyCounters({self.as_dict()})"
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core plus one shared (optionally inclusive) L3."""
+
+    def __init__(self, machine: MachineConfig, seed: int = 0):
+        self.machine = machine
+        n = machine.num_cores
+        self.l1 = [
+            SetAssociativeCache(
+                f"L1.core{c}",
+                machine.l1,
+                make_policy(machine.replacement, machine.l1.associativity,
+                            seed + 101 * c),
+            )
+            for c in range(n)
+        ]
+        self.l2 = [
+            SetAssociativeCache(
+                f"L2.core{c}",
+                machine.l2,
+                make_policy(machine.replacement, machine.l2.associativity,
+                            seed + 211 * c),
+            )
+            for c in range(n)
+        ]
+        self.l3 = SetAssociativeCache(
+            "L3.shared",
+            machine.l3,
+            make_policy(machine.replacement, machine.l3.associativity, seed),
+        )
+        self.counters = [HierarchyCounters() for _ in range(n)]
+        self._inclusive = machine.l3_inclusive
+        self._prefetch_degree = machine.prefetch_degree
+        self._writebacks_enabled = machine.model_writebacks
+        # Per-core L3 occupancy quota in lines (None = unlimited); the
+        # hardware-partitioning hook the paper's related work assumes
+        # (§7: cache partitioning/QoS proposals).
+        self._l3_quota: list[int | None] = [None] * n
+        self._dirty: set[int] = set()
+        self._store_ratio = [0.0] * n
+        self._store_accumulator = [0.0] * n
+        #: optional memory-channel hook so prefetch traffic is charged
+        #: against bandwidth (set by the chip)
+        self.memory = None
+        # Owner sets: which cores pulled each resident L3 line in.  Used
+        # for back-invalidation targeting and per-core occupancy stats.
+        self._l3_owners: dict[int, set[int]] = {}
+        self._occupancy = [0] * n
+
+    # -- hot path ------------------------------------------------------
+
+    def access(self, core: int, addr: int) -> int:
+        """Route one load through the hierarchy; return the serving level.
+
+        Fills every level on the way back (write-allocate, no writeback
+        modelling: the paper's contention signal is read-miss traffic).
+        """
+        counters = self.counters[core]
+        if self._writebacks_enabled:
+            acc = self._store_accumulator[core] + self._store_ratio[core]
+            if acc >= 1.0:
+                acc -= 1.0
+                self._dirty.add(addr)
+            self._store_accumulator[core] = acc
+        if self.l1[core].probe(addr):
+            counters.l1_hits += 1
+            return L1_HIT
+        counters.l1_misses += 1
+        if self.l2[core].probe(addr):
+            counters.l2_hits += 1
+            self.l1[core].fill(addr)
+            return L2_HIT
+        counters.l2_misses += 1
+        if self.l3.probe(addr):
+            counters.l3_hits += 1
+            owners = self._l3_owners.get(addr)
+            if owners is not None and core not in owners:
+                owners.add(core)
+                self._occupancy[core] += 1
+            self._fill_private(core, addr)
+            return L3_HIT
+        counters.l3_misses += 1
+        self._fill_l3(core, addr)
+        self._fill_private(core, addr)
+        if self._prefetch_degree:
+            self._prefetch(core, addr)
+        return MEMORY
+
+    def _prefetch(self, core: int, addr: int) -> None:
+        """Next-line prefetch into the L3 on a demand memory access.
+
+        The core pays no stall for prefetched lines, but each prefetch
+        is a real memory transfer: it occupies the channel (bandwidth
+        accounting through :attr:`memory`) and can evict useful lines.
+        """
+        counters = self.counters[core]
+        for delta in range(1, self._prefetch_degree + 1):
+            paddr = addr + delta
+            if self.l3.contains(paddr):
+                continue
+            self._fill_l3(core, paddr)
+            counters.prefetch_fills += 1
+            if self.memory is not None:
+                self.memory.access(0.0)
+
+    def _fill_private(self, core: int, addr: int) -> None:
+        self.l2[core].fill(addr)
+        self.l1[core].fill(addr)
+
+    def set_l3_quota(self, core: int, fraction: float | None) -> None:
+        """Cap ``core``'s L3 occupancy at ``fraction`` of capacity.
+
+        While over quota, the core's L3 fills evict one of its *own*
+        lines from the target set when possible, instead of stealing a
+        neighbour's LRU line — a soft way-partition approximating the
+        hardware QoS proposals of the paper's §7.  ``None`` removes the
+        cap.
+        """
+        if fraction is None:
+            self._l3_quota[core] = None
+            return
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(
+                f"quota fraction must be in (0, 1]: {fraction}"
+            )
+        self._l3_quota[core] = int(fraction * self.l3.capacity_lines)
+
+    def set_store_ratio(self, core: int, ratio: float) -> None:
+        """Declare the fraction of ``core``'s accesses that are stores.
+
+        Called by the core model at phase boundaries; a no-op effect
+        unless the machine models writebacks.
+        """
+        self._store_ratio[core] = ratio
+
+    def _fill_l3(self, core: int, addr: int) -> None:
+        quota = self._l3_quota[core]
+        if quota is not None and self._occupancy[core] >= quota:
+            self._evict_own_line(core, addr)
+        victim = self.l3.fill(addr)
+        if victim is not None:
+            if self._writebacks_enabled and victim in self._dirty:
+                # Dirty eviction: the line travels back to memory,
+                # consuming channel bandwidth.
+                self._dirty.discard(victim)
+                self.counters[core].writebacks += 1
+                if self.memory is not None:
+                    self.memory.access(0.0)
+            victim_owners = self._l3_owners.pop(victim, set())
+            for owner in victim_owners:
+                self._occupancy[owner] -= 1
+                if owner != core:
+                    self.counters[owner].lines_stolen += 1
+                if self._inclusive:
+                    invalidated = self.l2[owner].invalidate(victim)
+                    invalidated |= self.l1[owner].invalidate(victim)
+                    if invalidated:
+                        self.counters[owner].back_invalidations += 1
+        self._l3_owners[addr] = {core}
+        self._occupancy[core] += 1
+
+    def _evict_own_line(self, core: int, addr: int) -> None:
+        """Pre-evict one of ``core``'s own lines from ``addr``'s set.
+
+        Called when the core is over its L3 quota: by removing an own
+        line first, the subsequent fill lands in the freed way and no
+        neighbour line is displaced.  If the core owns nothing in the
+        set, the fill proceeds normally (the quota is soft).
+        """
+        set_index = addr & (self.l3.geometry.num_sets - 1)
+        for candidate in self.l3.set_contents(set_index):
+            owners = self._l3_owners.get(candidate)
+            if owners is not None and core in owners and \
+                    candidate != addr:
+                self.l3.invalidate(candidate)
+                self._l3_owners.pop(candidate, None)
+                for owner in owners:
+                    self._occupancy[owner] -= 1
+                    if self._inclusive:
+                        invalidated = self.l2[owner].invalidate(candidate)
+                        invalidated |= self.l1[owner].invalidate(candidate)
+                        if invalidated and owner != core:
+                            self.counters[owner].back_invalidations += 1
+                return
+
+    # -- inspection ----------------------------------------------------
+
+    def l3_occupancy(self, core: int) -> int:
+        """L3 lines currently attributed to ``core`` (owner-set based)."""
+        return self._occupancy[core]
+
+    def l3_occupancy_fraction(self, core: int) -> float:
+        """``core``'s share of total L3 capacity, in [0, 1]."""
+        return self._occupancy[core] / self.l3.capacity_lines
+
+    def check_inclusion(self) -> list[int]:
+        """Return private-resident lines missing from the L3.
+
+        Empty when the inclusion property holds; used by tests and the
+        engine's (optional) sanity hooks.
+        """
+        if not self._inclusive:
+            return []
+        l3_resident = self.l3.resident_lines()
+        violations: list[int] = []
+        for core in range(self.machine.num_cores):
+            for cache in (self.l1[core], self.l2[core]):
+                violations.extend(
+                    addr
+                    for addr in cache.resident_lines()
+                    if addr not in l3_resident
+                )
+        return violations
+
+    def flush(self) -> None:
+        """Empty every level (e.g. between scenario repetitions)."""
+        for cache in self.l1:
+            cache.flush()
+        for cache in self.l2:
+            cache.flush()
+        self.l3.flush()
+        self._l3_owners.clear()
+        self._occupancy = [0] * self.machine.num_cores
+        self._dirty.clear()
+
+    def counters_for(self, core: int) -> HierarchyCounters:
+        """The cumulative counter bank of one core."""
+        if not 0 <= core < self.machine.num_cores:
+            raise ConfigError(f"no such core: {core}")
+        return self.counters[core]

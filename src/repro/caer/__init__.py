@@ -1,0 +1,68 @@
+"""CAER: the Contention Aware Execution Runtime (the paper's contribution).
+
+The runtime watches per-period PMU samples of every hosted application
+through a shared communication table (§3.2), detects shared-cache
+contention online with one of two heuristics — Burst-Shutter
+(Algorithm 1) or Rule-Based (Algorithm 2) — and responds by throttling
+the batch applications (red-light/green-light or soft-locking, §5).
+A random detector (§6.4) serves as the accuracy baseline.
+
+Typical use::
+
+    from repro.caer import CaerConfig, caer_factory
+    from repro.sim import run_colocated
+
+    config = CaerConfig.rule_based()
+    result = run_colocated(ls_spec, batch_spec,
+                           caer_factory=caer_factory(config))
+"""
+
+from .detector import ContentionDetector, DetectorStep, Observation
+from .metrics import (
+    accuracy_vs_random,
+    effective_utilization_gained,
+    interference_eliminated,
+    slowdown,
+    utilization,
+    utilization_gained,
+)
+from .profile_detector import ProfileDetector
+from .random_detector import RandomDetector
+from .response import (
+    CachePartition,
+    FrequencyScaling,
+    RedLightGreenLight,
+    ResponsePolicy,
+    SoftLock,
+)
+from .rulebased import RuleBasedDetector
+from .runtime import CaerConfig, CaerRuntime, caer_factory
+from .shutter import BurstShutterDetector
+from .table import CommunicationTable
+from .window import SampleWindow
+
+__all__ = [
+    "ContentionDetector",
+    "DetectorStep",
+    "Observation",
+    "BurstShutterDetector",
+    "RuleBasedDetector",
+    "RandomDetector",
+    "ProfileDetector",
+    "ResponsePolicy",
+    "RedLightGreenLight",
+    "SoftLock",
+    "FrequencyScaling",
+    "CachePartition",
+    "CaerConfig",
+    "CaerRuntime",
+    "caer_factory",
+    "CommunicationTable",
+    "SampleWindow",
+    "utilization",
+    "utilization_gained",
+    "effective_utilization_gained",
+    "slowdown",
+    "interference_eliminated",
+    "accuracy_vs_random",
+]

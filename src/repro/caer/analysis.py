@@ -1,0 +1,156 @@
+"""Decision-log analysis.
+
+The prototype "logs the decisions it makes" (§6.1); this module turns a
+run's decision log into the quantities an operator (or the paper's §6.4
+accuracy discussion) wants: how much time the runtime spent in each
+Figure 5 state, how often each verdict was asserted, how the batch side
+was throttled, and — given a ground-truth interval of known contention —
+false-positive/negative rates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..sim.results import RunResult
+
+
+@dataclass(frozen=True)
+class DecisionSummary:
+    """Aggregate view of one run's CAER decision log."""
+
+    periods: int
+    #: periods spent per Figure 5 state label
+    state_counts: dict[str, int]
+    #: c-positive / c-negative verdict counts
+    positives: int
+    negatives: int
+    #: fraction of periods the batch side was paused
+    pause_fraction: float
+    #: mean DVFS speed over non-paused periods (1.0 without DVFS)
+    mean_running_speed: float
+
+    @property
+    def verdicts(self) -> int:
+        """Total verdicts issued."""
+        return self.positives + self.negatives
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of verdicts asserting contention."""
+        return self.positives / self.verdicts if self.verdicts else 0.0
+
+    def render(self) -> str:
+        """Short human-readable report."""
+        lines = [
+            f"decision log: {self.periods} periods, "
+            f"{self.verdicts} verdicts "
+            f"({self.positive_rate:.0%} c-positive)",
+            f"batch paused {self.pause_fraction:.0%} of periods, "
+            f"mean running speed {self.mean_running_speed:.2f}",
+        ]
+        states = ", ".join(
+            f"{state}={count}"
+            for state, count in sorted(self.state_counts.items())
+        )
+        lines.append(f"states: {states}")
+        return "\n".join(lines)
+
+
+def summarise_decisions(result: RunResult) -> DecisionSummary:
+    """Aggregate a run's CAER decision log."""
+    log = result.caer_log
+    if not log:
+        raise ExperimentError("run has no CAER decision log")
+    states = Counter(record["state"] for record in log)
+    positives = sum(1 for r in log if r.get("assertion") is True)
+    negatives = sum(1 for r in log if r.get("assertion") is False)
+    paused = sum(1 for r in log if r["pause"])
+    running = [r for r in log if not r["pause"]]
+    mean_speed = (
+        sum(r.get("speed", 1.0) for r in running) / len(running)
+        if running
+        else 1.0
+    )
+    return DecisionSummary(
+        periods=len(log),
+        state_counts=dict(states),
+        positives=positives,
+        negatives=negatives,
+        pause_fraction=paused / len(log),
+        mean_running_speed=mean_speed,
+    )
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Verdicts scored against a ground-truth contention interval."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when no positives were asserted."""
+        asserted = self.true_positives + self.false_positives
+        return self.true_positives / asserted if asserted else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there was nothing to detect."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def accuracy(self) -> float:
+        """Correct verdicts over all verdicts."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+        correct = self.true_positives + self.true_negatives
+        return correct / total if total else 1.0
+
+
+def score_verdicts(
+    result: RunResult,
+    contended_periods: set[int] | range,
+) -> AccuracyReport:
+    """Score every verdict against a known contention interval.
+
+    ``contended_periods`` are the periods during which contention truly
+    existed (e.g. the lifetime of a heavy contender in a controlled
+    experiment).  Verdict-free periods are ignored — only actual
+    assertions are scored, matching §6.4's definition of false
+    positives/negatives.
+    """
+    log = result.caer_log
+    if not log:
+        raise ExperimentError("run has no CAER decision log")
+    contended = set(contended_periods)
+    tp = fp = tn = fn = 0
+    for record in log:
+        assertion = record.get("assertion")
+        if assertion is None:
+            continue
+        truly = record["period"] in contended
+        if assertion and truly:
+            tp += 1
+        elif assertion and not truly:
+            fp += 1
+        elif not assertion and not truly:
+            tn += 1
+        else:
+            fn += 1
+    return AccuracyReport(
+        true_positives=tp,
+        false_positives=fp,
+        true_negatives=tn,
+        false_negatives=fn,
+    )

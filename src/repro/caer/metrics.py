@@ -1,0 +1,159 @@
+"""The paper's evaluation metrics.
+
+All metrics are derived from :class:`repro.sim.results.RunResult`
+records:
+
+* **slowdown / cross-core interference penalty** — the ratio of the
+  latency-sensitive application's completion time co-located vs. alone
+  (Figures 1 and 6);
+* **utilization** — Equation 1: the average over cores of the fraction
+  of time spent running rather than idle, measured over the
+  latency-sensitive application's lifetime;
+* **utilization gained** — the extra utilization co-location recovers
+  relative to running the latency-sensitive application alone
+  (Figure 7): with one batch neighbour this is exactly the fraction of
+  periods the batch was allowed to run;
+* **interference eliminated** — the share of the raw co-location
+  penalty a CAER configuration removes (Figure 8);
+* **accuracy vs. random** — Equation 2: ``A = U_h / U_r - 1``
+  (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from ..sim.process import ProcessState
+from ..sim.results import RunResult
+
+
+def slowdown(colocated: RunResult, solo: RunResult) -> float:
+    """Execution-time ratio of the latency-sensitive app: co-located/alone.
+
+    A value of 1.36 is the paper's "36% slowdown" for mcf next to lbm.
+    """
+    ls_colo = colocated.latency_sensitive()
+    ls_solo = solo.latency_sensitive()
+    return ls_colo.completion_periods / ls_solo.completion_periods
+
+
+def penalty(colocated: RunResult, solo: RunResult) -> float:
+    """Cross-core interference penalty: ``slowdown - 1``."""
+    return slowdown(colocated, solo) - 1.0
+
+
+def _ls_window(result: RunResult) -> tuple[int, int]:
+    """The latency-sensitive app's active period range [launch, done)."""
+    ls = result.latency_sensitive()
+    if ls.first_completion_period is None:
+        raise ExperimentError(
+            f"latency-sensitive app {ls.name!r} did not complete"
+        )
+    return ls.launch_period, ls.first_completion_period + 1
+
+
+def utilization(result: RunResult, num_cores: int = 2) -> float:
+    """Equation 1 over the latency-sensitive app's lifetime.
+
+    ``num_cores`` defaults to 2 — the prototype's co-location pair; the
+    other cores of the quad-core chip are idle in every configuration
+    and would only shift all results by a constant.
+    """
+    start, stop = _ls_window(result)
+    window_periods = stop - start
+    if window_periods <= 0:
+        raise ExperimentError("empty latency-sensitive window")
+    running_fractions = []
+    for record in result.processes.values():
+        running = record.periods_in_state(
+            ProcessState.RUNNING, window=(start, stop)
+        )
+        running_fractions.append(running / window_periods)
+    # Cores beyond the managed processes are idle for the whole window.
+    idle_cores = num_cores - len(running_fractions)
+    if idle_cores < 0:
+        raise ExperimentError(
+            f"num_cores={num_cores} but {len(running_fractions)} "
+            "processes were scheduled"
+        )
+    running_fractions.extend([0.0] * idle_cores)
+    return sum(running_fractions) / num_cores
+
+
+def utilization_gained(result: RunResult) -> float:
+    """Fraction of the LS lifetime the batch side executed (Figure 7).
+
+    0.0 reproduces "disallow co-location" (the batch never ran); 1.0 is
+    raw co-location (the batch ran every period).  With one batch
+    process this equals ``2*U - 1`` for the pairwise Equation 1
+    utilization ``U``.
+    """
+    start, stop = _ls_window(result)
+    window_periods = stop - start
+    batch = result.batch_processes()
+    if not batch:
+        return 0.0
+    gained = [
+        record.periods_in_state(ProcessState.RUNNING, window=(start, stop))
+        / window_periods
+        for record in batch
+    ]
+    return sum(gained) / len(gained)
+
+
+def interference_eliminated(
+    raw_penalty: float, managed_penalty: float
+) -> float:
+    """Share of the co-location penalty removed by CAER (Figure 8).
+
+    Clamped below at 0 (a heuristic cannot "eliminate" negative
+    interference); raises when there was no raw penalty to eliminate.
+    """
+    if raw_penalty <= 0:
+        raise ExperimentError(
+            f"no positive raw penalty to eliminate: {raw_penalty}"
+        )
+    return max(0.0, (raw_penalty - managed_penalty) / raw_penalty)
+
+
+def accuracy_vs_random(
+    utilization_heuristic: float, utilization_random: float
+) -> float:
+    """Equation 2: ``A = U_h / U_r - 1``.
+
+    Positive for a sensitive neighbour means the heuristic *failed* to
+    sacrifice utilization (false negatives); negative for an insensitive
+    neighbour means it sacrificed needlessly (false positives) — see
+    §6.4's reading of Figures 9 and 10.
+    """
+    if utilization_random <= 0:
+        raise ExperimentError(
+            f"random-baseline utilization must be positive: "
+            f"{utilization_random}"
+        )
+    return utilization_heuristic / utilization_random - 1.0
+
+
+def effective_utilization_gained(result: RunResult) -> float:
+    """Speed-weighted batch utilization over the LS lifetime.
+
+    Like :func:`utilization_gained`, but a period executed at a DVFS
+    speed factor of ``f`` contributes ``f`` rather than 1 — the honest
+    throughput measure for the frequency-scaling response, identical to
+    :func:`utilization_gained` for the pause-based responses.
+    """
+    start, stop = _ls_window(result)
+    window_periods = stop - start
+    batch = result.batch_processes()
+    if not batch:
+        return 0.0
+    gained = []
+    for record in batch:
+        credit = sum(
+            speed
+            for state, speed in zip(
+                record.states[start:stop], record.speeds[start:stop]
+            )
+            if state is ProcessState.RUNNING
+        )
+        gained.append(credit / window_periods)
+    return sum(gained) / len(gained)

@@ -1,0 +1,83 @@
+"""An offline-profile "oracle" detector.
+
+CAER's heuristics work with zero prior knowledge.  The related work's
+co-scheduling line (Jiang et al., Fedorova et al.) instead assumes
+*offline profiles*; this detector implements that upper bound so the
+evaluation can ask how much headroom the online heuristics leave:
+
+given the victim's solo LLC-miss baseline (misses per period, measured
+in a profiling run), assert contention exactly when the observed
+windowed average deviates from that baseline by more than a tolerance.
+It is an oracle in the sense of knowing the victim's uncontended
+behaviour — knowledge the online heuristics must infer by perturbing
+the system.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .detector import ContentionDetector, DetectorStep, Observation
+
+DEFAULT_TOLERANCE = 0.25
+
+
+class ProfileDetector(ContentionDetector):
+    """Compare the neighbour's misses against an offline solo baseline.
+
+    ``baseline_misses`` is the victim's solo misses-per-period (mean is
+    fine; a phase-faithful profile only sharpens it).  Contention is
+    asserted when the observed windowed mean deviates from the baseline
+    by more than ``tolerance`` (relative) — in either direction, since
+    on this substrate interference can both raise the victim's miss
+    ratio and slow its issue rate (see DESIGN.md on the two-sided
+    shutter).
+    """
+
+    name = "offline-profile"
+
+    def __init__(
+        self,
+        baseline_misses: float,
+        tolerance: float = DEFAULT_TOLERANCE,
+        noise_floor: float = 0.0,
+    ):
+        if baseline_misses < 0:
+            raise ConfigError(
+                f"baseline_misses must be >= 0: {baseline_misses}"
+            )
+        if tolerance <= 0:
+            raise ConfigError(f"tolerance must be > 0: {tolerance}")
+        if noise_floor < 0:
+            raise ConfigError(f"noise_floor must be >= 0: {noise_floor}")
+        self.baseline_misses = baseline_misses
+        self.tolerance = tolerance
+        self.noise_floor = noise_floor
+        self.verdicts: list[bool] = []
+
+    def step(self, obs: Observation) -> DetectorStep:
+        """Verdict from the deviation of the windowed neighbour mean.
+
+        Deviations below the absolute ``noise_floor`` never count: for
+        a near-zero baseline every fluctuation is huge in relative
+        terms but irrelevant in effect.
+        """
+        deviation = abs(obs.neighbor_mean - self.baseline_misses)
+        if deviation <= self.noise_floor:
+            contending = False
+        elif self.baseline_misses == 0:
+            contending = True
+        else:
+            contending = (
+                deviation / self.baseline_misses > self.tolerance
+            )
+        self.verdicts.append(contending)
+        return DetectorStep(pause_self=False, assertion=contending)
+
+    def reset(self) -> None:
+        """Stateless between periods; nothing to reset."""
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileDetector(baseline={self.baseline_misses}, "
+            f"tolerance={self.tolerance}, floor={self.noise_floor})"
+        )

@@ -1,0 +1,44 @@
+"""The random baseline heuristic (§6.4).
+
+To quantify detection *accuracy* the paper compares each heuristic
+against a baseline that "reports contention with probability P and no
+contention with probability 1 - P" (P = 0.5), paired with a
+red-light/green-light response of length 1.  A real heuristic should
+sacrifice *more* utilization than random for contention-sensitive
+neighbours and *less* for insensitive ones; any inversion indicates
+false negatives/positives (Figures 9 and 10).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ConfigError
+from .detector import ContentionDetector, DetectorStep, Observation
+
+
+class RandomDetector(ContentionDetector):
+    """Asserts contention with fixed probability each period."""
+
+    name = "random"
+
+    def __init__(self, probability: float = 0.5, seed: int = 0):
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigError(
+                f"probability must be in [0, 1]: {probability}"
+            )
+        self.probability = probability
+        self._rng = random.Random(seed)
+        self.verdicts: list[bool] = []
+
+    def step(self, obs: Observation) -> DetectorStep:
+        """Flip the coin; the observation is deliberately ignored."""
+        contending = self._rng.random() < self.probability
+        self.verdicts.append(contending)
+        return DetectorStep(pause_self=False, assertion=contending)
+
+    def reset(self) -> None:
+        """Stateless between periods; nothing to reset."""
+
+    def __repr__(self) -> str:
+        return f"RandomDetector(p={self.probability})"

@@ -1,0 +1,51 @@
+"""The Rule-Based detection heuristic (§4.2, Algorithm 2).
+
+This heuristic tests the paper's hypothesis directly: contention exists
+when *both* sides are missing heavily in the shared last-level cache.
+Each period it compares the windowed average LLC misses of the
+latency-sensitive side and of the batch side against ``usage_thresh``
+(the paper uses 1500 misses per 1 ms period); contention is asserted
+only when both are above it.
+
+Unlike Burst-Shutter this produces a verdict every period, and is paired
+with the soft-lock response (§5), which keeps the batch parked until the
+latency-sensitive side's pressure subsides.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .detector import ContentionDetector, DetectorStep, Observation
+
+#: The paper's threshold on the reference machine: 1500 misses / 1 ms.
+#: Use :func:`repro.config.default_usage_threshold` to convert it to a
+#: scaled machine's period length.
+REFERENCE_USAGE_THRESH = 1500.0
+
+
+class RuleBasedDetector(ContentionDetector):
+    """Algorithm 2: both sides above the usage threshold => contending."""
+
+    name = "rule-based"
+
+    def __init__(self, usage_thresh: float):
+        if usage_thresh < 0:
+            raise ConfigError(f"usage_thresh must be >= 0: {usage_thresh}")
+        self.usage_thresh = usage_thresh
+        self.verdicts: list[bool] = []
+
+    def step(self, obs: Observation) -> DetectorStep:
+        """Verdict from this period's windowed averages."""
+        contending = True
+        if obs.own_mean < self.usage_thresh:
+            contending = False
+        if obs.neighbor_mean < self.usage_thresh:
+            contending = False
+        self.verdicts.append(contending)
+        return DetectorStep(pause_self=False, assertion=contending)
+
+    def reset(self) -> None:
+        """Stateless between periods; nothing to reset."""
+
+    def __repr__(self) -> str:
+        return f"RuleBasedDetector(usage_thresh={self.usage_thresh})"

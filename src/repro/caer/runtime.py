@@ -1,0 +1,309 @@
+"""The CAER runtime: monitors, the main engine, and its period loop.
+
+This module ties the pieces of Figure 4 together.  In the paper, a thin
+CAER-M layer under each latency-sensitive application publishes PMU
+samples into the shared communication table, while the main CAER engine
+under the batch applications reads the table, runs the detection
+heuristic, and writes reaction directives that *all* batch layers obey.
+
+Here the whole runtime is one period hook attached to the simulation
+engine (the engine's period boundary is the paper's 1 ms timer
+interrupt).  Each period it:
+
+1. publishes every application's PMU sample into the table (the CAER-M
+   role);
+2. builds an :class:`~repro.caer.detector.Observation` aggregating the
+   batch side and the latency-sensitive side;
+3. advances the detect/respond state machine of Figure 5;
+4. applies the resulting pause/run directive to every batch process and
+   appends a record to the run's decision log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..arch.pmu import PMUSample
+from ..config import MachineConfig, default_usage_threshold
+from ..errors import ConfigError
+from ..sim.engine import SimulationEngine
+from ..sim.process import AppClass
+from .detector import ContentionDetector, Observation
+from .profile_detector import ProfileDetector
+from .random_detector import RandomDetector
+from .response import (
+    CachePartition,
+    FrequencyScaling,
+    RedLightGreenLight,
+    ResponsePolicy,
+    SoftLock,
+)
+from .rulebased import RuleBasedDetector
+from .shutter import BurstShutterDetector
+from .table import DEFAULT_WINDOW_SIZE, CommunicationTable
+
+
+@dataclass(frozen=True)
+class CaerConfig:
+    """Declarative CAER configuration.
+
+    Use the classmethods for the paper's three evaluated setups; the
+    individual knobs are exposed for the tuning-space ablations.  A
+    ``usage_thresh`` of ``None`` resolves to the paper's 1500
+    misses/ms converted to the target machine's period length.
+    """
+
+    detector: str = "rule-based"
+    response: str = "soft-lock"
+    window_size: int = DEFAULT_WINDOW_SIZE
+    # burst-shutter knobs (Algorithm 1)
+    switch_point: int = 5
+    end_point: int = 10
+    impact_factor: float = 0.05
+    noise_thresh: float | None = None
+    shutter_mode: str = "two-sided"
+    # rule-based / soft-lock knobs (Algorithm 2, §5)
+    usage_thresh: float | None = None
+    soft_lock_max_hold: int = 25
+    # red-light/green-light knobs (§5)
+    response_length: int = 10
+    adaptive: bool = False
+    max_response_length: int = 80
+    # frequency-scaling knobs (§7's DVFS alternative)
+    dvfs_scale: float = 0.25
+    # cache-partition knobs (§7's hardware-QoS alternative)
+    partition_quota: float = 0.25
+    # random baseline knobs (§6.4)
+    probability: float = 0.5
+    seed: int = 0
+    # offline-profile oracle knobs (related-work comparator)
+    baseline_misses: float | None = None
+    profile_tolerance: float = 0.25
+
+    @classmethod
+    def shutter(cls, **overrides: object) -> "CaerConfig":
+        """The paper's Burst-Shutter setup: RLGL response, length 10."""
+        defaults = dict(
+            detector="shutter", response="rlgl", response_length=10
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    @classmethod
+    def rule_based(cls, **overrides: object) -> "CaerConfig":
+        """The paper's Rule-Based setup: soft-lock response."""
+        defaults = dict(detector="rule-based", response="soft-lock")
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    @classmethod
+    def dvfs(cls, **overrides: object) -> "CaerConfig":
+        """§7's alternative response: shutter detection + core DVFS."""
+        defaults = dict(
+            detector="shutter", response="dvfs", response_length=10
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    @classmethod
+    def profile_oracle(
+        cls, baseline_misses: float, **overrides: object
+    ) -> "CaerConfig":
+        """The offline-profile comparator: oracle detection + soft lock."""
+        defaults = dict(
+            detector="profile",
+            response="soft-lock",
+            baseline_misses=baseline_misses,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    @classmethod
+    def partition(cls, **overrides: object) -> "CaerConfig":
+        """§7's hardware alternative: shutter detection + L3 quota."""
+        defaults = dict(
+            detector="shutter", response="partition",
+            response_length=10,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    @classmethod
+    def random_baseline(cls, **overrides: object) -> "CaerConfig":
+        """The §6.4 accuracy baseline: P=0.5, RLGL length 1."""
+        defaults = dict(
+            detector="random", response="rlgl", response_length=1
+        )
+        defaults.update(overrides)
+        return cls(**defaults)  # type: ignore[arg-type]
+
+    # -- component construction ------------------------------------------
+
+    def build_detector(self, machine: MachineConfig) -> ContentionDetector:
+        """Instantiate the configured detection heuristic."""
+        if self.detector == "shutter":
+            noise = self.noise_thresh
+            if noise is None:
+                # Moves smaller than the "heavy usage" threshold are
+                # indistinguishable from noise at this machine's scale.
+                noise = default_usage_threshold(machine)
+            return BurstShutterDetector(
+                switch_point=self.switch_point,
+                end_point=self.end_point,
+                impact_factor=self.impact_factor,
+                noise_thresh=noise,
+                mode=self.shutter_mode,
+            )
+        if self.detector == "rule-based":
+            return RuleBasedDetector(self._resolve_thresh(machine))
+        if self.detector == "random":
+            return RandomDetector(self.probability, seed=self.seed)
+        if self.detector == "profile":
+            if self.baseline_misses is None:
+                raise ConfigError(
+                    "the profile detector needs baseline_misses from a "
+                    "solo profiling run"
+                )
+            return ProfileDetector(
+                self.baseline_misses,
+                tolerance=self.profile_tolerance,
+                noise_floor=default_usage_threshold(machine),
+            )
+        raise ConfigError(f"unknown detector {self.detector!r}")
+
+    def build_response(self, machine: MachineConfig) -> ResponsePolicy:
+        """Instantiate the configured response policy."""
+        if self.response == "rlgl":
+            return RedLightGreenLight(
+                length=self.response_length,
+                adaptive=self.adaptive,
+                max_length=self.max_response_length,
+            )
+        if self.response == "soft-lock":
+            return SoftLock(
+                self._resolve_thresh(machine),
+                max_hold=self.soft_lock_max_hold,
+            )
+        if self.response == "dvfs":
+            return FrequencyScaling(
+                scale=self.dvfs_scale, length=self.response_length
+            )
+        if self.response == "partition":
+            return CachePartition(
+                quota=self.partition_quota,
+                length=self.response_length,
+            )
+        raise ConfigError(f"unknown response {self.response!r}")
+
+    def _resolve_thresh(self, machine: MachineConfig) -> float:
+        if self.usage_thresh is not None:
+            return self.usage_thresh
+        return default_usage_threshold(machine)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier for reports."""
+        return f"caer({self.detector}+{self.response})"
+
+
+class CaerRuntime:
+    """The period hook implementing the CAER control loop."""
+
+    def __init__(self, engine: SimulationEngine, config: CaerConfig):
+        machine = engine.chip.machine
+        self.config = config
+        self.detector = config.build_detector(machine)
+        self.response = config.build_response(machine)
+        self.table = CommunicationTable(window_size=config.window_size)
+        self.ls_names: list[str] = []
+        self.batch_names: list[str] = []
+        for name, proc in engine.processes.items():
+            self.table.register(name, proc.app_class)
+            if proc.app_class is AppClass.LATENCY_SENSITIVE:
+                self.ls_names.append(name)
+            else:
+                self.batch_names.append(name)
+        if not self.batch_names:
+            raise ConfigError("CAER needs at least one batch application")
+        if not self.ls_names:
+            raise ConfigError(
+                "CAER needs at least one latency-sensitive application"
+            )
+        self._state = "detect"
+
+    def __call__(
+        self,
+        engine: SimulationEngine,
+        period: int,
+        samples: dict[str, PMUSample],
+    ) -> None:
+        """One timer tick: publish, observe, decide, direct."""
+        for name, sample in samples.items():
+            self.table.publish(name, sample)
+        obs = Observation(
+            own_misses=self.table.batch_misses(),
+            neighbor_misses=self.table.latency_sensitive_misses(),
+            own_mean=self.table.batch_mean(),
+            neighbor_mean=self.table.latency_sensitive_mean(),
+            period=period,
+        )
+        assertion: bool | None = None
+        speed = 1.0
+        quota: float | None = None
+        if self._state == "respond":
+            rstep = self.response.step(obs)
+            pause = rstep.pause_batch
+            speed = rstep.speed
+            quota = rstep.l3_quota
+            reason = "respond"
+            if rstep.done:
+                self._state = "detect"
+                self.detector.reset()
+        else:
+            dstep = self.detector.step(obs)
+            pause = dstep.pause_self
+            reason = "detect"
+            assertion = dstep.assertion
+            if assertion is not None:
+                # Enter the response state immediately so its first
+                # directive governs the very next period.
+                self.response.begin(assertion)
+                rstep = self.response.step(obs)
+                pause = rstep.pause_batch
+                speed = rstep.speed
+                quota = rstep.l3_quota
+                reason = "c-positive" if assertion else "c-negative"
+                self._state = "detect" if rstep.done else "respond"
+        self.table.directives.pause_batch = pause
+        self.table.directives.batch_speed = speed
+        self.table.directives.reason = reason
+        for name in self.batch_names:
+            engine.set_paused(name, pause)
+            engine.set_speed(name, speed)
+            engine.set_l3_quota(name, quota)
+        engine.log_decision(
+            {
+                "period": period,
+                "state": reason,
+                "pause": pause,
+                "speed": speed,
+                "l3_quota": quota,
+                "assertion": assertion,
+                "own_misses": obs.own_misses,
+                "neighbor_misses": obs.neighbor_misses,
+                "own_mean": obs.own_mean,
+                "neighbor_mean": obs.neighbor_mean,
+            }
+        )
+
+
+def caer_factory(
+    config: CaerConfig,
+) -> Callable[[SimulationEngine], CaerRuntime]:
+    """Adapter for :func:`repro.sim.scenario.run_colocated`.
+
+    Returns a factory that, given the engine, attaches a fully-wired
+    :class:`CaerRuntime` as its period hook.
+    """
+    return lambda engine: CaerRuntime(engine, config)

@@ -1,0 +1,144 @@
+"""The Burst-Shutter detection heuristic (§4.1, Algorithm 1).
+
+The idea: if the batch application is hurting the latency-sensitive
+neighbour, halting the batch ("shutter") and then releasing it at full
+force ("burst") must produce a visible spike in the neighbour's LLC
+misses.  One detection cycle is:
+
+* a one-period *settle* step that issues the halt directive (directives
+  take effect the following period, as in the real runtime where the
+  reaction is read from the communication table at the next timer tick);
+* ``switch_point`` periods with the batch halted, sampling the
+  neighbour's *steady* miss rate;
+* ``end_point - switch_point`` periods with the batch running at full
+  force, sampling the *burst* miss rate;
+* a verdict: contention is asserted when the burst average *differs
+  from* the steady average by more than both the absolute
+  ``noise_thresh`` and the relative ``impact_factor`` — the paper's
+  tunable QoS "knob" (5% in §6.2).
+
+The paper's Algorithm 1 tests one direction only (a miss *spike* during
+the burst).  On this simulated substrate a memory-bound neighbour often
+shows the opposite sign: the burst slows it down, so it issues fewer
+accesses — and therefore fewer misses — per period, even while its miss
+*ratio* rises.  Both signs are evidence that the burst impacted the
+neighbour, so the default ``mode="two-sided"`` asserts contention on a
+significant move in either direction; ``mode="spike"`` reproduces the
+paper's literal one-sided test for comparison (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .detector import ContentionDetector, DetectorStep, Observation
+
+DEFAULT_SWITCH_POINT = 5
+DEFAULT_END_POINT = 10
+DEFAULT_IMPACT_FACTOR = 0.05
+#: Default absolute spike floor, in misses/period: moves smaller than
+#: the paper's "heavy usage" threshold are treated as noise.
+DEFAULT_NOISE_THRESH = 20.0
+
+
+class BurstShutterDetector(ContentionDetector):
+    """Algorithm 1: shutter the batch, burst it, compare neighbour misses."""
+
+    name = "burst-shutter"
+
+    def __init__(
+        self,
+        switch_point: int = DEFAULT_SWITCH_POINT,
+        end_point: int = DEFAULT_END_POINT,
+        impact_factor: float = DEFAULT_IMPACT_FACTOR,
+        noise_thresh: float = DEFAULT_NOISE_THRESH,
+        mode: str = "two-sided",
+    ):
+        if mode not in ("two-sided", "spike"):
+            raise ConfigError(
+                f"mode must be 'two-sided' or 'spike', got {mode!r}"
+            )
+        if switch_point < 1:
+            raise ConfigError(f"switch_point must be >= 1: {switch_point}")
+        if end_point <= switch_point:
+            raise ConfigError(
+                f"end_point ({end_point}) must exceed "
+                f"switch_point ({switch_point})"
+            )
+        if impact_factor < 0:
+            raise ConfigError(f"impact_factor must be >= 0: {impact_factor}")
+        if noise_thresh < 0:
+            raise ConfigError(f"noise_thresh must be >= 0: {noise_thresh}")
+        self.switch_point = switch_point
+        self.end_point = end_point
+        self.impact_factor = impact_factor
+        self.noise_thresh = noise_thresh
+        self.mode = mode
+        self._count = 0
+        self._steady: list[float] = []
+        self._burst: list[float] = []
+        #: verdict history, for tests and the decision log
+        self.verdicts: list[bool] = []
+
+    def step(self, obs: Observation) -> DetectorStep:
+        """One period of the settle/shutter/burst cycle.
+
+        The returned ``pause_self`` governs the *next* period, so the
+        measurement attributed to each phase is taken from periods where
+        the batch really was in that phase's state.
+        """
+        count = self._count
+        switch, end = self.switch_point, self.end_point
+        if count == 0:
+            # Settle step: ask for the halt; the current period still
+            # reflects the previous response state, so record nothing.
+            self._count = 1
+            return DetectorStep(pause_self=True)
+        if count <= switch:
+            # The batch was halted during this period: steady sample.
+            self._steady.append(obs.neighbor_misses)
+            self._count = count + 1
+            # Stay halted until all steady samples are in, then release
+            # the batch so the next period starts the burst.
+            return DetectorStep(pause_self=count < switch)
+        # The batch ran at full force during this period: burst sample.
+        self._burst.append(obs.neighbor_misses)
+        self._count = count + 1
+        if self._count <= end:
+            return DetectorStep(pause_self=False)
+        verdict = self._compare()
+        self.verdicts.append(verdict)
+        self.reset()
+        return DetectorStep(pause_self=False, assertion=verdict)
+
+    def _compare(self) -> bool:
+        steady_average = sum(self._steady) / len(self._steady)
+        burst_average = sum(self._burst) / len(self._burst)
+        spike = burst_average - steady_average
+        spiked = (
+            spike > self.noise_thresh
+            and burst_average > steady_average * (1.0 + self.impact_factor)
+        )
+        if self.mode == "spike":
+            return spiked
+        dropped = (
+            -spike > self.noise_thresh
+            and burst_average < steady_average * (1.0 - self.impact_factor)
+        )
+        return spiked or dropped
+
+    def reset(self) -> None:
+        """Start a fresh settle/shutter/burst cycle."""
+        self._count = 0
+        self._steady = []
+        self._burst = []
+
+    @property
+    def cycle_length(self) -> int:
+        """Periods one full detection cycle takes (incl. the settle step)."""
+        return self.end_point + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstShutterDetector(switch={self.switch_point}, "
+            f"end={self.end_point}, impact={self.impact_factor})"
+        )

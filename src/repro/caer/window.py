@@ -1,0 +1,83 @@
+"""Fixed-capacity sample windows.
+
+The communication table "records a window of sample points, which allows
+us to observe trends of many samples" (§3.2).  :class:`SampleWindow` is
+that structure: a ring buffer of per-period values with O(1) push and
+O(1) running mean.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class SampleWindow:
+    """Ring buffer of the most recent ``capacity`` samples."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError(f"window capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._buffer: list[float] = [0.0] * capacity
+        self._count = 0
+        self._next = 0
+        self._sum = 0.0
+
+    def push(self, value: float) -> None:
+        """Append a sample, evicting the oldest once full."""
+        if self._count == self.capacity:
+            self._sum -= self._buffer[self._next]
+        else:
+            self._count += 1
+        self._buffer[self._next] = value
+        self._sum += value
+        self._next = (self._next + 1) % self.capacity
+
+    def mean(self) -> float:
+        """Mean of the stored samples (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def last(self) -> float:
+        """The most recent sample (0.0 when empty)."""
+        if not self._count:
+            return 0.0
+        return self._buffer[(self._next - 1) % self.capacity]
+
+    def values(self) -> list[float]:
+        """Samples in arrival order, oldest first."""
+        if self._count < self.capacity:
+            return self._buffer[: self._count]
+        return (
+            self._buffer[self._next:] + self._buffer[: self._next]
+        )
+
+    def tail_mean(self, n: int) -> float:
+        """Mean of the ``n`` most recent samples."""
+        if n < 1:
+            raise ConfigError(f"tail size must be >= 1: {n}")
+        values = self.values()
+        if not values:
+            return 0.0
+        tail = values[-n:]
+        return sum(tail) / len(tail)
+
+    def clear(self) -> None:
+        """Forget all samples."""
+        self._buffer = [0.0] * self.capacity
+        self._count = 0
+        self._next = 0
+        self._sum = 0.0
+
+    @property
+    def full(self) -> bool:
+        """Whether the window holds ``capacity`` samples."""
+        return self._count == self.capacity
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleWindow(capacity={self.capacity}, count={self._count}, "
+            f"mean={self.mean():.1f})"
+        )

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Regenerate any of the paper's artefacts from a shell::
+
+    repro-caer fig 1           # Figure 1 table
+    repro-caer fig 3           # Figure 3 ASCII time series
+    repro-caer all             # every figure plus the headline numbers
+    repro-caer headline        # just the §1/§6 means
+    repro-caer ablation impact-factor
+    repro-caer calibrate       # workload-vs-Figure-1 calibration table
+    repro-caer list            # what can be run
+
+Run length is controlled by ``--length`` or the ``REPRO_LENGTH``
+environment variable (default 0.2; 1.0 is the slowest/most faithful).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ABLATIONS,
+    Campaign,
+    CampaignSettings,
+    figure1,
+    figure2,
+    figure3,
+    figure3_correlations,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    headline_numbers,
+    run_ablation,
+)
+
+_FIGURES = {
+    "1": figure1,
+    "2": figure2,
+    "6": figure6,
+    "7": figure7,
+    "8": figure8,
+    "9": figure9,
+    "10": figure10,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-caer",
+        description=(
+            "Reproduction of 'Contention Aware Execution: Online "
+            "Contention Detection and Response' (CGO 2010)"
+        ),
+    )
+    parser.add_argument(
+        "--length",
+        type=float,
+        default=None,
+        help="run-length scale (default from REPRO_LENGTH or 0.2)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="simulation seed"
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk run cache",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit tables as CSV instead of aligned text",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("fig", help="regenerate one figure")
+    fig.add_argument("number", choices=sorted(_FIGURES) + ["3"])
+
+    sub.add_parser("all", help="regenerate every figure + headline")
+    sub.add_parser("headline", help="suite-mean penalties/utilization")
+
+    abl = sub.add_parser("ablation", help="run a tuning-space sweep")
+    abl.add_argument("name", choices=sorted(ABLATIONS))
+
+    sub.add_parser(
+        "scaling", help="multi-batch scaling study (extension)"
+    )
+    sub.add_parser(
+        "crossval", help="analytic-vs-simulated cross-validation"
+    )
+    sub.add_parser(
+        "contenders", help="alternative-contender study (§6.1)"
+    )
+    sub.add_parser(
+        "repeatability", help="seed-stability study"
+    )
+    report = sub.add_parser(
+        "report", help="write the full evaluation to results/report.md"
+    )
+    report.add_argument(
+        "--output", default="results/report.md",
+        help="where to write the markdown report",
+    )
+    sub.add_parser("calibrate", help="workload calibration table")
+    sub.add_parser("list", help="list available artefacts")
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> CampaignSettings:
+    settings = CampaignSettings.from_env()
+    if args.length is not None:
+        settings = CampaignSettings(
+            length=args.length, seed=settings.seed
+        )
+    if args.seed is not None:
+        settings = CampaignSettings(
+            length=settings.length, seed=args.seed
+        )
+    return settings
+
+
+def _emit(table, args: argparse.Namespace) -> None:
+    if args.csv:
+        sys.stdout.write(table.to_csv())
+    else:
+        sys.stdout.write(table.render())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-caer`` console script."""
+    args = _build_parser().parse_args(argv)
+    settings = _settings(args)
+    campaign = Campaign(settings, use_disk_cache=not args.no_cache)
+
+    if args.command == "list":
+        print("figures: 1 2 3 6 7 8 9 10")
+        print("ablations:", " ".join(sorted(ABLATIONS)))
+        print("extensions: scaling crossval contenders repeatability "
+              "report")
+        return 0
+
+    if args.command == "calibrate":
+        from .experiments.calibrate import main as calibrate_main
+
+        calibrate_main([str(settings.length)])
+        return 0
+
+    if args.command == "headline":
+        print(headline_numbers(campaign).render())
+        return 0
+
+    if args.command == "ablation":
+        _emit(run_ablation(args.name, settings), args)
+        return 0
+
+    if args.command == "scaling":
+        from .experiments.scaling import scaling_study
+
+        _emit(scaling_study(settings), args)
+        return 0
+
+    if args.command == "crossval":
+        from .experiments.crossval import analytic_figure1
+
+        _emit(analytic_figure1(campaign), args)
+        return 0
+
+    if args.command == "contenders":
+        from .experiments.contenders import contender_study
+
+        _emit(contender_study(settings), args)
+        return 0
+
+    if args.command == "repeatability":
+        from .experiments.repeatability import repeatability_study
+
+        _emit(repeatability_study(settings), args)
+        return 0
+
+    if args.command == "report":
+        from .experiments.report import write_report
+
+        path = write_report(campaign, args.output)
+        print(f"report written to {path}")
+        return 0
+
+    if args.command == "fig":
+        if args.number == "3":
+            for chart in figure3(campaign).values():
+                print(chart)
+            _emit(figure3_correlations(campaign), args)
+        else:
+            _emit(_FIGURES[args.number](campaign), args)
+        return 0
+
+    if args.command == "all":
+        for number in ("1", "2"):
+            _emit(_FIGURES[number](campaign), args)
+            print()
+        for chart in figure3(campaign).values():
+            print(chart)
+        _emit(figure3_correlations(campaign), args)
+        print()
+        for number in ("6", "7", "8", "9", "10"):
+            _emit(_FIGURES[number](campaign), args)
+            print()
+        print(headline_numbers(campaign).render())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the CAER reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine, workload, or runtime configuration."""
+
+
+class CacheConfigError(ConfigError):
+    """A cache was configured with impossible geometry.
+
+    For example a non-power-of-two set count, a zero associativity, or a
+    line size that does not divide the capacity.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """A process could not be placed on (or removed from) a core."""
+
+
+class WorkloadError(ReproError):
+    """A workload model was mis-specified or exhausted unexpectedly."""
+
+
+class UnknownBenchmarkError(WorkloadError):
+    """Lookup of a benchmark name that is not in the SPEC 2006 registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        hint = f" (known: {', '.join(known)})" if known else ""
+        super().__init__(f"unknown benchmark {name!r}{hint}")
+
+
+class PerfmonError(ReproError):
+    """Misuse of the perfmon session API (e.g. reading a closed session)."""
+
+
+class DetectorError(ReproError):
+    """A contention detector was driven outside its legal state machine."""
+
+
+class ExperimentError(ReproError):
+    """An experiment campaign failed or was asked for unknown artefacts."""

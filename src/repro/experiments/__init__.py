@@ -1,0 +1,59 @@
+"""Experiment harness: campaigns, figures, ablations, reporting.
+
+Each of the paper's evaluation artefacts (Figures 1-3 and 6-10, plus
+the headline numbers quoted in §1/§6) has a driver in
+:mod:`repro.experiments.figures`; shared simulation runs are produced
+and memoised by :class:`repro.experiments.campaign.Campaign` so that,
+e.g., Figures 6, 7, and 8 — which analyse the same runs three ways —
+only simulate once.
+"""
+
+from .ablations import ABLATIONS, AblationRunner, run_ablation
+from .crossval import analytic_figure1, rank_correlation
+from .campaign import Campaign, CampaignSettings, RunSummary
+from .figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure3_correlations,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+)
+from .headline import HeadlineNumbers, headline_numbers
+from .contenders import contender_study
+from .repeatability import repeatability_study
+from .report import generate_report, write_report
+from .scaling import scaling_study
+from .reporting import FigureTable, render_series
+
+__all__ = [
+    "Campaign",
+    "CampaignSettings",
+    "RunSummary",
+    "FigureTable",
+    "render_series",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure3_correlations",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "HeadlineNumbers",
+    "headline_numbers",
+    "ABLATIONS",
+    "AblationRunner",
+    "run_ablation",
+    "analytic_figure1",
+    "rank_correlation",
+    "scaling_study",
+    "generate_report",
+    "write_report",
+    "contender_study",
+    "repeatability_study",
+]

@@ -1,0 +1,469 @@
+"""Ablations over CAER's tuning space.
+
+The paper explicitly reserves "further investigation of the heuristic
+tuning space for future work" (§6.2) while naming the knobs: the
+burst-shutter geometry and impact threshold (the QoS "knob"), the
+rule-based usage threshold, the response lengths, and the adaptive
+red-light/green-light variant.  These sweeps explore that space on one
+contention-sensitive victim (mcf) and one insensitive victim (namd),
+reporting the penalty/utilization trade-off each setting buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..caer.runtime import CaerConfig, caer_factory
+from ..config import MachineConfig, default_usage_threshold
+from ..errors import ExperimentError
+from ..sim import run_colocated, run_solo
+from ..workloads import benchmark
+from .campaign import BATCH_BENCHMARK, CampaignSettings
+from .reporting import FigureTable
+
+#: The victims every ablation is evaluated on.
+SENSITIVE_VICTIM = "429.mcf"
+INSENSITIVE_VICTIM = "444.namd"
+
+
+class AblationRunner:
+    """Runs one CAER configuration against the two reference victims."""
+
+    def __init__(self, settings: CampaignSettings | None = None):
+        self.settings = settings or CampaignSettings.from_env()
+        self.machine: MachineConfig = self.settings.machine()
+        self._solo_cache: dict[str, int] = {}
+
+    def _spec(self, name: str):
+        return benchmark(
+            name,
+            self.machine.l3.capacity_lines,
+            length=self.settings.length,
+        )
+
+    def _solo_periods(self, victim: str) -> int:
+        if victim not in self._solo_cache:
+            result = run_solo(
+                self._spec(victim), self.machine, seed=self.settings.seed
+            )
+            self._solo_cache[victim] = (
+                result.latency_sensitive().completion_periods
+            )
+        return self._solo_cache[victim]
+
+    def evaluate(
+        self, victim: str, config: CaerConfig | None
+    ) -> tuple[float, float]:
+        """(penalty, utilization gained) of one configuration."""
+        from ..caer.metrics import utilization_gained
+
+        result = run_colocated(
+            self._spec(victim),
+            self._spec(BATCH_BENCHMARK),
+            self.machine,
+            caer_factory=caer_factory(config) if config else None,
+            seed=self.settings.seed,
+        )
+        ls = result.latency_sensitive()
+        penalty = (
+            ls.completion_periods / self._solo_periods(victim) - 1.0
+        )
+        return penalty, utilization_gained(result)
+
+
+def _sweep(
+    runner: AblationRunner,
+    title: str,
+    configs: list[tuple[str, CaerConfig]],
+) -> FigureTable:
+    table = FigureTable(
+        title=title, row_names=[label for label, _ in configs]
+    )
+    columns: dict[str, list[float]] = {
+        "mcf_penalty": [],
+        "mcf_util": [],
+        "namd_penalty": [],
+        "namd_util": [],
+    }
+    for _label, config in configs:
+        p, u = runner.evaluate(SENSITIVE_VICTIM, config)
+        columns["mcf_penalty"].append(p)
+        columns["mcf_util"].append(u)
+        p, u = runner.evaluate(INSENSITIVE_VICTIM, config)
+        columns["namd_penalty"].append(p)
+        columns["namd_util"].append(u)
+    for name, values in columns.items():
+        table.add_column(name, values)
+    return table
+
+
+def ablate_impact_factor(
+    runner: AblationRunner,
+    factors: tuple[float, ...] = (0.01, 0.05, 0.15, 0.40),
+) -> FigureTable:
+    """§6.2's QoS knob: how much burst impact triggers c-positive."""
+    configs = [
+        (f"impact={f}", CaerConfig.shutter(impact_factor=f))
+        for f in factors
+    ]
+    return _sweep(runner, "Ablation: shutter impact factor", configs)
+
+
+def ablate_shutter_geometry(
+    runner: AblationRunner,
+    geometries: tuple[tuple[int, int], ...] = (
+        (2, 4), (5, 10), (8, 16), (12, 24)
+    ),
+) -> FigureTable:
+    """Shutter/burst lengths: measurement quality vs. shutter cost."""
+    configs = [
+        (
+            f"switch={s},end={e}",
+            CaerConfig.shutter(switch_point=s, end_point=e),
+        )
+        for s, e in geometries
+    ]
+    return _sweep(runner, "Ablation: shutter geometry", configs)
+
+
+def ablate_usage_threshold(
+    runner: AblationRunner,
+    multipliers: tuple[float, ...] = (0.25, 1.0, 4.0, 16.0),
+) -> FigureTable:
+    """Rule-based 'heavy usage' threshold, as multiples of the paper's."""
+    base = default_usage_threshold(runner.machine)
+    configs = [
+        (
+            f"thresh={m}x",
+            CaerConfig.rule_based(usage_thresh=base * m),
+        )
+        for m in multipliers
+    ]
+    return _sweep(runner, "Ablation: rule-based usage threshold", configs)
+
+
+def ablate_response_length(
+    runner: AblationRunner,
+    lengths: tuple[int, ...] = (1, 5, 10, 20, 40),
+) -> FigureTable:
+    """Red-light/green-light hold length."""
+    configs = [
+        (f"length={n}", CaerConfig.shutter(response_length=n))
+        for n in lengths
+    ]
+    return _sweep(runner, "Ablation: red-light/green-light length", configs)
+
+
+def ablate_adaptive_response(runner: AblationRunner) -> FigureTable:
+    """§5's adaptive red-light/green-light vs. the fixed variant."""
+    configs = [
+        ("fixed", CaerConfig.shutter(adaptive=False)),
+        ("adaptive", CaerConfig.shutter(adaptive=True)),
+    ]
+    return _sweep(runner, "Ablation: fixed vs. adaptive response", configs)
+
+
+def ablate_window_size(
+    runner: AblationRunner,
+    sizes: tuple[int, ...] = (5, 10, 20, 40),
+) -> FigureTable:
+    """Communication-table window size (rule-based averaging horizon)."""
+    configs = [
+        (f"window={n}", CaerConfig.rule_based(window_size=n))
+        for n in sizes
+    ]
+    return _sweep(runner, "Ablation: sample-window size", configs)
+
+
+def ablate_response_mechanism(runner: AblationRunner) -> FigureTable:
+    """Pause-based throttling vs. §7's DVFS-style frequency scaling.
+
+    The paper cites per-core DVFS (Herdrich et al.) as a promising
+    alternative to stopping the batch outright; this sweep compares the
+    red-light/green-light pause against frequency scaling at several
+    scales, using the shutter detector throughout.
+    """
+    configs: list[tuple[str, CaerConfig]] = [
+        ("pause (rlgl)", CaerConfig.shutter()),
+    ]
+    for scale in (0.125, 0.25, 0.5):
+        configs.append(
+            (f"dvfs x{scale}", CaerConfig.dvfs(dvfs_scale=scale))
+        )
+    for quota in (0.125, 0.25):
+        configs.append(
+            (
+                f"partition {quota}",
+                CaerConfig.partition(partition_quota=quota),
+            )
+        )
+    return _sweep(runner, "Ablation: response mechanism", configs)
+
+
+def ablate_shutter_mode(runner: AblationRunner) -> FigureTable:
+    """Paper-literal one-sided spike test vs. the two-sided default.
+
+    Documents the substrate difference discussed in DESIGN.md: on this
+    simulator a burst usually *lowers* a memory-bound neighbour's
+    misses-per-period, so the one-sided test under-detects.
+    """
+    configs = [
+        ("two-sided", CaerConfig.shutter(shutter_mode="two-sided")),
+        ("spike-only", CaerConfig.shutter(shutter_mode="spike")),
+    ]
+    return _sweep(runner, "Ablation: shutter comparison mode", configs)
+
+
+def ablate_probe_period(
+    runner: AblationRunner,
+    period_cycles: tuple[int, ...] = (10_000, 40_000, 160_000),
+) -> FigureTable:
+    """The probe quantum: the paper's 1 ms choice, scaled up and down.
+
+    Coarser periods lag phase changes and make every response decision
+    stickier; finer periods react faster but sample noisier counts.
+    Thresholds convert automatically with the period length, so only
+    the *temporal resolution* varies.  (This sweep rebuilds the machine
+    per setting, so it bypasses the runner's config-only path.)
+    """
+    table = FigureTable(
+        title="Ablation: probe period length",
+        row_names=[f"{p} cycles" for p in period_cycles],
+    )
+    columns: dict[str, list[float]] = {
+        "mcf_penalty": [],
+        "mcf_util": [],
+        "namd_penalty": [],
+        "namd_util": [],
+    }
+    base = runner.settings
+    for period in period_cycles:
+        settings = CampaignSettings(
+            length=base.length,
+            seed=base.seed,
+            cache_scale=base.cache_scale,
+            period_cycles=period,
+        )
+        sub_runner = AblationRunner(settings)
+        config = CaerConfig.rule_based()
+        p, u = sub_runner.evaluate(SENSITIVE_VICTIM, config)
+        columns["mcf_penalty"].append(p)
+        columns["mcf_util"].append(u)
+        p, u = sub_runner.evaluate(INSENSITIVE_VICTIM, config)
+        columns["namd_penalty"].append(p)
+        columns["namd_util"].append(u)
+    for name, values in columns.items():
+        table.add_column(name, values)
+    return table
+
+
+def ablate_probe_overhead(
+    runner: AblationRunner,
+    overheads: tuple[float, ...] = (0.0, 20.0, 400.0, 4_000.0),
+) -> FigureTable:
+    """The cost of the monitoring itself (§3.2's low-overhead claim).
+
+    CAER's viability rests on periodic PMU probing being essentially
+    free; this sweep charges increasing per-probe costs to every
+    monitored core and reports the slowdown they induce on a solo
+    latency-sensitive run (the honest measure of monitoring overhead:
+    4000 cycles is 10% of the default period).
+    """
+    from ..arch.chip import MulticoreChip
+    from ..sim.engine import SimulationEngine
+    from ..sim.process import SimProcess
+
+    def solo_periods(victim: str, overhead: float) -> int:
+        chip = MulticoreChip(runner.machine, seed=runner.settings.seed)
+        proc = SimProcess(
+            runner._spec(victim), 0, seed=runner.settings.seed
+        )
+        engine = SimulationEngine(
+            chip, [proc], probe_overhead_cycles=overhead
+        )
+        return engine.run().latency_sensitive().completion_periods
+
+    table = FigureTable(
+        title="Ablation: PMU probe overhead",
+        row_names=[f"{o:g} cycles/probe" for o in overheads],
+    )
+    columns: dict[str, list[float]] = {"mcf_penalty": [],
+                                       "namd_penalty": []}
+    baselines = {
+        victim: solo_periods(victim, 0.0)
+        for victim in (SENSITIVE_VICTIM, INSENSITIVE_VICTIM)
+    }
+    for overhead in overheads:
+        columns["mcf_penalty"].append(
+            solo_periods(SENSITIVE_VICTIM, overhead)
+            / baselines[SENSITIVE_VICTIM]
+            - 1.0
+        )
+        columns["namd_penalty"].append(
+            solo_periods(INSENSITIVE_VICTIM, overhead)
+            / baselines[INSENSITIVE_VICTIM]
+            - 1.0
+        )
+    for name, values in columns.items():
+        table.add_column(name, values)
+    return table
+
+
+def ablate_prefetch(
+    runner: AblationRunner,
+    degrees: tuple[int, ...] = (0, 1, 2, 4),
+) -> FigureTable:
+    """Hardware next-line prefetching (a model extension, off by default).
+
+    Prefetching hides streaming latency — speeding the lbm contender up
+    and changing how much pressure it puts on the victim — while its
+    extra traffic loads the shared memory channel.  This sweep rebuilds
+    the machine per setting.
+    """
+    from dataclasses import replace as dc_replace
+
+    table = FigureTable(
+        title="Ablation: next-line prefetch degree",
+        row_names=[f"degree={d}" for d in degrees],
+    )
+    columns: dict[str, list[float]] = {
+        "mcf_penalty": [],
+        "mcf_util": [],
+        "namd_penalty": [],
+        "namd_util": [],
+    }
+    for degree in degrees:
+        sub_runner = AblationRunner(runner.settings)
+        sub_runner.machine = dc_replace(
+            runner.machine, prefetch_degree=degree
+        )
+        config = CaerConfig.rule_based()
+        p, u = sub_runner.evaluate(SENSITIVE_VICTIM, config)
+        columns["mcf_penalty"].append(p)
+        columns["mcf_util"].append(u)
+        p, u = sub_runner.evaluate(INSENSITIVE_VICTIM, config)
+        columns["namd_penalty"].append(p)
+        columns["namd_util"].append(u)
+    for name, values in columns.items():
+        table.add_column(name, values)
+    return table
+
+
+def ablate_writebacks(runner: AblationRunner) -> FigureTable:
+    """Dirty-line writeback traffic (a model extension, off by default).
+
+    With writebacks modelled, store-marked lines evicted from the L3
+    travel back to memory and consume channel bandwidth — raising the
+    pressure both applications feel.  This sweep rebuilds the machine
+    per setting.
+    """
+    from dataclasses import replace as dc_replace
+
+    table = FigureTable(
+        title="Ablation: writeback modelling",
+        row_names=["off", "on"],
+    )
+    columns: dict[str, list[float]] = {
+        "mcf_penalty": [],
+        "mcf_util": [],
+        "namd_penalty": [],
+        "namd_util": [],
+    }
+    for enabled in (False, True):
+        sub_runner = AblationRunner(runner.settings)
+        sub_runner.machine = dc_replace(
+            runner.machine, model_writebacks=enabled
+        )
+        config = CaerConfig.rule_based()
+        p, u = sub_runner.evaluate(SENSITIVE_VICTIM, config)
+        columns["mcf_penalty"].append(p)
+        columns["mcf_util"].append(u)
+        p, u = sub_runner.evaluate(INSENSITIVE_VICTIM, config)
+        columns["namd_penalty"].append(p)
+        columns["namd_util"].append(u)
+    for name, values in columns.items():
+        table.add_column(name, values)
+    return table
+
+
+def ablate_detector(runner: AblationRunner) -> FigureTable:
+    """All detectors head-to-head, including the offline-profile oracle.
+
+    The oracle knows each victim's solo miss baseline (a profiling run
+    the online heuristics do not get); the gap between it and the
+    heuristics is the price of detecting *online*.
+    """
+    from ..sim import run_solo
+
+    configs: list[tuple[str, CaerConfig]] = [
+        ("shutter", CaerConfig.shutter()),
+        ("rule-based", CaerConfig.rule_based()),
+        ("random", CaerConfig.random_baseline()),
+    ]
+    table = FigureTable(
+        title="Ablation: detector comparison (incl. offline oracle)",
+        row_names=[label for label, _ in configs] + ["profile-oracle"],
+    )
+    columns: dict[str, list[float]] = {
+        "mcf_penalty": [],
+        "mcf_util": [],
+        "namd_penalty": [],
+        "namd_util": [],
+    }
+    for _label, config in configs:
+        p, u = runner.evaluate(SENSITIVE_VICTIM, config)
+        columns["mcf_penalty"].append(p)
+        columns["mcf_util"].append(u)
+        p, u = runner.evaluate(INSENSITIVE_VICTIM, config)
+        columns["namd_penalty"].append(p)
+        columns["namd_util"].append(u)
+    # The oracle needs per-victim solo baselines.
+    for victim, prefix in (
+        (SENSITIVE_VICTIM, "mcf"),
+        (INSENSITIVE_VICTIM, "namd"),
+    ):
+        solo = run_solo(
+            runner._spec(victim), runner.machine,
+            seed=runner.settings.seed,
+        )
+        ls = solo.latency_sensitive()
+        baseline = ls.total_llc_misses() / ls.completion_periods
+        config = CaerConfig.profile_oracle(baseline_misses=baseline)
+        p, u = runner.evaluate(victim, config)
+        columns[f"{prefix}_penalty"].append(p)
+        columns[f"{prefix}_util"].append(u)
+    for name, values in columns.items():
+        table.add_column(name, values)
+    return table
+
+
+#: Registry used by the CLI and the ablation bench.
+ABLATIONS = {
+    "impact-factor": ablate_impact_factor,
+    "shutter-geometry": ablate_shutter_geometry,
+    "usage-threshold": ablate_usage_threshold,
+    "response-length": ablate_response_length,
+    "adaptive-response": ablate_adaptive_response,
+    "window-size": ablate_window_size,
+    "shutter-mode": ablate_shutter_mode,
+    "response-mechanism": ablate_response_mechanism,
+    "probe-period": ablate_probe_period,
+    "probe-overhead": ablate_probe_overhead,
+    "prefetch": ablate_prefetch,
+    "writebacks": ablate_writebacks,
+    "detector": ablate_detector,
+}
+
+
+def run_ablation(
+    name: str, settings: CampaignSettings | None = None
+) -> FigureTable:
+    """Run one named ablation and return its table."""
+    try:
+        fn = ABLATIONS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown ablation {name!r} "
+            f"(known: {', '.join(sorted(ABLATIONS))})"
+        ) from None
+    return fn(AblationRunner(settings))

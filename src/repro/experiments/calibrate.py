@@ -1,0 +1,126 @@
+"""Workload calibration harness.
+
+Not part of the paper's evaluation: this tool measures each SPEC model's
+solo and co-located behaviour so the parameters in
+:mod:`repro.workloads.spec2006` can be tuned to the shapes of the
+paper's Figures 1 and 2 (per-benchmark slowdown next to lbm and LLC-miss
+profiles).  Run it as::
+
+    python -m repro.experiments.calibrate [length] [bench ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..sim import run_colocated, run_solo
+from ..workloads import benchmark, benchmark_names
+
+#: Paper Figure 1 targets: approximate slowdown of each benchmark when
+#: co-located with lbm on the i7 920 (digitised; mean ~1.17).
+FIGURE1_TARGETS: dict[str, float] = {
+    "400.perlbench": 1.04,
+    "401.bzip2": 1.08,
+    "403.gcc": 1.12,
+    "429.mcf": 1.36,
+    "445.gobmk": 1.04,
+    "456.hmmer": 1.02,
+    "458.sjeng": 1.03,
+    "462.libquantum": 1.28,
+    "464.h264ref": 1.06,
+    "471.omnetpp": 1.26,
+    "473.astar": 1.16,
+    "483.xalancbmk": 1.30,
+    "433.milc": 1.24,
+    "435.gromacs": 1.03,
+    "444.namd": 1.02,
+    "447.dealII": 1.10,
+    "450.soplex": 1.30,
+    "453.povray": 1.01,
+    "454.calculix": 1.03,
+    "470.lbm": 1.38,
+    "482.sphinx3": 1.30,
+}
+
+
+@dataclass
+class CalibrationRow:
+    """One benchmark's measured calibration quantities."""
+
+    name: str
+    solo_periods: int
+    solo_misses_per_period: float
+    colo_misses_per_period: float
+    slowdown: float
+    target: float
+
+    @property
+    def miss_delta(self) -> float:
+        """Relative change in misses/period when co-located."""
+        if not self.solo_misses_per_period:
+            return 0.0
+        return (
+            self.colo_misses_per_period / self.solo_misses_per_period - 1.0
+        )
+
+
+def calibrate_benchmark(
+    name: str,
+    machine: MachineConfig,
+    length: float = 0.25,
+    seed: int = 0,
+) -> CalibrationRow:
+    """Measure one benchmark solo and next to lbm."""
+    l3 = machine.l3.capacity_lines
+    spec = benchmark(name, l3, length=length)
+    lbm = benchmark("470.lbm", l3, length=length)
+    solo = run_solo(spec, machine, seed=seed)
+    colo = run_colocated(spec, lbm, machine, seed=seed)
+    ls_solo = solo.latency_sensitive()
+    ls_colo = colo.latency_sensitive()
+    solo_p = ls_solo.completion_periods
+    colo_p = ls_colo.completion_periods
+    return CalibrationRow(
+        name=name,
+        solo_periods=solo_p,
+        solo_misses_per_period=ls_solo.total_llc_misses() / solo_p,
+        colo_misses_per_period=ls_colo.total_llc_misses() / colo_p,
+        slowdown=colo_p / solo_p,
+        target=FIGURE1_TARGETS.get(name, float("nan")),
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Print the calibration table for the requested benchmarks."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    length = 0.25
+    if args and args[0].replace(".", "").isdigit():
+        length = float(args.pop(0))
+    names = args or list(benchmark_names())
+    machine = MachineConfig.scaled_nehalem()
+    print(
+        f"{'benchmark':<18} {'periods':>7} {'solo m/p':>9} "
+        f"{'colo m/p':>9} {'dmiss':>7} {'slow':>6} {'target':>6}"
+    )
+    slowdowns = []
+    for name in names:
+        t0 = time.time()
+        row = calibrate_benchmark(name, machine, length=length)
+        slowdowns.append(row.slowdown)
+        print(
+            f"{row.name:<18} {row.solo_periods:>7} "
+            f"{row.solo_misses_per_period:>9.1f} "
+            f"{row.colo_misses_per_period:>9.1f} "
+            f"{row.miss_delta:>+7.0%} {row.slowdown:>6.3f} "
+            f"{row.target:>6.2f}  ({time.time() - t0:.1f}s)"
+        )
+    mean = sum(slowdowns) / len(slowdowns)
+    print(f"{'mean':<18} {'':>7} {'':>9} {'':>9} {'':>7} {mean:>6.3f} "
+          f"{1.17:>6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,266 @@
+"""Run orchestration with memoisation.
+
+A *campaign* owns one machine configuration and run length and produces
+the simulation runs the figures need: each SPEC benchmark alone, and
+co-located with lbm under no runtime / CAER-shutter / CAER-rule-based /
+CAER-random.  Figures 6, 7, and 8 analyse the same runs three ways, so
+runs are summarised once into :class:`RunSummary` records, memoised in
+memory, and (optionally) persisted as JSON so repeated bench invocations
+do not re-simulate.
+
+The cache key includes the machine geometry, run length, seed, and the
+library version, so stale entries are never reused across code changes
+that alter results — bump :data:`CACHE_EPOCH` when simulation semantics
+change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..caer.metrics import utilization_gained
+from ..caer.runtime import CaerConfig, caer_factory
+from ..config import MachineConfig
+from ..errors import ExperimentError
+from ..sim import run_colocated, run_solo
+from ..sim.results import RunResult
+from ..workloads import benchmark
+
+#: Bump when simulation semantics change so cached results invalidate.
+CACHE_EPOCH = 4
+
+#: The co-location configurations of the paper's evaluation.
+CONFIGS = ("raw", "shutter", "rule", "random")
+
+#: The contender used throughout the paper's experiments (§6.1).
+BATCH_BENCHMARK = "470.lbm"
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        raise ExperimentError(f"{name} must be a float, got {value!r}")
+
+
+@dataclass(frozen=True)
+class CampaignSettings:
+    """Machine and run-length settings shared by a whole campaign.
+
+    ``length`` scales every benchmark's instruction budget; 1.0 gives
+    ~1000 probe periods per solo run (the most faithful but slowest
+    setting), and the default of 0.2 gives ~200 periods — enough for
+    every heuristic to settle while keeping the full campaign to a few
+    minutes.  Override per shell with ``REPRO_LENGTH``.
+    """
+
+    length: float = 0.2
+    seed: int = 0
+    cache_scale: int = 16
+    period_cycles: int = 40_000
+    slices_per_period: int = 8
+
+    @classmethod
+    def from_env(cls) -> "CampaignSettings":
+        """Settings with ``REPRO_LENGTH``/``REPRO_SEED`` applied."""
+        return cls(
+            length=_env_float("REPRO_LENGTH", 0.2),
+            seed=int(_env_float("REPRO_SEED", 0)),
+        )
+
+    def machine(self) -> MachineConfig:
+        """Build the machine these settings describe."""
+        return MachineConfig.scaled_nehalem(
+            cache_scale=self.cache_scale,
+            period_cycles=self.period_cycles,
+        )
+
+    def cache_tag(self) -> str:
+        """Filesystem-safe identity of these settings."""
+        return (
+            f"e{CACHE_EPOCH}_s{self.cache_scale}_p{self.period_cycles}"
+            f"_l{self.length}_r{self.seed}"
+        )
+
+
+@dataclass
+class RunSummary:
+    """The per-run quantities the figures consume (JSON-serialisable)."""
+
+    bench: str
+    config: str  # "solo" or one of CONFIGS
+    completion_periods: int
+    total_periods: int
+    ls_total_llc_misses: int
+    utilization_gained: float
+    #: per-period LLC misses of the latency-sensitive app
+    miss_series: list[int] = field(default_factory=list)
+    #: per-period instructions retired by the latency-sensitive app
+    instruction_series: list[float] = field(default_factory=list)
+
+    @classmethod
+    def from_run(
+        cls, bench: str, config: str, result: RunResult,
+        keep_series: bool = True,
+    ) -> "RunSummary":
+        """Condense a full :class:`RunResult` into the cacheable summary.
+
+        ``keep_series`` controls whether the per-period miss and
+        instruction series are retained (Figure 3 needs them; the other
+        figures only use the scalars).
+        """
+        ls = result.latency_sensitive()
+        gained = (
+            utilization_gained(result) if result.batch_processes() else 0.0
+        )
+        return cls(
+            bench=bench,
+            config=config,
+            completion_periods=ls.completion_periods,
+            total_periods=result.total_periods,
+            ls_total_llc_misses=ls.total_llc_misses(),
+            utilization_gained=gained,
+            miss_series=ls.llc_miss_series() if keep_series else [],
+            instruction_series=(
+                [round(x, 1) for x in ls.instruction_series()]
+                if keep_series
+                else []
+            ),
+        )
+
+
+class Campaign:
+    """Produces and memoises the runs behind every figure."""
+
+    def __init__(
+        self,
+        settings: CampaignSettings | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        use_disk_cache: bool = True,
+    ):
+        self.settings = settings or CampaignSettings.from_env()
+        self._memory: dict[tuple[str, str], RunSummary] = {}
+        if cache_dir is None:
+            cache_dir = os.environ.get(
+                "REPRO_CACHE_DIR", Path.home() / ".cache" / "repro-caer"
+            )
+        self.cache_dir = Path(cache_dir) if use_disk_cache else None
+
+    # -- configuration -> runtime factory --------------------------------
+
+    @staticmethod
+    def caer_config(config: str) -> CaerConfig | None:
+        """Map a config tag to the CAER setup the paper evaluates."""
+        if config == "raw":
+            return None
+        if config == "shutter":
+            return CaerConfig.shutter()
+        if config == "rule":
+            return CaerConfig.rule_based()
+        if config == "random":
+            return CaerConfig.random_baseline()
+        raise ExperimentError(f"unknown co-location config {config!r}")
+
+    # -- cache plumbing ---------------------------------------------------
+
+    def _cache_path(self, bench: str, config: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        safe = bench.replace(".", "_")
+        return (
+            self.cache_dir
+            / self.settings.cache_tag()
+            / f"{safe}__{config}.json"
+        )
+
+    def _load(self, bench: str, config: str) -> RunSummary | None:
+        key = (bench, config)
+        if key in self._memory:
+            return self._memory[key]
+        path = self._cache_path(bench, config)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+            summary = RunSummary(**data)
+        except (json.JSONDecodeError, TypeError):
+            return None
+        self._memory[key] = summary
+        return summary
+
+    def _store(self, summary: RunSummary) -> None:
+        self._memory[(summary.bench, summary.config)] = summary
+        path = self._cache_path(summary.bench, summary.config)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(asdict(summary), handle)
+        tmp.replace(path)
+
+    # -- run production ---------------------------------------------------
+
+    def solo(self, bench: str) -> RunSummary:
+        """The benchmark running alone on the chip."""
+        cached = self._load(bench, "solo")
+        if cached is not None:
+            return cached
+        machine = self.settings.machine()
+        spec = benchmark(
+            bench, machine.l3.capacity_lines, length=self.settings.length
+        )
+        result = run_solo(
+            spec,
+            machine,
+            seed=self.settings.seed,
+            slices_per_period=self.settings.slices_per_period,
+        )
+        summary = RunSummary.from_run(bench, "solo", result)
+        self._store(summary)
+        return summary
+
+    def colocated(self, bench: str, config: str) -> RunSummary:
+        """The benchmark co-located with lbm under ``config``."""
+        if config not in CONFIGS:
+            raise ExperimentError(
+                f"config must be one of {CONFIGS}, got {config!r}"
+            )
+        cached = self._load(bench, config)
+        if cached is not None:
+            return cached
+        machine = self.settings.machine()
+        l3 = machine.l3.capacity_lines
+        spec = benchmark(bench, l3, length=self.settings.length)
+        batch = benchmark(BATCH_BENCHMARK, l3, length=self.settings.length)
+        caer = self.caer_config(config)
+        result = run_colocated(
+            spec,
+            batch,
+            machine,
+            caer_factory=caer_factory(caer) if caer else None,
+            seed=self.settings.seed,
+            slices_per_period=self.settings.slices_per_period,
+        )
+        summary = RunSummary.from_run(bench, config, result)
+        self._store(summary)
+        return summary
+
+    # -- derived metrics --------------------------------------------------
+
+    def slowdown(self, bench: str, config: str) -> float:
+        """Completion-time ratio of ``config`` vs. solo."""
+        solo = self.solo(bench)
+        colo = self.colocated(bench, config)
+        return colo.completion_periods / solo.completion_periods
+
+    def penalty(self, bench: str, config: str) -> float:
+        """Cross-core interference penalty of ``config`` vs. solo."""
+        return self.slowdown(bench, config) - 1.0

@@ -1,0 +1,65 @@
+"""Cross-validation: the analytical model against the simulator.
+
+The analytical package (:mod:`repro.analytic`) predicts co-location
+slowdowns from reuse-distance profiles in closed form.  This experiment
+predicts the whole Figure 1 — every SPEC model's slowdown next to lbm —
+and compares it against the trace-driven simulator's measurements: the
+predictor is useful exactly to the degree it ranks the benchmarks the
+same way and lands in the same bands.
+"""
+
+from __future__ import annotations
+
+from ..analytic.predictor import predict_colocation_phased
+from ..workloads import benchmark, benchmark_names
+from .campaign import BATCH_BENCHMARK, Campaign
+from .reporting import FigureTable
+
+
+def rank_correlation(xs: list[float], ys: list[float]) -> float:
+    """Spearman rank correlation (ties broken by input order)."""
+
+    def ranks(values: list[float]) -> list[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        out = [0.0] * len(values)
+        for rank, i in enumerate(order):
+            out[i] = float(rank)
+        return out
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    mean = (n - 1) / 2
+    cov = sum((a - mean) * (b - mean) for a, b in zip(rx, ry))
+    var = sum((a - mean) ** 2 for a in rx)
+    return cov / var if var else 0.0
+
+
+def analytic_figure1(campaign: Campaign) -> FigureTable:
+    """Predicted vs. simulated slowdown next to lbm, per benchmark."""
+    machine = campaign.settings.machine()
+    l3 = machine.l3.capacity_lines
+    contender = benchmark(BATCH_BENCHMARK, l3)
+    rows = list(benchmark_names())
+    table = FigureTable(
+        title="Cross-validation: analytic vs. simulated slowdown "
+              "(next to lbm)",
+        row_names=rows,
+    )
+    predicted = [
+        predict_colocation_phased(
+            benchmark(name, l3), contender, machine
+        )
+        for name in rows
+    ]
+    simulated = [campaign.slowdown(name, "raw") for name in rows]
+    table.add_column("predicted", predicted)
+    table.add_column("simulated", simulated)
+    table.add_column(
+        "error",
+        [p / s - 1.0 for p, s in zip(predicted, simulated)],
+    )
+    table.notes.append(
+        f"spearman rank correlation: "
+        f"{rank_correlation(predicted, simulated):.2f}"
+    )
+    return table

@@ -1,0 +1,256 @@
+"""One driver per evaluation artefact of the paper.
+
+Each ``figureN`` function takes a :class:`~repro.experiments.campaign.Campaign`
+(sharing its memoised runs with the other figures), performs exactly the
+analysis behind the corresponding published figure, and returns a
+:class:`~repro.experiments.reporting.FigureTable` — or, for the
+time-series Figure 3, a dict of rendered series — annotated with the
+paper's reference values where the text quotes them.
+"""
+
+from __future__ import annotations
+
+from ..caer.metrics import accuracy_vs_random, interference_eliminated
+from ..workloads import benchmark_names
+from . import paperdata
+from .campaign import Campaign
+from .reporting import FigureTable, render_series
+
+#: Benchmarks whose per-period series Figure 3 shows.
+FIGURE3_BENCHMARKS = ("483.xalancbmk", "429.mcf")
+
+
+def figure1(campaign: Campaign) -> FigureTable:
+    """Figure 1: slowdown of each benchmark next to lbm (no runtime)."""
+    rows = list(benchmark_names())
+    table = FigureTable(
+        title="Figure 1: slowdown due to co-location with lbm",
+        row_names=rows,
+    )
+    table.add_column(
+        "slowdown", [campaign.slowdown(b, "raw") for b in rows]
+    )
+    table.add_column(
+        "paper", [paperdata.FIGURE1_SLOWDOWN[b] for b in rows]
+    )
+    table.notes.append(
+        "paper: mean 1.17, 'in many cases ... exceeding 30%'"
+    )
+    return table
+
+
+def figure2(campaign: Campaign) -> FigureTable:
+    """Figure 2: whole-run LLC misses, alone vs. with the contender."""
+    rows = list(benchmark_names())
+    table = FigureTable(
+        title="Figure 2: LLC misses alone vs. with contender",
+        row_names=rows,
+    )
+    alone = [float(campaign.solo(b).ls_total_llc_misses) for b in rows]
+    with_contender = [
+        float(campaign.colocated(b, "raw").ls_total_llc_misses)
+        for b in rows
+    ]
+    table.add_column("alone", alone)
+    table.add_column("with_contender", with_contender)
+    table.add_column(
+        "increase",
+        [
+            (w / a - 1.0) if a else 0.0
+            for a, w in zip(alone, with_contender)
+        ],
+    )
+    table.notes.append(
+        "paper: heavy missers miss more with a contender; the absolute "
+        "miss count indicates contention sensitivity"
+    )
+    return table
+
+
+def figure3(campaign: Campaign) -> dict[str, str]:
+    """Figure 3: per-period LLC misses vs. instructions retired.
+
+    Returns rendered ASCII strip charts keyed by
+    ``"<bench>/misses"`` and ``"<bench>/instructions"``; the paper's
+    point is the *inverse correlation* between the two series, which
+    :func:`figure3_correlations` quantifies.
+    """
+    charts: dict[str, str] = {}
+    for bench in FIGURE3_BENCHMARKS:
+        summary = campaign.solo(bench)
+        charts[f"{bench}/misses"] = render_series(
+            f"{bench}: LLC misses per period", summary.miss_series
+        )
+        charts[f"{bench}/instructions"] = render_series(
+            f"{bench}: instructions retired per period",
+            summary.instruction_series,
+        )
+    return charts
+
+
+def figure3_correlations(campaign: Campaign) -> FigureTable:
+    """Pearson correlation of the two Figure 3 series per benchmark.
+
+    The paper reads "clear and compelling evidence of the inverse
+    relationship"; the correlation should be strongly negative.
+    """
+    table = FigureTable(
+        title="Figure 3: correlation(LLC misses, instructions retired)",
+        row_names=list(FIGURE3_BENCHMARKS),
+    )
+    correlations = []
+    for bench in FIGURE3_BENCHMARKS:
+        summary = campaign.solo(bench)
+        correlations.append(
+            _pearson(summary.miss_series, summary.instruction_series)
+        )
+    table.add_column("pearson_r", correlations)
+    table.notes.append("paper: strongly inverse (r should be << 0)")
+    return table
+
+
+def figure6(campaign: Campaign) -> FigureTable:
+    """Figure 6: interference penalty raw vs. CAER shutter/rule-based."""
+    rows = list(benchmark_names())
+    table = FigureTable(
+        title="Figure 6: execution-time penalty due to cross-core "
+              "interference",
+        row_names=rows,
+    )
+    for column, config in (
+        ("co-location", "raw"),
+        ("caer_shutter", "shutter"),
+        ("caer_rule", "rule"),
+    ):
+        table.add_column(
+            column, [campaign.slowdown(b, config) for b in rows]
+        )
+    table.notes.append(
+        "paper means: raw 1.17, shutter 1.06, rule-based 1.04"
+    )
+    return table
+
+
+def figure7(campaign: Campaign) -> FigureTable:
+    """Figure 7: utilization gained (higher is better)."""
+    rows = list(benchmark_names())
+    table = FigureTable(
+        title="Figure 7: utilization gained",
+        row_names=rows,
+    )
+    for column, config in (
+        ("caer_shutter", "shutter"),
+        ("caer_rule", "rule"),
+    ):
+        table.add_column(
+            column,
+            [campaign.colocated(b, config).utilization_gained for b in rows],
+        )
+    table.notes.append(
+        "paper means: shutter ~0.60, rule-based ~0.58 "
+        "(raw co-location would be 1.0, disallowing co-location 0.0)"
+    )
+    return table
+
+
+def figure8(campaign: Campaign) -> FigureTable:
+    """Figure 8: share of the interference penalty eliminated."""
+    rows = list(benchmark_names())
+    table = FigureTable(
+        title="Figure 8: cross-core interference eliminated",
+        row_names=rows,
+    )
+    for column, config in (
+        ("caer_shutter", "shutter"),
+        ("caer_rule", "rule"),
+    ):
+        values = []
+        for bench in rows:
+            raw_penalty = campaign.penalty(bench, "raw")
+            managed = campaign.penalty(bench, config)
+            if raw_penalty <= 0.0:
+                # No measurable interference to eliminate: the paper
+                # counts these as fully protected.
+                values.append(1.0)
+            else:
+                values.append(
+                    interference_eliminated(raw_penalty, managed)
+                )
+        table.add_column(column, values)
+    table.notes.append("higher is better; 1.0 = penalty fully removed")
+    return table
+
+
+def _accuracy_table(
+    campaign: Campaign, rows: list[str], title: str
+) -> FigureTable:
+    table = FigureTable(title=title, row_names=rows)
+    random_util = {
+        b: campaign.colocated(b, "random").utilization_gained for b in rows
+    }
+    for column, config in (
+        ("caer_shutter", "shutter"),
+        ("caer_rule", "rule"),
+    ):
+        table.add_column(
+            column,
+            [
+                accuracy_vs_random(
+                    campaign.colocated(b, config).utilization_gained,
+                    random_util[b],
+                )
+                for b in rows
+            ],
+        )
+    return table
+
+
+def figure9(campaign: Campaign) -> FigureTable:
+    """Figure 9: utilization gained vs. random, 6 most sensitive apps.
+
+    Negative values mean the heuristic correctly sacrificed more
+    utilization than the random baseline for these contention-sensitive
+    neighbours (Equation 2).
+    """
+    table = _accuracy_table(
+        campaign,
+        list(paperdata.MOST_SENSITIVE),
+        "Figure 9: utilization gained relative to random "
+        "(6 most sensitive)",
+    )
+    table.notes.append(
+        "paper: negative for sensitive apps; e.g. mcf shutter -0.36, "
+        "rule-based -0.80"
+    )
+    return table
+
+
+def figure10(campaign: Campaign) -> FigureTable:
+    """Figure 10: same accuracy metric, 6 least sensitive apps.
+
+    Positive values mean the heuristic correctly reclaimed more
+    utilization than random for these insensitive neighbours.
+    """
+    table = _accuracy_table(
+        campaign,
+        list(paperdata.LEAST_SENSITIVE),
+        "Figure 10: utilization gained relative to random "
+        "(6 least sensitive)",
+    )
+    table.notes.append("paper: positive for insensitive apps")
+    return table
+
+
+def _pearson(xs: list[float], ys: list[float]) -> float:
+    n = min(len(xs), len(ys))
+    if n < 2:
+        return 0.0
+    xs, ys = list(xs[:n]), list(ys[:n])
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx <= 0 or vy <= 0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5

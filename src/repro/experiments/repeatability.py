@@ -1,0 +1,89 @@
+"""Repeatability: the reproduction's own error bars.
+
+The paper reports single runs; a simulator can do better.  This
+experiment re-runs the reference victims under fresh seeds (different
+pattern RNG streams and interleavings) and reports the spread of the
+headline quantities — the reproduction's claims are only as strong as
+their stability across seeds.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..caer.metrics import utilization_gained
+from ..caer.runtime import CaerConfig, caer_factory
+from ..sim import run_colocated, run_solo
+from ..workloads import benchmark
+from .campaign import BATCH_BENCHMARK, CampaignSettings
+from .reporting import FigureTable
+
+#: Victims re-measured per seed.
+VICTIMS = ("429.mcf", "444.namd")
+
+
+def repeatability_study(
+    settings: CampaignSettings | None = None,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    victims: tuple[str, ...] = VICTIMS,
+) -> FigureTable:
+    """Mean and spread of raw/CAER penalty and utilization over seeds."""
+    settings = settings or CampaignSettings.from_env()
+    machine = settings.machine()
+    l3 = machine.l3.capacity_lines
+
+    rows: list[str] = []
+    columns: dict[str, list[float]] = {
+        "raw_mean": [], "raw_spread": [],
+        "caer_mean": [], "caer_spread": [],
+        "util_mean": [], "util_spread": [],
+    }
+    for victim in victims:
+        raw_penalties: list[float] = []
+        caer_penalties: list[float] = []
+        utils: list[float] = []
+        for seed in seeds:
+            spec = benchmark(victim, l3, length=settings.length)
+            batch = benchmark(
+                BATCH_BENCHMARK, l3, length=settings.length
+            )
+            solo = run_solo(spec, machine, seed=seed)
+            base = solo.latency_sensitive().completion_periods
+            raw = run_colocated(spec, batch, machine, seed=seed)
+            raw_penalties.append(
+                raw.latency_sensitive().completion_periods / base - 1.0
+            )
+            managed = run_colocated(
+                spec,
+                batch,
+                machine,
+                caer_factory=caer_factory(CaerConfig.rule_based()),
+                seed=seed,
+            )
+            caer_penalties.append(
+                managed.latency_sensitive().completion_periods / base
+                - 1.0
+            )
+            utils.append(utilization_gained(managed))
+        rows.append(victim)
+        for key, values in (
+            ("raw", raw_penalties),
+            ("caer", caer_penalties),
+            ("util", utils),
+        ):
+            columns[f"{key}_mean"].append(statistics.mean(values))
+            columns[f"{key}_spread"].append(
+                max(values) - min(values)
+            )
+
+    table = FigureTable(
+        title=f"Repeatability over seeds {seeds}",
+        row_names=rows,
+    )
+    for name, values in columns.items():
+        table.add_column(name, values)
+    table.notes.append(
+        "spread = max - min over seeds; the qualitative story must "
+        "not depend on the RNG stream"
+    )
+    return table

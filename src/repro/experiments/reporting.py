@@ -1,0 +1,160 @@
+"""Terminal reporting: tables, bar charts, CSV/JSON export.
+
+The figure drivers return plain-data results; this module renders them
+the way the paper presents them — per-benchmark bars with a mean — using
+ASCII so the benches' stdout is the "figure".
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ExperimentError
+
+BAR_WIDTH = 40
+
+
+@dataclass
+class FigureTable:
+    """One rendered artefact: named series over benchmark rows."""
+
+    title: str
+    row_names: list[str]
+    columns: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_column(self, name: str, values: Sequence[float]) -> None:
+        """Attach a data series (must match the row count)."""
+        values = list(values)
+        if len(values) != len(self.row_names):
+            raise ExperimentError(
+                f"column {name!r} has {len(values)} values for "
+                f"{len(self.row_names)} rows"
+            )
+        self.columns[name] = values
+
+    def column(self, name: str) -> list[float]:
+        """Fetch a series by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExperimentError(
+                f"no column {name!r} (have: {', '.join(self.columns)})"
+            ) from None
+
+    def mean(self, name: str) -> float:
+        """Arithmetic mean of one series."""
+        values = self.column(name)
+        return sum(values) / len(values)
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self, precision: int = 3) -> str:
+        """A plain table with a trailing mean row."""
+        names = list(self.columns)
+        name_width = max(
+            [len("benchmark")] + [len(r) for r in self.row_names]
+        )
+        col_width = max([10] + [len(n) + 2 for n in names])
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header = f"{'benchmark':<{name_width}}"
+        for name in names:
+            header += f" {name:>{col_width}}"
+        out.write(header + "\n")
+        for i, row in enumerate(self.row_names):
+            line = f"{row:<{name_width}}"
+            for name in names:
+                line += f" {self.columns[name][i]:>{col_width}.{precision}f}"
+            out.write(line + "\n")
+        line = f"{'mean':<{name_width}}"
+        for name in names:
+            line += f" {self.mean(name):>{col_width}.{precision}f}"
+        out.write(line + "\n")
+        for note in self.notes:
+            out.write(f"  note: {note}\n")
+        return out.getvalue()
+
+    def render_bars(
+        self, column: str, baseline: float = 0.0, precision: int = 3
+    ) -> str:
+        """A horizontal bar chart of one series (paper-figure style)."""
+        values = self.column(column)
+        span = max(abs(v - baseline) for v in values) or 1.0
+        name_width = max(len(r) for r in self.row_names)
+        out = io.StringIO()
+        out.write(f"== {self.title} [{column}] ==\n")
+        for row, value in zip(self.row_names, values):
+            magnitude = abs(value - baseline) / span
+            bar = "#" * max(0, round(magnitude * BAR_WIDTH))
+            sign = "-" if value < baseline else ""
+            out.write(
+                f"{row:<{name_width}} {value:>9.{precision}f} {sign}{bar}\n"
+            )
+        out.write(
+            f"{'mean':<{name_width}} "
+            f"{self.mean(column):>9.{precision}f}\n"
+        )
+        return out.getvalue()
+
+    # -- export ----------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """CSV with benchmark rows and one column per series."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["benchmark", *self.columns])
+        for i, row in enumerate(self.row_names):
+            writer.writerow(
+                [row, *(self.columns[name][i] for name in self.columns)]
+            )
+        return out.getvalue()
+
+    def to_json(self) -> str:
+        """JSON object with title, rows, and series."""
+        return json.dumps(
+            {
+                "title": self.title,
+                "rows": self.row_names,
+                "columns": self.columns,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+
+def render_series(
+    title: str, series: Sequence[float], height: int = 8, width: int = 72
+) -> str:
+    """An ASCII strip chart of a time series (Figure 3 style).
+
+    Downsamples the series to ``width`` buckets (bucket mean) and prints
+    ``height`` rows of vertical resolution.
+    """
+    values = list(series)
+    if not values:
+        raise ExperimentError(f"empty series for {title!r}")
+    bucket = max(1, len(values) // width)
+    points = [
+        sum(values[i:i + bucket]) / len(values[i:i + bucket])
+        for i in range(0, len(values), bucket)
+    ][:width]
+    top = max(points) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * (level - 0.5) / height
+        rows.append(
+            "".join("#" if p >= threshold else " " for p in points)
+        )
+    axis = "-" * len(points)
+    return (
+        f"== {title} (peak {top:.0f}/period) ==\n"
+        + "\n".join(rows)
+        + "\n"
+        + axis
+        + "\n"
+    )

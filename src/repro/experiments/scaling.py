@@ -1,0 +1,82 @@
+"""Extension experiment: scaling to multiple batch neighbours.
+
+The paper's prototype hosts one batch application, but its architecture
+(Figure 4, left) is drawn for a quad core with several applications and
+batch layers that "must react together".  This experiment realises that
+vision: one latency-sensitive victim against 0..3 relaunching lbm
+instances, comparing raw co-location to CAER on every count.
+
+Expected shape: the raw penalty grows with every added contender (more
+L3 pressure, more memory-bandwidth load), while CAER holds the penalty
+roughly flat by throttling the whole batch group — at a utilization
+cost that grows with the group size.
+"""
+
+from __future__ import annotations
+
+from ..caer.metrics import utilization_gained
+from ..caer.runtime import CaerConfig, caer_factory
+from ..sim import run_multi_colocated, run_solo
+from ..workloads import benchmark
+from .campaign import BATCH_BENCHMARK, CampaignSettings
+from .reporting import FigureTable
+
+#: Default victim of the scaling study.
+DEFAULT_VICTIM = "429.mcf"
+
+
+def scaling_study(
+    settings: CampaignSettings | None = None,
+    victim: str = DEFAULT_VICTIM,
+    max_batch: int = 3,
+) -> FigureTable:
+    """Penalty and utilization vs. number of batch contenders."""
+    settings = settings or CampaignSettings.from_env()
+    machine = settings.machine()
+    l3 = machine.l3.capacity_lines
+    ls = benchmark(victim, l3, length=settings.length)
+    batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
+    solo_periods = (
+        run_solo(ls, machine, seed=settings.seed)
+        .latency_sensitive()
+        .completion_periods
+    )
+
+    rows = [f"{k} batch" for k in range(1, max_batch + 1)]
+    table = FigureTable(
+        title=f"Scaling study: {victim} vs. 1..{max_batch} lbm "
+              "contenders",
+        row_names=rows,
+    )
+    columns: dict[str, list[float]] = {
+        "raw_penalty": [],
+        "caer_penalty": [],
+        "caer_util": [],
+    }
+    for k in range(1, max_batch + 1):
+        raw = run_multi_colocated(
+            ls, [batch] * k, machine, seed=settings.seed
+        )
+        managed = run_multi_colocated(
+            ls,
+            [batch] * k,
+            machine,
+            caer_factory=caer_factory(CaerConfig.rule_based()),
+            seed=settings.seed,
+        )
+        columns["raw_penalty"].append(
+            raw.latency_sensitive().completion_periods / solo_periods
+            - 1.0
+        )
+        columns["caer_penalty"].append(
+            managed.latency_sensitive().completion_periods / solo_periods
+            - 1.0
+        )
+        columns["caer_util"].append(utilization_gained(managed))
+    for name, values in columns.items():
+        table.add_column(name, values)
+    table.notes.append(
+        "extension beyond the paper's 2-app prototype (its Figure 4 "
+        "architecture); CAER should hold the penalty roughly flat"
+    )
+    return table

@@ -1,0 +1,13 @@
+"""A Perfmon2-like software layer over the simulated PMUs.
+
+The paper builds CAER on Perfmon2 (§3.1): a per-core monitoring session
+is configured with a set of events and probed periodically, each probe
+reading and restarting the counters.  :class:`~repro.perfmon.session.PerfmonSession`
+reproduces that API against :class:`repro.arch.pmu.CorePMU`, including
+the (small but nonzero) probe overhead charged to the monitored core.
+"""
+
+from .events import EventSet, default_event_set
+from .session import PerfmonSession
+
+__all__ = ["EventSet", "default_event_set", "PerfmonSession"]

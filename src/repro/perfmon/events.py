@@ -1,0 +1,56 @@
+"""Event-set descriptors for perfmon sessions.
+
+Real PMUs have a small number of programmable counters; a session must
+therefore declare which events it wants.  CAER needs exactly the events
+of :data:`default_event_set`; asking for more than the hardware's
+counter budget raises, mirroring Perfmon2's allocation failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.pmu import PMUEvent
+from ..errors import PerfmonError
+
+#: Programmable general-purpose counters on Nehalem.
+HARDWARE_COUNTERS = 4
+
+#: Events available without a programmable counter (fixed counters).
+FIXED_EVENTS = frozenset(
+    {PMUEvent.CYCLES, PMUEvent.INSTRUCTIONS_RETIRED}
+)
+
+
+@dataclass(frozen=True)
+class EventSet:
+    """An immutable selection of PMU events for one session."""
+
+    events: tuple[PMUEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise PerfmonError("an event set cannot be empty")
+        if len(set(self.events)) != len(self.events):
+            raise PerfmonError(f"duplicate events in set: {self.events}")
+        programmable = [e for e in self.events if e not in FIXED_EVENTS]
+        if len(programmable) > HARDWARE_COUNTERS:
+            raise PerfmonError(
+                f"{len(programmable)} programmable events requested but "
+                f"the PMU has only {HARDWARE_COUNTERS} counters"
+            )
+
+    def __contains__(self, event: PMUEvent) -> bool:
+        return event in self.events
+
+
+def default_event_set() -> EventSet:
+    """The events CAER monitors (§3.1: LLC misses, retirement rate)."""
+    return EventSet(
+        events=(
+            PMUEvent.CYCLES,
+            PMUEvent.INSTRUCTIONS_RETIRED,
+            PMUEvent.LLC_MISSES,
+            PMUEvent.LLC_REFERENCES,
+        )
+    )

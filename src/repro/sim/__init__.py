@@ -1,0 +1,29 @@
+"""Quantum-driven execution engine.
+
+The engine advances the chip one CAER probe period at a time; within a
+period, runnable processes are interleaved at sub-period *slice*
+granularity so their accesses contend fairly in the shared L3.  At every
+period boundary the engine plays the role of the paper's 1 ms timer
+interrupt: it probes each core's PMU through a perfmon session and hands
+the samples to registered period hooks — the CAER runtime is such a
+hook, and reacts by pausing/resuming batch processes.
+"""
+
+from .clock import SimClock
+from .engine import SimulationEngine
+from .process import AppClass, ProcessState, SimProcess
+from .results import ProcessResult, RunResult
+from .scenario import run_colocated, run_multi_colocated, run_solo
+
+__all__ = [
+    "SimClock",
+    "SimulationEngine",
+    "AppClass",
+    "ProcessState",
+    "SimProcess",
+    "ProcessResult",
+    "RunResult",
+    "run_solo",
+    "run_colocated",
+    "run_multi_colocated",
+]

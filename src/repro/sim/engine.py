@@ -1,0 +1,270 @@
+"""The quantum-driven simulation engine.
+
+One engine step is one CAER probe period (§3.2's 1 ms quantum):
+
+1. processes whose ``launch_period`` arrived are launched;
+2. the period is executed in ``slices_per_period`` sub-slices, each
+   runnable process getting an equal cycle budget per slice, with the
+   service order rotated every slice so no core systematically wins the
+   shared-L3 race;
+3. processes that ran to completion are recorded (and immediately
+   relaunched if they are relaunching batch apps, as in §6.1);
+4. the "timer interrupt" fires: every process's perfmon session is
+   probed and the per-period samples handed to the period hooks — the
+   CAER runtime lives here and may pause/resume batch processes, which
+   takes effect from the next period.
+
+The run ends when every non-relaunching process has completed (or
+``max_periods`` elapses, which is reported as an error unless the caller
+opted out).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Protocol
+
+from ..arch.chip import MulticoreChip
+from ..arch.pmu import PMUSample
+from ..errors import SchedulingError, SimulationError
+from ..perfmon.session import PerfmonSession
+from .clock import SimClock
+from .process import ProcessState, SimProcess
+from .results import ProcessResult, RunResult
+
+
+class PeriodHook(Protocol):
+    """Callback invoked at every period boundary.
+
+    ``samples`` maps process name to that period's PMU deltas; the hook
+    may call :meth:`SimulationEngine.set_paused` to throttle batch
+    processes from the next period on.
+    """
+
+    def __call__(
+        self,
+        engine: "SimulationEngine",
+        period: int,
+        samples: dict[str, PMUSample],
+    ) -> None: ...
+
+
+class SimulationEngine:
+    """Drives a chip and a set of processes period by period."""
+
+    def __init__(
+        self,
+        chip: MulticoreChip,
+        processes: Iterable[SimProcess],
+        period_hooks: Iterable[PeriodHook] = (),
+        slices_per_period: int = 8,
+        max_periods: int = 200_000,
+        probe_overhead_cycles: float | None = None,
+    ):
+        self.chip = chip
+        self.processes: dict[str, SimProcess] = {}
+        used_cores: set[int] = set()
+        for proc in processes:
+            if proc.name in self.processes:
+                raise SchedulingError(f"duplicate process name {proc.name!r}")
+            if proc.core_id in used_cores:
+                raise SchedulingError(
+                    f"core {proc.core_id} already has a process"
+                )
+            if proc.core_id >= chip.num_cores:
+                raise SchedulingError(
+                    f"process {proc.name!r} wants core {proc.core_id} but "
+                    f"the chip has {chip.num_cores} cores"
+                )
+            used_cores.add(proc.core_id)
+            self.processes[proc.name] = proc
+        if not self.processes:
+            raise SchedulingError("no processes to run")
+        if slices_per_period < 1:
+            raise SimulationError(
+                f"slices_per_period must be >= 1: {slices_per_period}"
+            )
+        self.period_hooks = list(period_hooks)
+        self.slices_per_period = slices_per_period
+        self.max_periods = max_periods
+        self.clock = SimClock(chip.machine.period_cycles)
+        session_kwargs = {}
+        if probe_overhead_cycles is not None:
+            session_kwargs["probe_overhead_cycles"] = probe_overhead_cycles
+        self.sessions = {
+            name: PerfmonSession(
+                chip.pmu(proc.core_id), chip.core(proc.core_id),
+                **session_kwargs,
+            )
+            for name, proc in self.processes.items()
+        }
+        self._pending_pause: dict[str, bool] = {}
+        self._pending_speed: dict[str, float] = {}
+        self._pending_quota: dict[str, float | None] = {}
+        self.result = RunResult(
+            machine_name=chip.machine.name,
+            period_cycles=chip.machine.period_cycles,
+        )
+        for name, proc in self.processes.items():
+            self.result.processes[name] = ProcessResult(
+                name=name,
+                app_class=proc.app_class,
+                core_id=proc.core_id,
+                launch_period=proc.launch_period,
+            )
+
+    # -- control interface exposed to hooks ------------------------------
+
+    def set_paused(self, name: str, paused: bool) -> None:
+        """Request a throttle state change, effective next period."""
+        if name not in self.processes:
+            raise SchedulingError(f"no process named {name!r}")
+        self._pending_pause[name] = paused
+
+    def set_speed(self, name: str, factor: float) -> None:
+        """Request a frequency-scaling change, effective next period."""
+        if name not in self.processes:
+            raise SchedulingError(f"no process named {name!r}")
+        self._pending_speed[name] = factor
+
+    def set_l3_quota(self, name: str, fraction: float | None) -> None:
+        """Request an L3 occupancy cap, effective next period."""
+        if name not in self.processes:
+            raise SchedulingError(f"no process named {name!r}")
+        self._pending_quota[name] = fraction
+
+    def process(self, name: str) -> SimProcess:
+        """Look up a live process by name."""
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise SchedulingError(f"no process named {name!r}") from None
+
+    def log_decision(self, record: dict) -> None:
+        """Append a CAER decision record to the run log."""
+        self.result.caer_log.append(record)
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self, stop_when: Callable[["SimulationEngine"], bool]
+            | None = None) -> RunResult:
+        """Run to completion and return the result record.
+
+        ``stop_when`` overrides the default termination test ("every
+        non-relaunching process finished").
+        """
+        done = stop_when or _all_primary_finished
+        while True:
+            if done(self):
+                break
+            if self.clock.period >= self.max_periods:
+                raise SimulationError(
+                    f"run exceeded max_periods={self.max_periods}; "
+                    "workloads may be mis-sized for this machine"
+                )
+            self._step_period()
+        self.result.total_periods = self.clock.period
+        self._finalise()
+        return self.result
+
+    def _step_period(self) -> None:
+        period = self.clock.period
+        self._apply_launches(period)
+        states_at_start = {
+            name: proc.state for name, proc in self.processes.items()
+        }
+        self._execute_slices(period)
+        self.chip.memory.end_period(self.chip.machine.period_cycles)
+        self._probe_and_record(period, states_at_start)
+        self._apply_pending_pauses()
+        self.clock.advance_period()
+
+    def _apply_launches(self, period: int) -> None:
+        for proc in self.processes.values():
+            if proc.state is ProcessState.WAITING and \
+                    proc.launch_period <= period:
+                proc.launch()
+
+    def _execute_slices(self, period: int) -> None:
+        # The periodic PMU probe consumes core cycles (charged by the
+        # perfmon session); the work budget shrinks accordingly.
+        period_cycles = self.chip.machine.period_cycles
+        budgets = {
+            name: max(
+                0.0,
+                period_cycles - self.sessions[name].probe_overhead_cycles,
+            )
+            / self.slices_per_period
+            for name in self.processes
+        }
+        names = list(self.processes)
+        for s in range(self.slices_per_period):
+            slice_start = self.clock.cycle_at(
+                period, s / self.slices_per_period
+            )
+            # Rotate service order so shared-resource priority is fair.
+            order = names[s % len(names):] + names[:s % len(names)]
+            for name in order:
+                proc = self.processes[name]
+                if proc.finished and proc.state is not ProcessState.FINISHED:
+                    proc.note_completion(period)
+                if not proc.runnable:
+                    continue
+                core = self.chip.core(proc.core_id)
+                core.run(
+                    proc,
+                    budgets[name] * proc.speed_factor,
+                    start_cycle=slice_start,
+                )
+                if proc.finished:
+                    proc.note_completion(period)
+
+    def _probe_and_record(
+        self, period: int, states_at_start: dict[str, ProcessState]
+    ) -> None:
+        samples: dict[str, PMUSample] = {}
+        for name, proc in self.processes.items():
+            sample = self.sessions[name].probe()
+            samples[name] = sample
+            record = self.result.processes[name]
+            record.record(states_at_start[name], sample,
+                          speed=proc.speed_factor)
+            if proc.state is ProcessState.RUNNING:
+                proc.periods_running += 1
+            elif proc.state is ProcessState.PAUSED:
+                proc.periods_paused += 1
+        for hook in self.period_hooks:
+            hook(self, period, samples)
+
+    def _apply_pending_pauses(self) -> None:
+        for name, paused in self._pending_pause.items():
+            self.processes[name].set_paused(paused)
+        self._pending_pause.clear()
+        for name, factor in self._pending_speed.items():
+            self.processes[name].set_speed(factor)
+        self._pending_speed.clear()
+        for name, fraction in self._pending_quota.items():
+            core = self.processes[name].core_id
+            self.chip.hierarchy.set_l3_quota(core, fraction)
+        self._pending_quota.clear()
+
+    def _finalise(self) -> None:
+        for name, proc in self.processes.items():
+            record = self.result.processes[name]
+            record.completions = proc.completions
+            record.first_completion_period = proc.first_completion_period
+            record.instructions_retired = (
+                proc.workload.instructions_retired
+                + proc.completions * proc.spec.total_instructions
+                if proc.relaunch
+                else proc.workload.instructions_retired
+            )
+
+
+def _all_primary_finished(engine: SimulationEngine) -> bool:
+    """Default stop test: every non-relaunching process completed."""
+    primaries = [p for p in engine.processes.values() if not p.relaunch]
+    if not primaries:
+        raise SimulationError(
+            "all processes relaunch forever; pass an explicit stop_when"
+        )
+    return all(p.state is ProcessState.FINISHED for p in primaries)

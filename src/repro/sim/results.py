@@ -1,0 +1,125 @@
+"""Run results: everything the metrics and figure harnesses consume.
+
+A :class:`RunResult` is a pure-data record of one simulation: per
+process, the per-period PMU samples and scheduling states, plus launch
+and completion bookkeeping.  All of the paper's metrics — execution-time
+penalty, utilization (Eq. 1), interference eliminated, detection
+accuracy (Eq. 2) — are *derived* from these records by
+:mod:`repro.caer.metrics`, never computed inside the engine, so a result
+can be re-analysed without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.pmu import PMUSample
+from ..errors import SimulationError
+from .process import AppClass, ProcessState
+
+
+@dataclass
+class ProcessResult:
+    """Per-period history of one process."""
+
+    name: str
+    app_class: AppClass
+    core_id: int
+    launch_period: int
+    #: scheduling state the process held during each period
+    states: list[ProcessState] = field(default_factory=list)
+    #: PMU deltas measured over each period
+    samples: list[PMUSample] = field(default_factory=list)
+    #: DVFS speed factor in force during each period (1.0 = full)
+    speeds: list[float] = field(default_factory=list)
+    completions: int = 0
+    first_completion_period: int | None = None
+    instructions_retired: float = 0.0
+
+    def record(self, state: ProcessState, sample: PMUSample,
+               speed: float = 1.0) -> None:
+        """Append one period's observation."""
+        self.states.append(state)
+        self.samples.append(sample)
+        self.speeds.append(speed)
+
+    # -- series accessors ------------------------------------------------
+
+    def llc_miss_series(self) -> list[int]:
+        """LLC misses per period (Figure 3's upper curves)."""
+        return [s.llc_misses for s in self.samples]
+
+    def instruction_series(self) -> list[float]:
+        """Instructions retired per period (Figure 3's lower curves)."""
+        return [s.instructions for s in self.samples]
+
+    def total_llc_misses(self) -> int:
+        """Whole-run LLC misses (Figure 2's bars)."""
+        return sum(s.llc_misses for s in self.samples)
+
+    def periods_in_state(self, state: ProcessState,
+                         window: tuple[int, int] | None = None) -> int:
+        """Count periods spent in ``state`` (optionally within a window).
+
+        ``window`` is a half-open period range ``(start, stop)``.
+        """
+        states = self.states
+        if window is not None:
+            start, stop = window
+            states = states[start:stop]
+        return sum(1 for s in states if s is state)
+
+    @property
+    def completion_periods(self) -> int:
+        """Periods from launch to first completion.
+
+        This is the paper's "wall clock execution time" of a benchmark;
+        raises if the process never completed.
+        """
+        if self.first_completion_period is None:
+            raise SimulationError(
+                f"process {self.name!r} never ran to completion"
+            )
+        return self.first_completion_period - self.launch_period + 1
+
+
+@dataclass
+class RunResult:
+    """Complete record of one simulation run."""
+
+    machine_name: str
+    period_cycles: int
+    total_periods: int = 0
+    processes: dict[str, ProcessResult] = field(default_factory=dict)
+    #: per-period CAER decision log (empty when CAER was not attached)
+    caer_log: list[dict] = field(default_factory=list)
+
+    def process(self, name: str) -> ProcessResult:
+        """Result record of one process by name."""
+        try:
+            return self.processes[name]
+        except KeyError:
+            raise SimulationError(
+                f"no process {name!r} in run "
+                f"(have: {', '.join(self.processes)})"
+            ) from None
+
+    def by_class(self, app_class: AppClass) -> list[ProcessResult]:
+        """All process records of one application class."""
+        return [
+            p for p in self.processes.values() if p.app_class is app_class
+        ]
+
+    def latency_sensitive(self) -> ProcessResult:
+        """The single latency-sensitive process of a paper-style run."""
+        candidates = self.by_class(AppClass.LATENCY_SENSITIVE)
+        if len(candidates) != 1:
+            raise SimulationError(
+                f"expected exactly one latency-sensitive process, "
+                f"found {len(candidates)}"
+            )
+        return candidates[0]
+
+    def batch_processes(self) -> list[ProcessResult]:
+        """All batch process records."""
+        return self.by_class(AppClass.BATCH)

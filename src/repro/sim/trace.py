@@ -1,0 +1,107 @@
+"""Run-result export: CSV and JSON serialisation of per-period records.
+
+The paper's prototype "logs the decisions it makes and wall clock
+execution time" (§6.1) for offline analysis; this module is that
+logging path for the simulated runtime.  Exports are plain text so they
+can be diffed, plotted, or fed to external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from ..errors import SimulationError
+from .results import ProcessResult, RunResult
+
+#: Columns of the per-period CSV, in order.
+PERIOD_COLUMNS = (
+    "period",
+    "process",
+    "state",
+    "speed",
+    "cycles",
+    "instructions",
+    "llc_misses",
+    "llc_references",
+    "ipc",
+)
+
+
+def periods_to_csv(result: RunResult) -> str:
+    """One CSV row per (period, process) pair."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(PERIOD_COLUMNS)
+    for record in result.processes.values():
+        for period, (state, sample, speed) in enumerate(
+            zip(record.states, record.samples, record.speeds)
+        ):
+            writer.writerow(
+                [
+                    period,
+                    record.name,
+                    state.value,
+                    speed,
+                    round(sample.cycles, 1),
+                    round(sample.instructions, 1),
+                    sample.llc_misses,
+                    sample.llc_references,
+                    round(sample.ipc, 4),
+                ]
+            )
+    return out.getvalue()
+
+
+def decisions_to_csv(result: RunResult) -> str:
+    """The CAER decision log as CSV (empty-log runs raise)."""
+    if not result.caer_log:
+        raise SimulationError("run has no CAER decision log")
+    columns = list(result.caer_log[0])
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(columns)
+    for record in result.caer_log:
+        writer.writerow([record.get(c) for c in columns])
+    return out.getvalue()
+
+
+def _process_summary(record: ProcessResult) -> dict:
+    summary = {
+        "name": record.name,
+        "class": record.app_class.value,
+        "core": record.core_id,
+        "launch_period": record.launch_period,
+        "completions": record.completions,
+        "instructions_retired": record.instructions_retired,
+        "total_llc_misses": record.total_llc_misses(),
+    }
+    if record.first_completion_period is not None:
+        summary["completion_periods"] = record.completion_periods
+    return summary
+
+
+def run_to_json(result: RunResult, include_series: bool = False) -> str:
+    """A JSON summary of the run (optionally with full series)."""
+    data = {
+        "machine": result.machine_name,
+        "period_cycles": result.period_cycles,
+        "total_periods": result.total_periods,
+        "processes": [
+            _process_summary(r) for r in result.processes.values()
+        ],
+        "caer_decisions": len(result.caer_log),
+    }
+    if include_series:
+        data["series"] = {
+            record.name: {
+                "llc_misses": record.llc_miss_series(),
+                "instructions": [
+                    round(x, 1) for x in record.instruction_series()
+                ],
+                "states": [s.value for s in record.states],
+            }
+            for record in result.processes.values()
+        }
+    return json.dumps(data, indent=2)

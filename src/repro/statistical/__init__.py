@@ -1,0 +1,22 @@
+"""A statistical (analytic-resolution) twin of the trace-driven engine.
+
+The trace engine simulates every memory access; this engine advances
+whole probe periods in closed form using the same models the analytic
+package cross-validates: per-phase miss-rate curves, a proportional
+LRU occupancy state that evolves period by period, and the M/D/1 memory
+channel.  It exposes the same period-hook interface, so the unmodified
+:class:`repro.caer.runtime.CaerRuntime` runs on top of it — at two to
+three orders of magnitude less cost per simulated period.
+
+Use it for what statistics are good at — long-horizon screening, wide
+parameter sweeps, full-length (``length=1.0``) campaigns — and the
+trace engine for anything where per-access effects matter (set
+conflicts, inclusion victims, exact interleavings).  The test-suite
+cross-validates the two on slowdowns and on CAER's end-to-end
+behaviour.
+"""
+
+from .engine import StatisticalEngine
+from .scenario import fast_colocated, fast_solo
+
+__all__ = ["StatisticalEngine", "fast_solo", "fast_colocated"]

@@ -1,0 +1,59 @@
+"""Canonical scenarios on the statistical engine."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import MachineConfig
+from ..sim.engine import PeriodHook
+from ..sim.process import AppClass, SimProcess
+from ..sim.results import RunResult
+from ..sim.scenario import DEFAULT_LAUNCH_STAGGER
+from ..workloads.base import WorkloadSpec
+from .engine import StatisticalEngine
+
+
+def fast_solo(
+    spec: WorkloadSpec,
+    machine: MachineConfig | None = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run one workload alone, analytically."""
+    machine = machine or MachineConfig.scaled_nehalem()
+    proc = SimProcess(
+        spec, core_id=0, app_class=AppClass.LATENCY_SENSITIVE, seed=seed
+    )
+    return StatisticalEngine(machine, [proc]).run()
+
+
+def fast_colocated(
+    ls_spec: WorkloadSpec,
+    batch_spec: WorkloadSpec,
+    machine: MachineConfig | None = None,
+    caer_factory: Callable[[StatisticalEngine], PeriodHook] | None = None,
+    seed: int = 0,
+    launch_stagger: int = DEFAULT_LAUNCH_STAGGER,
+    batch_name: str | None = None,
+) -> RunResult:
+    """The paper's co-location scenario on the statistical engine."""
+    machine = machine or MachineConfig.scaled_nehalem()
+    batch = SimProcess(
+        batch_spec,
+        core_id=1,
+        app_class=AppClass.BATCH,
+        name=batch_name or f"{batch_spec.name}:batch",
+        seed=seed + 7_919,
+        launch_period=0,
+        relaunch=True,
+    )
+    ls = SimProcess(
+        ls_spec,
+        core_id=0,
+        app_class=AppClass.LATENCY_SENSITIVE,
+        seed=seed,
+        launch_period=launch_stagger,
+    )
+    engine = StatisticalEngine(machine, [ls, batch])
+    if caer_factory is not None:
+        engine.period_hooks.append(caer_factory(engine))
+    return engine.run()

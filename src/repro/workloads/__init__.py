@@ -1,0 +1,62 @@
+"""Synthetic workload models.
+
+CAER observes applications exclusively through per-period PMU samples,
+so a workload model only has to reproduce an application's *memory
+behaviour*: its working-set size, access-pattern mix, memory intensity,
+memory-level parallelism, and phase structure.
+:mod:`repro.workloads.spec2006` provides models of the 21 C/C++ SPEC
+CPU2006 benchmarks calibrated against the paper's Figures 1 and 2;
+:mod:`repro.workloads.synthetic` provides parametrised microbenchmarks
+for unit tests and ablations.
+"""
+
+from .base import (
+    AccessPattern,
+    PatternSpec,
+    PhaseSpec,
+    RuntimePhase,
+    WorkloadInstance,
+    WorkloadSpec,
+)
+from .patterns import (
+    HotColdSpec,
+    MixtureSpec,
+    PointerChaseSpec,
+    SequentialStreamSpec,
+    StridedScanSpec,
+    TraceSpec,
+    UniformRandomSpec,
+    ZipfSpec,
+)
+from .spec2006 import (
+    SPEC2006_CPP,
+    benchmark,
+    benchmark_names,
+    spec_registry,
+)
+from .synthetic import compute_bound, pointer_chaser, streamer, zipf_worker
+
+__all__ = [
+    "AccessPattern",
+    "PatternSpec",
+    "PhaseSpec",
+    "RuntimePhase",
+    "WorkloadInstance",
+    "WorkloadSpec",
+    "SequentialStreamSpec",
+    "UniformRandomSpec",
+    "PointerChaseSpec",
+    "ZipfSpec",
+    "HotColdSpec",
+    "MixtureSpec",
+    "StridedScanSpec",
+    "TraceSpec",
+    "SPEC2006_CPP",
+    "benchmark",
+    "benchmark_names",
+    "spec_registry",
+    "streamer",
+    "pointer_chaser",
+    "zipf_worker",
+    "compute_bound",
+]

@@ -1,0 +1,230 @@
+"""Workload model core types.
+
+A workload is described declaratively by a :class:`WorkloadSpec` — an
+immutable recipe of :class:`PhaseSpec` entries, each pairing an access
+pattern with execution parameters — and *instantiated* per run into a
+:class:`WorkloadInstance`, which owns mutable cursors (instructions
+retired, current phase, pattern state) and is what the simulated core
+actually drives.
+
+Execution parameters per phase:
+
+``mem_ratio``
+    memory accesses per instruction (cache-line granularity).  A value
+    of 0.25 means one access every four instructions.
+``base_cpi``
+    pipeline cycles per instruction when every access hits L1.
+``overlap``
+    memory-level parallelism: how many outstanding misses the phase
+    overlaps on average.  Stall cycles are divided by this, so streaming
+    phases (overlap 3-4) hide much of their miss latency while pointer
+    chasing (overlap 1) exposes all of it.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+class AccessPattern(ABC):
+    """A stateful generator of cache-line addresses."""
+
+    @abstractmethod
+    def next_address(self) -> int:
+        """Produce the next line address (hot path)."""
+
+    def footprint_lines(self) -> int:
+        """Number of distinct lines the pattern can touch (if known)."""
+        return 0
+
+
+class PatternSpec(ABC):
+    """Immutable recipe for an :class:`AccessPattern`."""
+
+    @abstractmethod
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        """Build a fresh pattern addressing lines from ``base`` upward."""
+
+    @abstractmethod
+    def footprint_lines(self) -> int:
+        """Distinct lines the instantiated pattern will touch."""
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a workload: a pattern plus execution parameters.
+
+    ``duration_instructions`` is how many instructions the phase lasts
+    before the workload moves to the next phase (phases cycle until the
+    workload's total instruction budget runs out).
+    """
+
+    pattern: PatternSpec
+    duration_instructions: float
+    mem_ratio: float = 0.25
+    base_cpi: float = 0.5
+    overlap: float = 1.5
+    #: fraction of accesses that are stores (drives writeback traffic
+    #: when the machine models it; ~0.3 is typical of SPEC codes)
+    store_ratio: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.duration_instructions <= 0:
+            raise WorkloadError(
+                f"phase duration must be positive: {self.duration_instructions}"
+            )
+        if not 0.0 < self.mem_ratio <= 1.0:
+            raise WorkloadError(
+                f"mem_ratio must be in (0, 1]: {self.mem_ratio}"
+            )
+        if self.base_cpi <= 0:
+            raise WorkloadError(f"base_cpi must be positive: {self.base_cpi}")
+        if self.overlap < 1.0:
+            raise WorkloadError(f"overlap must be >= 1: {self.overlap}")
+        if not 0.0 <= self.store_ratio <= 1.0:
+            raise WorkloadError(
+                f"store_ratio must be in [0, 1]: {self.store_ratio}"
+            )
+
+
+class RuntimePhase:
+    """A :class:`PhaseSpec` instantiated for one run.
+
+    Holds the live pattern and the derived per-access constants the core
+    model's inner loop consumes.
+    """
+
+    __slots__ = (
+        "spec",
+        "pattern",
+        "instructions_per_access",
+        "compute_cycles_per_access",
+        "overlap",
+        "store_ratio",
+    )
+
+    def __init__(self, spec: PhaseSpec, pattern: AccessPattern):
+        self.spec = spec
+        self.pattern = pattern
+        self.instructions_per_access = 1.0 / spec.mem_ratio
+        self.compute_cycles_per_access = spec.base_cpi / spec.mem_ratio
+        self.overlap = spec.overlap
+        self.store_ratio = spec.store_ratio
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Immutable description of a complete workload."""
+
+    name: str
+    phases: tuple[PhaseSpec, ...]
+    total_instructions: float
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise WorkloadError(f"workload {self.name!r} has no phases")
+        if self.total_instructions <= 0:
+            raise WorkloadError(
+                f"workload {self.name!r} needs a positive instruction "
+                f"budget, got {self.total_instructions}"
+            )
+
+    def footprint_lines(self) -> int:
+        """Peak distinct-line footprint across phases."""
+        return max(p.pattern.footprint_lines() for p in self.phases)
+
+    def instantiate(
+        self, seed: int = 0, base: int = 0
+    ) -> "WorkloadInstance":
+        """Create a runnable instance with its own RNG stream."""
+        return WorkloadInstance(self, seed=seed, base=base)
+
+
+class WorkloadInstance:
+    """Mutable execution state of one workload run.
+
+    The simulated core drives this through three methods:
+    :meth:`current_phase`, :meth:`accesses_left_in_phase`, and
+    :meth:`account` — see :meth:`repro.arch.core.Core.run`.
+    """
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0, base: int = 0):
+        self.spec = spec
+        self.base = base
+        rng = np.random.default_rng(seed)
+        # Patterns persist across phase revisits, modelling a program
+        # returning to a data structure it already walked (warm state).
+        self._phases = [
+            RuntimePhase(p, p.pattern.instantiate(rng, base))
+            for p in spec.phases
+        ]
+        self._phase_index = 0
+        self._phase_remaining = spec.phases[0].duration_instructions
+        self._total_remaining = spec.total_instructions
+        self.instructions_retired = 0.0
+        self.finished = False
+
+    def current_phase(self) -> RuntimePhase:
+        """The phase the next access belongs to."""
+        return self._phases[self._phase_index]
+
+    def accesses_left_in_phase(self) -> int:
+        """Upper bound on accesses before a phase/finish boundary.
+
+        Always at least 1 for an unfinished workload so the core's
+        chunk loop makes progress.
+        """
+        if self.finished:
+            return 0
+        phase = self._phases[self._phase_index]
+        remaining = min(self._phase_remaining, self._total_remaining)
+        return max(1, math.ceil(remaining / phase.instructions_per_access))
+
+    def account(self, accesses: int) -> None:
+        """Record that ``accesses`` accesses of the current phase ran.
+
+        Advances instruction counters, rotates to the next phase at a
+        phase boundary, and marks the workload finished when the total
+        instruction budget is exhausted.
+        """
+        if accesses < 0:
+            raise WorkloadError(f"negative access count: {accesses}")
+        if accesses == 0 or self.finished:
+            return
+        phase = self._phases[self._phase_index]
+        instructions = accesses * phase.instructions_per_access
+        self.instructions_retired += instructions
+        self._phase_remaining -= instructions
+        self._total_remaining -= instructions
+        if self._total_remaining <= 1e-9:
+            self.finished = True
+            return
+        if self._phase_remaining <= 1e-9:
+            self._phase_index = (self._phase_index + 1) % len(self._phases)
+            self._phase_remaining = (
+                self._phases[self._phase_index].spec.duration_instructions
+            )
+
+    @property
+    def instructions_remaining(self) -> float:
+        """Instructions left before the budget is exhausted."""
+        return max(0.0, self._total_remaining)
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the instruction budget retired, in [0, 1]."""
+        return min(1.0, self.instructions_retired / self.spec.total_instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadInstance({self.spec.name!r}, "
+            f"progress={self.progress:.2%}, finished={self.finished})"
+        )

@@ -1,0 +1,483 @@
+"""Access-pattern generators.
+
+Each pattern is a (spec, runtime) pair: the frozen ``*Spec`` dataclass
+validates parameters and states the footprint; ``instantiate`` builds a
+stateful generator whose :meth:`next_address` is the simulator's hottest
+call.  Random patterns therefore pre-draw numpy batches and serve them
+from a plain Python list.
+
+The patterns cover the behaviours the SPEC models need:
+
+* :class:`SequentialStreamSpec` — cyclic streaming with per-line spatial
+  locality (lbm, libquantum, milc, sphinx3);
+* :class:`UniformRandomSpec` — uniform references over a working set;
+* :class:`PointerChaseSpec` — a random-permutation cycle, the classic
+  latency-bound dependent-load chain (mcf, omnetpp, xalancbmk);
+* :class:`ZipfSpec` — skewed reuse (perlbench, gcc, gobmk);
+* :class:`HotColdSpec` — a small hot structure plus a cold heap;
+* :class:`StridedScanSpec` — strided sweeps (row-major numeric codes);
+* :class:`MixtureSpec` — a probabilistic blend of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .base import AccessPattern, PatternSpec
+
+_BATCH = 4096
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise WorkloadError(f"{name} must be positive, got {value}")
+
+
+class _BufferedPattern(AccessPattern):
+    """Base for patterns that serve addresses from pre-drawn batches."""
+
+    def __init__(self) -> None:
+        self._buffer: list[int] = []
+        self._index = 0
+
+    def _refill(self) -> list[int]:
+        raise NotImplementedError
+
+    def next_address(self) -> int:
+        i = self._index
+        buf = self._buffer
+        if i >= len(buf):
+            buf = self._buffer = self._refill()
+            i = 0
+        self._index = i + 1
+        return buf[i]
+
+
+# -- sequential streaming ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class SequentialStreamSpec(PatternSpec):
+    """Cyclic sequential walk over ``lines`` lines.
+
+    ``line_repeats`` consecutive accesses hit the same line before
+    advancing, modelling spatial locality within a 64-byte line (a
+    double-precision stream touches a line 8 times).
+    """
+
+    lines: int
+    line_repeats: int = 4
+
+    def __post_init__(self) -> None:
+        _require_positive("lines", self.lines)
+        _require_positive("line_repeats", self.line_repeats)
+
+    def footprint_lines(self) -> int:
+        return self.lines
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        return _SequentialStream(self.lines, self.line_repeats, base)
+
+
+class _SequentialStream(AccessPattern):
+    __slots__ = ("_lines", "_repeats", "_base", "_line", "_count")
+
+    def __init__(self, lines: int, repeats: int, base: int):
+        self._lines = lines
+        self._repeats = repeats
+        self._base = base
+        self._line = 0
+        self._count = 0
+
+    def next_address(self) -> int:
+        addr = self._base + self._line
+        self._count += 1
+        if self._count >= self._repeats:
+            self._count = 0
+            self._line += 1
+            if self._line >= self._lines:
+                self._line = 0
+        return addr
+
+    def footprint_lines(self) -> int:
+        return self._lines
+
+
+# -- uniform random ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UniformRandomSpec(PatternSpec):
+    """Uniformly random references over ``lines`` lines."""
+
+    lines: int
+    line_repeats: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive("lines", self.lines)
+        _require_positive("line_repeats", self.line_repeats)
+
+    def footprint_lines(self) -> int:
+        return self.lines
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        return _UniformRandom(rng, self.lines, self.line_repeats, base)
+
+
+class _UniformRandom(_BufferedPattern):
+    def __init__(
+        self, rng: np.random.Generator, lines: int, repeats: int, base: int
+    ):
+        super().__init__()
+        self._rng = rng
+        self._lines = lines
+        self._repeats = repeats
+        self._base = base
+
+    def _refill(self) -> list[int]:
+        draws = self._rng.integers(
+            0, self._lines, size=_BATCH, dtype=np.int64
+        )
+        if self._repeats > 1:
+            draws = np.repeat(draws, self._repeats)
+        return (draws + self._base).tolist()
+
+    def footprint_lines(self) -> int:
+        return self._lines
+
+
+# -- pointer chasing ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointerChaseSpec(PatternSpec):
+    """A dependent-load chain over a random permutation of ``lines``.
+
+    This is the canonical latency-bound pattern: each address is only
+    known once the previous load returns, so phases using it should run
+    with ``overlap`` near 1.
+    """
+
+    lines: int
+
+    def __post_init__(self) -> None:
+        _require_positive("lines", self.lines)
+
+    def footprint_lines(self) -> int:
+        return self.lines
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        return _PointerChase(rng, self.lines, base)
+
+
+class _PointerChase(AccessPattern):
+    __slots__ = ("_next", "_base", "_current")
+
+    def __init__(self, rng: np.random.Generator, lines: int, base: int):
+        # Build one cycle covering all lines (Sattolo's algorithm via
+        # shuffled successor assignment on a random ordering).
+        order = rng.permutation(lines)
+        succ = np.empty(lines, dtype=np.int64)
+        succ[order[:-1]] = order[1:]
+        succ[order[-1]] = order[0]
+        self._next = succ.tolist()
+        self._base = base
+        self._current = int(order[0])
+
+    def next_address(self) -> int:
+        current = self._current
+        self._current = self._next[current]
+        return self._base + current
+
+    def footprint_lines(self) -> int:
+        return len(self._next)
+
+
+# -- zipf --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ZipfSpec(PatternSpec):
+    """Zipf-distributed references: rank ``i`` has weight 1/(i+1)^alpha.
+
+    Hot ranks are scattered over the address range (random permutation)
+    so popularity is decoupled from set index.
+    """
+
+    lines: int
+    alpha: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require_positive("lines", self.lines)
+        _require_positive("alpha", self.alpha)
+
+    def footprint_lines(self) -> int:
+        return self.lines
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        return _Zipf(rng, self.lines, self.alpha, base)
+
+
+class _Zipf(_BufferedPattern):
+    def __init__(
+        self, rng: np.random.Generator, lines: int, alpha: float, base: int
+    ):
+        super().__init__()
+        self._rng = rng
+        self._base = base
+        self._lines = lines
+        weights = 1.0 / np.arange(1, lines + 1, dtype=np.float64) ** alpha
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        self._placement = rng.permutation(lines)
+
+    def _refill(self) -> list[int]:
+        u = self._rng.random(_BATCH)
+        ranks = np.searchsorted(self._cdf, u)
+        return (self._placement[ranks] + self._base).tolist()
+
+    def footprint_lines(self) -> int:
+        return self._lines
+
+
+# -- hot/cold ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HotColdSpec(PatternSpec):
+    """A hot region of ``hot_lines`` hit with ``hot_fraction`` probability,
+    else a uniformly random cold region of ``cold_lines``."""
+
+    hot_lines: int
+    cold_lines: int
+    hot_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        _require_positive("hot_lines", self.hot_lines)
+        _require_positive("cold_lines", self.cold_lines)
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise WorkloadError(
+                f"hot_fraction must be in (0, 1): {self.hot_fraction}"
+            )
+
+    def footprint_lines(self) -> int:
+        return self.hot_lines + self.cold_lines
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        return _HotCold(
+            rng, self.hot_lines, self.cold_lines, self.hot_fraction, base
+        )
+
+
+class _HotCold(_BufferedPattern):
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        hot: int,
+        cold: int,
+        hot_fraction: float,
+        base: int,
+    ):
+        super().__init__()
+        self._rng = rng
+        self._hot = hot
+        self._cold = cold
+        self._fraction = hot_fraction
+        self._base = base
+
+    def _refill(self) -> list[int]:
+        rng = self._rng
+        is_hot = rng.random(_BATCH) < self._fraction
+        hot_draws = rng.integers(0, self._hot, size=_BATCH, dtype=np.int64)
+        cold_draws = self._hot + rng.integers(
+            0, self._cold, size=_BATCH, dtype=np.int64
+        )
+        draws = np.where(is_hot, hot_draws, cold_draws)
+        return (draws + self._base).tolist()
+
+    def footprint_lines(self) -> int:
+        return self._hot + self._cold
+
+
+# -- strided scan ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StridedScanSpec(PatternSpec):
+    """Cyclic walk touching every ``stride``-th line of a region.
+
+    With a power-of-two stride this concentrates pressure on a subset of
+    cache sets, modelling bad-stride numeric codes.
+    """
+
+    lines: int
+    stride: int = 2
+    line_repeats: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive("lines", self.lines)
+        _require_positive("stride", self.stride)
+        _require_positive("line_repeats", self.line_repeats)
+
+    def footprint_lines(self) -> int:
+        return (self.lines + self.stride - 1) // self.stride
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        return _StridedScan(self.lines, self.stride, self.line_repeats, base)
+
+
+class _StridedScan(AccessPattern):
+    __slots__ = ("_lines", "_stride", "_repeats", "_base", "_pos", "_count")
+
+    def __init__(self, lines: int, stride: int, repeats: int, base: int):
+        self._lines = lines
+        self._stride = stride
+        self._repeats = repeats
+        self._base = base
+        self._pos = 0
+        self._count = 0
+
+    def next_address(self) -> int:
+        addr = self._base + self._pos
+        self._count += 1
+        if self._count >= self._repeats:
+            self._count = 0
+            self._pos += self._stride
+            if self._pos >= self._lines:
+                self._pos = 0
+        return addr
+
+    def footprint_lines(self) -> int:
+        return (self._lines + self._stride - 1) // self._stride
+
+
+# -- mixture -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MixtureSpec(PatternSpec):
+    """Probabilistic blend of component patterns.
+
+    ``components`` is a tuple of ``(weight, spec)`` pairs; each access is
+    drawn from one component with probability proportional to its
+    weight.  Components receive disjoint address sub-ranges.
+    """
+
+    components: tuple[tuple[float, PatternSpec], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) < 2:
+            raise WorkloadError("a mixture needs at least two components")
+        for weight, _spec in self.components:
+            _require_positive("mixture weight", weight)
+
+    def footprint_lines(self) -> int:
+        return sum(spec.footprint_lines() for _w, spec in self.components)
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        parts: list[AccessPattern] = []
+        offset = base
+        weights = []
+        for weight, spec in self.components:
+            parts.append(spec.instantiate(rng, offset))
+            offset += spec.footprint_lines()
+            weights.append(weight)
+        return _Mixture(rng, parts, weights)
+
+
+class _Mixture(AccessPattern):
+    __slots__ = ("_rng", "_parts", "_probs", "_choices", "_index")
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        parts: list[AccessPattern],
+        weights: list[float],
+    ):
+        self._rng = rng
+        self._parts = parts
+        total = sum(weights)
+        self._probs = [w / total for w in weights]
+        self._choices: list[int] = []
+        self._index = 0
+
+    def next_address(self) -> int:
+        i = self._index
+        choices = self._choices
+        if i >= len(choices):
+            choices = self._choices = self._rng.choice(
+                len(self._parts), size=_BATCH, p=self._probs
+            ).tolist()
+            i = 0
+        self._index = i + 1
+        return self._parts[choices[i]].next_address()
+
+    def footprint_lines(self) -> int:
+        return sum(p.footprint_lines() for p in self._parts)
+
+
+# -- explicit trace replay ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSpec(PatternSpec):
+    """Replay an explicit line-address trace (cyclically).
+
+    The bridge for users with real traces: any iterable of line numbers
+    (e.g. from a binary-instrumentation tool, de-duplicated to cache
+    lines) becomes a workload the simulator can co-locate and CAER can
+    manage.  Addresses are offsets from the workload's base.
+    """
+
+    trace: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.trace:
+            raise WorkloadError("an empty trace cannot be replayed")
+        if any(a < 0 for a in self.trace):
+            raise WorkloadError("trace addresses must be non-negative")
+
+    def footprint_lines(self) -> int:
+        return max(self.trace) + 1
+
+    def instantiate(
+        self, rng: np.random.Generator, base: int
+    ) -> AccessPattern:
+        return _TraceReplay(self.trace, base)
+
+
+class _TraceReplay(AccessPattern):
+    __slots__ = ("_trace", "_base", "_index", "_footprint")
+
+    def __init__(self, trace: tuple[int, ...], base: int):
+        self._trace = trace
+        self._base = base
+        self._index = 0
+        self._footprint = max(trace) + 1
+
+    def next_address(self) -> int:
+        addr = self._base + self._trace[self._index]
+        self._index += 1
+        if self._index >= len(self._trace):
+            self._index = 0
+        return addr
+
+    def footprint_lines(self) -> int:
+        return self._footprint

@@ -1,0 +1,121 @@
+"""Parametrised synthetic microbenchmarks.
+
+These are the controllable workloads used by unit/property tests, the
+analytical-model cross-validation, and the ablation benches: unlike the
+SPEC models they expose their knobs directly, so a test can dial in
+"streams exactly 2x the L3" or "compute bound, never leaves L1".
+"""
+
+from __future__ import annotations
+
+from .base import PhaseSpec, WorkloadSpec
+from .patterns import (
+    PointerChaseSpec,
+    SequentialStreamSpec,
+    UniformRandomSpec,
+    ZipfSpec,
+)
+
+
+def streamer(
+    lines: int,
+    instructions: float = 200_000.0,
+    mem_ratio: float = 0.4,
+    line_repeats: int = 4,
+    overlap: float = 3.0,
+    name: str = "synthetic.streamer",
+) -> WorkloadSpec:
+    """A pure streaming workload sweeping ``lines`` lines cyclically."""
+    phase = PhaseSpec(
+        pattern=SequentialStreamSpec(lines=lines, line_repeats=line_repeats),
+        duration_instructions=instructions,
+        mem_ratio=mem_ratio,
+        base_cpi=0.4,
+        overlap=overlap,
+    )
+    return WorkloadSpec(name=name, phases=(phase,),
+                        total_instructions=instructions)
+
+
+def pointer_chaser(
+    lines: int,
+    instructions: float = 200_000.0,
+    mem_ratio: float = 0.25,
+    name: str = "synthetic.chaser",
+) -> WorkloadSpec:
+    """A latency-bound pointer chase over ``lines`` lines (overlap 1)."""
+    phase = PhaseSpec(
+        pattern=PointerChaseSpec(lines=lines),
+        duration_instructions=instructions,
+        mem_ratio=mem_ratio,
+        base_cpi=0.4,
+        overlap=1.0,
+    )
+    return WorkloadSpec(name=name, phases=(phase,),
+                        total_instructions=instructions)
+
+
+def zipf_worker(
+    lines: int,
+    alpha: float = 1.0,
+    instructions: float = 200_000.0,
+    mem_ratio: float = 0.2,
+    name: str = "synthetic.zipf",
+) -> WorkloadSpec:
+    """Skewed-reuse references over ``lines`` lines."""
+    phase = PhaseSpec(
+        pattern=ZipfSpec(lines=lines, alpha=alpha),
+        duration_instructions=instructions,
+        mem_ratio=mem_ratio,
+        base_cpi=0.45,
+        overlap=1.5,
+    )
+    return WorkloadSpec(name=name, phases=(phase,),
+                        total_instructions=instructions)
+
+
+def compute_bound(
+    instructions: float = 200_000.0,
+    name: str = "synthetic.compute",
+) -> WorkloadSpec:
+    """An almost memory-free workload (tiny L1-resident footprint)."""
+    phase = PhaseSpec(
+        pattern=UniformRandomSpec(lines=8),
+        duration_instructions=instructions,
+        mem_ratio=0.02,
+        base_cpi=0.5,
+        overlap=1.0,
+    )
+    return WorkloadSpec(name=name, phases=(phase,),
+                        total_instructions=instructions)
+
+
+def phased_worker(
+    heavy_lines: int,
+    light_lines: int,
+    heavy_instructions: float = 40_000.0,
+    light_instructions: float = 40_000.0,
+    total_instructions: float = 400_000.0,
+    name: str = "synthetic.phased",
+) -> WorkloadSpec:
+    """Alternates a heavy streaming phase with a light reuse phase.
+
+    Handy for exercising phase-tracking logic (detectors must follow the
+    victim's pressure as it comes and goes).
+    """
+    heavy = PhaseSpec(
+        pattern=SequentialStreamSpec(lines=heavy_lines, line_repeats=4),
+        duration_instructions=heavy_instructions,
+        mem_ratio=0.35,
+        base_cpi=0.4,
+        overlap=2.5,
+    )
+    light = PhaseSpec(
+        pattern=ZipfSpec(lines=light_lines, alpha=1.2),
+        duration_instructions=light_instructions,
+        mem_ratio=0.12,
+        base_cpi=0.5,
+        overlap=1.5,
+    )
+    return WorkloadSpec(name=name, phases=(heavy, light),
+                        total_instructions=total_instructions)

@@ -1,0 +1,82 @@
+"""Miss-rate curves for patterns with known analytic behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.mrc import MissRateCurve
+from repro.errors import WorkloadError
+from repro.workloads.patterns import (
+    PointerChaseSpec,
+    SequentialStreamSpec,
+    UniformRandomSpec,
+    ZipfSpec,
+)
+
+
+def curve_for(spec, samples=20_000, seed=0) -> MissRateCurve:
+    pattern = spec.instantiate(np.random.default_rng(seed), 0)
+    return MissRateCurve.from_pattern(pattern, samples)
+
+
+class TestKnownCurves:
+    def test_cyclic_scan_cliff(self):
+        """A scan of N lines hits fully at size > N, not at all below."""
+        curve = curve_for(
+            SequentialStreamSpec(lines=100, line_repeats=1)
+        )
+        assert curve.miss_rate(101) == pytest.approx(
+            curve.cold_fraction, abs=0.01
+        )
+        assert curve.miss_rate(99) > 0.95
+
+    def test_pointer_chase_behaves_like_scan(self):
+        curve = curve_for(PointerChaseSpec(lines=100))
+        assert curve.miss_rate(99) > 0.95
+        assert curve.miss_rate(101) == pytest.approx(
+            curve.cold_fraction, abs=0.01
+        )
+
+    def test_uniform_random_miss_rate_tracks_size_ratio(self):
+        """Uniform reuse over N lines: hit rate at size C ~ C/N."""
+        curve = curve_for(UniformRandomSpec(lines=200))
+        for size, expected in ((50, 0.25), (100, 0.5), (150, 0.75)):
+            assert curve.hit_rate(size) == pytest.approx(
+                expected, abs=0.08
+            )
+
+    def test_zipf_concentrates_hits_in_small_caches(self):
+        zipf = curve_for(ZipfSpec(lines=500, alpha=1.5))
+        uniform = curve_for(UniformRandomSpec(lines=500))
+        assert zipf.hit_rate(50) > uniform.hit_rate(50) + 0.2
+
+    def test_monotone_in_cache_size(self):
+        curve = curve_for(ZipfSpec(lines=300, alpha=1.0))
+        rates = [curve.miss_rate(c) for c in (1, 10, 50, 100, 300, 1000)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_zero_size_always_misses(self):
+        curve = curve_for(UniformRandomSpec(lines=10))
+        assert curve.miss_rate(0) == 1.0
+
+    def test_compulsory_floor(self):
+        curve = curve_for(UniformRandomSpec(lines=50), samples=5000)
+        assert curve.compulsory_floor == pytest.approx(
+            50 / 5000, abs=0.002
+        )
+        assert curve.footprint() == 50
+
+
+class TestValidation:
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(WorkloadError):
+            MissRateCurve({}, 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            MissRateCurve({1: -5}, 0)
+
+    def test_from_trace(self):
+        curve = MissRateCurve.from_trace([1, 2, 1, 2])
+        assert curve.hit_rate(10) == pytest.approx(0.5)

@@ -1,0 +1,98 @@
+"""Shared-cache fixed-point occupancy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytic.mrc import MissRateCurve
+from repro.analytic.sharing import SharedCacheModel, SharerProfile
+from repro.errors import ExperimentError
+from repro.workloads.patterns import (
+    SequentialStreamSpec,
+    UniformRandomSpec,
+    ZipfSpec,
+)
+
+
+def profile(name, spec, rate=1.0, seed=0) -> SharerProfile:
+    pattern = spec.instantiate(np.random.default_rng(seed), 0)
+    return SharerProfile(
+        name=name,
+        mrc=MissRateCurve.from_pattern(pattern, 20_000),
+        access_rate=rate,
+    )
+
+
+class TestSolve:
+    def test_single_sharer_owns_everything(self):
+        model = SharedCacheModel(1000)
+        solved = model.solve([profile("a", UniformRandomSpec(lines=500))])
+        assert solved["a"] == 1000.0
+
+    def test_symmetric_sharers_split_evenly(self):
+        model = SharedCacheModel(1000)
+        a = profile("a", UniformRandomSpec(lines=2000), seed=1)
+        b = profile("b", UniformRandomSpec(lines=2000), seed=2)
+        solved = model.solve([a, b])
+        assert solved["a"] == pytest.approx(solved["b"], rel=0.1)
+        assert solved["a"] + solved["b"] == pytest.approx(1000.0, rel=0.01)
+
+    def test_streamer_dominates_reuse_app(self):
+        """A no-reuse stream inserts relentlessly and wins occupancy."""
+        model = SharedCacheModel(1000)
+        streamer = profile(
+            "stream", SequentialStreamSpec(lines=10_000, line_repeats=1)
+        )
+        reuser = profile("reuse", ZipfSpec(lines=800, alpha=1.2))
+        solved = model.solve([streamer, reuser])
+        assert solved["stream"] > solved["reuse"]
+
+    def test_faster_sharer_holds_more(self):
+        model = SharedCacheModel(1000)
+        fast = profile("fast", UniformRandomSpec(lines=2000), rate=4.0,
+                       seed=1)
+        slow = profile("slow", UniformRandomSpec(lines=2000), rate=1.0,
+                       seed=2)
+        solved = model.solve([fast, slow])
+        assert solved["fast"] > 2 * solved["slow"]
+
+    def test_miss_rates_consistent_with_occupancy(self):
+        model = SharedCacheModel(1000)
+        a = profile("a", UniformRandomSpec(lines=2000), seed=1)
+        b = profile("b", UniformRandomSpec(lines=2000), seed=2)
+        occupancy = model.solve([a, b])
+        rates = model.miss_rates([a, b])
+        assert rates["a"] == pytest.approx(
+            a.mrc.miss_rate(occupancy["a"]), abs=1e-6
+        )
+
+    def test_contention_raises_miss_rate(self):
+        capacity = 1000
+        model = SharedCacheModel(capacity)
+        victim = profile("v", UniformRandomSpec(lines=900), seed=1)
+        solo_rate = victim.mrc.miss_rate(capacity)
+        contender = profile(
+            "c", SequentialStreamSpec(lines=10_000, line_repeats=1),
+            seed=2,
+        )
+        shared_rate = model.miss_rates([victim, contender])["v"]
+        assert shared_rate > solo_rate
+
+
+class TestValidation:
+    def test_empty_sharers_rejected(self):
+        with pytest.raises(ExperimentError):
+            SharedCacheModel(100).solve([])
+
+    def test_bad_capacity(self):
+        with pytest.raises(ExperimentError):
+            SharedCacheModel(0)
+
+    def test_bad_access_rate(self):
+        with pytest.raises(ExperimentError):
+            SharerProfile(
+                name="x",
+                mrc=MissRateCurve({1: 1}, 1),
+                access_rate=0.0,
+            )

@@ -1,0 +1,108 @@
+"""Property-based invariants of the shared-cache occupancy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.mrc import MissRateCurve
+from repro.analytic.sharing import SharedCacheModel, SharerProfile
+from repro.workloads.patterns import UniformRandomSpec, ZipfSpec
+
+
+def uniform_mrc(lines: int, seed: int) -> MissRateCurve:
+    pattern = UniformRandomSpec(lines=lines).instantiate(
+        np.random.default_rng(seed), 0
+    )
+    return MissRateCurve.from_pattern(pattern, 8_000)
+
+
+@st.composite
+def sharer_sets(draw):
+    n = draw(st.integers(2, 4))
+    sharers = []
+    for i in range(n):
+        lines = draw(st.integers(100, 3_000))
+        rate = draw(st.floats(0.05, 4.0))
+        sharers.append((lines, rate, i))
+    return sharers
+
+
+class TestFixedPointProperties:
+    @given(sharer_sets(), st.integers(256, 4_096))
+    @settings(max_examples=25, deadline=None)
+    def test_occupancies_partition_the_cache(self, sharers, capacity):
+        model = SharedCacheModel(capacity)
+        profiles = [
+            SharerProfile(
+                name=str(i),
+                mrc=uniform_mrc(lines, seed=i),
+                access_rate=rate,
+            )
+            for lines, rate, i in sharers
+        ]
+        solved = model.solve(profiles)
+        total = sum(solved.values())
+        assert total == pytest.approx(capacity, rel=0.02)
+        for occupancy in solved.values():
+            assert occupancy >= 0.0
+
+    @given(st.integers(200, 2_000), st.floats(0.1, 3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_shared_miss_rate_never_below_solo(self, lines, rate):
+        """Sharing a cache can only hurt (or leave unchanged)."""
+        capacity = 1_000
+        model = SharedCacheModel(capacity)
+        victim = SharerProfile(
+            name="v", mrc=uniform_mrc(lines, seed=1), access_rate=1.0
+        )
+        contender = SharerProfile(
+            name="c", mrc=uniform_mrc(4_000, seed=2), access_rate=rate
+        )
+        solo = victim.mrc.miss_rate(capacity)
+        shared = model.miss_rates([victim, contender])["v"]
+        assert shared >= solo - 1e-6
+
+    @given(st.floats(0.2, 4.0))
+    @settings(max_examples=15, deadline=None)
+    def test_faster_contender_takes_monotonically_more(self, rate):
+        model = SharedCacheModel(1_000)
+        victim = SharerProfile(
+            name="v", mrc=uniform_mrc(1_500, seed=1), access_rate=1.0
+        )
+        slow = SharerProfile(
+            name="c", mrc=uniform_mrc(4_000, seed=2), access_rate=rate
+        )
+        fast = SharerProfile(
+            name="c", mrc=uniform_mrc(4_000, seed=2),
+            access_rate=rate * 2,
+        )
+        occupancy_slow = model.solve([victim, slow])["c"]
+        occupancy_fast = model.solve([victim, fast])["c"]
+        assert occupancy_fast >= occupancy_slow - 1.0
+
+
+class TestZipfSharers:
+    def test_hot_reuse_survives_a_streamer(self):
+        """Strong reuse keeps a useful share even against a streamer."""
+        model = SharedCacheModel(1_000)
+        hot = SharerProfile(
+            name="hot",
+            mrc=MissRateCurve.from_pattern(
+                ZipfSpec(lines=800, alpha=1.5).instantiate(
+                    np.random.default_rng(3), 0
+                ),
+                8_000,
+            ),
+            access_rate=1.0,
+        )
+        streamer = SharerProfile(
+            name="stream",
+            mrc=uniform_mrc(8_000, seed=4),
+            access_rate=1.0,
+        )
+        rates = model.miss_rates([hot, streamer])
+        # The zipf sharer keeps the bulk of its hits.
+        assert rates["hot"] < 0.5

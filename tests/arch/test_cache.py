@@ -1,0 +1,184 @@
+"""Set-associative cache behaviour and invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import SetAssociativeCache
+from repro.arch.replacement import LRUPolicy
+from repro.config import CacheGeometry
+from repro.errors import CacheConfigError
+
+
+def make_cache(num_sets=4, associativity=2) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        "test",
+        CacheGeometry(num_sets=num_sets, associativity=associativity),
+        LRUPolicy(),
+    )
+
+
+class TestBasics:
+    def test_cold_miss_then_hit_after_fill(self):
+        cache = make_cache()
+        assert not cache.probe(12)
+        cache.fill(12)
+        assert cache.probe(12)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_fill_evicts_lru_within_set(self):
+        cache = make_cache(num_sets=1, associativity=2)
+        assert cache.fill(1) is None
+        assert cache.fill(2) is None
+        assert cache.fill(3) == 1
+        assert not cache.contains(1)
+        assert cache.contains(2)
+        assert cache.contains(3)
+
+    def test_addresses_map_to_distinct_sets(self):
+        cache = make_cache(num_sets=4, associativity=1)
+        for addr in range(4):
+            assert cache.fill(addr) is None
+        assert cache.occupancy == 4
+
+    def test_conflicting_addresses_share_a_set(self):
+        cache = make_cache(num_sets=4, associativity=1)
+        cache.fill(0)
+        assert cache.fill(4) == 0  # 0 and 4 conflict in set 0
+
+    def test_refill_resident_line_refreshes_not_duplicates(self):
+        cache = make_cache(num_sets=1, associativity=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(1)  # refresh, not duplicate
+        assert cache.occupancy == 2
+        assert cache.fill(3) == 2  # 2 is now LRU
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(9)
+        assert cache.invalidate(9)
+        assert not cache.contains(9)
+        assert not cache.invalidate(9)
+        assert cache.stats.invalidations == 1
+
+    def test_flush_keeps_stats(self):
+        cache = make_cache()
+        cache.fill(1)
+        cache.probe(1)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.stats.hits == 1
+
+    def test_probe_updates_recency(self):
+        cache = make_cache(num_sets=1, associativity=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.probe(1)  # 1 becomes MRU
+        assert cache.fill(3) == 2
+
+    def test_contains_has_no_side_effects(self):
+        cache = make_cache(num_sets=1, associativity=2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.contains(1)  # must NOT refresh
+        assert cache.fill(3) == 1
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = make_cache()
+        assert cache.stats.miss_rate == 0.0
+        cache.probe(1)
+        cache.fill(1)
+        cache.probe(1)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        cache = make_cache()
+        cache.probe(1)
+        cache.fill(1)
+        cache.stats.reset()
+        assert cache.stats.accesses == 0
+        assert cache.stats.fills == 0
+
+
+class TestGeometryValidation:
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(num_sets=3, associativity=2)
+
+    def test_zero_associativity(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(num_sets=4, associativity=0)
+
+    def test_capacity(self):
+        geometry = CacheGeometry(num_sets=8, associativity=4)
+        assert geometry.capacity_lines == 32
+        assert geometry.capacity_bytes == 32 * 64
+
+    def test_scaled(self):
+        geometry = CacheGeometry(num_sets=8, associativity=4)
+        assert geometry.scaled(4).num_sets == 2
+        assert geometry.scaled(4).associativity == 4
+        with pytest.raises(CacheConfigError):
+            geometry.scaled(16)
+
+
+@st.composite
+def access_streams(draw):
+    return draw(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+
+
+class TestInvariants:
+    @given(access_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        cache = make_cache(num_sets=4, associativity=2)
+        for addr in stream:
+            if not cache.probe(addr):
+                cache.fill(addr)
+            assert cache.occupancy <= cache.capacity_lines
+
+    @given(access_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_hits_plus_misses_equals_probes(self, stream):
+        cache = make_cache()
+        for addr in stream:
+            if not cache.probe(addr):
+                cache.fill(addr)
+        assert cache.stats.hits + cache.stats.misses == len(stream)
+
+    @given(access_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_fills_equal_misses_under_fill_on_miss(self, stream):
+        cache = make_cache()
+        for addr in stream:
+            if not cache.probe(addr):
+                cache.fill(addr)
+        assert cache.stats.fills == cache.stats.misses
+
+    @given(access_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_resident_lines_match_set_contents(self, stream):
+        cache = make_cache()
+        for addr in stream:
+            if not cache.probe(addr):
+                cache.fill(addr)
+        resident = cache.resident_lines()
+        assert len(resident) == cache.occupancy
+        for addr in resident:
+            assert cache.contains(addr)
+
+    @given(access_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_probe_after_fill_always_hits(self, stream):
+        cache = make_cache(num_sets=8, associativity=4)
+        for addr in stream:
+            if not cache.probe(addr):
+                cache.fill(addr)
+            # Immediately after an access the line must be resident.
+            assert cache.contains(addr)

@@ -1,0 +1,126 @@
+"""Core execution model: budgets, stalls, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.chip import MulticoreChip
+from repro.config import MachineConfig
+from repro.sim.process import AppClass, SimProcess
+from repro.workloads import synthetic
+
+
+def make_chip() -> MulticoreChip:
+    return MulticoreChip(MachineConfig.tiny())
+
+
+def make_process(spec, core_id=0) -> SimProcess:
+    proc = SimProcess(spec, core_id, AppClass.LATENCY_SENSITIVE)
+    proc.launch()
+    return proc
+
+
+class TestBudget:
+    def test_consumes_at_most_budget(self):
+        chip = make_chip()
+        proc = make_process(synthetic.compute_bound(instructions=1e9))
+        used = chip.core(0).run(proc, 1_000.0)
+        assert used <= 1_000.0
+
+    def test_zero_budget_is_noop(self):
+        chip = make_chip()
+        proc = make_process(synthetic.compute_bound())
+        assert chip.core(0).run(proc, 0.0) == 0.0
+        assert chip.core(0).instructions_retired == 0.0
+
+    def test_finishes_early_when_budget_ample(self):
+        chip = make_chip()
+        proc = make_process(synthetic.compute_bound(instructions=100.0))
+        used = chip.core(0).run(proc, 1_000_000.0)
+        assert proc.finished
+        assert used < 1_000_000.0
+
+    def test_instructions_close_to_budget_for_compute_bound(self):
+        chip = make_chip()
+        proc = make_process(synthetic.compute_bound(instructions=1e9))
+        chip.core(0).run(proc, 10_000.0)
+        retired = chip.core(0).instructions_retired
+        # base_cpi=0.5, tiny memory traffic: ~2 instructions per cycle.
+        assert retired == pytest.approx(20_000.0, rel=0.25)
+
+
+class TestStalls:
+    def test_memory_bound_runs_slower_than_compute_bound(self):
+        chip = make_chip()
+        compute = make_process(
+            synthetic.compute_bound(instructions=1e9), core_id=0
+        )
+        chaser = make_process(
+            synthetic.pointer_chaser(lines=4096, instructions=1e9),
+            core_id=1,
+        )
+        chip.core(0).run(compute, 20_000.0)
+        chip.core(1).run(chaser, 20_000.0)
+        assert (
+            chip.core(0).instructions_retired
+            > 3 * chip.core(1).instructions_retired
+        )
+
+    def test_warm_cache_speeds_execution(self):
+        chip = make_chip()
+        # Footprint fits the tiny L3 (16*8=128 lines): second window of
+        # execution should hit far more than the first.
+        proc = make_process(
+            synthetic.zipf_worker(lines=64, instructions=1e9)
+        )
+        chip.core(0).run(proc, 5_000.0)
+        cold = chip.core(0).instructions_retired
+        chip.core(0).run(proc, 5_000.0)
+        warm = chip.core(0).instructions_retired - cold
+        assert warm > cold
+
+    def test_counters_accumulate(self):
+        chip = make_chip()
+        proc = make_process(synthetic.streamer(lines=512, instructions=1e9))
+        chip.core(0).run(proc, 5_000.0)
+        core = chip.core(0)
+        assert core.accesses_issued > 0
+        assert core.cycles_executed > 0
+        assert chip.hierarchy.counters_for(0).l3_misses > 0
+
+
+class TestOverhead:
+    def test_charge_overhead(self):
+        chip = make_chip()
+        chip.core(0).charge_overhead(50.0)
+        assert chip.core(0).cycles_executed == 50.0
+
+    def test_negative_overhead_rejected(self):
+        chip = make_chip()
+        with pytest.raises(ValueError):
+            chip.core(0).charge_overhead(-1.0)
+
+
+class TestChip:
+    def test_core_and_pmu_lookup_validated(self):
+        from repro.errors import ConfigError
+
+        chip = make_chip()
+        with pytest.raises(ConfigError):
+            chip.core(99)
+        with pytest.raises(ConfigError):
+            chip.pmu(-1)
+
+    def test_reset_restores_cold_state(self):
+        chip = make_chip()
+        proc = make_process(synthetic.streamer(lines=256, instructions=1e9))
+        chip.core(0).run(proc, 5_000.0)
+        chip.reset()
+        assert chip.core(0).cycles_executed == 0.0
+        assert chip.hierarchy.l3.occupancy == 0
+        assert chip.memory.accesses == 0
+
+    def test_default_machine_is_scaled_nehalem(self):
+        chip = MulticoreChip()
+        assert chip.machine.l3.capacity_lines == 8192
+        assert chip.num_cores == 4

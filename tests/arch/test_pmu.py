@@ -1,0 +1,90 @@
+"""PMU counter banks and samples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.hierarchy import HierarchyCounters
+from repro.arch.pmu import CorePMU, PMUEvent, PMUSample
+
+
+class FakeCore:
+    def __init__(self):
+        self.cycles_executed = 0.0
+        self.instructions_retired = 0.0
+
+
+def make_pmu() -> tuple[CorePMU, FakeCore, HierarchyCounters]:
+    core = FakeCore()
+    counters = HierarchyCounters()
+    return CorePMU(core, counters), core, counters
+
+
+class TestReadRestart:
+    def test_first_read_is_zero(self):
+        pmu, _, _ = make_pmu()
+        sample = pmu.read()
+        assert sample.cycles == 0
+        assert sample.llc_misses == 0
+
+    def test_read_returns_deltas(self):
+        pmu, core, counters = make_pmu()
+        core.cycles_executed = 1000.0
+        core.instructions_retired = 500.0
+        counters.l3_misses = 7
+        counters.l2_misses = 9
+        sample = pmu.read()
+        assert sample.cycles == 1000.0
+        assert sample.instructions == 500.0
+        assert sample.llc_misses == 7
+
+    def test_read_restarts_counting(self):
+        pmu, core, counters = make_pmu()
+        core.cycles_executed = 1000.0
+        counters.l3_misses = 7
+        pmu.read()
+        core.cycles_executed = 1500.0
+        counters.l3_misses = 10
+        sample = pmu.read()
+        assert sample.cycles == 500.0
+        assert sample.llc_misses == 3
+
+    def test_peek_does_not_restart(self):
+        pmu, core, _ = make_pmu()
+        core.cycles_executed = 100.0
+        assert pmu.peek().cycles == 100.0
+        assert pmu.peek().cycles == 100.0
+        assert pmu.read().cycles == 100.0
+
+    def test_reads_counted(self):
+        pmu, _, _ = make_pmu()
+        pmu.read()
+        pmu.read()
+        assert pmu.reads == 2
+
+
+class TestSample:
+    def test_ipc(self):
+        sample = PMUSample(1000.0, 1500.0, 0, 0, 0, 0, 0, 0)
+        assert sample.ipc == pytest.approx(1.5)
+
+    def test_ipc_zero_cycles(self):
+        assert PMUSample.zero().ipc == 0.0
+
+    def test_llc_miss_rate(self):
+        sample = PMUSample(1.0, 1.0, 25, 100, 0, 0, 0, 0)
+        assert sample.llc_miss_rate == pytest.approx(0.25)
+
+    def test_llc_miss_rate_without_references(self):
+        assert PMUSample.zero().llc_miss_rate == 0.0
+
+    def test_get_by_event(self):
+        sample = PMUSample(10.0, 20.0, 1, 2, 3, 4, 5, 6)
+        assert sample.get(PMUEvent.CYCLES) == 10.0
+        assert sample.get(PMUEvent.INSTRUCTIONS_RETIRED) == 20.0
+        assert sample.get(PMUEvent.LLC_MISSES) == 1
+        assert sample.get(PMUEvent.LLC_REFERENCES) == 2
+        assert sample.get(PMUEvent.L2_MISSES) == 3
+        assert sample.get(PMUEvent.L1_MISSES) == 4
+        assert sample.get(PMUEvent.BACK_INVALIDATIONS) == 5
+        assert sample.get(PMUEvent.LINES_STOLEN) == 6

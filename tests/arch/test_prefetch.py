@@ -1,0 +1,70 @@
+"""The optional next-line prefetcher."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch.chip import MulticoreChip
+from repro.config import MachineConfig
+from repro.errors import ConfigError
+from repro.sim import run_solo
+from repro.sim.process import SimProcess
+from repro.workloads import synthetic
+
+
+def machine_with(degree: int) -> MachineConfig:
+    return dataclasses.replace(
+        MachineConfig.tiny(), prefetch_degree=degree
+    )
+
+
+class TestPrefetcher:
+    def test_disabled_by_default(self):
+        assert MachineConfig.scaled_nehalem().prefetch_degree == 0
+        chip = MulticoreChip(MachineConfig.tiny())
+        chip.hierarchy.access(0, 100)
+        assert chip.hierarchy.counters_for(0).prefetch_fills == 0
+        assert not chip.hierarchy.l3.contains(101)
+
+    def test_next_lines_prefetched_on_demand_miss(self):
+        chip = MulticoreChip(machine_with(2))
+        chip.hierarchy.access(0, 100)
+        assert chip.hierarchy.l3.contains(101)
+        assert chip.hierarchy.l3.contains(102)
+        assert chip.hierarchy.counters_for(0).prefetch_fills == 2
+
+    def test_prefetch_hides_streaming_misses(self):
+        stream = synthetic.streamer(lines=2_000, instructions=40_000.0)
+        baseline = run_solo(stream, machine_with(0))
+        prefetched = run_solo(stream, machine_with(2))
+        assert (
+            prefetched.latency_sensitive().total_llc_misses()
+            < 0.6 * baseline.latency_sensitive().total_llc_misses()
+        )
+        assert (
+            prefetched.latency_sensitive().completion_periods
+            <= baseline.latency_sensitive().completion_periods
+        )
+
+    def test_prefetch_traffic_loads_the_channel(self):
+        chip = MulticoreChip(machine_with(2))
+        proc = SimProcess(
+            synthetic.streamer(lines=2_000, instructions=20_000.0), 0
+        )
+        proc.launch()
+        chip.core(0).run(proc, 50_000.0)
+        # The memory channel saw demand misses AND prefetch transfers.
+        demand = chip.hierarchy.counters_for(0).l3_misses
+        assert chip.memory.accesses > demand
+
+    def test_inclusion_holds_with_prefetch(self):
+        chip = MulticoreChip(machine_with(4))
+        for addr in range(0, 400, 3):
+            chip.hierarchy.access(addr % 2, addr)
+        assert chip.hierarchy.check_inclusion() == []
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ConfigError):
+            machine_with(-1)

@@ -1,0 +1,153 @@
+"""Replacement-policy behaviour and invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.errors import CacheConfigError
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        contents = []
+        for addr in (1, 2, 3):
+            policy.on_fill(contents, addr, 0)
+        assert contents[policy.victim_index(contents, 0)] == 1
+
+    def test_hit_refreshes_recency(self):
+        policy = LRUPolicy()
+        contents = []
+        for addr in (1, 2, 3):
+            policy.on_fill(contents, addr, 0)
+        policy.on_hit(contents, contents.index(1), 0)
+        assert contents[policy.victim_index(contents, 0)] == 2
+
+    def test_repeated_hits_keep_order_stable(self):
+        policy = LRUPolicy()
+        contents = []
+        for addr in (1, 2, 3):
+            policy.on_fill(contents, addr, 0)
+        for _ in range(3):
+            policy.on_hit(contents, contents.index(3), 0)
+        assert contents == [1, 2, 3]
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=60))
+    def test_matches_reference_lru_model(self, accesses):
+        """LRU policy + 4-way set == textbook LRU on the same stream."""
+        policy = LRUPolicy()
+        contents: list[int] = []
+        reference: list[int] = []  # MRU at end
+        for addr in accesses:
+            if addr in contents:
+                policy.on_hit(contents, contents.index(addr), 0)
+                reference.remove(addr)
+                reference.append(addr)
+            else:
+                if len(contents) == 4:
+                    victim = policy.victim_index(contents, 0)
+                    assert contents[victim] == reference[0]
+                    policy.on_invalidate(contents, victim, 0)
+                    reference.pop(0)
+                policy.on_fill(contents, addr, 0)
+                reference.append(addr)
+            assert contents == reference
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        policy = FIFOPolicy()
+        contents = []
+        for addr in (1, 2, 3):
+            policy.on_fill(contents, addr, 0)
+        policy.on_hit(contents, 0, 0)  # hit on 1
+        assert contents[policy.victim_index(contents, 0)] == 1
+
+
+class TestRandom:
+    def test_victim_in_range(self):
+        policy = RandomPolicy(seed=42)
+        contents = [10, 20, 30, 40]
+        for _ in range(50):
+            assert 0 <= policy.victim_index(contents, 0) < 4
+
+    def test_deterministic_under_seed(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        contents = [1, 2, 3, 4]
+        seq_a = [a.victim_index(contents, 0) for _ in range(20)]
+        seq_b = [b.victim_index(contents, 0) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_eventually_covers_all_ways(self):
+        policy = RandomPolicy(seed=3)
+        contents = [1, 2, 3, 4]
+        seen = {policy.victim_index(contents, 0) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(CacheConfigError):
+            TreePLRUPolicy(3)
+
+    def test_victim_avoids_recently_touched(self):
+        policy = TreePLRUPolicy(4)
+        contents = []
+        for addr in (1, 2, 3, 4):
+            policy.on_fill(contents, addr, 0)
+        # 4 was filled last; the PLRU victim must not be it.
+        assert contents[policy.victim_index(contents, 0)] != 4
+
+    def test_touch_protects_way(self):
+        policy = TreePLRUPolicy(4)
+        contents = []
+        for addr in (1, 2, 3, 4):
+            policy.on_fill(contents, addr, 0)
+        for way in range(4):
+            policy.on_hit(contents, way, 0)
+            assert policy.victim_index(contents, 0) != way
+
+    def test_per_set_state_is_independent(self):
+        policy = TreePLRUPolicy(2)
+        s0, s1 = [], []
+        policy.on_fill(s0, 1, 0)
+        policy.on_fill(s0, 2, 0)
+        policy.on_fill(s1, 3, 1)
+        policy.on_fill(s1, 4, 1)
+        policy.on_hit(s0, 0, 0)
+        # set 1 state untouched by set 0 hit: victim is way 0 there.
+        assert policy.victim_index(s1, 1) == 0
+        assert policy.victim_index(s0, 0) == 1
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    def test_victim_always_valid(self, touches):
+        policy = TreePLRUPolicy(4)
+        contents = []
+        for addr in (1, 2, 3, 4):
+            policy.on_fill(contents, addr, 0)
+        for way in touches:
+            policy.on_hit(contents, way, 0)
+            assert 0 <= policy.victim_index(contents, 0) < 4
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "plru"])
+    def test_known_policies(self, name):
+        policy = make_policy(name, associativity=8, seed=1)
+        contents = []
+        policy.on_fill(contents, 5, 0)
+        assert contents == [5]
+
+    def test_unknown_policy(self):
+        with pytest.raises(CacheConfigError, match="unknown replacement"):
+            make_policy("mru", associativity=4)

@@ -1,0 +1,58 @@
+"""Every replacement policy drives the full hierarchy correctly."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch.chip import MulticoreChip
+from repro.config import MachineConfig
+from repro.sim import run_solo
+from repro.workloads import synthetic
+
+POLICIES = ("lru", "fifo", "random", "plru")
+
+
+def machine_with(policy: str) -> MachineConfig:
+    return dataclasses.replace(
+        MachineConfig.tiny(), replacement=policy
+    )
+
+
+class TestPoliciesInHierarchy:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_runs_and_preserves_invariants(self, policy):
+        chip = MulticoreChip(machine_with(policy), seed=3)
+        for addr in range(500):
+            chip.hierarchy.access(addr % 2, addr * 7 % 300)
+        assert chip.hierarchy.check_inclusion() == []
+        l3 = chip.hierarchy.l3
+        assert l3.occupancy <= l3.capacity_lines
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_workload_completes_under_policy(self, policy):
+        result = run_solo(
+            synthetic.zipf_worker(lines=200, instructions=20_000.0),
+            machine_with(policy),
+        )
+        assert (
+            result.latency_sensitive().first_completion_period
+            is not None
+        )
+
+    def test_policies_differ_behaviourally(self):
+        """LRU must beat FIFO on a reuse-heavy stream (sanity that the
+        policy knob actually changes victim selection)."""
+
+        def misses(policy: str) -> int:
+            result = run_solo(
+                synthetic.zipf_worker(
+                    lines=150, alpha=1.2, instructions=40_000.0
+                ),
+                machine_with(policy),
+                seed=1,
+            )
+            return result.latency_sensitive().total_llc_misses()
+
+        assert misses("lru") <= misses("fifo")

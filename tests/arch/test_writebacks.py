@@ -1,0 +1,93 @@
+"""Dirty-line writeback modelling (optional extension)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch.chip import MulticoreChip
+from repro.config import MachineConfig
+from repro.errors import WorkloadError
+from repro.sim import run_solo
+from repro.sim.process import SimProcess
+from repro.workloads import synthetic
+from repro.workloads.base import PhaseSpec
+from repro.workloads.patterns import UniformRandomSpec
+
+
+def machine(enabled: bool) -> MachineConfig:
+    return dataclasses.replace(
+        MachineConfig.tiny(), model_writebacks=enabled
+    )
+
+
+class TestWritebacks:
+    def test_disabled_by_default(self):
+        assert not MachineConfig.scaled_nehalem().model_writebacks
+        chip = MulticoreChip(MachineConfig.tiny())
+        proc = SimProcess(
+            synthetic.streamer(lines=1_000, instructions=1e9), 0
+        )
+        proc.launch()
+        chip.core(0).run(proc, 20_000.0)
+        assert chip.hierarchy.counters_for(0).writebacks == 0
+
+    def test_streaming_stores_produce_writebacks(self):
+        chip = MulticoreChip(machine(True))
+        proc = SimProcess(
+            synthetic.streamer(lines=1_000, instructions=1e9), 0
+        )
+        proc.launch()
+        chip.core(0).run(proc, 20_000.0)
+        counters = chip.hierarchy.counters_for(0)
+        assert counters.writebacks > 0
+        # Writebacks are additional memory-channel traffic.
+        assert chip.memory.accesses > counters.l3_misses
+
+    def test_writeback_volume_tracks_store_ratio(self):
+        def run_with(store_ratio: float) -> int:
+            chip = MulticoreChip(machine(True))
+            spec = synthetic.streamer(lines=1_000, instructions=1e9)
+            phase = dataclasses.replace(
+                spec.phases[0], store_ratio=store_ratio
+            )
+            spec = dataclasses.replace(spec, phases=(phase,))
+            proc = SimProcess(spec, 0)
+            proc.launch()
+            chip.core(0).run(proc, 20_000.0)
+            return chip.hierarchy.counters_for(0).writebacks
+
+        # Dirtiness saturates per line (any store dirties it), so
+        # compare against a ratio low enough to leave most lines clean.
+        assert run_with(0.6) > 2.0 * run_with(0.05)
+        assert run_with(0.0) == 0
+
+    def test_clean_reuse_produces_no_writebacks(self):
+        chip = MulticoreChip(machine(True))
+        spec = synthetic.zipf_worker(lines=8, instructions=1e9)
+        phase = dataclasses.replace(spec.phases[0], store_ratio=0.0)
+        spec = dataclasses.replace(spec, phases=(phase,))
+        proc = SimProcess(spec, 0)
+        proc.launch()
+        chip.core(0).run(proc, 20_000.0)
+        assert chip.hierarchy.counters_for(0).writebacks == 0
+
+    def test_store_ratio_validated(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(
+                pattern=UniformRandomSpec(lines=4),
+                duration_instructions=10.0,
+                store_ratio=1.5,
+            )
+
+    def test_writebacks_slow_a_streamer_down(self):
+        stream = synthetic.streamer(lines=30_000, instructions=60_000.0)
+        base = MachineConfig.scaled_nehalem()
+        on = dataclasses.replace(base, model_writebacks=True)
+        clean = run_solo(stream, base)
+        dirty = run_solo(stream, on)
+        assert (
+            dirty.latency_sensitive().completion_periods
+            >= clean.latency_sensitive().completion_periods
+        )

@@ -1,0 +1,141 @@
+"""Decision-log analysis: summaries and verdict scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.analysis import (
+    AccuracyReport,
+    score_verdicts,
+    summarise_decisions,
+)
+from repro.errors import ExperimentError
+from repro.sim.results import RunResult
+
+
+def run_with_log(records: list[dict]) -> RunResult:
+    run = RunResult(machine_name="m", period_cycles=1000)
+    run.caer_log = records
+    return run
+
+
+def record(period, state="detect", pause=False, assertion=None,
+           speed=1.0) -> dict:
+    return {
+        "period": period,
+        "state": state,
+        "pause": pause,
+        "assertion": assertion,
+        "speed": speed,
+    }
+
+
+class TestSummary:
+    def test_counts_and_fractions(self):
+        run = run_with_log(
+            [
+                record(0, state="detect", pause=True),
+                record(1, state="c-positive", pause=True,
+                       assertion=True),
+                record(2, state="respond", pause=True),
+                record(3, state="c-negative", assertion=False),
+                record(4, state="respond", speed=0.5),
+            ]
+        )
+        summary = summarise_decisions(run)
+        assert summary.periods == 5
+        assert summary.positives == 1
+        assert summary.negatives == 1
+        assert summary.positive_rate == pytest.approx(0.5)
+        assert summary.pause_fraction == pytest.approx(3 / 5)
+        assert summary.mean_running_speed == pytest.approx(0.75)
+        assert summary.state_counts["respond"] == 2
+
+    def test_render(self):
+        run = run_with_log([record(0, assertion=True, pause=True)])
+        text = summarise_decisions(run).render()
+        assert "1 verdicts" in text
+        assert "100% c-positive" in text
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarise_decisions(run_with_log([]))
+
+    def test_no_verdicts(self):
+        run = run_with_log([record(0), record(1)])
+        summary = summarise_decisions(run)
+        assert summary.verdicts == 0
+        assert summary.positive_rate == 0.0
+
+    def test_all_paused_mean_speed_defaults(self):
+        run = run_with_log([record(0, pause=True)])
+        assert summarise_decisions(run).mean_running_speed == 1.0
+
+
+class TestScoring:
+    def make_run(self) -> RunResult:
+        return run_with_log(
+            [
+                record(0, assertion=True),    # contended: TP
+                record(1, assertion=False),   # contended: FN
+                record(2, assertion=True),    # quiet: FP
+                record(3, assertion=False),   # quiet: TN
+                record(4),                    # no verdict: ignored
+            ]
+        )
+
+    def test_confusion_matrix(self):
+        report = score_verdicts(self.make_run(), {0, 1})
+        assert report.true_positives == 1
+        assert report.false_negatives == 1
+        assert report.false_positives == 1
+        assert report.true_negatives == 1
+
+    def test_rates(self):
+        report = score_verdicts(self.make_run(), {0, 1})
+        assert report.precision == pytest.approx(0.5)
+        assert report.recall == pytest.approx(0.5)
+        assert report.accuracy == pytest.approx(0.5)
+
+    def test_range_ground_truth(self):
+        report = score_verdicts(self.make_run(), range(0, 2))
+        assert report.true_positives == 1
+
+    def test_degenerate_rates(self):
+        report = AccuracyReport(0, 0, 0, 0)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.accuracy == 1.0
+
+    def test_perfect_detector(self):
+        run = run_with_log(
+            [record(0, assertion=True), record(1, assertion=False)]
+        )
+        report = score_verdicts(run, {0})
+        assert report.accuracy == 1.0
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ExperimentError):
+            score_verdicts(run_with_log([]), {0})
+
+
+class TestEndToEnd:
+    def test_rule_based_detects_contender_lifetime(self, small_machine):
+        """Verdicts should be mostly positive while a heavy contender
+        runs next to a heavy victim."""
+        from repro.caer.runtime import CaerConfig, caer_factory
+        from repro.sim import run_colocated
+        from repro.workloads import synthetic
+
+        result = run_colocated(
+            synthetic.zipf_worker(
+                lines=400, alpha=0.6, instructions=60_000.0
+            ),
+            synthetic.streamer(lines=4_000, instructions=30_000.0),
+            small_machine,
+            caer_factory=caer_factory(CaerConfig.rule_based()),
+            batch_name="batch",
+        )
+        summary = summarise_decisions(result)
+        assert summary.verdicts > 0
+        assert summary.positive_rate > 0.3

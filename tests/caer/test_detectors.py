@@ -1,0 +1,219 @@
+"""Detection heuristics driven with synthetic observations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caer.detector import Observation
+from repro.caer.random_detector import RandomDetector
+from repro.caer.rulebased import RuleBasedDetector
+from repro.caer.shutter import BurstShutterDetector
+from repro.errors import ConfigError
+
+
+def obs(neighbor=0.0, own=0.0, neighbor_mean=None, own_mean=None,
+        period=0) -> Observation:
+    return Observation(
+        own_misses=own,
+        neighbor_misses=neighbor,
+        own_mean=own if own_mean is None else own_mean,
+        neighbor_mean=(
+            neighbor if neighbor_mean is None else neighbor_mean
+        ),
+        period=period,
+    )
+
+
+def drive_cycle(detector: BurstShutterDetector, steady: float,
+                burst: float):
+    """Feed one full shutter cycle; return (pause trace, verdict)."""
+    pauses = []
+    verdict = None
+    for i in range(detector.cycle_length):
+        if i == 0:
+            value = 0.0  # settle step records nothing
+        elif i <= detector.switch_point:
+            value = steady
+        else:
+            value = burst
+        step = detector.step(obs(neighbor=value, period=i))
+        pauses.append(step.pause_self)
+        if step.assertion is not None:
+            verdict = step.assertion
+    return pauses, verdict
+
+
+class TestBurstShutter:
+    def test_cycle_structure(self):
+        detector = BurstShutterDetector(switch_point=3, end_point=6)
+        pauses, verdict = drive_cycle(detector, steady=100, burst=100)
+        # settle + (switch-1) paused steps, then running for the rest.
+        assert pauses[:3] == [True, True, True]
+        assert pauses[3:] == [False, False, False, False]
+        assert verdict is not None
+
+    def test_spike_asserts_contention(self):
+        detector = BurstShutterDetector(
+            switch_point=3, end_point=6, impact_factor=0.05,
+            noise_thresh=5.0,
+        )
+        _, verdict = drive_cycle(detector, steady=100, burst=150)
+        assert verdict is True
+
+    def test_drop_asserts_contention_in_two_sided_mode(self):
+        detector = BurstShutterDetector(
+            switch_point=3, end_point=6, impact_factor=0.05,
+            noise_thresh=5.0,
+        )
+        _, verdict = drive_cycle(detector, steady=150, burst=100)
+        assert verdict is True
+
+    def test_drop_ignored_in_spike_mode(self):
+        detector = BurstShutterDetector(
+            switch_point=3, end_point=6, impact_factor=0.05,
+            noise_thresh=5.0, mode="spike",
+        )
+        _, verdict = drive_cycle(detector, steady=150, burst=100)
+        assert verdict is False
+
+    def test_flat_signal_is_negative(self):
+        detector = BurstShutterDetector(
+            switch_point=3, end_point=6, noise_thresh=5.0
+        )
+        _, verdict = drive_cycle(detector, steady=100, burst=102)
+        assert verdict is False
+
+    def test_noise_floor_suppresses_small_absolute_moves(self):
+        detector = BurstShutterDetector(
+            switch_point=3, end_point=6, impact_factor=0.05,
+            noise_thresh=20.0,
+        )
+        # +50% relative but only +5 absolute: below the noise floor.
+        _, verdict = drive_cycle(detector, steady=10, burst=15)
+        assert verdict is False
+
+    def test_impact_factor_gates_relative_moves(self):
+        strict = BurstShutterDetector(
+            switch_point=3, end_point=6, impact_factor=0.5,
+            noise_thresh=1.0,
+        )
+        _, verdict = drive_cycle(strict, steady=100, burst=120)
+        assert verdict is False
+        loose = BurstShutterDetector(
+            switch_point=3, end_point=6, impact_factor=0.05,
+            noise_thresh=1.0,
+        )
+        _, verdict = drive_cycle(loose, steady=100, burst=120)
+        assert verdict is True
+
+    def test_cycle_repeats_after_verdict(self):
+        detector = BurstShutterDetector(switch_point=2, end_point=4)
+        drive_cycle(detector, steady=100, burst=200)
+        pauses, verdict = drive_cycle(detector, steady=100, burst=200)
+        assert pauses[0] is True  # new settle step
+        assert verdict is True
+        assert detector.verdicts == [True, True]
+
+    def test_reset_clears_cycle(self):
+        detector = BurstShutterDetector()
+        detector.step(obs(neighbor=1.0))
+        detector.step(obs(neighbor=1.0))
+        detector.reset()
+        assert detector.step(obs()).pause_self is True  # settle again
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BurstShutterDetector(switch_point=0)
+        with pytest.raises(ConfigError):
+            BurstShutterDetector(switch_point=5, end_point=5)
+        with pytest.raises(ConfigError):
+            BurstShutterDetector(impact_factor=-0.1)
+        with pytest.raises(ConfigError):
+            BurstShutterDetector(mode="sideways")
+
+    @given(
+        st.floats(0.0, 1e5),
+        st.floats(0.0, 1e5),
+        st.integers(1, 6),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_verdicts_at_cycle_end(
+        self, steady, burst, switch, extra
+    ):
+        detector = BurstShutterDetector(
+            switch_point=switch, end_point=switch + extra
+        )
+        _, verdict = drive_cycle(detector, steady, burst)
+        assert verdict in (True, False)
+
+
+class TestRuleBased:
+    def test_both_heavy_is_contending(self):
+        detector = RuleBasedDetector(usage_thresh=100.0)
+        step = detector.step(obs(own_mean=200.0, neighbor_mean=300.0))
+        assert step.assertion is True
+        assert step.pause_self is False
+
+    def test_light_neighbor_is_not_contending(self):
+        detector = RuleBasedDetector(usage_thresh=100.0)
+        step = detector.step(obs(own_mean=200.0, neighbor_mean=50.0))
+        assert step.assertion is False
+
+    def test_light_self_is_not_contending(self):
+        detector = RuleBasedDetector(usage_thresh=100.0)
+        step = detector.step(obs(own_mean=50.0, neighbor_mean=200.0))
+        assert step.assertion is False
+
+    def test_verdict_every_period(self):
+        detector = RuleBasedDetector(usage_thresh=10.0)
+        for _ in range(5):
+            assert detector.step(obs()).assertion is not None
+        assert len(detector.verdicts) == 5
+
+    def test_threshold_boundary(self):
+        detector = RuleBasedDetector(usage_thresh=100.0)
+        step = detector.step(obs(own_mean=100.0, neighbor_mean=100.0))
+        assert step.assertion is True  # "dips below" => strict <
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RuleBasedDetector(usage_thresh=-1.0)
+
+
+class TestRandom:
+    def test_deterministic_under_seed(self):
+        a = RandomDetector(seed=11)
+        b = RandomDetector(seed=11)
+        seq_a = [a.step(obs()).assertion for _ in range(50)]
+        seq_b = [b.step(obs()).assertion for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_probability_extremes(self):
+        always = RandomDetector(probability=1.0)
+        never = RandomDetector(probability=0.0)
+        assert all(always.step(obs()).assertion for _ in range(20))
+        assert not any(never.step(obs()).assertion for _ in range(20))
+
+    def test_roughly_fair_at_half(self):
+        detector = RandomDetector(probability=0.5, seed=1)
+        positives = sum(
+            detector.step(obs()).assertion for _ in range(2000)
+        )
+        assert 850 < positives < 1150
+
+    def test_ignores_observation(self):
+        detector = RandomDetector(probability=0.5, seed=2)
+        seq_a = [
+            detector.step(obs(neighbor=1e9)).assertion
+            for _ in range(20)
+        ]
+        detector2 = RandomDetector(probability=0.5, seed=2)
+        seq_b = [detector2.step(obs()).assertion for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RandomDetector(probability=1.5)

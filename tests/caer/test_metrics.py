@@ -1,0 +1,143 @@
+"""Evaluation metrics: Equation 1, penalties, Equation 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.pmu import PMUSample
+from repro.caer.metrics import (
+    accuracy_vs_random,
+    interference_eliminated,
+    penalty,
+    slowdown,
+    utilization,
+    utilization_gained,
+)
+from repro.errors import ExperimentError
+from repro.sim.process import AppClass, ProcessState
+from repro.sim.results import ProcessResult, RunResult
+
+
+def synthetic_run(
+    ls_periods: int,
+    batch_running: list[bool] | None = None,
+    launch: int = 0,
+) -> RunResult:
+    """Build a RunResult by hand: LS runs [launch, launch+ls_periods)."""
+    total = launch + ls_periods
+    run = RunResult(machine_name="m", period_cycles=1000,
+                    total_periods=total)
+    ls = ProcessResult(
+        name="ls",
+        app_class=AppClass.LATENCY_SENSITIVE,
+        core_id=0,
+        launch_period=launch,
+    )
+    for t in range(total):
+        state = (
+            ProcessState.WAITING if t < launch else ProcessState.RUNNING
+        )
+        ls.record(state, PMUSample.zero())
+    ls.first_completion_period = total - 1
+    run.processes["ls"] = ls
+    if batch_running is not None:
+        batch = ProcessResult(
+            name="batch",
+            app_class=AppClass.BATCH,
+            core_id=1,
+            launch_period=0,
+        )
+        for t in range(total):
+            running = batch_running[t] if t < len(batch_running) else True
+            batch.record(
+                ProcessState.RUNNING if running else ProcessState.PAUSED,
+                PMUSample.zero(),
+            )
+        run.processes["batch"] = batch
+    return run
+
+
+class TestSlowdown:
+    def test_slowdown_and_penalty(self):
+        solo = synthetic_run(100)
+        colo = synthetic_run(136)
+        assert slowdown(colo, solo) == pytest.approx(1.36)
+        assert penalty(colo, solo) == pytest.approx(0.36)
+
+
+class TestUtilization:
+    def test_solo_pair_utilization_is_half(self):
+        run = synthetic_run(100)
+        assert utilization(run, num_cores=2) == pytest.approx(0.5)
+
+    def test_full_colocation_is_one(self):
+        run = synthetic_run(100, batch_running=[True] * 100)
+        assert utilization(run, num_cores=2) == pytest.approx(1.0)
+
+    def test_half_throttled_batch(self):
+        pattern = [True, False] * 50
+        run = synthetic_run(100, batch_running=pattern)
+        assert utilization(run, num_cores=2) == pytest.approx(0.75)
+        assert utilization_gained(run) == pytest.approx(0.5)
+
+    def test_gain_equals_two_u_minus_one(self):
+        pattern = ([True] * 30) + ([False] * 70)
+        run = synthetic_run(100, batch_running=pattern)
+        u = utilization(run, num_cores=2)
+        assert utilization_gained(run) == pytest.approx(2 * u - 1)
+
+    def test_window_excludes_pre_launch_periods(self):
+        # Batch runs during the stagger, pauses afterwards: none of the
+        # stagger periods may count toward the LS-lifetime utilization.
+        run = synthetic_run(
+            10, batch_running=[True] * 5 + [False] * 10, launch=5
+        )
+        assert utilization_gained(run) == pytest.approx(0.0)
+
+    def test_no_batch_process(self):
+        run = synthetic_run(10)
+        assert utilization_gained(run) == 0.0
+
+    def test_incomplete_ls_rejected(self):
+        run = synthetic_run(10)
+        run.latency_sensitive().first_completion_period = None
+        with pytest.raises(ExperimentError):
+            utilization(run)
+
+    def test_too_many_processes_for_cores(self):
+        run = synthetic_run(10, batch_running=[True] * 10)
+        with pytest.raises(ExperimentError):
+            utilization(run, num_cores=1)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_utilization_bounds(self, pattern):
+        run = synthetic_run(len(pattern), batch_running=pattern)
+        u = utilization(run, num_cores=2)
+        g = utilization_gained(run)
+        assert 0.5 <= u <= 1.0
+        assert 0.0 <= g <= 1.0
+
+
+class TestDerivedMetrics:
+    def test_interference_eliminated(self):
+        assert interference_eliminated(0.17, 0.04) == pytest.approx(
+            13 / 17
+        )
+
+    def test_interference_eliminated_clamped(self):
+        assert interference_eliminated(0.1, 0.2) == 0.0
+
+    def test_interference_eliminated_requires_positive_raw(self):
+        with pytest.raises(ExperimentError):
+            interference_eliminated(0.0, 0.0)
+
+    def test_accuracy_equation_2(self):
+        assert accuracy_vs_random(0.32, 0.5) == pytest.approx(-0.36)
+        assert accuracy_vs_random(0.75, 0.5) == pytest.approx(0.5)
+
+    def test_accuracy_requires_positive_random(self):
+        with pytest.raises(ExperimentError):
+            accuracy_vs_random(0.5, 0.0)

@@ -1,0 +1,119 @@
+"""The cache-partition response (§7's hardware-QoS alternative)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.chip import MulticoreChip
+from repro.caer.detector import Observation
+from repro.caer.response import CachePartition
+from repro.caer.runtime import CaerConfig, caer_factory
+from repro.config import MachineConfig
+from repro.errors import ConfigError, DetectorError
+from repro.sim import run_colocated
+from repro.workloads import synthetic
+
+
+def obs() -> Observation:
+    return Observation(0.0, 0.0, 0.0, 0.0, 0)
+
+
+class TestPolicy:
+    def test_positive_verdict_caps(self):
+        policy = CachePartition(quota=0.25, length=2)
+        policy.begin(True)
+        step = policy.step(obs())
+        assert step.l3_quota == 0.25
+        assert not step.pause_batch
+        assert not step.done
+        assert policy.step(obs()).done
+
+    def test_negative_verdict_uncaps(self):
+        policy = CachePartition(quota=0.25, length=1)
+        policy.begin(False)
+        step = policy.step(obs())
+        assert step.l3_quota is None
+        assert step.done
+
+    def test_step_without_begin_rejected(self):
+        with pytest.raises(DetectorError):
+            CachePartition().step(obs())
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CachePartition(quota=0.0)
+        with pytest.raises(ConfigError):
+            CachePartition(quota=1.5)
+        with pytest.raises(ConfigError):
+            CachePartition(length=0)
+
+
+class TestHierarchyQuota:
+    def test_quota_caps_streaming_occupancy(self):
+        chip = MulticoreChip(MachineConfig.scaled_nehalem())
+        chip.hierarchy.set_l3_quota(1, 0.25)
+        for addr in range(30_000):
+            chip.hierarchy.access(1, addr)
+        assert chip.hierarchy.l3_occupancy_fraction(1) <= 0.26
+
+    def test_quota_protects_neighbour_lines(self):
+        chip = MulticoreChip(MachineConfig.scaled_nehalem())
+        hierarchy = chip.hierarchy
+        # Core 0 establishes a working set.
+        for addr in range(2_000):
+            hierarchy.access(0, addr)
+        # A capped streamer on core 1 floods the L3.
+        hierarchy.set_l3_quota(1, 0.125)
+        for addr in range(100_000, 140_000):
+            hierarchy.access(1, addr)
+        capped_stolen = hierarchy.counters_for(0).lines_stolen
+        # Uncapped control run on a fresh chip.
+        chip2 = MulticoreChip(MachineConfig.scaled_nehalem())
+        for addr in range(2_000):
+            chip2.hierarchy.access(0, addr)
+        for addr in range(100_000, 140_000):
+            chip2.hierarchy.access(1, addr)
+        uncapped_stolen = chip2.hierarchy.counters_for(0).lines_stolen
+        assert capped_stolen < 0.3 * uncapped_stolen
+
+    def test_quota_removable(self):
+        chip = MulticoreChip(MachineConfig.scaled_nehalem())
+        chip.hierarchy.set_l3_quota(1, 0.25)
+        chip.hierarchy.set_l3_quota(1, None)
+        for addr in range(30_000):
+            chip.hierarchy.access(1, addr)
+        assert chip.hierarchy.l3_occupancy_fraction(1) > 0.5
+
+    def test_quota_fraction_validated(self):
+        chip = MulticoreChip(MachineConfig.tiny())
+        with pytest.raises(ConfigError):
+            chip.hierarchy.set_l3_quota(0, 0.0)
+
+    def test_inclusion_holds_under_quota(self):
+        chip = MulticoreChip(MachineConfig.tiny())
+        chip.hierarchy.set_l3_quota(1, 0.25)
+        for addr in range(400):
+            chip.hierarchy.access(addr % 2, addr)
+        assert chip.hierarchy.check_inclusion() == []
+
+
+class TestEndToEnd:
+    def test_partition_keeps_batch_running(self, small_machine):
+        from repro.sim.process import ProcessState
+
+        result = run_colocated(
+            synthetic.zipf_worker(lines=300, alpha=0.8,
+                                  instructions=40_000.0),
+            synthetic.streamer(lines=2_000, instructions=20_000.0),
+            small_machine,
+            caer_factory=caer_factory(CaerConfig.partition()),
+            batch_name="batch",
+        )
+        batch = result.process("batch")
+        running = batch.periods_in_state(ProcessState.RUNNING)
+        paused = batch.periods_in_state(ProcessState.PAUSED)
+        # Only the shutter's measurement phases pause the batch; the
+        # response itself never does.
+        assert running > paused
+        quotas = {d["l3_quota"] for d in result.caer_log}
+        assert quotas & {0.25, None}

@@ -1,0 +1,77 @@
+"""The offline-profile oracle detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.detector import Observation
+from repro.caer.profile_detector import ProfileDetector
+from repro.caer.runtime import CaerConfig
+from repro.errors import ConfigError
+
+
+def obs(neighbor_mean: float) -> Observation:
+    return Observation(0.0, 0.0, 0.0, neighbor_mean, 0)
+
+
+class TestVerdicts:
+    def test_at_baseline_is_quiet(self):
+        detector = ProfileDetector(baseline_misses=100.0)
+        assert detector.step(obs(100.0)).assertion is False
+        assert detector.step(obs(110.0)).assertion is False
+
+    def test_elevated_misses_detected(self):
+        detector = ProfileDetector(
+            baseline_misses=100.0, tolerance=0.25
+        )
+        assert detector.step(obs(140.0)).assertion is True
+
+    def test_depressed_misses_also_detected(self):
+        """A slowed victim misses less per period; also interference."""
+        detector = ProfileDetector(
+            baseline_misses=100.0, tolerance=0.25
+        )
+        assert detector.step(obs(60.0)).assertion is True
+
+    def test_noise_floor_guards_tiny_baselines(self):
+        detector = ProfileDetector(
+            baseline_misses=4.0, tolerance=0.25, noise_floor=20.0
+        )
+        # 3x relative deviation but below the absolute floor: quiet.
+        assert detector.step(obs(12.0)).assertion is False
+        assert detector.step(obs(40.0)).assertion is True
+
+    def test_zero_baseline(self):
+        detector = ProfileDetector(
+            baseline_misses=0.0, noise_floor=5.0
+        )
+        assert detector.step(obs(3.0)).assertion is False
+        assert detector.step(obs(50.0)).assertion is True
+
+    def test_verdict_every_period(self):
+        detector = ProfileDetector(baseline_misses=10.0)
+        for _ in range(4):
+            assert detector.step(obs(10.0)).assertion is not None
+        assert len(detector.verdicts) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ProfileDetector(baseline_misses=-1.0)
+        with pytest.raises(ConfigError):
+            ProfileDetector(baseline_misses=1.0, tolerance=0.0)
+        with pytest.raises(ConfigError):
+            ProfileDetector(baseline_misses=1.0, noise_floor=-1.0)
+
+
+class TestConfig:
+    def test_profile_oracle_classmethod(self, small_machine):
+        config = CaerConfig.profile_oracle(baseline_misses=200.0)
+        detector = config.build_detector(small_machine)
+        assert isinstance(detector, ProfileDetector)
+        assert detector.baseline_misses == 200.0
+        assert detector.noise_floor > 0  # machine-resolved floor
+
+    def test_profile_requires_baseline(self, small_machine):
+        config = CaerConfig(detector="profile")
+        with pytest.raises(ConfigError, match="baseline"):
+            config.build_detector(small_machine)

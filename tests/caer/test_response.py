@@ -1,0 +1,137 @@
+"""Response policies: red-light/green-light and soft locking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.detector import Observation
+from repro.caer.response import RedLightGreenLight, SoftLock
+from repro.errors import ConfigError, DetectorError
+
+
+def obs(neighbor_mean=0.0) -> Observation:
+    return Observation(
+        own_misses=0.0,
+        neighbor_misses=neighbor_mean,
+        own_mean=0.0,
+        neighbor_mean=neighbor_mean,
+        period=0,
+    )
+
+
+class TestRedLightGreenLight:
+    def test_red_holds_for_length(self):
+        response = RedLightGreenLight(length=3)
+        response.begin(True)
+        steps = [response.step(obs()) for _ in range(3)]
+        assert [s.pause_batch for s in steps] == [True, True, True]
+        assert [s.done for s in steps] == [False, False, True]
+
+    def test_green_runs_for_length(self):
+        response = RedLightGreenLight(length=2)
+        response.begin(False)
+        steps = [response.step(obs()) for _ in range(2)]
+        assert [s.pause_batch for s in steps] == [False, False]
+        assert steps[-1].done
+
+    def test_step_without_begin_rejected(self):
+        with pytest.raises(DetectorError):
+            RedLightGreenLight().step(obs())
+
+    def test_step_past_done_rejected(self):
+        response = RedLightGreenLight(length=1)
+        response.begin(True)
+        response.step(obs())
+        with pytest.raises(DetectorError):
+            response.step(obs())
+
+    def test_adaptive_doubles_on_repeat(self):
+        response = RedLightGreenLight(
+            length=4, adaptive=True, max_length=32
+        )
+        response.begin(True)
+        assert response.current_length == 4
+        response.begin(True)
+        assert response.current_length == 8
+        response.begin(True)
+        assert response.current_length == 16
+
+    def test_adaptive_resets_on_flip(self):
+        response = RedLightGreenLight(
+            length=4, adaptive=True, max_length=32
+        )
+        response.begin(True)
+        response.begin(True)
+        response.begin(False)
+        assert response.current_length == 4
+
+    def test_adaptive_caps_at_max(self):
+        response = RedLightGreenLight(
+            length=4, adaptive=True, max_length=10
+        )
+        for _ in range(5):
+            response.begin(True)
+        assert response.current_length == 10
+
+    def test_fixed_never_grows(self):
+        response = RedLightGreenLight(length=4, adaptive=False)
+        response.begin(True)
+        response.begin(True)
+        assert response.current_length == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RedLightGreenLight(length=0)
+        with pytest.raises(ConfigError):
+            RedLightGreenLight(length=10, max_length=5)
+
+
+class TestSoftLock:
+    def test_negative_verdict_passes_through(self):
+        lock = SoftLock(release_thresh=100.0)
+        lock.begin(False)
+        step = lock.step(obs(neighbor_mean=1e6))
+        assert not step.pause_batch
+        assert step.done
+
+    def test_lock_holds_while_pressure_high(self):
+        lock = SoftLock(release_thresh=100.0, max_hold=50)
+        lock.begin(True)
+        for _ in range(10):
+            step = lock.step(obs(neighbor_mean=500.0))
+            assert step.pause_batch
+            assert not step.done
+        assert lock.locked
+
+    def test_releases_when_pressure_subsides(self):
+        lock = SoftLock(release_thresh=100.0)
+        lock.begin(True)
+        lock.step(obs(neighbor_mean=500.0))
+        step = lock.step(obs(neighbor_mean=50.0))
+        assert not step.pause_batch
+        assert step.done
+        assert not lock.locked
+
+    def test_max_hold_bounds_the_lock(self):
+        lock = SoftLock(release_thresh=100.0, max_hold=3)
+        lock.begin(True)
+        steps = [lock.step(obs(neighbor_mean=500.0)) for _ in range(3)]
+        assert [s.done for s in steps] == [False, False, True]
+        assert not steps[-1].pause_batch
+
+    def test_step_without_begin_rejected(self):
+        with pytest.raises(DetectorError):
+            SoftLock(release_thresh=1.0).step(obs())
+
+    def test_relockable_after_release(self):
+        lock = SoftLock(release_thresh=100.0)
+        lock.begin(True)
+        lock.step(obs(neighbor_mean=50.0))  # releases immediately
+        lock.begin(True)
+        assert lock.step(obs(neighbor_mean=500.0)).pause_batch
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SoftLock(release_thresh=-1.0)
+        with pytest.raises(ConfigError):
+            SoftLock(release_thresh=1.0, max_hold=0)

@@ -1,0 +1,173 @@
+"""The CAER runtime period loop, end to end on small scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.runtime import CaerConfig, CaerRuntime, caer_factory
+from repro.errors import ConfigError
+from repro.sim import run_colocated
+from repro.sim.process import ProcessState
+from repro.workloads import synthetic
+
+
+def run_with(config, machine, ls=None, batch=None):
+    ls = ls or synthetic.zipf_worker(
+        lines=300, alpha=0.8, instructions=50_000.0
+    )
+    batch = batch or synthetic.streamer(lines=2_000, instructions=20_000.0)
+    return run_colocated(
+        ls, batch, machine, caer_factory=caer_factory(config),
+        batch_name="batch",
+    )
+
+
+class TestConfig:
+    def test_paper_setups(self):
+        assert CaerConfig.shutter().detector == "shutter"
+        assert CaerConfig.shutter().response == "rlgl"
+        assert CaerConfig.rule_based().response == "soft-lock"
+        random = CaerConfig.random_baseline()
+        assert random.response_length == 1
+        assert random.probability == 0.5
+
+    def test_overrides(self):
+        config = CaerConfig.shutter(impact_factor=0.2)
+        assert config.impact_factor == 0.2
+
+    def test_build_detector_types(self, small_machine):
+        from repro.caer import (
+            BurstShutterDetector,
+            RandomDetector,
+            RuleBasedDetector,
+        )
+
+        assert isinstance(
+            CaerConfig.shutter().build_detector(small_machine),
+            BurstShutterDetector,
+        )
+        assert isinstance(
+            CaerConfig.rule_based().build_detector(small_machine),
+            RuleBasedDetector,
+        )
+        assert isinstance(
+            CaerConfig.random_baseline().build_detector(small_machine),
+            RandomDetector,
+        )
+
+    def test_usage_thresh_resolves_from_machine(self, small_machine):
+        detector = CaerConfig.rule_based().build_detector(small_machine)
+        from repro.config import default_usage_threshold
+
+        assert detector.usage_thresh == pytest.approx(
+            default_usage_threshold(small_machine)
+        )
+
+    def test_explicit_usage_thresh_wins(self, small_machine):
+        detector = CaerConfig.rule_based(
+            usage_thresh=77.0
+        ).build_detector(small_machine)
+        assert detector.usage_thresh == 77.0
+
+    def test_unknown_detector_rejected(self, small_machine):
+        with pytest.raises(ConfigError):
+            CaerConfig(detector="psychic").build_detector(small_machine)
+
+    def test_unknown_response_rejected(self, small_machine):
+        with pytest.raises(ConfigError):
+            CaerConfig(response="prayer").build_response(small_machine)
+
+    def test_label(self):
+        assert "shutter" in CaerConfig.shutter().label
+
+
+class TestRuntimeLoop:
+    def test_decision_log_written_every_period(self, small_machine):
+        result = run_with(CaerConfig.rule_based(), small_machine)
+        assert len(result.caer_log) == result.total_periods
+        record = result.caer_log[0]
+        for key in ("period", "state", "pause", "own_misses",
+                    "neighbor_misses"):
+            assert key in record
+
+    def test_shutter_pauses_batch_during_shutter_phases(
+        self, small_machine
+    ):
+        result = run_with(CaerConfig.shutter(), small_machine)
+        batch = result.process("batch")
+        assert ProcessState.PAUSED in batch.states
+
+    def test_latency_sensitive_never_throttled(self, small_machine):
+        result = run_with(CaerConfig.rule_based(), small_machine)
+        ls = result.latency_sensitive()
+        assert ProcessState.PAUSED not in ls.states
+
+    def test_random_runtime_pauses_roughly_half(self, small_machine):
+        batch = synthetic.streamer(lines=2_000, instructions=30_000.0)
+        result = run_with(
+            CaerConfig.random_baseline(), small_machine, batch=batch
+        )
+        record = result.process("batch")
+        running = record.periods_in_state(ProcessState.RUNNING)
+        paused = record.periods_in_state(ProcessState.PAUSED)
+        total = running + paused
+        assert paused / total == pytest.approx(0.5, abs=0.15)
+
+    def test_requires_batch_process(self, small_machine):
+        from repro.arch.chip import MulticoreChip
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.process import SimProcess
+
+        chip = MulticoreChip(small_machine)
+        only_ls = SimProcess(synthetic.compute_bound(), 0)
+        engine = SimulationEngine(chip, [only_ls])
+        with pytest.raises(ConfigError, match="batch"):
+            CaerRuntime(engine, CaerConfig.rule_based())
+
+    def test_requires_latency_sensitive_process(self, small_machine):
+        from repro.arch.chip import MulticoreChip
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.process import AppClass, SimProcess
+
+        chip = MulticoreChip(small_machine)
+        only_batch = SimProcess(
+            synthetic.compute_bound(), 0, AppClass.BATCH
+        )
+        engine = SimulationEngine(chip, [only_batch])
+        with pytest.raises(ConfigError, match="latency"):
+            CaerRuntime(engine, CaerConfig.rule_based())
+
+    def test_multiple_batch_apps_react_together(self, small_machine):
+        """§3.2: all batch processes must obey the directive jointly."""
+        from repro.arch.chip import MulticoreChip
+        from repro.config import CacheGeometry, MachineConfig
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.process import AppClass, SimProcess
+
+        machine = MachineConfig(
+            name="quad",
+            num_cores=3,
+            l1=CacheGeometry(num_sets=4, associativity=4),
+            l2=CacheGeometry(num_sets=16, associativity=4),
+            l3=CacheGeometry(num_sets=64, associativity=8),
+            period_cycles=5_000,
+        )
+        chip = MulticoreChip(machine)
+        ls = SimProcess(
+            synthetic.zipf_worker(lines=300, instructions=40_000.0), 0
+        )
+        batch_a = SimProcess(
+            synthetic.streamer(lines=2_000, instructions=50_000.0), 1,
+            AppClass.BATCH, name="batch-a", relaunch=True,
+        )
+        batch_b = SimProcess(
+            synthetic.streamer(lines=2_000, instructions=50_000.0), 2,
+            AppClass.BATCH, name="batch-b", relaunch=True,
+        )
+        engine = SimulationEngine(chip, [ls, batch_a, batch_b])
+        runtime = CaerRuntime(engine, CaerConfig.rule_based())
+        engine.period_hooks.append(runtime)
+        result = engine.run()
+        states_a = result.process("batch-a").states
+        states_b = result.process("batch-b").states
+        assert states_a == states_b  # identical directives

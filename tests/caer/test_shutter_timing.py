@@ -1,0 +1,84 @@
+"""Shutter phase alignment against the real engine.
+
+The detector's docstring promises that steady samples come from periods
+where the batch truly was halted and burst samples from periods where
+it truly ran; these tests verify that promise end-to-end (directives
+lag one period, so this is easy to get wrong silently).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.runtime import CaerConfig, caer_factory
+from repro.config import MachineConfig
+from repro.sim import run_colocated
+from repro.sim.process import ProcessState
+from repro.workloads import synthetic
+
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+
+
+@pytest.fixture(scope="module")
+def shutter_run():
+    return run_colocated(
+        synthetic.zipf_worker(
+            lines=int(0.6 * L3), alpha=0.7, instructions=400_000.0
+        ),
+        synthetic.streamer(lines=3 * L3, instructions=100_000.0),
+        MACHINE,
+        caer_factory=caer_factory(
+            CaerConfig.shutter(switch_point=5, end_point=10)
+        ),
+        batch_name="batch",
+    )
+
+
+def detection_cycles(run):
+    """Group the decision log into detect-state runs of full cycles."""
+    cycles = []
+    current = []
+    for record in run.caer_log:
+        if record["state"] == "detect":
+            current.append(record)
+        elif record["state"] in ("c-positive", "c-negative"):
+            current.append(record)
+            cycles.append(current)
+            current = []
+        else:
+            current = []
+    return [c for c in cycles if len(c) == 11]  # settle + 10
+
+
+class TestPhaseAlignment:
+    def test_full_cycles_exist(self, shutter_run):
+        assert len(detection_cycles(shutter_run)) >= 3
+
+    def test_batch_halted_through_steady_phase(self, shutter_run):
+        batch_states = shutter_run.process("batch").states
+        for cycle in detection_cycles(shutter_run):
+            settle_period = cycle[0]["period"]
+            # Steady samples are recorded at steps 1..5, i.e. periods
+            # settle+1 .. settle+5; the batch must be PAUSED then.
+            for offset in range(1, 6):
+                state = batch_states[settle_period + offset]
+                assert state is ProcessState.PAUSED, (
+                    f"period {settle_period + offset} of cycle at "
+                    f"{settle_period}"
+                )
+
+    def test_batch_running_through_burst_phase(self, shutter_run):
+        batch_states = shutter_run.process("batch").states
+        for cycle in detection_cycles(shutter_run):
+            settle_period = cycle[0]["period"]
+            # Burst samples are steps 6..10: periods settle+6..+10.
+            for offset in range(6, 11):
+                state = batch_states[settle_period + offset]
+                assert state is ProcessState.RUNNING
+
+    def test_verdict_every_eleventh_detect_step(self, shutter_run):
+        for cycle in detection_cycles(shutter_run):
+            assert cycle[-1]["assertion"] in (True, False)
+            for record in cycle[:-1]:
+                assert record["assertion"] is None

@@ -1,0 +1,74 @@
+"""The shared communication table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.pmu import PMUSample
+from repro.caer.table import CommunicationTable
+from repro.errors import ConfigError
+from repro.sim.process import AppClass
+
+
+def sample(misses: int, instructions: float = 100.0) -> PMUSample:
+    return PMUSample(1000.0, instructions, misses, misses, 0, 0, 0, 0)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        table = CommunicationTable()
+        table.register("a", AppClass.LATENCY_SENSITIVE)
+        assert table.row("a").app_class is AppClass.LATENCY_SENSITIVE
+
+    def test_double_registration_rejected(self):
+        table = CommunicationTable()
+        table.register("a", AppClass.BATCH)
+        with pytest.raises(ConfigError, match="already"):
+            table.register("a", AppClass.BATCH)
+
+    def test_unknown_row_rejected(self):
+        with pytest.raises(ConfigError, match="not registered"):
+            CommunicationTable().row("ghost")
+
+    def test_bad_window_size(self):
+        with pytest.raises(ConfigError):
+            CommunicationTable(window_size=0)
+
+
+class TestPublishing:
+    def make_table(self) -> CommunicationTable:
+        table = CommunicationTable(window_size=4)
+        table.register("ls", AppClass.LATENCY_SENSITIVE)
+        table.register("batch", AppClass.BATCH)
+        return table
+
+    def test_publish_updates_windows(self):
+        table = self.make_table()
+        table.publish("ls", sample(10))
+        table.publish("ls", sample(20))
+        row = table.row("ls")
+        assert row.llc_misses.values() == [10.0, 20.0]
+        assert row.samples_published == 2
+        assert row.last_sample.llc_misses == 20
+
+    def test_class_aggregates(self):
+        table = self.make_table()
+        table.publish("ls", sample(10))
+        table.publish("batch", sample(30))
+        assert table.latency_sensitive_misses() == 10.0
+        assert table.batch_misses() == 30.0
+        assert table.latency_sensitive_mean() == pytest.approx(10.0)
+        assert table.batch_mean() == pytest.approx(30.0)
+
+    def test_multiple_ls_apps_sum(self):
+        table = CommunicationTable(window_size=4)
+        table.register("ls1", AppClass.LATENCY_SENSITIVE)
+        table.register("ls2", AppClass.LATENCY_SENSITIVE)
+        table.register("b", AppClass.BATCH)
+        table.publish("ls1", sample(5))
+        table.publish("ls2", sample(7))
+        assert table.latency_sensitive_misses() == 12.0
+
+    def test_directives_default(self):
+        table = self.make_table()
+        assert table.directives.pause_batch is False

@@ -1,0 +1,81 @@
+"""Sample-window ring buffer vs. a reference deque model."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caer.window import SampleWindow
+from repro.errors import ConfigError
+
+
+class TestBasics:
+    def test_empty(self):
+        window = SampleWindow(4)
+        assert window.mean() == 0.0
+        assert window.last() == 0.0
+        assert window.values() == []
+        assert len(window) == 0
+        assert not window.full
+
+    def test_partial_fill(self):
+        window = SampleWindow(4)
+        window.push(2.0)
+        window.push(4.0)
+        assert window.mean() == pytest.approx(3.0)
+        assert window.last() == 4.0
+        assert window.values() == [2.0, 4.0]
+
+    def test_eviction_of_oldest(self):
+        window = SampleWindow(3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            window.push(v)
+        assert window.values() == [2.0, 3.0, 4.0]
+        assert window.mean() == pytest.approx(3.0)
+        assert window.full
+
+    def test_tail_mean(self):
+        window = SampleWindow(5)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            window.push(v)
+        assert window.tail_mean(2) == pytest.approx(3.5)
+        assert window.tail_mean(10) == pytest.approx(2.5)
+
+    def test_tail_mean_empty(self):
+        assert SampleWindow(3).tail_mean(2) == 0.0
+
+    def test_clear(self):
+        window = SampleWindow(3)
+        window.push(5.0)
+        window.clear()
+        assert len(window) == 0
+        assert window.mean() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SampleWindow(0)
+        with pytest.raises(ConfigError):
+            SampleWindow(3).tail_mean(0)
+
+
+class TestAgainstReference:
+    @given(
+        st.integers(1, 16),
+        st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_deque_model(self, capacity, values):
+        window = SampleWindow(capacity)
+        reference: deque[float] = deque(maxlen=capacity)
+        for v in values:
+            window.push(v)
+            reference.append(v)
+            assert window.values() == list(reference)
+            if reference:
+                assert window.mean() == pytest.approx(
+                    sum(reference) / len(reference), rel=1e-6, abs=1e-6
+                )
+                assert window.last() == reference[-1]

@@ -1,0 +1,32 @@
+"""Shared fixtures: tiny machines and small workloads for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheGeometry, MachineConfig
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """A 2-core machine small enough for sub-second runs."""
+    return MachineConfig.tiny()
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A mid-size machine with realistic geometry ratios."""
+    return MachineConfig(
+        name="small",
+        num_cores=2,
+        l1=CacheGeometry(num_sets=4, associativity=4),
+        l2=CacheGeometry(num_sets=16, associativity=4),
+        l3=CacheGeometry(num_sets=64, associativity=8),
+        period_cycles=5_000,
+    )
+
+
+@pytest.fixture
+def scaled_machine() -> MachineConfig:
+    """The default experiment machine (heavier; use sparingly)."""
+    return MachineConfig.scaled_nehalem()

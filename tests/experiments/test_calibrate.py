@@ -1,0 +1,54 @@
+"""The calibration harness (tooling, not a paper artefact)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments.calibrate import (
+    FIGURE1_TARGETS,
+    CalibrationRow,
+    calibrate_benchmark,
+)
+
+
+class TestTargets:
+    def test_targets_cover_the_whole_suite(self):
+        from repro.workloads import benchmark_names
+
+        assert set(FIGURE1_TARGETS) == set(benchmark_names())
+
+    def test_target_mean_matches_paper(self):
+        mean = sum(FIGURE1_TARGETS.values()) / len(FIGURE1_TARGETS)
+        assert mean == pytest.approx(1.17, abs=0.03)
+
+    def test_mcf_and_namd_anchor_points(self):
+        assert FIGURE1_TARGETS["429.mcf"] == pytest.approx(1.36)
+        assert FIGURE1_TARGETS["444.namd"] == pytest.approx(1.02)
+
+
+class TestRow:
+    def test_miss_delta(self):
+        row = CalibrationRow(
+            name="x",
+            solo_periods=100,
+            solo_misses_per_period=100.0,
+            colo_misses_per_period=150.0,
+            slowdown=1.2,
+            target=1.2,
+        )
+        assert row.miss_delta == pytest.approx(0.5)
+
+    def test_miss_delta_zero_base(self):
+        row = CalibrationRow("x", 10, 0.0, 5.0, 1.0, 1.0)
+        assert row.miss_delta == 0.0
+
+
+class TestMeasurement:
+    def test_calibrates_one_benchmark(self):
+        row = calibrate_benchmark(
+            "444.namd", MachineConfig.scaled_nehalem(), length=0.02
+        )
+        assert row.solo_periods > 0
+        assert row.slowdown >= 0.95
+        assert row.target == pytest.approx(1.02)

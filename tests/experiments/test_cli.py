@@ -1,0 +1,41 @@
+"""Command-line interface plumbing (fast paths only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figures: 1 2 3 6 7 8 9 10" in out
+        assert "impact-factor" in out
+
+    def test_fig_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig", "4"])
+
+    def test_ablation_requires_valid_name(self):
+        with pytest.raises(SystemExit):
+            cli.main(["ablation", "nonesuch"])
+
+    def test_length_flag_parsed(self):
+        parser = cli._build_parser()
+        args = parser.parse_args(["--length", "0.3", "list"])
+        assert args.length == 0.3
+        settings = cli._settings(args)
+        assert settings.length == 0.3
+
+    def test_seed_flag_parsed(self):
+        parser = cli._build_parser()
+        args = parser.parse_args(["--seed", "7", "list"])
+        assert cli._settings(args).seed == 7
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LENGTH", "0.15")
+        parser = cli._build_parser()
+        args = parser.parse_args(["list"])
+        assert cli._settings(args).length == 0.15

@@ -1,0 +1,40 @@
+"""Analytic-vs-simulated cross-validation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.crossval import analytic_figure1, rank_correlation
+
+
+class TestRankCorrelation:
+    def test_identity(self):
+        assert rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(
+            1.0
+        )
+
+    def test_inverse(self):
+        assert rank_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(
+            -1.0
+        )
+
+    def test_constant_series(self):
+        # Degenerate variance: defined as 0.
+        assert rank_correlation([1, 1, 1], [1, 2, 3]) == pytest.approx(
+            0.0, abs=1.0
+        )
+
+
+class TestAnalyticFigure1:
+    def test_table_from_fake_campaign(self):
+        from tests.experiments.test_figures import FakeCampaign
+
+        table = analytic_figure1(FakeCampaign())
+        assert len(table.row_names) == 21
+        predicted = table.column("predicted")
+        assert all(p >= 1.0 for p in predicted)
+        # The analytic model must separate the suite: lbm-class
+        # victims predicted well above the insensitive ones.
+        by_name = dict(zip(table.row_names, predicted))
+        assert by_name["429.mcf"] > by_name["444.namd"] + 0.1
+        assert by_name["470.lbm"] > by_name["453.povray"] + 0.1

@@ -1,0 +1,38 @@
+"""Headline-number aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.headline import HeadlineNumbers, headline_numbers
+
+
+class TestRendering:
+    def test_render_contains_measured_and_paper(self):
+        numbers = HeadlineNumbers(
+            raw_penalty=0.17,
+            shutter_penalty=0.06,
+            rule_penalty=0.04,
+            shutter_utilization=0.60,
+            rule_utilization=0.58,
+        )
+        text = numbers.render()
+        assert "0.170" in text
+        assert "0.17" in text
+        assert "utilization" in text
+
+    def test_paper_references_attached(self):
+        numbers = HeadlineNumbers(0.2, 0.05, 0.03, 0.5, 0.5)
+        assert numbers.paper_raw_penalty == pytest.approx(0.17)
+        assert numbers.paper_rule_penalty == pytest.approx(0.04)
+
+
+class TestAggregation:
+    def test_means_computed_from_campaign(self):
+        from tests.experiments.test_figures import FakeCampaign
+
+        numbers = headline_numbers(FakeCampaign())
+        assert numbers.raw_penalty == pytest.approx(0.17, abs=0.02)
+        assert numbers.rule_penalty < numbers.shutter_penalty
+        assert numbers.shutter_penalty < numbers.raw_penalty
+        assert 0.0 < numbers.rule_utilization <= 1.0

@@ -1,0 +1,33 @@
+"""Markdown report generation."""
+
+from __future__ import annotations
+
+from repro.experiments.report import generate_report, write_report
+
+
+class TestReport:
+    def test_contains_all_sections(self):
+        from tests.experiments.test_figures import FakeCampaign
+
+        text = generate_report(FakeCampaign())
+        assert "# CAER reproduction report" in text
+        for heading in (
+            "Headline numbers",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+        ):
+            assert heading in text, heading
+        assert "run length" in text
+
+    def test_write_report(self, tmp_path):
+        from tests.experiments.test_figures import FakeCampaign
+
+        path = write_report(FakeCampaign(), tmp_path / "r" / "report.md")
+        assert path.exists()
+        assert "Figure 6" in path.read_text()

@@ -1,0 +1,85 @@
+"""Report rendering: tables, bars, series, exports."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.reporting import FigureTable, render_series
+
+
+def make_table() -> FigureTable:
+    table = FigureTable(title="T", row_names=["a", "b", "c"])
+    table.add_column("x", [1.0, 2.0, 3.0])
+    table.add_column("y", [0.5, 0.5, 0.5])
+    return table
+
+
+class TestFigureTable:
+    def test_mean(self):
+        assert make_table().mean("x") == pytest.approx(2.0)
+
+    def test_column_length_validated(self):
+        table = FigureTable(title="T", row_names=["a", "b"])
+        with pytest.raises(ExperimentError):
+            table.add_column("x", [1.0])
+
+    def test_unknown_column(self):
+        with pytest.raises(ExperimentError, match="no column"):
+            make_table().column("z")
+
+    def test_render_contains_rows_and_mean(self):
+        text = make_table().render()
+        assert "== T ==" in text
+        assert "a" in text
+        assert "mean" in text
+        assert "2.000" in text
+
+    def test_render_notes(self):
+        table = make_table()
+        table.notes.append("paper: something")
+        assert "note: paper: something" in table.render()
+
+    def test_render_bars(self):
+        text = make_table().render_bars("x")
+        assert "#" in text
+        assert "a" in text
+
+    def test_render_bars_negative_baseline(self):
+        table = FigureTable(title="T", row_names=["a", "b"])
+        table.add_column("a_col", [-0.5, 0.5])
+        text = table.render_bars("a_col", baseline=0.0)
+        assert "-" in text
+
+    def test_csv_round_trip(self):
+        text = make_table().to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["benchmark", "x", "y"]
+        assert rows[1][0] == "a"
+        assert float(rows[1][1]) == 1.0
+
+    def test_json(self):
+        data = json.loads(make_table().to_json())
+        assert data["title"] == "T"
+        assert data["columns"]["x"] == [1.0, 2.0, 3.0]
+
+
+class TestSeries:
+    def test_render_series(self):
+        text = render_series("s", [1.0, 5.0, 2.0, 8.0] * 30, height=4)
+        lines = text.splitlines()
+        assert lines[0].startswith("== s")
+        assert len(lines) == 6  # title + 4 rows + axis
+        assert "#" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_series("s", [])
+
+    def test_peak_reported(self):
+        text = render_series("s", [10.0, 20.0])
+        assert "peak 20" in text

@@ -1,0 +1,63 @@
+"""The multi-batch scaling study (extension experiment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.experiments.campaign import CampaignSettings
+from repro.experiments.scaling import scaling_study
+from repro.sim import run_multi_colocated
+from repro.workloads import synthetic
+
+
+class TestScenario:
+    def test_multi_colocated_schedules_all_batches(self, scaled_machine):
+        result = run_multi_colocated(
+            synthetic.zipf_worker(lines=2_000, instructions=80_000.0),
+            [
+                synthetic.streamer(lines=10_000, instructions=40_000.0),
+                synthetic.streamer(lines=10_000, instructions=40_000.0),
+            ],
+            scaled_machine,
+        )
+        assert len(result.batch_processes()) == 2
+        names = {p.name for p in result.batch_processes()}
+        assert len(names) == 2  # distinct auto-generated names
+
+    def test_too_many_batches_rejected(self, tiny_machine):
+        with pytest.raises(SchedulingError, match="cores"):
+            run_multi_colocated(
+                synthetic.compute_bound(),
+                [synthetic.compute_bound()] * 3,
+                tiny_machine,  # only 2 cores
+            )
+
+    def test_more_contenders_hurt_more(self, scaled_machine):
+        victim = synthetic.zipf_worker(
+            lines=5_000, alpha=0.7, instructions=100_000.0
+        )
+        contender = synthetic.streamer(
+            lines=30_000, instructions=50_000.0
+        )
+
+        def periods(k: int) -> int:
+            result = run_multi_colocated(
+                victim, [contender] * k, scaled_machine
+            )
+            return result.latency_sensitive().completion_periods
+
+        assert periods(3) > periods(1)
+
+
+class TestStudy:
+    def test_table_structure_and_direction(self):
+        table = scaling_study(CampaignSettings(length=0.02))
+        assert table.row_names == ["1 batch", "2 batch", "3 batch"]
+        raw = table.column("raw_penalty")
+        caer = table.column("caer_penalty")
+        # Raw interference grows with contender count...
+        assert raw[-1] > raw[0]
+        # ...while CAER holds the penalty well below raw at every count.
+        for r, c in zip(raw, caer):
+            assert c < r

@@ -1,0 +1,53 @@
+"""Perfmon event sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.pmu import PMUEvent
+from repro.errors import PerfmonError
+from repro.perfmon.events import (
+    HARDWARE_COUNTERS,
+    EventSet,
+    default_event_set,
+)
+
+
+class TestEventSet:
+    def test_default_covers_caer_needs(self):
+        events = default_event_set()
+        assert PMUEvent.LLC_MISSES in events
+        assert PMUEvent.INSTRUCTIONS_RETIRED in events
+        assert PMUEvent.CYCLES in events
+
+    def test_empty_rejected(self):
+        with pytest.raises(PerfmonError):
+            EventSet(events=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PerfmonError):
+            EventSet(events=(PMUEvent.LLC_MISSES, PMUEvent.LLC_MISSES))
+
+    def test_counter_budget_enforced(self):
+        programmable = [
+            PMUEvent.LLC_MISSES,
+            PMUEvent.LLC_REFERENCES,
+            PMUEvent.L2_MISSES,
+            PMUEvent.L1_MISSES,
+            PMUEvent.BACK_INVALIDATIONS,
+        ]
+        assert len(programmable) > HARDWARE_COUNTERS
+        with pytest.raises(PerfmonError, match="counters"):
+            EventSet(events=tuple(programmable))
+
+    def test_fixed_counters_are_free(self):
+        EventSet(
+            events=(
+                PMUEvent.CYCLES,
+                PMUEvent.INSTRUCTIONS_RETIRED,
+                PMUEvent.LLC_MISSES,
+                PMUEvent.LLC_REFERENCES,
+                PMUEvent.L2_MISSES,
+                PMUEvent.L1_MISSES,
+            )
+        )

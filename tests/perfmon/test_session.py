@@ -1,0 +1,74 @@
+"""Perfmon sessions: probing, overhead, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.chip import MulticoreChip
+from repro.config import MachineConfig
+from repro.errors import PerfmonError
+from repro.perfmon.session import PerfmonSession
+from repro.sim.process import SimProcess
+from repro.workloads import synthetic
+
+
+def make_session(overhead=20.0):
+    chip = MulticoreChip(MachineConfig.tiny())
+    session = PerfmonSession(
+        chip.pmu(0), chip.core(0), probe_overhead_cycles=overhead
+    )
+    return session, chip
+
+
+class TestProbing:
+    def test_probe_returns_period_deltas(self):
+        session, chip = make_session(overhead=0.0)
+        proc = SimProcess(synthetic.compute_bound(instructions=1e9), 0)
+        proc.launch()
+        chip.core(0).run(proc, 1_000.0)
+        first = session.probe()
+        assert first.cycles > 0
+        second = session.probe()
+        assert second.cycles == 0.0
+
+    def test_probe_charges_overhead(self):
+        session, chip = make_session(overhead=25.0)
+        session.probe()
+        assert chip.core(0).cycles_executed == 25.0
+
+    def test_peek_is_free_and_non_destructive(self):
+        session, chip = make_session(overhead=25.0)
+        chip.core(0).charge_overhead(100.0)
+        before = chip.core(0).cycles_executed
+        session.peek()
+        assert chip.core(0).cycles_executed == before
+
+    def test_probe_counter(self):
+        session, _ = make_session()
+        session.probe()
+        session.probe()
+        assert session.probes == 2
+
+
+class TestLifecycle:
+    def test_closed_session_rejects_probes(self):
+        session, _ = make_session()
+        session.close()
+        assert session.closed
+        with pytest.raises(PerfmonError):
+            session.probe()
+        with pytest.raises(PerfmonError):
+            session.peek()
+
+    def test_context_manager(self):
+        session, _ = make_session()
+        with session as s:
+            s.probe()
+        assert session.closed
+
+    def test_negative_overhead_rejected(self):
+        chip = MulticoreChip(MachineConfig.tiny())
+        with pytest.raises(PerfmonError):
+            PerfmonSession(
+                chip.pmu(0), chip.core(0), probe_overhead_cycles=-1.0
+            )

@@ -1,0 +1,33 @@
+"""Simulation clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        clock = SimClock(1000)
+        assert clock.period == 0
+        assert clock.cycle == 0.0
+
+    def test_advance(self):
+        clock = SimClock(1000)
+        assert clock.advance_period() == 1
+        assert clock.cycle == 1000.0
+
+    def test_cycle_at_fraction(self):
+        clock = SimClock(1000)
+        assert clock.cycle_at(2, 0.5) == 2500.0
+
+    def test_fraction_validated(self):
+        clock = SimClock(1000)
+        with pytest.raises(SimulationError):
+            clock.cycle_at(0, 1.5)
+
+    def test_positive_period_required(self):
+        with pytest.raises(SimulationError):
+            SimClock(0)

@@ -1,0 +1,79 @@
+"""Multi-batch scenarios under CAER (the Figure 4 architecture)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.metrics import utilization_gained
+from repro.caer.runtime import CaerConfig, caer_factory
+from repro.config import MachineConfig
+from repro.sim import run_multi_colocated, run_solo
+from repro.sim.process import ProcessState
+from repro.workloads import synthetic
+
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+
+
+def victim():
+    return synthetic.zipf_worker(
+        lines=int(0.6 * L3), alpha=0.7, instructions=150_000.0
+    )
+
+
+def contender():
+    return synthetic.streamer(lines=3 * L3, instructions=60_000.0)
+
+
+class TestMultiBatchCaer:
+    @pytest.fixture(scope="class")
+    def managed_run(self):
+        return run_multi_colocated(
+            victim(),
+            [contender(), contender(), contender()],
+            MACHINE,
+            caer_factory=caer_factory(CaerConfig.rule_based()),
+        )
+
+    def test_all_batches_obey_the_shared_directive(self, managed_run):
+        histories = [
+            record.states for record in managed_run.batch_processes()
+        ]
+        assert len(histories) == 3
+        first = histories[0]
+        for other in histories[1:]:
+            assert other == first
+
+    def test_caer_protects_against_the_group(self, managed_run):
+        solo = run_solo(victim(), MACHINE)
+        solo_periods = solo.latency_sensitive().completion_periods
+        managed_periods = (
+            managed_run.latency_sensitive().completion_periods
+        )
+        raw = run_multi_colocated(
+            victim(), [contender()] * 3, MACHINE
+        )
+        raw_periods = raw.latency_sensitive().completion_periods
+        assert raw_periods > 1.3 * solo_periods
+        assert managed_periods < 0.7 * raw_periods
+
+    def test_utilization_averages_over_the_group(self, managed_run):
+        gained = utilization_gained(managed_run)
+        assert 0.0 <= gained <= 1.0
+        # With a heavy victim the group is throttled most of the time.
+        assert gained < 0.5
+
+    def test_victim_untouched(self, managed_run):
+        ls = managed_run.latency_sensitive()
+        assert ProcessState.PAUSED not in ls.states
+
+    def test_decision_log_counts_group_misses(self, managed_run):
+        # own_misses aggregates the whole batch group; while all three
+        # run it must exceed any single contender's typical rate.
+        running_records = [
+            record
+            for record in managed_run.caer_log
+            if not record["pause"] and record["own_misses"] > 0
+        ]
+        assert running_records
+        assert max(r["own_misses"] for r in running_records) > 500

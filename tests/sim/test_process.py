@@ -1,0 +1,105 @@
+"""Process lifecycle and scheduling state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.process import AppClass, ProcessState, SimProcess
+from repro.workloads import synthetic
+
+
+def make_process(**kwargs) -> SimProcess:
+    spec = synthetic.compute_bound(instructions=100.0)
+    return SimProcess(spec, core_id=0, **kwargs)
+
+
+class TestLifecycle:
+    def test_starts_waiting(self):
+        proc = make_process()
+        assert proc.state is ProcessState.WAITING
+        assert not proc.runnable
+
+    def test_launch(self):
+        proc = make_process()
+        proc.launch()
+        assert proc.state is ProcessState.RUNNING
+        assert proc.runnable
+
+    def test_double_launch_rejected(self):
+        proc = make_process()
+        proc.launch()
+        with pytest.raises(SchedulingError):
+            proc.launch()
+
+    def test_pause_resume(self):
+        proc = make_process()
+        proc.launch()
+        proc.set_paused(True)
+        assert proc.state is ProcessState.PAUSED
+        assert not proc.runnable
+        proc.set_paused(False)
+        assert proc.state is ProcessState.RUNNING
+
+    def test_pause_is_idempotent(self):
+        proc = make_process()
+        proc.launch()
+        proc.set_paused(False)  # not paused: no-op
+        assert proc.state is ProcessState.RUNNING
+        proc.set_paused(True)
+        proc.set_paused(True)
+        assert proc.state is ProcessState.PAUSED
+
+
+class TestCompletion:
+    def test_completion_without_relaunch_finishes(self):
+        proc = make_process()
+        proc.launch()
+        proc.note_completion(period=5)
+        assert proc.state is ProcessState.FINISHED
+        assert proc.completions == 1
+        assert proc.first_completion_period == 5
+
+    def test_relaunch_restarts_workload(self):
+        proc = make_process(relaunch=True)
+        proc.launch()
+        old = proc.workload
+        proc.note_completion(period=5)
+        assert proc.state is ProcessState.RUNNING
+        assert proc.workload is not old
+        assert not proc.workload.finished
+
+    def test_first_completion_recorded_once(self):
+        proc = make_process(relaunch=True)
+        proc.launch()
+        proc.note_completion(period=5)
+        proc.note_completion(period=9)
+        assert proc.first_completion_period == 5
+        assert proc.completions == 2
+
+    def test_pause_after_finish_is_noop(self):
+        proc = make_process()
+        proc.launch()
+        proc.note_completion(period=1)
+        proc.set_paused(True)
+        assert proc.state is ProcessState.FINISHED
+
+
+class TestValidation:
+    def test_negative_core_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimProcess(synthetic.compute_bound(), core_id=-1)
+
+    def test_negative_launch_period_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_process(launch_period=-1)
+
+    def test_default_class_and_name(self):
+        proc = make_process()
+        assert proc.app_class is AppClass.LATENCY_SENSITIVE
+        assert proc.name == proc.spec.name
+
+    def test_disjoint_address_bases(self):
+        a = SimProcess(synthetic.compute_bound(), core_id=0)
+        b = SimProcess(synthetic.compute_bound(), core_id=1)
+        assert a.workload.base != b.workload.base

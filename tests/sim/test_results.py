@@ -1,0 +1,82 @@
+"""Result records and series accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.pmu import PMUSample
+from repro.errors import SimulationError
+from repro.sim.process import AppClass, ProcessState
+from repro.sim.results import ProcessResult, RunResult
+
+
+def sample(misses=0, instructions=0.0) -> PMUSample:
+    return PMUSample(100.0, instructions, misses, misses, 0, 0, 0, 0)
+
+
+def make_record(name="p", app_class=AppClass.LATENCY_SENSITIVE,
+                launch=0) -> ProcessResult:
+    return ProcessResult(
+        name=name, app_class=app_class, core_id=0, launch_period=launch
+    )
+
+
+class TestProcessResult:
+    def test_series(self):
+        record = make_record()
+        record.record(ProcessState.RUNNING, sample(misses=5))
+        record.record(ProcessState.PAUSED, sample(misses=2))
+        assert record.llc_miss_series() == [5, 2]
+        assert record.total_llc_misses() == 7
+
+    def test_periods_in_state_with_window(self):
+        record = make_record()
+        for state in (
+            ProcessState.RUNNING,
+            ProcessState.PAUSED,
+            ProcessState.RUNNING,
+            ProcessState.RUNNING,
+        ):
+            record.record(state, sample())
+        assert record.periods_in_state(ProcessState.RUNNING) == 3
+        assert (
+            record.periods_in_state(ProcessState.RUNNING, window=(1, 3))
+            == 1
+        )
+
+    def test_completion_periods(self):
+        record = make_record(launch=2)
+        record.first_completion_period = 11
+        assert record.completion_periods == 10
+
+    def test_completion_periods_requires_completion(self):
+        record = make_record()
+        with pytest.raises(SimulationError, match="never ran"):
+            _ = record.completion_periods
+
+
+class TestRunResult:
+    def make_run(self) -> RunResult:
+        run = RunResult(machine_name="m", period_cycles=1000)
+        run.processes["ls"] = make_record("ls")
+        run.processes["batch"] = make_record(
+            "batch", app_class=AppClass.BATCH
+        )
+        return run
+
+    def test_lookup(self):
+        run = self.make_run()
+        assert run.process("ls").name == "ls"
+        with pytest.raises(SimulationError, match="no process"):
+            run.process("ghost")
+
+    def test_by_class(self):
+        run = self.make_run()
+        assert [p.name for p in run.batch_processes()] == ["batch"]
+        assert run.latency_sensitive().name == "ls"
+
+    def test_latency_sensitive_requires_exactly_one(self):
+        run = self.make_run()
+        run.processes["ls2"] = make_record("ls2")
+        with pytest.raises(SimulationError, match="exactly one"):
+            run.latency_sensitive()

@@ -1,0 +1,80 @@
+"""Canonical scenarios: solo and co-located runs."""
+
+from __future__ import annotations
+
+from repro.sim import run_colocated, run_solo
+from repro.sim.process import AppClass, ProcessState
+from repro.workloads import synthetic
+
+
+class TestSolo:
+    def test_solo_completes(self, tiny_machine):
+        result = run_solo(
+            synthetic.compute_bound(instructions=5_000.0), tiny_machine
+        )
+        ls = result.latency_sensitive()
+        assert ls.first_completion_period is not None
+        assert ls.app_class is AppClass.LATENCY_SENSITIVE
+
+
+class TestColocated:
+    def test_batch_launches_before_ls(self, tiny_machine):
+        result = run_colocated(
+            synthetic.compute_bound(instructions=3_000.0),
+            synthetic.streamer(lines=64, instructions=2_000.0),
+            tiny_machine,
+            launch_stagger=2,
+        )
+        ls = result.latency_sensitive()
+        batch = result.batch_processes()[0]
+        assert batch.launch_period == 0
+        assert ls.launch_period == 2
+        assert ls.states[0] is ProcessState.WAITING
+        assert batch.states[0] is ProcessState.RUNNING
+
+    def test_run_stops_when_ls_completes(self, tiny_machine):
+        result = run_colocated(
+            synthetic.compute_bound(instructions=3_000.0),
+            synthetic.streamer(lines=64, instructions=1e9),
+            tiny_machine,
+        )
+        ls = result.latency_sensitive()
+        assert ls.first_completion_period == result.total_periods - 1
+
+    def test_batch_relaunches(self, tiny_machine):
+        result = run_colocated(
+            synthetic.compute_bound(instructions=30_000.0),
+            synthetic.compute_bound(instructions=500.0),
+            tiny_machine,
+        )
+        assert result.batch_processes()[0].completions > 1
+
+    def test_caer_factory_hook_attached(self, tiny_machine):
+        seen = []
+
+        def factory(engine):
+            def hook(eng, period, samples):
+                seen.append(period)
+
+            return hook
+
+        run_colocated(
+            synthetic.compute_bound(instructions=2_000.0),
+            synthetic.compute_bound(instructions=2_000.0),
+            tiny_machine,
+            caer_factory=factory,
+        )
+        assert seen == list(range(len(seen)))
+        assert seen
+
+    def test_contention_slows_the_victim(self, small_machine):
+        """A streaming contender must slow a cache-hungry victim."""
+        victim = synthetic.zipf_worker(
+            lines=400, alpha=0.8, instructions=60_000.0
+        )
+        contender = synthetic.streamer(lines=4_000, instructions=30_000.0)
+        solo = run_solo(victim, small_machine)
+        colo = run_colocated(victim, contender, small_machine)
+        solo_p = solo.latency_sensitive().completion_periods
+        colo_p = colo.latency_sensitive().completion_periods
+        assert colo_p > solo_p

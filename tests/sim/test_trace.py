@@ -1,0 +1,88 @@
+"""Run-result export (CSV/JSON)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.caer.runtime import CaerConfig, caer_factory
+from repro.errors import SimulationError
+from repro.sim import run_colocated, run_solo
+from repro.sim.trace import (
+    PERIOD_COLUMNS,
+    decisions_to_csv,
+    periods_to_csv,
+    run_to_json,
+)
+from repro.workloads import synthetic
+
+
+@pytest.fixture(scope="module")
+def caer_run(request):
+    from repro.config import MachineConfig
+
+    machine = MachineConfig(
+        name="small",
+        num_cores=2,
+        l1=MachineConfig.tiny().l1,
+        l2=MachineConfig.tiny().l2,
+        l3=MachineConfig.tiny().l3,
+        period_cycles=5_000,
+    )
+    return run_colocated(
+        synthetic.zipf_worker(lines=100, instructions=30_000.0),
+        synthetic.streamer(lines=500, instructions=10_000.0),
+        machine,
+        caer_factory=caer_factory(CaerConfig.rule_based()),
+        batch_name="batch",
+    )
+
+
+class TestPeriodsCsv:
+    def test_header_and_rows(self, caer_run):
+        rows = list(csv.reader(io.StringIO(periods_to_csv(caer_run))))
+        assert tuple(rows[0]) == PERIOD_COLUMNS
+        # One row per (period, process).
+        expected = caer_run.total_periods * len(caer_run.processes)
+        assert len(rows) - 1 == expected
+
+    def test_states_serialised(self, caer_run):
+        text = periods_to_csv(caer_run)
+        assert "running" in text
+        assert "waiting" in text  # launch stagger
+
+
+class TestDecisionsCsv:
+    def test_decision_rows(self, caer_run):
+        rows = list(csv.reader(io.StringIO(decisions_to_csv(caer_run))))
+        assert "period" in rows[0]
+        assert len(rows) - 1 == len(caer_run.caer_log)
+
+    def test_requires_caer_log(self, tiny_machine):
+        solo = run_solo(
+            synthetic.compute_bound(instructions=2_000.0), tiny_machine
+        )
+        with pytest.raises(SimulationError):
+            decisions_to_csv(solo)
+
+
+class TestJson:
+    def test_summary_fields(self, caer_run):
+        data = json.loads(run_to_json(caer_run))
+        assert data["total_periods"] == caer_run.total_periods
+        names = {p["name"] for p in data["processes"]}
+        assert "batch" in names
+        assert data["caer_decisions"] == len(caer_run.caer_log)
+
+    def test_series_optional(self, caer_run):
+        without = json.loads(run_to_json(caer_run))
+        assert "series" not in without
+        with_series = json.loads(
+            run_to_json(caer_run, include_series=True)
+        )
+        series = with_series["series"]["batch"]
+        assert len(series["llc_misses"]) == caer_run.total_periods
+        assert len(series["states"]) == caer_run.total_periods

@@ -1,0 +1,92 @@
+"""Machine configuration and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    REFERENCE_PERIOD_CYCLES,
+    CacheLatencies,
+    MachineConfig,
+    default_usage_threshold,
+    scale_misses_per_period,
+)
+from repro.errors import ConfigError
+
+
+class TestLatencies:
+    def test_defaults_are_increasing(self):
+        lat = CacheLatencies()
+        assert lat.l1 < lat.l2 < lat.l3 < lat.memory
+
+    def test_for_level(self):
+        lat = CacheLatencies()
+        assert lat.for_level(1) == lat.l1
+        assert lat.for_level(4) == lat.memory
+        with pytest.raises(ConfigError):
+            lat.for_level(5)
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ConfigError):
+            CacheLatencies(l1=10, l2=5, l3=38, memory=200)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            CacheLatencies(l1=0)
+
+
+class TestMachine:
+    def test_full_scale_nehalem_geometry(self):
+        machine = MachineConfig.nehalem_i7_920()
+        assert machine.num_cores == 4
+        assert machine.l3.capacity_bytes == 8 * 1024 * 1024
+        assert machine.l3.associativity == 16
+        assert machine.period_cycles == REFERENCE_PERIOD_CYCLES
+
+    def test_scaled_nehalem_preserves_ratios(self):
+        full = MachineConfig.nehalem_i7_920()
+        scaled = MachineConfig.scaled_nehalem(cache_scale=16)
+        assert (
+            full.l3.capacity_lines / scaled.l3.capacity_lines == 16
+        )
+        assert (
+            full.l2.capacity_lines / scaled.l2.capacity_lines == 16
+        )
+        assert scaled.l3.associativity == full.l3.associativity
+
+    def test_period_scale(self):
+        scaled = MachineConfig.scaled_nehalem(period_cycles=40_000)
+        assert scaled.period_scale == pytest.approx(
+            40_000 / REFERENCE_PERIOD_CYCLES
+        )
+
+    def test_hierarchy_ordering_enforced(self):
+        from repro.config import CacheGeometry
+
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                l1=CacheGeometry(num_sets=512, associativity=8),
+                l2=CacheGeometry(num_sets=32, associativity=8),
+            )
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=0)
+
+
+class TestThresholds:
+    def test_paper_threshold_scales_with_period(self):
+        machine = MachineConfig.scaled_nehalem(period_cycles=40_000)
+        thresh = default_usage_threshold(machine)
+        assert thresh == pytest.approx(
+            1500.0 * 40_000 / REFERENCE_PERIOD_CYCLES
+        )
+
+    def test_full_scale_threshold_is_papers(self):
+        machine = MachineConfig.nehalem_i7_920()
+        assert default_usage_threshold(machine) == pytest.approx(1500.0)
+
+    def test_negative_threshold_rejected(self):
+        machine = MachineConfig.tiny()
+        with pytest.raises(ConfigError):
+            scale_misses_per_period(-1.0, machine)

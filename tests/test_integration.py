@@ -1,0 +1,124 @@
+"""End-to-end integration: the paper's story on small scenarios.
+
+These tests exercise the full stack — workload models, cache hierarchy,
+memory channel, engine, perfmon, CAER runtime, metrics — and assert the
+*directional* results the paper is built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CaerConfig,
+    MachineConfig,
+    benchmark,
+    caer_factory,
+    run_colocated,
+    run_solo,
+)
+from repro.caer.metrics import slowdown, utilization_gained
+
+LENGTH = 0.04
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+
+
+def spec(name):
+    return benchmark(name, L3, length=LENGTH)
+
+
+@pytest.fixture(scope="module")
+def mcf_solo():
+    return run_solo(spec("429.mcf"), MACHINE)
+
+
+@pytest.fixture(scope="module")
+def mcf_raw(mcf_solo):
+    return run_colocated(spec("429.mcf"), spec("470.lbm"), MACHINE)
+
+
+class TestContentionEmergence:
+    def test_lbm_slows_mcf_substantially(self, mcf_solo, mcf_raw):
+        assert slowdown(mcf_raw, mcf_solo) > 1.2
+
+    def test_lbm_barely_slows_namd(self):
+        solo = run_solo(spec("444.namd"), MACHINE)
+        raw = run_colocated(spec("444.namd"), spec("470.lbm"), MACHINE)
+        assert slowdown(raw, solo) < 1.1
+
+    def test_misses_and_retirement_anticorrelate(self):
+        """Figure 3's premise on the phased xalancbmk model."""
+        result = run_solo(spec("483.xalancbmk"), MACHINE)
+        ls = result.latency_sensitive()
+        misses = ls.llc_miss_series()
+        instructions = ls.instruction_series()
+        from repro.experiments.figures import _pearson
+
+        assert _pearson(misses, instructions) < -0.5
+
+    def test_inclusion_invariant_after_full_run(self):
+        from repro.arch.chip import MulticoreChip
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.process import AppClass, SimProcess
+
+        chip = MulticoreChip(MACHINE)
+        ls = SimProcess(spec("429.mcf"), 0)
+        batch = SimProcess(
+            spec("470.lbm"), 1, AppClass.BATCH, name="b", relaunch=True
+        )
+        SimulationEngine(chip, [ls, batch]).run()
+        assert chip.hierarchy.check_inclusion() == []
+
+
+class TestCaerEffectiveness:
+    @pytest.mark.parametrize("config_name", ["shutter", "rule_based"])
+    def test_caer_reduces_mcf_penalty(
+        self, config_name, mcf_solo, mcf_raw
+    ):
+        config = getattr(CaerConfig, config_name)()
+        managed = run_colocated(
+            spec("429.mcf"), spec("470.lbm"), MACHINE,
+            caer_factory=caer_factory(config),
+        )
+        raw_penalty = slowdown(mcf_raw, mcf_solo) - 1.0
+        managed_penalty = slowdown(managed, mcf_solo) - 1.0
+        assert managed_penalty < 0.6 * raw_penalty
+
+    def test_caer_keeps_utilization_for_insensitive_victim(self):
+        managed = run_colocated(
+            spec("444.namd"), spec("470.lbm"), MACHINE,
+            caer_factory=caer_factory(CaerConfig.rule_based()),
+        )
+        assert utilization_gained(managed) > 0.5
+
+    def test_caer_sacrifices_utilization_for_sensitive_victim(self):
+        managed = run_colocated(
+            spec("429.mcf"), spec("470.lbm"), MACHINE,
+            caer_factory=caer_factory(CaerConfig.rule_based()),
+        )
+        assert utilization_gained(managed) < 0.4
+
+    def test_heuristics_straddle_random_baseline(self):
+        """Equation 2's sign structure on one sensitive victim."""
+        random_run = run_colocated(
+            spec("429.mcf"), spec("470.lbm"), MACHINE,
+            caer_factory=caer_factory(CaerConfig.random_baseline()),
+        )
+        rule_run = run_colocated(
+            spec("429.mcf"), spec("470.lbm"), MACHINE,
+            caer_factory=caer_factory(CaerConfig.rule_based()),
+        )
+        assert (
+            utilization_gained(rule_run)
+            < utilization_gained(random_run)
+        )
+
+    def test_decision_log_has_both_phases(self):
+        managed = run_colocated(
+            spec("429.mcf"), spec("470.lbm"), MACHINE,
+            caer_factory=caer_factory(CaerConfig.shutter()),
+        )
+        states = {d["state"] for d in managed.caer_log}
+        assert "detect" in states
+        assert states & {"respond", "c-positive", "c-negative"}

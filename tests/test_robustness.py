@@ -1,0 +1,122 @@
+"""Robustness: seed stability and unusual-but-legal topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CaerConfig, MachineConfig, benchmark, caer_factory
+from repro.arch.chip import MulticoreChip
+from repro.caer.runtime import CaerRuntime
+from repro.sim import run_colocated, run_solo
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import AppClass, SimProcess
+from repro.workloads import synthetic
+
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+
+
+class TestSeedStability:
+    """Different seeds must not change the qualitative story."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mcf_stays_sensitive(self, seed):
+        mcf = benchmark("429.mcf", L3, length=0.03)
+        lbm = benchmark("470.lbm", L3, length=0.03)
+        solo = run_solo(mcf, MACHINE, seed=seed)
+        colo = run_colocated(mcf, lbm, MACHINE, seed=seed)
+        slowdown = (
+            colo.latency_sensitive().completion_periods
+            / solo.latency_sensitive().completion_periods
+        )
+        assert slowdown > 1.2
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_namd_stays_insensitive(self, seed):
+        namd = benchmark("444.namd", L3, length=0.03)
+        lbm = benchmark("470.lbm", L3, length=0.03)
+        solo = run_solo(namd, MACHINE, seed=seed)
+        colo = run_colocated(namd, lbm, MACHINE, seed=seed)
+        slowdown = (
+            colo.latency_sensitive().completion_periods
+            / solo.latency_sensitive().completion_periods
+        )
+        assert slowdown < 1.1
+
+    def test_same_seed_is_deterministic(self):
+        mcf = benchmark("429.mcf", L3, length=0.02)
+        lbm = benchmark("470.lbm", L3, length=0.02)
+        first = run_colocated(
+            mcf, lbm, MACHINE,
+            caer_factory=caer_factory(CaerConfig.shutter()),
+            seed=5,
+        )
+        second = run_colocated(
+            mcf, lbm, MACHINE,
+            caer_factory=caer_factory(CaerConfig.shutter()),
+            seed=5,
+        )
+        assert (
+            first.latency_sensitive().llc_miss_series()
+            == second.latency_sensitive().llc_miss_series()
+        )
+        assert first.caer_log == second.caer_log
+
+
+class TestMultipleLatencySensitiveApps:
+    """The Figure 4 vision also allows several latency-sensitive apps;
+    the table sums their miss pressure."""
+
+    def make_engine(self, config: CaerConfig) -> SimulationEngine:
+        chip = MulticoreChip(MACHINE)
+        ls_a = SimProcess(
+            synthetic.zipf_worker(
+                lines=int(0.4 * L3), alpha=0.7,
+                instructions=120_000.0,
+            ),
+            0,
+            name="ls-a",
+            seed=1,
+        )
+        ls_b = SimProcess(
+            synthetic.zipf_worker(
+                lines=int(0.4 * L3), alpha=0.7,
+                instructions=120_000.0,
+            ),
+            1,
+            name="ls-b",
+            seed=2,
+        )
+        batch = SimProcess(
+            synthetic.streamer(lines=4 * L3, instructions=60_000.0),
+            2,
+            AppClass.BATCH,
+            name="batch",
+            relaunch=True,
+            seed=3,
+        )
+        engine = SimulationEngine(chip, [ls_a, ls_b, batch])
+        engine.period_hooks.append(CaerRuntime(engine, config))
+        return engine
+
+    def test_runs_to_completion_and_throttles(self):
+        engine = self.make_engine(CaerConfig.rule_based())
+        result = engine.run()
+        assert result.process("ls-a").first_completion_period is not None
+        assert result.process("ls-b").first_completion_period is not None
+        from repro.sim.process import ProcessState
+
+        batch = result.process("batch")
+        assert ProcessState.PAUSED in batch.states
+
+    def test_table_aggregates_both_ls_apps(self):
+        engine = self.make_engine(CaerConfig.rule_based())
+        runtime = engine.period_hooks[-1]
+        engine.run()
+        row_a = runtime.table.row("ls-a")
+        row_b = runtime.table.row("ls-b")
+        assert row_a.samples_published > 0
+        assert row_b.samples_published > 0
+        assert runtime.table.latency_sensitive_mean() >= max(
+            row_a.llc_misses.mean(), row_b.llc_misses.mean()
+        )

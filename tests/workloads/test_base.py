@@ -1,0 +1,142 @@
+"""Workload specs, phases, and instance accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhaseSpec, WorkloadSpec
+from repro.workloads.patterns import (
+    SequentialStreamSpec,
+    UniformRandomSpec,
+)
+
+
+def two_phase_spec(
+    d1=100.0, d2=50.0, total=1000.0, mem1=0.5, mem2=0.25
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="t",
+        phases=(
+            PhaseSpec(
+                pattern=SequentialStreamSpec(lines=8, line_repeats=1),
+                duration_instructions=d1,
+                mem_ratio=mem1,
+            ),
+            PhaseSpec(
+                pattern=UniformRandomSpec(lines=8),
+                duration_instructions=d2,
+                mem_ratio=mem2,
+            ),
+        ),
+        total_instructions=total,
+    )
+
+
+class TestValidation:
+    def test_phase_rejects_bad_mem_ratio(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(
+                pattern=UniformRandomSpec(lines=4),
+                duration_instructions=10.0,
+                mem_ratio=0.0,
+            )
+        with pytest.raises(WorkloadError):
+            PhaseSpec(
+                pattern=UniformRandomSpec(lines=4),
+                duration_instructions=10.0,
+                mem_ratio=1.5,
+            )
+
+    def test_phase_rejects_bad_overlap(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(
+                pattern=UniformRandomSpec(lines=4),
+                duration_instructions=10.0,
+                overlap=0.5,
+            )
+
+    def test_workload_needs_phases(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", phases=(), total_instructions=10.0)
+
+    def test_workload_needs_budget(self):
+        phase = PhaseSpec(
+            pattern=UniformRandomSpec(lines=4),
+            duration_instructions=10.0,
+        )
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(name="x", phases=(phase,), total_instructions=0.0)
+
+
+class TestInstance:
+    def test_derived_per_access_constants(self):
+        instance = two_phase_spec().instantiate()
+        phase = instance.current_phase()
+        assert phase.instructions_per_access == pytest.approx(2.0)
+        assert phase.compute_cycles_per_access == pytest.approx(1.0)
+
+    def test_phase_rotation(self):
+        instance = two_phase_spec(d1=100.0, d2=50.0).instantiate()
+        # Phase 1 is 100 instructions = 50 accesses at mem_ratio .5.
+        instance.account(50)
+        assert instance.current_phase().spec.mem_ratio == 0.25
+        # Phase 2 is 50 instructions = 12.5 accesses at mem_ratio .25.
+        instance.account(13)
+        assert instance.current_phase().spec.mem_ratio == 0.5
+
+    def test_finishes_at_budget(self):
+        instance = two_phase_spec(total=100.0).instantiate()
+        instance.account(50)  # exactly 100 instructions
+        assert instance.finished
+        assert instance.progress == pytest.approx(1.0)
+
+    def test_account_zero_is_noop(self):
+        instance = two_phase_spec().instantiate()
+        instance.account(0)
+        assert instance.instructions_retired == 0.0
+
+    def test_account_negative_rejected(self):
+        instance = two_phase_spec().instantiate()
+        with pytest.raises(WorkloadError):
+            instance.account(-1)
+
+    def test_accesses_left_is_positive_until_finished(self):
+        instance = two_phase_spec(total=100.0).instantiate()
+        while not instance.finished:
+            left = instance.accesses_left_in_phase()
+            assert left >= 1
+            instance.account(min(left, 7))
+        assert instance.accesses_left_in_phase() == 0
+
+    def test_patterns_persist_across_phase_revisits(self):
+        instance = two_phase_spec(d1=2.0, d2=2.0, total=1000.0).instantiate()
+        first = instance.current_phase().pattern
+        instance.account(1)  # finish phase 1 (2 instructions)
+        instance.account(8)  # finish phase 2
+        assert instance.current_phase().pattern is first
+
+    @given(
+        st.lists(st.integers(1, 40), min_size=1, max_size=200),
+        st.floats(50.0, 5000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_retired_instructions_monotone_and_bounded(
+        self, chunks, total
+    ):
+        instance = two_phase_spec(total=total).instantiate()
+        last = 0.0
+        for chunk in chunks:
+            if instance.finished:
+                break
+            instance.account(chunk)
+            assert instance.instructions_retired >= last
+            last = instance.instructions_retired
+        if instance.finished:
+            # May overshoot by at most one chunk of instructions.
+            assert instance.instructions_retired >= total - 1e-6
+
+    def test_footprint_is_max_over_phases(self):
+        assert two_phase_spec().footprint_lines() == 8

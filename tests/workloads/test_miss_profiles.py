@@ -1,0 +1,63 @@
+"""Calibration-facing checks: the SPEC models' solo miss profiles.
+
+These are the properties the detectors rely on: a clear separation in
+LLC-miss volume between the paper's sensitive and insensitive groups,
+and thresholds that actually cut between them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, default_usage_threshold
+from repro.experiments.paperdata import LEAST_SENSITIVE, MOST_SENSITIVE
+from repro.sim import run_solo
+from repro.workloads import benchmark
+
+MACHINE = MachineConfig.scaled_nehalem()
+L3 = MACHINE.l3.capacity_lines
+LENGTH = 0.04
+
+
+def misses_per_period(name: str) -> float:
+    """Steady-state misses/period: the second half of the run, past
+    the cold-start transient that dominates short measurements."""
+    result = run_solo(benchmark(name, L3, length=LENGTH), MACHINE)
+    series = result.latency_sensitive().llc_miss_series()
+    tail = series[len(series) // 2:]
+    return sum(tail) / len(tail)
+
+
+@pytest.fixture(scope="module")
+def profiles() -> dict[str, float]:
+    names = set(MOST_SENSITIVE) | set(LEAST_SENSITIVE)
+    return {name: misses_per_period(name) for name in names}
+
+
+class TestMissProfiles:
+    def test_sensitive_group_misses_heavily(self, profiles):
+        threshold = default_usage_threshold(MACHINE)
+        for name in MOST_SENSITIVE:
+            assert profiles[name] > 3 * threshold, name
+
+    def test_insensitive_group_stays_below_threshold(self, profiles):
+        threshold = default_usage_threshold(MACHINE)
+        for name in LEAST_SENSITIVE:
+            assert profiles[name] < threshold, name
+
+    def test_group_separation_is_wide(self, profiles):
+        """The rule-based threshold has real margin on both sides."""
+        heaviest_light = max(
+            profiles[name] for name in LEAST_SENSITIVE
+        )
+        lightest_heavy = min(
+            profiles[name] for name in MOST_SENSITIVE
+        )
+        assert lightest_heavy > 5 * heaviest_light
+
+    def test_contender_is_the_heaviest_class(self, profiles):
+        """lbm belongs with the heavy missers (it is in the sensitive
+        panel precisely because a second lbm hurts it)."""
+        assert profiles["470.lbm"] > 10 * default_usage_threshold(
+            MACHINE
+        )

@@ -1,0 +1,279 @@
+"""Access-pattern generators: ranges, footprints, distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.patterns import (
+    HotColdSpec,
+    MixtureSpec,
+    PointerChaseSpec,
+    SequentialStreamSpec,
+    StridedScanSpec,
+    UniformRandomSpec,
+    ZipfSpec,
+)
+
+
+def sample(spec, n=2000, base=0, seed=0):
+    pattern = spec.instantiate(np.random.default_rng(seed), base)
+    return [pattern.next_address() for _ in range(n)]
+
+
+class TestSequentialStream:
+    def test_walks_lines_in_order(self):
+        addrs = sample(SequentialStreamSpec(lines=4, line_repeats=1), 8)
+        assert addrs == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_line_repeats(self):
+        addrs = sample(SequentialStreamSpec(lines=3, line_repeats=2), 6)
+        assert addrs == [0, 0, 1, 1, 2, 2]
+
+    def test_base_offset(self):
+        addrs = sample(
+            SequentialStreamSpec(lines=2, line_repeats=1), 2, base=100
+        )
+        assert addrs == [100, 101]
+
+    def test_footprint(self):
+        assert SequentialStreamSpec(lines=7).footprint_lines() == 7
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SequentialStreamSpec(lines=0)
+
+
+class TestUniformRandom:
+    def test_stays_in_range(self):
+        addrs = sample(UniformRandomSpec(lines=50), 5000, base=1000)
+        assert min(addrs) >= 1000
+        assert max(addrs) < 1050
+
+    def test_covers_working_set(self):
+        addrs = sample(UniformRandomSpec(lines=20), 2000)
+        assert len(set(addrs)) == 20
+
+    def test_roughly_uniform(self):
+        addrs = sample(UniformRandomSpec(lines=10), 10_000)
+        counts = np.bincount(addrs, minlength=10)
+        assert counts.min() > 0.5 * counts.mean()
+        assert counts.max() < 1.5 * counts.mean()
+
+    def test_deterministic_under_seed(self):
+        a = sample(UniformRandomSpec(lines=100), 500, seed=3)
+        b = sample(UniformRandomSpec(lines=100), 500, seed=3)
+        assert a == b
+
+    def test_line_repeats(self):
+        addrs = sample(UniformRandomSpec(lines=100, line_repeats=3), 30)
+        for i in range(0, 30, 3):
+            assert addrs[i] == addrs[i + 1] == addrs[i + 2]
+
+
+class TestPointerChase:
+    def test_visits_every_line_exactly_once_per_cycle(self):
+        spec = PointerChaseSpec(lines=64)
+        addrs = sample(spec, 64)
+        assert sorted(addrs) == list(range(64))
+
+    def test_cycle_repeats(self):
+        addrs = sample(PointerChaseSpec(lines=16), 32)
+        assert addrs[:16] == addrs[16:]
+
+    def test_base_offset(self):
+        addrs = sample(PointerChaseSpec(lines=8), 8, base=500)
+        assert sorted(addrs) == list(range(500, 508))
+
+    def test_chase_is_not_sequential(self):
+        addrs = sample(PointerChaseSpec(lines=256), 256, seed=1)
+        strides = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert len(strides) > 10  # genuinely scrambled
+
+
+class TestZipf:
+    def test_skew_increases_with_alpha(self):
+        flat = sample(ZipfSpec(lines=100, alpha=0.5), 20_000)
+        steep = sample(ZipfSpec(lines=100, alpha=2.0), 20_000)
+
+        def top_share(addrs):
+            counts = sorted(
+                np.bincount(addrs, minlength=100), reverse=True
+            )
+            return sum(counts[:5]) / len(addrs)
+
+        assert top_share(steep) > top_share(flat) + 0.2
+
+    def test_stays_in_range(self):
+        addrs = sample(ZipfSpec(lines=64, alpha=1.0), 5000, base=64)
+        assert min(addrs) >= 64
+        assert max(addrs) < 128
+
+    def test_hot_lines_are_scattered(self):
+        """Placement decouples popularity from address order."""
+        addrs = sample(ZipfSpec(lines=1000, alpha=1.5), 20_000, seed=5)
+        counts = np.bincount(addrs, minlength=1000)
+        hottest = int(np.argmax(counts))
+        # With random placement the hottest line is almost surely not 0.
+        assert counts[hottest] > counts[0] or hottest != 0
+
+
+class TestHotCold:
+    def test_hot_region_dominates(self):
+        spec = HotColdSpec(hot_lines=10, cold_lines=1000, hot_fraction=0.9)
+        addrs = sample(spec, 10_000)
+        hot_hits = sum(1 for a in addrs if a < 10)
+        assert hot_hits / len(addrs) == pytest.approx(0.9, abs=0.03)
+
+    def test_footprint(self):
+        spec = HotColdSpec(hot_lines=10, cold_lines=90)
+        assert spec.footprint_lines() == 100
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            HotColdSpec(hot_lines=1, cold_lines=1, hot_fraction=1.0)
+
+
+class TestStridedScan:
+    def test_stride(self):
+        addrs = sample(StridedScanSpec(lines=8, stride=2), 4)
+        assert addrs == [0, 2, 4, 6]
+
+    def test_wraps(self):
+        addrs = sample(StridedScanSpec(lines=4, stride=2), 4)
+        assert addrs == [0, 2, 0, 2]
+
+    def test_footprint_counts_touched_lines(self):
+        assert StridedScanSpec(lines=10, stride=3).footprint_lines() == 4
+
+
+class TestMixture:
+    def test_components_get_disjoint_ranges(self):
+        spec = MixtureSpec(
+            components=(
+                (1.0, SequentialStreamSpec(lines=10, line_repeats=1)),
+                (1.0, UniformRandomSpec(lines=10)),
+            )
+        )
+        addrs = sample(spec, 4000, base=0)
+        assert min(addrs) >= 0
+        assert max(addrs) < 20
+
+    def test_weights_respected(self):
+        spec = MixtureSpec(
+            components=(
+                (3.0, SequentialStreamSpec(lines=10, line_repeats=1)),
+                (1.0, UniformRandomSpec(lines=10)),
+            )
+        )
+        addrs = sample(spec, 20_000)
+        first = sum(1 for a in addrs if a < 10)
+        assert first / len(addrs) == pytest.approx(0.75, abs=0.03)
+
+    def test_needs_two_components(self):
+        with pytest.raises(WorkloadError):
+            MixtureSpec(
+                components=((1.0, UniformRandomSpec(lines=4)),)
+            )
+
+    def test_footprint_sums_components(self):
+        spec = MixtureSpec(
+            components=(
+                (1.0, SequentialStreamSpec(lines=5, line_repeats=1)),
+                (1.0, UniformRandomSpec(lines=7)),
+            )
+        )
+        assert spec.footprint_lines() == 12
+
+
+@st.composite
+def any_pattern_spec(draw):
+    lines = draw(st.integers(1, 200))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return SequentialStreamSpec(
+            lines=lines, line_repeats=draw(st.integers(1, 4))
+        )
+    if kind == 1:
+        return UniformRandomSpec(lines=lines)
+    if kind == 2:
+        return PointerChaseSpec(lines=lines)
+    if kind == 3:
+        return ZipfSpec(lines=lines, alpha=draw(st.floats(0.2, 3.0)))
+    return HotColdSpec(
+        hot_lines=lines,
+        cold_lines=draw(st.integers(1, 200)),
+        hot_fraction=draw(st.floats(0.1, 0.9)),
+    )
+
+
+class TestPatternProperties:
+    @given(any_pattern_spec(), st.integers(0, 2**20))
+    @settings(max_examples=50, deadline=None)
+    def test_addresses_within_declared_footprint(self, spec, base):
+        pattern = spec.instantiate(np.random.default_rng(0), base)
+        footprint = spec.footprint_lines()
+        for _ in range(200):
+            addr = pattern.next_address()
+            assert base <= addr < base + max(footprint, spec.footprint_lines())
+
+    @given(any_pattern_spec())
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_lines_bounded_by_footprint(self, spec):
+        pattern = spec.instantiate(np.random.default_rng(1), 0)
+        seen = {pattern.next_address() for _ in range(500)}
+        assert len(seen) <= spec.footprint_lines()
+
+
+class TestTraceReplay:
+    def test_replays_in_order_cyclically(self):
+        from repro.workloads.patterns import TraceSpec
+
+        addrs = sample(TraceSpec(trace=(3, 1, 4)), 6)
+        assert addrs == [3, 1, 4, 3, 1, 4]
+
+    def test_base_offset(self):
+        from repro.workloads.patterns import TraceSpec
+
+        addrs = sample(TraceSpec(trace=(0, 1)), 2, base=10)
+        assert addrs == [10, 11]
+
+    def test_footprint(self):
+        from repro.workloads.patterns import TraceSpec
+
+        assert TraceSpec(trace=(0, 7, 3)).footprint_lines() == 8
+
+    def test_empty_trace_rejected(self):
+        from repro.workloads.patterns import TraceSpec
+
+        with pytest.raises(WorkloadError):
+            TraceSpec(trace=())
+
+    def test_negative_address_rejected(self):
+        from repro.workloads.patterns import TraceSpec
+
+        with pytest.raises(WorkloadError):
+            TraceSpec(trace=(1, -2))
+
+    def test_runs_through_the_simulator(self, tiny_machine=None):
+        from repro.sim import run_solo
+        from repro.workloads.base import PhaseSpec, WorkloadSpec
+        from repro.workloads.patterns import TraceSpec
+        from repro.config import MachineConfig
+
+        spec = WorkloadSpec(
+            name="traced",
+            phases=(
+                PhaseSpec(
+                    pattern=TraceSpec(trace=tuple(range(64)) * 2),
+                    duration_instructions=5_000.0,
+                    mem_ratio=0.3,
+                ),
+            ),
+            total_instructions=5_000.0,
+        )
+        result = run_solo(spec, MachineConfig.tiny())
+        assert result.latency_sensitive().first_completion_period is not None

@@ -1,0 +1,99 @@
+"""The SPEC CPU2006 model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError
+from repro.workloads.spec2006 import (
+    SPEC2006_CPP,
+    benchmark,
+    benchmark_names,
+    spec_registry,
+)
+
+
+class TestRegistry:
+    def test_all_21_cpp_benchmarks_present(self):
+        assert len(SPEC2006_CPP) == 21
+        assert len(spec_registry()) == 21
+        assert set(benchmark_names()) == set(spec_registry())
+
+    def test_paper_figure_order(self):
+        names = benchmark_names()
+        assert names[0] == "400.perlbench"
+        assert names[11] == "483.xalancbmk"  # last CINT
+        assert names[-1] == "482.sphinx3"
+
+    def test_suites_assigned(self):
+        registry = spec_registry()
+        ints = [n for n, i in registry.items() if i.suite == "int"]
+        fps = [n for n, i in registry.items() if i.suite == "fp"]
+        assert len(ints) == 12
+        assert len(fps) == 9
+
+    def test_descriptions_nonempty(self):
+        for info in spec_registry().values():
+            assert len(info.description) > 20
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", SPEC2006_CPP)
+    def test_builds_valid_spec(self, name):
+        spec = benchmark(name, l3_lines=8192)
+        assert spec.name == name
+        assert spec.total_instructions > 0
+        assert spec.phases
+        for phase in spec.phases:
+            assert 0 < phase.mem_ratio <= 1
+            assert phase.overlap >= 1.0
+
+    @pytest.mark.parametrize("name", SPEC2006_CPP)
+    def test_scales_with_l3(self, name):
+        small = benchmark(name, l3_lines=1024)
+        large = benchmark(name, l3_lines=8192)
+        assert small.footprint_lines() <= large.footprint_lines()
+
+    def test_length_scales_budget(self):
+        short = benchmark("429.mcf", 8192, length=0.5)
+        full = benchmark("429.mcf", 8192, length=1.0)
+        assert short.total_instructions == pytest.approx(
+            full.total_instructions / 2
+        )
+
+    def test_suffix_lookup(self):
+        assert benchmark("mcf").name == "429.mcf"
+        assert benchmark("lbm").name == "470.lbm"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError, match="known:"):
+            benchmark("999.nonesuch")
+
+    def test_contender_streams_beyond_l3(self):
+        lbm = benchmark("470.lbm", l3_lines=8192)
+        assert lbm.footprint_lines() > 4 * 8192
+
+    def test_insensitive_models_fit_small_slice(self):
+        for name in ("444.namd", "453.povray", "456.hmmer"):
+            spec = benchmark(name, l3_lines=8192)
+            assert spec.footprint_lines() < 0.1 * 8192
+
+    def test_sensitive_models_press_the_l3(self):
+        for name in ("429.mcf", "483.xalancbmk", "450.soplex"):
+            spec = benchmark(name, l3_lines=8192)
+            assert spec.footprint_lines() > 0.5 * 8192
+
+    def test_phase_mix_invariant_under_length(self):
+        """Multi-phase benchmarks keep their phase-duration ratios."""
+        for name in ("429.mcf", "403.gcc", "483.xalancbmk"):
+            long = benchmark(name, 8192, length=1.0)
+            short = benchmark(name, 8192, length=0.5)
+            ratio_long = (
+                long.phases[0].duration_instructions
+                / long.phases[1].duration_instructions
+            )
+            ratio_short = (
+                short.phases[0].duration_instructions
+                / short.phases[1].duration_instructions
+            )
+            assert ratio_long == pytest.approx(ratio_short, rel=0.01)

@@ -1,0 +1,36 @@
+"""Synthetic microbenchmark builders."""
+
+from __future__ import annotations
+
+from repro.workloads import synthetic
+
+
+class TestBuilders:
+    def test_streamer(self):
+        spec = synthetic.streamer(lines=100, instructions=500.0)
+        assert spec.total_instructions == 500.0
+        assert spec.footprint_lines() == 100
+        assert spec.phases[0].overlap >= 2.0
+
+    def test_pointer_chaser_has_no_overlap(self):
+        spec = synthetic.pointer_chaser(lines=64)
+        assert spec.phases[0].overlap == 1.0
+
+    def test_zipf_worker(self):
+        spec = synthetic.zipf_worker(lines=32, alpha=1.5)
+        assert spec.footprint_lines() == 32
+
+    def test_compute_bound_barely_touches_memory(self):
+        spec = synthetic.compute_bound()
+        assert spec.phases[0].mem_ratio <= 0.05
+        assert spec.footprint_lines() <= 8
+
+    def test_phased_worker_alternates(self):
+        spec = synthetic.phased_worker(
+            heavy_lines=100, light_lines=10
+        )
+        assert len(spec.phases) == 2
+        assert spec.phases[0].mem_ratio > spec.phases[1].mem_ratio
+
+    def test_custom_names(self):
+        assert synthetic.streamer(8, name="x").name == "x"
