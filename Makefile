@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures report examples clean
+.PHONY: install test bench simspeed figures report examples clean
 
 install:
 	pip install -e .
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+simspeed:
+	$(PYTHON) benchmarks/bench_simspeed.py
 
 figures:
 	$(PYTHON) -m repro.cli all

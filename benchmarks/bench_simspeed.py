@@ -1,0 +1,169 @@
+"""Single-run simulator throughput: fast lane vs. generic reference.
+
+Measures raw access throughput (simulated memory accesses per wall
+second) of one core driving the scaled-Nehalem hierarchy, with the
+hot-path specializations on (``REPRO_FAST_LANE=1``: batched address
+generation feeding the inlined L1 MRU check and the LRU-specialized
+probe/fill) against the generic reference path (``REPRO_FAST_LANE=0``),
+which matches the pre-fast-lane hot path structurally: virtual policy
+dispatch and exception-based probing on every access.
+
+Run standalone for the acceptance check (the streaming microbenchmark
+must be >= 1.8x)::
+
+    PYTHONPATH=src python benchmarks/bench_simspeed.py
+    PYTHONPATH=src python benchmarks/bench_simspeed.py --smoke  # CI
+
+or through pytest (smoke-sized, sanity threshold only)::
+
+    pytest benchmarks/bench_simspeed.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import MachineConfig
+from repro.workloads import synthetic
+
+#: The acceptance threshold for streaming workloads (fast vs. generic).
+STREAMING_TARGET = 1.8
+
+#: name -> (workload factory, counts toward the streaming target)
+WORKLOADS = {
+    "stream-llc": (
+        lambda: synthetic.streamer(lines=70_000, instructions=1e9),
+        True,
+    ),
+    "stream-l2": (
+        lambda: synthetic.streamer(lines=512, instructions=1e9),
+        True,
+    ),
+    "pointer-chase": (
+        lambda: synthetic.pointer_chaser(lines=70_000, instructions=1e9),
+        False,
+    ),
+}
+
+
+def measure(
+    flag: str, factory, warm: int, timed: int, budget: float = 40_000.0
+) -> float:
+    """Accesses/second with the fast lane forced to ``flag``.
+
+    The gate is read at object construction, so the chip is built after
+    setting the environment; the workload restarts when it finishes so
+    the measured stream is steady-state.
+    """
+    os.environ["REPRO_FAST_LANE"] = flag
+    try:
+        from repro.arch.chip import MulticoreChip
+
+        chip = MulticoreChip(MachineConfig.scaled_nehalem(), seed=7)
+        spec = factory()
+        workload = spec.instantiate(seed=3, base=1 << 34)
+        core = chip.core(0)
+        for _ in range(warm):
+            core.run(workload, budget)
+            if workload.finished:
+                workload = spec.instantiate(seed=3, base=1 << 34)
+        start = time.perf_counter()
+        accesses_before = core.accesses_issued
+        for _ in range(timed):
+            core.run(workload, budget)
+            if workload.finished:
+                workload = spec.instantiate(seed=3, base=1 << 34)
+        elapsed = time.perf_counter() - start
+        return (core.accesses_issued - accesses_before) / elapsed
+    finally:
+        os.environ.pop("REPRO_FAST_LANE", None)
+
+
+def run_suite(warm: int, timed: int) -> list[tuple[str, float, float, bool]]:
+    """(name, fast, generic, is_streaming) per workload."""
+    rows = []
+    for name, (factory, is_streaming) in WORKLOADS.items():
+        fast = measure("1", factory, warm, timed)
+        generic = measure("0", factory, warm, timed)
+        rows.append((name, fast, generic, is_streaming))
+    return rows
+
+
+def render(rows) -> str:
+    lines = [
+        f"{'workload':<14} {'fast/s':>10} {'generic/s':>10} {'ratio':>7}"
+    ]
+    for name, fast, generic, _streaming in rows:
+        lines.append(
+            f"{name:<14} {fast:>10.0f} {generic:>10.0f} "
+            f"{fast / generic:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def bench_simspeed_smoke():
+    """Pytest entry: the fast lane must never be slower than generic."""
+    rows = run_suite(warm=3, timed=12)
+    print(render(rows))
+    for name, fast, generic, _streaming in rows:
+        assert fast > generic, (
+            f"{name}: fast lane ({fast:.0f}/s) slower than generic "
+            f"({generic:.0f}/s)"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="simulator hot-path throughput benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short run: sanity-check fast >= generic, no 1.8x gate",
+    )
+    parser.add_argument("--warm", type=int, default=None,
+                        help="warm-up run() calls per measurement")
+    parser.add_argument("--timed", type=int, default=None,
+                        help="timed run() calls per measurement")
+    args = parser.parse_args(argv)
+
+    warm = args.warm if args.warm is not None else (3 if args.smoke else 20)
+    timed = (
+        args.timed if args.timed is not None else (12 if args.smoke else 200)
+    )
+    rows = run_suite(warm, timed)
+    print(render(rows))
+
+    failures = []
+    for name, fast, generic, is_streaming in rows:
+        ratio = fast / generic
+        if args.smoke:
+            if ratio <= 1.0:
+                failures.append(f"{name}: fast lane slower ({ratio:.2f}x)")
+        elif is_streaming and ratio < STREAMING_TARGET:
+            failures.append(
+                f"{name}: {ratio:.2f}x below the {STREAMING_TARGET}x "
+                f"streaming target"
+            )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(
+        "OK"
+        if args.smoke
+        else f"OK: streaming >= {STREAMING_TARGET}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,8 +15,26 @@ pure container with three verbs: :meth:`probe`, :meth:`fill`,
 
 from __future__ import annotations
 
+import os
+
 from ..config import CacheGeometry
-from .replacement import ReplacementPolicy
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+)
+
+
+def fast_lane_enabled() -> bool:
+    """Whether the hot-path specializations are on (default yes).
+
+    ``REPRO_FAST_LANE=0`` forces every cache and core onto the generic
+    path — the reference the fast lane is benchmarked and property-
+    tested against.  Read at object construction, not import, so tests
+    can toggle it per instance.
+    """
+    return os.environ.get("REPRO_FAST_LANE", "1") != "0"
 
 
 class CacheStats:
@@ -59,13 +77,23 @@ class CacheStats:
 
 
 class SetAssociativeCache:
-    """One level of cache: ``num_sets`` sets of ``associativity`` ways."""
+    """One level of cache: ``num_sets`` sets of ``associativity`` ways.
+
+    When the replacement policy is plain LRU (the default everywhere),
+    ``probe`` and ``fill`` are rebound at construction to specialized
+    variants that inline the policy's list operations, skipping the
+    virtual dispatch through :class:`ReplacementPolicy` on every access.
+    FIFO/Random/PLRU stay on the generic path.  Pass
+    ``specialize=False`` (or set ``REPRO_FAST_LANE=0``) to force the
+    generic path for benchmarking and equivalence tests.
+    """
 
     def __init__(
         self,
         name: str,
         geometry: CacheGeometry,
         policy: ReplacementPolicy,
+        specialize: bool | None = None,
     ):
         self.name = name
         self.geometry = geometry
@@ -75,6 +103,18 @@ class SetAssociativeCache:
         self._set_mask = geometry.num_sets - 1
         self._assoc = geometry.associativity
         self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
+        if specialize is None:
+            specialize = fast_lane_enabled()
+        #: whether re-touching the MRU line (list tail) is a policy
+        #: no-op — the invariant the core's inlined L1-hit check needs
+        self.hit_is_mru_noop = specialize and isinstance(
+            policy, (LRUPolicy, FIFOPolicy, RandomPolicy)
+        )
+        if specialize and type(policy) is LRUPolicy:
+            # Rebind the hot verbs on the instance; the class methods
+            # remain the generic reference implementation.
+            self.probe = self._probe_lru  # type: ignore[method-assign]
+            self.fill = self._fill_lru  # type: ignore[method-assign]
 
     # -- hot path ------------------------------------------------------
 
@@ -113,6 +153,41 @@ class SetAssociativeCache:
             self.policy.on_invalidate(contents, victim_way, set_index)
             self.stats.evictions += 1
         self.policy.on_fill(contents, addr, set_index)
+        self.stats.fills += 1
+        return victim
+
+    def _probe_lru(self, addr: int) -> bool:
+        """LRU-inlined :meth:`probe`: move-to-tail without dispatch.
+
+        Tests membership before ``list.index`` — raising ``ValueError``
+        costs ~4x a C-level scan of an 8-entry set, and misses dominate
+        the probes that reach this path (MRU hits are inlined upstream).
+        """
+        contents = self._sets[addr & self._set_mask]
+        if addr not in contents:
+            self.stats.misses += 1
+            return False
+        if contents[-1] != addr:
+            contents.append(contents.pop(contents.index(addr)))
+        self.stats.hits += 1
+        return True
+
+    def _fill_lru(self, addr: int) -> int | None:
+        """LRU-inlined :meth:`fill`: victim is always the list head.
+
+        Membership-first for the same reason as :meth:`_probe_lru`:
+        nearly every fill inserts a line that is not yet resident.
+        """
+        contents = self._sets[addr & self._set_mask]
+        if addr in contents:
+            if contents[-1] != addr:
+                contents.append(contents.pop(contents.index(addr)))
+            return None
+        victim: int | None = None
+        if len(contents) >= self._assoc:
+            victim = contents.pop(0)
+            self.stats.evictions += 1
+        contents.append(addr)
         self.stats.fills += 1
         return victim
 

@@ -20,8 +20,12 @@ periods with few instructions retired.
 from __future__ import annotations
 
 from ..config import MachineConfig
+from .cache import fast_lane_enabled
 from .hierarchy import CacheHierarchy
 from .memory import MainMemory
+
+#: Upper bound on one address batch drawn from a pattern.
+_MAX_BATCH = 4096
 
 
 class Core:
@@ -50,6 +54,11 @@ class Core:
         self._extra_stall = (0.0, 0.0, float(lat.l2 - lat.l1),
                              float(lat.l3 - lat.l1))
         self._l1_latency = float(lat.l1)
+        self._fast_lane = fast_lane_enabled()
+        # Cycles the in-flight access of the previous run() call owes
+        # beyond its budget; deducted from the next budget so cycle
+        # accounting never exceeds the sum of granted budgets.
+        self._stall_debt = 0.0
 
     def run(self, process: "object", cycle_budget: float,
             start_cycle: float = 0.0) -> float:
@@ -64,42 +73,104 @@ class Core:
         """
         if cycle_budget <= 0.0:
             return 0.0
-        used = 0.0
+        used = self._stall_debt
+        if used >= cycle_budget:
+            # Still stalled on the previous call's in-flight access:
+            # the whole budget drains into the outstanding debt.
+            self._stall_debt = used - cycle_budget
+            self.cycles_executed += cycle_budget
+            return cycle_budget
+        self._stall_debt = 0.0
         total_accesses = 0
         total_instructions = 0.0
-        hier_access = self.hierarchy.access
+        hierarchy = self.hierarchy
+        hier_access = hierarchy.access
         mem_access = self.memory.access
         extra = self._extra_stall
         l1_lat = self._l1_latency
         cid = self.core_id
+        # Fast lane: inline the L1 MRU-hit check (list tail) when it is
+        # provably equivalent to the generic walk; hit counts are
+        # accumulated locally and flushed per chunk.
+        l1 = hierarchy.l1[cid]
+        l1_sets = l1._sets
+        l1_mask = l1._set_mask
+        l1_stats = l1.stats
+        counters = hierarchy.counters[cid]
+        fast = self._fast_lane and hierarchy.l1_mru_fastpath_ok(cid)
 
         while used < cycle_budget and not process.finished:
             phase = process.current_phase()
-            self.hierarchy.set_store_ratio(cid, phase.store_ratio)
-            next_address = phase.pattern.next_address
+            hierarchy.set_store_ratio(cid, phase.store_ratio)
+            take_addresses = phase.take_addresses
+            push_back = phase.push_back
             ipa = phase.instructions_per_access
             cpa = phase.compute_cycles_per_access
             inv_overlap = 1.0 / phase.overlap
             chunk = process.accesses_left_in_phase()
             done = 0
+            mru_hits = 0
             while done < chunk and used < cycle_budget:
-                level = hier_access(cid, next_address())
-                if level == 1:
-                    used += cpa
-                elif level == 4:
-                    stall = mem_access(start_cycle + used) - l1_lat
-                    used += cpa + stall * inv_overlap
+                # An L1 hit (cpa cycles) is the cheapest access, so at
+                # most this many accesses can start inside the budget.
+                batch = int((cycle_budget - used) / cpa) + 1
+                rest = chunk - done
+                if batch > rest:
+                    batch = rest
+                if batch > _MAX_BATCH:
+                    batch = _MAX_BATCH
+                addrs = take_addresses(batch)
+                consumed = batch
+                if fast:
+                    for i, addr in enumerate(addrs):
+                        if used >= cycle_budget:
+                            push_back(addrs, i)
+                            consumed = i
+                            break
+                        contents = l1_sets[addr & l1_mask]
+                        if contents and contents[-1] == addr:
+                            mru_hits += 1
+                            used += cpa
+                            continue
+                        level = hier_access(cid, addr)
+                        if level == 1:
+                            used += cpa
+                        elif level == 4:
+                            stall = mem_access(start_cycle + used) - l1_lat
+                            used += cpa + stall * inv_overlap
+                        else:
+                            used += cpa + extra[level] * inv_overlap
                 else:
-                    used += cpa + extra[level] * inv_overlap
-                done += 1
+                    for i, addr in enumerate(addrs):
+                        if used >= cycle_budget:
+                            push_back(addrs, i)
+                            consumed = i
+                            break
+                        level = hier_access(cid, addr)
+                        if level == 1:
+                            used += cpa
+                        elif level == 4:
+                            stall = mem_access(start_cycle + used) - l1_lat
+                            used += cpa + stall * inv_overlap
+                        else:
+                            used += cpa + extra[level] * inv_overlap
+                done += consumed
+            if mru_hits:
+                counters.l1_hits += mru_hits
+                l1_stats.hits += mru_hits
             total_accesses += done
             total_instructions += done * ipa
             process.account(done)
 
-        self.cycles_executed += used if used <= cycle_budget else cycle_budget
+        if used > cycle_budget:
+            # The final access overshot; carry the excess into the next
+            # call so charged cycles never exceed granted budgets.
+            self._stall_debt = used - cycle_budget
+            used = cycle_budget
+        self.cycles_executed += used
         self.accesses_issued += total_accesses
         self.instructions_retired += total_instructions
-        return min(used, cycle_budget)
+        return used
 
     def idle(self, cycles: float) -> None:
         """Account an idle stretch (no counters advance; hook for tests)."""

@@ -130,6 +130,14 @@ class CacheHierarchy:
         # for back-invalidation targeting and per-core occupancy stats.
         self._l3_owners: dict[int, set[int]] = {}
         self._occupancy = [0] * n
+        # Prebound per-core hot-path verbs (picks up the caches'
+        # LRU-specialized rebindings); one list index replaces two
+        # attribute lookups and a method bind per access.
+        self._l1_probes = [cache.probe for cache in self.l1]
+        self._l1_fills = [cache.fill for cache in self.l1]
+        self._l2_probes = [cache.probe for cache in self.l2]
+        self._l2_fills = [cache.fill for cache in self.l2]
+        self._l3_probe = self.l3.probe
 
     # -- hot path ------------------------------------------------------
 
@@ -146,16 +154,16 @@ class CacheHierarchy:
                 acc -= 1.0
                 self._dirty.add(addr)
             self._store_accumulator[core] = acc
-        if self.l1[core].probe(addr):
+        if self._l1_probes[core](addr):
             counters.l1_hits += 1
             return L1_HIT
         counters.l1_misses += 1
-        if self.l2[core].probe(addr):
+        if self._l2_probes[core](addr):
             counters.l2_hits += 1
-            self.l1[core].fill(addr)
+            self._l1_fills[core](addr)
             return L2_HIT
         counters.l2_misses += 1
-        if self.l3.probe(addr):
+        if self._l3_probe(addr):
             counters.l3_hits += 1
             owners = self._l3_owners.get(addr)
             if owners is not None and core not in owners:
@@ -188,8 +196,8 @@ class CacheHierarchy:
                 self.memory.access(0.0)
 
     def _fill_private(self, core: int, addr: int) -> None:
-        self.l2[core].fill(addr)
-        self.l1[core].fill(addr)
+        self._l2_fills[core](addr)
+        self._l1_fills[core](addr)
 
     def set_l3_quota(self, core: int, fraction: float | None) -> None:
         """Cap ``core``'s L3 occupancy at ``fraction`` of capacity.
@@ -266,6 +274,17 @@ class CacheHierarchy:
                         if invalidated and owner != core:
                             self.counters[owner].back_invalidations += 1
                 return
+
+    def l1_mru_fastpath_ok(self, core: int) -> bool:
+        """Whether ``core`` may inline the L1 MRU-hit check.
+
+        Requires the L1 policy to treat a re-touch of the MRU line as a
+        no-op (LRU/FIFO/Random, with specialization on) and writeback
+        modelling to be off — with stores modelled, every access must
+        run the store accumulator inside :meth:`access`.
+        """
+        return self.l1[core].hit_is_mru_noop and \
+            not self._writebacks_enabled
 
     # -- inspection ----------------------------------------------------
 

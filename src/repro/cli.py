@@ -65,6 +65,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="simulation seed"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for simulation fan-out (default from "
+            "REPRO_JOBS or the cpu count; 1 = serial)"
+        ),
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the on-disk run cache",
@@ -133,7 +142,9 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-caer`` console script."""
     args = _build_parser().parse_args(argv)
     settings = _settings(args)
-    campaign = Campaign(settings, use_disk_cache=not args.no_cache)
+    campaign = Campaign(
+        settings, use_disk_cache=not args.no_cache, jobs=args.jobs
+    )
 
     if args.command == "list":
         print("figures: 1 2 3 6 7 8 9 10")
@@ -153,13 +164,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "ablation":
-        _emit(run_ablation(args.name, settings), args)
+        _emit(run_ablation(args.name, settings, jobs=args.jobs), args)
         return 0
 
     if args.command == "scaling":
         from .experiments.scaling import scaling_study
 
-        _emit(scaling_study(settings), args)
+        _emit(scaling_study(settings, jobs=args.jobs), args)
         return 0
 
     if args.command == "crossval":
@@ -171,7 +182,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "contenders":
         from .experiments.contenders import contender_study
 
-        _emit(contender_study(settings), args)
+        _emit(contender_study(settings, jobs=args.jobs), args)
         return 0
 
     if args.command == "repeatability":

@@ -10,7 +10,13 @@ only simulate once.
 
 from .ablations import ABLATIONS, AblationRunner, run_ablation
 from .crossval import analytic_figure1, rank_correlation
-from .campaign import Campaign, CampaignSettings, RunSummary
+from .campaign import (
+    Campaign,
+    CampaignSettings,
+    RunSummary,
+    produce_summary,
+)
+from .executor import fan_out, resolve_jobs, run_many
 from .figures import (
     figure1,
     figure2,
@@ -33,6 +39,10 @@ __all__ = [
     "Campaign",
     "CampaignSettings",
     "RunSummary",
+    "produce_summary",
+    "fan_out",
+    "resolve_jobs",
+    "run_many",
     "FigureTable",
     "render_series",
     "figure1",

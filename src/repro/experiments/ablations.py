@@ -19,6 +19,7 @@ from ..errors import ExperimentError
 from ..sim import run_colocated, run_solo
 from ..workloads import benchmark
 from .campaign import BATCH_BENCHMARK, CampaignSettings
+from .executor import fan_out
 from .reporting import FigureTable
 
 #: The victims every ablation is evaluated on.
@@ -26,13 +27,43 @@ SENSITIVE_VICTIM = "429.mcf"
 INSENSITIVE_VICTIM = "444.namd"
 
 
+def _describe_ablation(task: tuple) -> str:
+    _machine, _settings, victim, config, _solo = task
+    tag = f"{config.detector}/{config.response}" if config else "raw"
+    return f"({victim}, {tag})"
+
+
+def _ablation_worker(task: tuple) -> tuple[float, float]:
+    """One co-located ablation run (picklable executor task)."""
+    from ..caer.metrics import utilization_gained
+
+    machine, settings, victim, config, solo_periods = task
+    l3 = machine.l3.capacity_lines
+    result = run_colocated(
+        benchmark(victim, l3, length=settings.length),
+        benchmark(BATCH_BENCHMARK, l3, length=settings.length),
+        machine,
+        caer_factory=caer_factory(config) if config else None,
+        seed=settings.seed,
+    )
+    ls = result.latency_sensitive()
+    penalty = ls.completion_periods / solo_periods - 1.0
+    return penalty, utilization_gained(result)
+
+
 class AblationRunner:
     """Runs one CAER configuration against the two reference victims."""
 
-    def __init__(self, settings: CampaignSettings | None = None):
+    def __init__(
+        self,
+        settings: CampaignSettings | None = None,
+        jobs: int | None = None,
+    ):
         self.settings = settings or CampaignSettings.from_env()
         self.machine: MachineConfig = self.settings.machine()
         self._solo_cache: dict[str, int] = {}
+        #: default worker count for :meth:`evaluate_many`
+        self.jobs = jobs
 
     def _spec(self, name: str):
         return benchmark(
@@ -70,6 +101,28 @@ class AblationRunner:
         )
         return penalty, utilization_gained(result)
 
+    def evaluate_many(
+        self,
+        pairs: list[tuple[str, CaerConfig | None]],
+        jobs: int | None = None,
+    ) -> list[tuple[float, float]]:
+        """(penalty, utilization) per (victim, config), fanned out.
+
+        The solo baselines are produced (and memoised) up front in this
+        process; the independent co-located runs then fan across
+        workers, results in ``pairs`` order.
+        """
+        if jobs is None:
+            jobs = self.jobs
+        tasks = [
+            (self.machine, self.settings, victim, config,
+             self._solo_periods(victim))
+            for victim, config in pairs
+        ]
+        return fan_out(
+            _ablation_worker, tasks, jobs=jobs, describe=_describe_ablation
+        )
+
 
 def _sweep(
     runner: AblationRunner,
@@ -79,17 +132,22 @@ def _sweep(
     table = FigureTable(
         title=title, row_names=[label for label, _ in configs]
     )
+    pairs: list[tuple[str, CaerConfig | None]] = []
+    for _label, config in configs:
+        pairs.append((SENSITIVE_VICTIM, config))
+        pairs.append((INSENSITIVE_VICTIM, config))
+    results = iter(runner.evaluate_many(pairs))
     columns: dict[str, list[float]] = {
         "mcf_penalty": [],
         "mcf_util": [],
         "namd_penalty": [],
         "namd_util": [],
     }
-    for _label, config in configs:
-        p, u = runner.evaluate(SENSITIVE_VICTIM, config)
+    for _label, _config in configs:
+        p, u = next(results)
         columns["mcf_penalty"].append(p)
         columns["mcf_util"].append(u)
-        p, u = runner.evaluate(INSENSITIVE_VICTIM, config)
+        p, u = next(results)
         columns["namd_penalty"].append(p)
         columns["namd_util"].append(u)
     for name, values in columns.items():
@@ -244,7 +302,7 @@ def ablate_probe_period(
             cache_scale=base.cache_scale,
             period_cycles=period,
         )
-        sub_runner = AblationRunner(settings)
+        sub_runner = AblationRunner(settings, jobs=runner.jobs)
         config = CaerConfig.rule_based()
         p, u = sub_runner.evaluate(SENSITIVE_VICTIM, config)
         columns["mcf_penalty"].append(p)
@@ -333,7 +391,7 @@ def ablate_prefetch(
         "namd_util": [],
     }
     for degree in degrees:
-        sub_runner = AblationRunner(runner.settings)
+        sub_runner = AblationRunner(runner.settings, jobs=runner.jobs)
         sub_runner.machine = dc_replace(
             runner.machine, prefetch_degree=degree
         )
@@ -370,7 +428,7 @@ def ablate_writebacks(runner: AblationRunner) -> FigureTable:
         "namd_util": [],
     }
     for enabled in (False, True):
-        sub_runner = AblationRunner(runner.settings)
+        sub_runner = AblationRunner(runner.settings, jobs=runner.jobs)
         sub_runner.machine = dc_replace(
             runner.machine, model_writebacks=enabled
         )
@@ -456,7 +514,9 @@ ABLATIONS = {
 
 
 def run_ablation(
-    name: str, settings: CampaignSettings | None = None
+    name: str,
+    settings: CampaignSettings | None = None,
+    jobs: int | None = None,
 ) -> FigureTable:
     """Run one named ablation and return its table."""
     try:
@@ -466,4 +526,4 @@ def run_ablation(
             f"unknown ablation {name!r} "
             f"(known: {', '.join(sorted(ABLATIONS))})"
         ) from None
-    return fn(AblationRunner(settings))
+    return fn(AblationRunner(settings, jobs=jobs))

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 from ..caer.metrics import utilization_gained
 from ..caer.runtime import CaerConfig, caer_factory
@@ -28,9 +31,10 @@ from ..errors import ExperimentError
 from ..sim import run_colocated, run_solo
 from ..sim.results import RunResult
 from ..workloads import benchmark
+from .executor import run_many
 
 #: Bump when simulation semantics change so cached results invalidate.
-CACHE_EPOCH = 4
+CACHE_EPOCH = 5
 
 #: The co-location configurations of the paper's evaluation.
 CONFIGS = ("raw", "shutter", "rule", "random")
@@ -103,6 +107,9 @@ class RunSummary:
     miss_series: list[int] = field(default_factory=list)
     #: per-period instructions retired by the latency-sensitive app
     instruction_series: list[float] = field(default_factory=list)
+    #: wall-clock seconds the simulation took (excluded from equality:
+    #: parallel and serial campaigns must compare identical)
+    wall_seconds: float = field(default=0.0, compare=False)
 
     @classmethod
     def from_run(
@@ -135,6 +142,56 @@ class RunSummary:
         )
 
 
+def resolve_caer_config(config: str) -> CaerConfig | None:
+    """Map a config tag to the CAER setup the paper evaluates."""
+    if config == "raw":
+        return None
+    if config == "shutter":
+        return CaerConfig.shutter()
+    if config == "rule":
+        return CaerConfig.rule_based()
+    if config == "random":
+        return CaerConfig.random_baseline()
+    raise ExperimentError(f"unknown co-location config {config!r}")
+
+
+def produce_summary(
+    settings: CampaignSettings, bench: str, config: str
+) -> RunSummary:
+    """Simulate one (bench, config) run and condense it to a summary.
+
+    The unit of work of the parallel executor: module-level, driven
+    only by its (picklable) arguments, touching no shared state — the
+    campaign's memoisation layers stay in the parent process.
+    ``config`` is ``"solo"`` or one of :data:`CONFIGS`.
+    """
+    started = time.perf_counter()
+    machine = settings.machine()
+    l3 = machine.l3.capacity_lines
+    spec = benchmark(bench, l3, length=settings.length)
+    if config == "solo":
+        result = run_solo(
+            spec,
+            machine,
+            seed=settings.seed,
+            slices_per_period=settings.slices_per_period,
+        )
+    else:
+        batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
+        caer = resolve_caer_config(config)
+        result = run_colocated(
+            spec,
+            batch,
+            machine,
+            caer_factory=caer_factory(caer) if caer else None,
+            seed=settings.seed,
+            slices_per_period=settings.slices_per_period,
+        )
+    summary = RunSummary.from_run(bench, config, result)
+    summary.wall_seconds = round(time.perf_counter() - started, 3)
+    return summary
+
+
 class Campaign:
     """Produces and memoises the runs behind every figure."""
 
@@ -143,6 +200,7 @@ class Campaign:
         settings: CampaignSettings | None = None,
         cache_dir: str | os.PathLike | None = None,
         use_disk_cache: bool = True,
+        jobs: int | None = None,
     ):
         self.settings = settings or CampaignSettings.from_env()
         self._memory: dict[tuple[str, str], RunSummary] = {}
@@ -151,21 +209,13 @@ class Campaign:
                 "REPRO_CACHE_DIR", Path.home() / ".cache" / "repro-caer"
             )
         self.cache_dir = Path(cache_dir) if use_disk_cache else None
+        #: default worker count for :meth:`prefetch` (None = resolve
+        #: from ``REPRO_JOBS`` / cpu count at fan-out time)
+        self.jobs = jobs
 
     # -- configuration -> runtime factory --------------------------------
 
-    @staticmethod
-    def caer_config(config: str) -> CaerConfig | None:
-        """Map a config tag to the CAER setup the paper evaluates."""
-        if config == "raw":
-            return None
-        if config == "shutter":
-            return CaerConfig.shutter()
-        if config == "rule":
-            return CaerConfig.rule_based()
-        if config == "random":
-            return CaerConfig.random_baseline()
-        raise ExperimentError(f"unknown co-location config {config!r}")
+    caer_config = staticmethod(resolve_caer_config)
 
     # -- cache plumbing ---------------------------------------------------
 
@@ -201,29 +251,60 @@ class Campaign:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w") as handle:
-            json.dump(asdict(summary), handle)
-        tmp.replace(path)
+        # Unique temp name + atomic rename: concurrent campaign
+        # processes sharing a cache dir never observe a torn file, and
+        # a crash mid-write leaves the previous entry intact.
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(asdict(summary), handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- run production ---------------------------------------------------
+
+    def prefetch(
+        self,
+        benches: Iterable[str],
+        configs: Iterable[str],
+        jobs: int | None = None,
+    ) -> int:
+        """Materialise every missing (bench, config) summary in bulk.
+
+        The figure drivers call this before their serial analysis
+        loops: missing runs from the ``benches`` × ``configs`` product
+        are fanned across worker processes (``jobs`` workers, falling
+        back to the campaign's default, then ``REPRO_JOBS``/cpu count),
+        cached, and subsequent :meth:`solo`/:meth:`colocated` calls are
+        pure lookups.  Returns the number of runs simulated.
+        """
+        pairs = [
+            (bench, config)
+            for bench in benches
+            for config in configs
+            if self._load(bench, config) is None
+        ]
+        if not pairs:
+            return 0
+        if jobs is None:
+            jobs = self.jobs
+        for summary in run_many(self.settings, pairs, jobs=jobs):
+            self._store(summary)
+        return len(pairs)
 
     def solo(self, bench: str) -> RunSummary:
         """The benchmark running alone on the chip."""
         cached = self._load(bench, "solo")
         if cached is not None:
             return cached
-        machine = self.settings.machine()
-        spec = benchmark(
-            bench, machine.l3.capacity_lines, length=self.settings.length
-        )
-        result = run_solo(
-            spec,
-            machine,
-            seed=self.settings.seed,
-            slices_per_period=self.settings.slices_per_period,
-        )
-        summary = RunSummary.from_run(bench, "solo", result)
+        summary = produce_summary(self.settings, bench, "solo")
         self._store(summary)
         return summary
 
@@ -236,20 +317,7 @@ class Campaign:
         cached = self._load(bench, config)
         if cached is not None:
             return cached
-        machine = self.settings.machine()
-        l3 = machine.l3.capacity_lines
-        spec = benchmark(bench, l3, length=self.settings.length)
-        batch = benchmark(BATCH_BENCHMARK, l3, length=self.settings.length)
-        caer = self.caer_config(config)
-        result = run_colocated(
-            spec,
-            batch,
-            machine,
-            caer_factory=caer_factory(caer) if caer else None,
-            seed=self.settings.seed,
-            slices_per_period=self.settings.slices_per_period,
-        )
-        summary = RunSummary.from_run(bench, config, result)
+        summary = produce_summary(self.settings, bench, config)
         self._store(summary)
         return summary
 
@@ -264,3 +332,14 @@ class Campaign:
     def penalty(self, bench: str, config: str) -> float:
         """Cross-core interference penalty of ``config`` vs. solo."""
         return self.slowdown(bench, config) - 1.0
+
+    def memoised_runs(self) -> int:
+        """Number of run summaries currently memoised in this process."""
+        return len(self._memory)
+
+    def total_wall_seconds(self) -> float:
+        """Wall-clock simulation time across every memoised run.
+
+        Runs served from a pre-timing disk cache contribute 0.0.
+        """
+        return sum(s.wall_seconds for s in self._memory.values())

@@ -18,6 +18,7 @@ from ..caer.runtime import CaerConfig, caer_factory
 from ..sim import run_colocated, run_solo
 from ..workloads import benchmark
 from .campaign import CampaignSettings
+from .executor import fan_out
 from .reporting import FigureTable
 
 #: The paper's heavy contenders, plus one light adversary as control.
@@ -27,65 +28,92 @@ CONTENDERS = ("470.lbm", "462.libquantum", "433.milc", "444.namd")
 VICTIM_PANEL = ("429.mcf", "483.xalancbmk", "473.astar", "444.namd")
 
 
+def _solo_worker(task: tuple) -> int:
+    machine, settings, victim = task
+    result = run_solo(
+        benchmark(victim, machine.l3.capacity_lines,
+                  length=settings.length),
+        machine,
+        seed=settings.seed,
+    )
+    return result.latency_sensitive().completion_periods
+
+
+def _pair_worker(task: tuple) -> tuple[int, int, float]:
+    """(raw periods, managed periods, managed utilization) of one pair."""
+    machine, settings, victim, contender, caer = task
+    l3 = machine.l3.capacity_lines
+    victim_spec = benchmark(victim, l3, length=settings.length)
+    contender_spec = benchmark(contender, l3, length=settings.length)
+    raw = run_colocated(
+        victim_spec, contender_spec, machine, seed=settings.seed
+    )
+    managed = run_colocated(
+        victim_spec,
+        contender_spec,
+        machine,
+        caer_factory=caer_factory(caer),
+        seed=settings.seed,
+    )
+    return (
+        raw.latency_sensitive().completion_periods,
+        managed.latency_sensitive().completion_periods,
+        utilization_gained(managed),
+    )
+
+
 def contender_study(
     settings: CampaignSettings | None = None,
     contenders: tuple[str, ...] = CONTENDERS,
     victims: tuple[str, ...] = VICTIM_PANEL,
     caer: CaerConfig | None = None,
+    jobs: int | None = None,
 ) -> FigureTable:
     """Raw and CAER-managed penalty for every (victim, contender) pair.
 
     Rows are ``victim vs contender``; the CAER configuration defaults
-    to rule-based (the paper's best performer).
+    to rule-based (the paper's best performer).  Both the solo
+    baselines and the per-pair runs fan across worker processes.
     """
     settings = settings or CampaignSettings.from_env()
     caer = caer or CaerConfig.rule_based()
     machine = settings.machine()
-    l3 = machine.l3.capacity_lines
 
-    solo_periods: dict[str, int] = {}
-    for victim in victims:
-        result = run_solo(
-            benchmark(victim, l3, length=settings.length),
-            machine,
-            seed=settings.seed,
-        )
-        solo_periods[victim] = (
-            result.latency_sensitive().completion_periods
-        )
+    solo_results = fan_out(
+        _solo_worker,
+        [(machine, settings, victim) for victim in victims],
+        jobs=jobs,
+        describe=lambda task: f"({task[2]}, solo)",
+    )
+    solo_periods = dict(zip(victims, solo_results))
 
-    rows: list[str] = []
+    pairs = [
+        (victim, contender)
+        for contender in contenders
+        for victim in victims
+        if victim != contender
+    ]
+    rows = [f"{victim} vs {contender}" for victim, contender in pairs]
+    pair_results = fan_out(
+        _pair_worker,
+        [
+            (machine, settings, victim, contender, caer)
+            for victim, contender in pairs
+        ],
+        jobs=jobs,
+        describe=lambda task: f"({task[2]}, vs {task[3]})",
+    )
+
     raw_penalties: list[float] = []
     caer_penalties: list[float] = []
     caer_utils: list[float] = []
-    for contender in contenders:
-        for victim in victims:
-            if victim == contender:
-                continue
-            rows.append(f"{victim} vs {contender}")
-            victim_spec = benchmark(victim, l3, length=settings.length)
-            contender_spec = benchmark(
-                contender, l3, length=settings.length
-            )
-            raw = run_colocated(
-                victim_spec, contender_spec, machine, seed=settings.seed
-            )
-            managed = run_colocated(
-                victim_spec,
-                contender_spec,
-                machine,
-                caer_factory=caer_factory(caer),
-                seed=settings.seed,
-            )
-            base = solo_periods[victim]
-            raw_penalties.append(
-                raw.latency_sensitive().completion_periods / base - 1.0
-            )
-            caer_penalties.append(
-                managed.latency_sensitive().completion_periods / base
-                - 1.0
-            )
-            caer_utils.append(utilization_gained(managed))
+    for (victim, _contender), (raw, managed, util) in zip(
+        pairs, pair_results
+    ):
+        base = solo_periods[victim]
+        raw_penalties.append(raw / base - 1.0)
+        caer_penalties.append(managed / base - 1.0)
+        caer_utils.append(util)
 
     table = FigureTable(
         title="Alternative contenders (§6.1): penalty by pair",

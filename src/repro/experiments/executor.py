@@ -1,0 +1,118 @@
+"""Parallel fan-out of independent simulation runs.
+
+The campaign's run matrix — (benchmark, configuration) pairs — is
+embarrassingly parallel: every run builds its own chip, seeds its own
+RNG streams from the campaign settings, and shares no mutable state
+with its neighbours.  :func:`fan_out` distributes such runs across a
+:class:`~concurrent.futures.ProcessPoolExecutor`; with ``jobs=1`` it
+degrades to a plain in-process loop, which is the bit-identical
+reference the parallel path is tested against (determinism holds
+because each run's results depend only on its picklable arguments,
+never on scheduling order).
+
+The worker count comes from, in priority order: an explicit ``jobs``
+argument (the CLI's ``--jobs``), the ``REPRO_JOBS`` environment
+variable, and finally ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+
+from ..errors import ExperimentError
+
+if TYPE_CHECKING:
+    from .campaign import CampaignSettings, RunSummary
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Normalise a worker count, consulting ``REPRO_JOBS`` when unset."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env is None:
+            return os.cpu_count() or 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            )
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def fan_out(
+    worker: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: int | None = None,
+    describe: Callable[[T], str] = repr,
+) -> list[R]:
+    """Run ``worker`` over ``tasks``, results in task order.
+
+    ``worker`` must be a module-level callable and every task picklable
+    (:mod:`concurrent.futures` requirements).  A failing task does not
+    abort its siblings: every task runs to completion or failure, then
+    one :class:`ExperimentError` reports *which* tasks failed, via
+    ``describe``.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(tasks) <= 1:
+        results: list[R] = []
+        for task in tasks:
+            try:
+                results.append(worker(task))
+            except ExperimentError:
+                raise
+            except Exception as exc:
+                raise ExperimentError(
+                    f"run {describe(task)} failed: {exc!r}"
+                ) from exc
+        return results
+    out: list[R | None] = [None] * len(tasks)
+    failures: list[str] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(worker, task) for task in tasks]
+        for index, future in enumerate(futures):
+            try:
+                out[index] = future.result()
+            except Exception as exc:
+                failures.append(f"{describe(tasks[index])}: {exc!r}")
+    if failures:
+        raise ExperimentError(
+            f"{len(failures)} of {len(tasks)} runs failed — "
+            + "; ".join(failures)
+        )
+    return out  # type: ignore[return-value]
+
+
+def _describe_run(task: tuple) -> str:
+    _, bench, config = task
+    return f"({bench}, {config})"
+
+
+def _run_summary(task: tuple) -> "RunSummary":
+    # Imported lazily: campaign.py imports this module at load time.
+    from .campaign import produce_summary
+
+    settings, bench, config = task
+    return produce_summary(settings, bench, config)
+
+
+def run_many(
+    settings: "CampaignSettings",
+    pairs: Iterable[tuple[str, str]],
+    jobs: int | None = None,
+) -> list["RunSummary"]:
+    """Simulate every (bench, config) pair, fanned across processes.
+
+    ``config`` is ``"solo"`` or one of the co-location configurations;
+    summaries come back in ``pairs`` order.
+    """
+    tasks = [(settings, bench, config) for bench, config in pairs]
+    return fan_out(_run_summary, tasks, jobs=jobs, describe=_describe_run)

@@ -23,6 +23,7 @@ FIGURE3_BENCHMARKS = ("483.xalancbmk", "429.mcf")
 def figure1(campaign: Campaign) -> FigureTable:
     """Figure 1: slowdown of each benchmark next to lbm (no runtime)."""
     rows = list(benchmark_names())
+    campaign.prefetch(rows, ("solo", "raw"))
     table = FigureTable(
         title="Figure 1: slowdown due to co-location with lbm",
         row_names=rows,
@@ -42,6 +43,7 @@ def figure1(campaign: Campaign) -> FigureTable:
 def figure2(campaign: Campaign) -> FigureTable:
     """Figure 2: whole-run LLC misses, alone vs. with the contender."""
     rows = list(benchmark_names())
+    campaign.prefetch(rows, ("solo", "raw"))
     table = FigureTable(
         title="Figure 2: LLC misses alone vs. with contender",
         row_names=rows,
@@ -75,6 +77,7 @@ def figure3(campaign: Campaign) -> dict[str, str]:
     point is the *inverse correlation* between the two series, which
     :func:`figure3_correlations` quantifies.
     """
+    campaign.prefetch(FIGURE3_BENCHMARKS, ("solo",))
     charts: dict[str, str] = {}
     for bench in FIGURE3_BENCHMARKS:
         summary = campaign.solo(bench)
@@ -94,6 +97,7 @@ def figure3_correlations(campaign: Campaign) -> FigureTable:
     The paper reads "clear and compelling evidence of the inverse
     relationship"; the correlation should be strongly negative.
     """
+    campaign.prefetch(FIGURE3_BENCHMARKS, ("solo",))
     table = FigureTable(
         title="Figure 3: correlation(LLC misses, instructions retired)",
         row_names=list(FIGURE3_BENCHMARKS),
@@ -112,6 +116,7 @@ def figure3_correlations(campaign: Campaign) -> FigureTable:
 def figure6(campaign: Campaign) -> FigureTable:
     """Figure 6: interference penalty raw vs. CAER shutter/rule-based."""
     rows = list(benchmark_names())
+    campaign.prefetch(rows, ("solo", "raw", "shutter", "rule"))
     table = FigureTable(
         title="Figure 6: execution-time penalty due to cross-core "
               "interference",
@@ -134,6 +139,7 @@ def figure6(campaign: Campaign) -> FigureTable:
 def figure7(campaign: Campaign) -> FigureTable:
     """Figure 7: utilization gained (higher is better)."""
     rows = list(benchmark_names())
+    campaign.prefetch(rows, ("shutter", "rule"))
     table = FigureTable(
         title="Figure 7: utilization gained",
         row_names=rows,
@@ -156,6 +162,7 @@ def figure7(campaign: Campaign) -> FigureTable:
 def figure8(campaign: Campaign) -> FigureTable:
     """Figure 8: share of the interference penalty eliminated."""
     rows = list(benchmark_names())
+    campaign.prefetch(rows, ("solo", "raw", "shutter", "rule"))
     table = FigureTable(
         title="Figure 8: cross-core interference eliminated",
         row_names=rows,
@@ -184,6 +191,7 @@ def figure8(campaign: Campaign) -> FigureTable:
 def _accuracy_table(
     campaign: Campaign, rows: list[str], title: str
 ) -> FigureTable:
+    campaign.prefetch(rows, ("random", "shutter", "rule"))
     table = FigureTable(title=title, row_names=rows)
     random_util = {
         b: campaign.colocated(b, "random").utilization_gained for b in rows

@@ -60,6 +60,7 @@ class HeadlineNumbers:
 def headline_numbers(campaign: Campaign) -> HeadlineNumbers:
     """Compute the suite-mean penalties and utilization gains."""
     rows = list(benchmark_names())
+    campaign.prefetch(rows, ("solo", "raw", "shutter", "rule"))
     n = len(rows)
 
     def mean_penalty(config: str) -> float:

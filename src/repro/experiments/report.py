@@ -9,6 +9,7 @@ EXPERIMENTS.md, with whatever run length and seed the campaign used.
 from __future__ import annotations
 
 import io
+import time
 from pathlib import Path
 
 from . import paperdata
@@ -34,6 +35,7 @@ def _code_block(text: str) -> str:
 def generate_report(campaign: Campaign) -> str:
     """Render the full evaluation as a markdown document."""
     settings = campaign.settings
+    started = time.perf_counter()
     out = io.StringIO()
     out.write("# CAER reproduction report\n\n")
     out.write(
@@ -67,6 +69,15 @@ def generate_report(campaign: Campaign) -> str:
         out.write(_code_block(chart))
         out.write("\n")
     out.write(_code_block(figure3_correlations(campaign).render()))
+
+    elapsed = time.perf_counter() - started
+    sim_seconds = campaign.total_wall_seconds()
+    out.write("## Campaign timing\n\n")
+    out.write(
+        f"Simulated-run wall time: {sim_seconds:.1f} s across "
+        f"{campaign.memoised_runs()} runs (cached runs count 0); "
+        f"report generation took {elapsed:.1f} s.\n"
+    )
     return out.getvalue()
 
 

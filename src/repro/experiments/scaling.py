@@ -19,23 +19,47 @@ from ..caer.runtime import CaerConfig, caer_factory
 from ..sim import run_multi_colocated, run_solo
 from ..workloads import benchmark
 from .campaign import BATCH_BENCHMARK, CampaignSettings
+from .executor import fan_out
 from .reporting import FigureTable
 
 #: Default victim of the scaling study.
 DEFAULT_VICTIM = "429.mcf"
 
 
+def _scaling_worker(task: tuple) -> tuple[int, int, float]:
+    """Raw and managed runs against ``k`` contenders (executor task)."""
+    machine, settings, victim, k = task
+    l3 = machine.l3.capacity_lines
+    ls = benchmark(victim, l3, length=settings.length)
+    batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
+    raw = run_multi_colocated(
+        ls, [batch] * k, machine, seed=settings.seed
+    )
+    managed = run_multi_colocated(
+        ls,
+        [batch] * k,
+        machine,
+        caer_factory=caer_factory(CaerConfig.rule_based()),
+        seed=settings.seed,
+    )
+    return (
+        raw.latency_sensitive().completion_periods,
+        managed.latency_sensitive().completion_periods,
+        utilization_gained(managed),
+    )
+
+
 def scaling_study(
     settings: CampaignSettings | None = None,
     victim: str = DEFAULT_VICTIM,
     max_batch: int = 3,
+    jobs: int | None = None,
 ) -> FigureTable:
     """Penalty and utilization vs. number of batch contenders."""
     settings = settings or CampaignSettings.from_env()
     machine = settings.machine()
     l3 = machine.l3.capacity_lines
     ls = benchmark(victim, l3, length=settings.length)
-    batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
     solo_periods = (
         run_solo(ls, machine, seed=settings.seed)
         .latency_sensitive()
@@ -48,31 +72,24 @@ def scaling_study(
               "contenders",
         row_names=rows,
     )
+    results = fan_out(
+        _scaling_worker,
+        [
+            (machine, settings, victim, k)
+            for k in range(1, max_batch + 1)
+        ],
+        jobs=jobs,
+        describe=lambda task: f"({task[2]}, {task[3]} batch)",
+    )
     columns: dict[str, list[float]] = {
         "raw_penalty": [],
         "caer_penalty": [],
         "caer_util": [],
     }
-    for k in range(1, max_batch + 1):
-        raw = run_multi_colocated(
-            ls, [batch] * k, machine, seed=settings.seed
-        )
-        managed = run_multi_colocated(
-            ls,
-            [batch] * k,
-            machine,
-            caer_factory=caer_factory(CaerConfig.rule_based()),
-            seed=settings.seed,
-        )
-        columns["raw_penalty"].append(
-            raw.latency_sensitive().completion_periods / solo_periods
-            - 1.0
-        )
-        columns["caer_penalty"].append(
-            managed.latency_sensitive().completion_periods / solo_periods
-            - 1.0
-        )
-        columns["caer_util"].append(utilization_gained(managed))
+    for raw, managed, util in results:
+        columns["raw_penalty"].append(raw / solo_periods - 1.0)
+        columns["caer_penalty"].append(managed / solo_periods - 1.0)
+        columns["caer_util"].append(util)
     for name, values in columns.items():
         table.add_column(name, values)
     table.notes.append(

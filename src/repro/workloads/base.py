@@ -39,6 +39,17 @@ class AccessPattern(ABC):
     def next_address(self) -> int:
         """Produce the next line address (hot path)."""
 
+    def next_addresses(self, n: int) -> list[int]:
+        """Produce the next ``n`` line addresses as a list.
+
+        The returned stream is exactly what ``n`` consecutive
+        :meth:`next_address` calls would yield; subclasses override this
+        to amortise per-address call overhead (the simulator's core loop
+        consumes addresses in batches).  The caller owns the list.
+        """
+        next_address = self.next_address
+        return [next_address() for _ in range(n)]
+
     def footprint_lines(self) -> int:
         """Number of distinct lines the pattern can touch (if known)."""
         return 0
@@ -99,7 +110,10 @@ class RuntimePhase:
     """A :class:`PhaseSpec` instantiated for one run.
 
     Holds the live pattern and the derived per-access constants the core
-    model's inner loop consumes.
+    model's inner loop consumes.  The core draws addresses in batches
+    through :meth:`take_addresses`; a batch cut short by an expiring
+    cycle budget is returned through :meth:`push_back` so the observed
+    address stream stays identical to per-access generation.
     """
 
     __slots__ = (
@@ -109,6 +123,8 @@ class RuntimePhase:
         "compute_cycles_per_access",
         "overlap",
         "store_ratio",
+        "_pending",
+        "_pending_pos",
     )
 
     def __init__(self, spec: PhaseSpec, pattern: AccessPattern):
@@ -118,6 +134,41 @@ class RuntimePhase:
         self.compute_cycles_per_access = spec.base_cpi / spec.mem_ratio
         self.overlap = spec.overlap
         self.store_ratio = spec.store_ratio
+        self._pending: list[int] = []
+        self._pending_pos = 0
+
+    def take_addresses(self, n: int) -> list[int]:
+        """Up to ``n`` addresses, serving pushed-back ones first."""
+        pend = self._pending
+        if not pend:
+            return self.pattern.next_addresses(n)
+        pos = self._pending_pos
+        avail = len(pend) - pos
+        if avail > n:
+            self._pending_pos = pos + n
+            return pend[pos:pos + n]
+        self._pending = []
+        self._pending_pos = 0
+        head = pend[pos:] if pos else pend
+        if avail == n:
+            return head
+        return head + self.pattern.next_addresses(n - avail)
+
+    def push_back(self, addrs: list[int], start: int) -> None:
+        """Return ``addrs[start:]`` (unconsumed) to the stream front.
+
+        ``addrs`` must be the most recent :meth:`take_addresses` result;
+        its consumed prefix ``addrs[:start]`` stays consumed.
+        """
+        if start >= len(addrs):
+            return
+        if self._pending:
+            # The batch was a window into the pending list; rewinding the
+            # cursor by the unconsumed count restores exactly that suffix.
+            self._pending_pos -= len(addrs) - start
+        else:
+            self._pending = addrs
+            self._pending_pos = start
 
 
 @dataclass(frozen=True)

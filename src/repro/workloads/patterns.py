@@ -55,6 +55,25 @@ class _BufferedPattern(AccessPattern):
         self._index = i + 1
         return buf[i]
 
+    def next_addresses(self, n: int) -> list[int]:
+        i = self._index
+        buf = self._buffer
+        avail = len(buf) - i
+        if avail >= n:
+            self._index = i + n
+            return buf[i:i + n]
+        out = buf[i:]
+        n -= avail
+        while True:
+            buf = self._refill()
+            if len(buf) >= n:
+                self._buffer = buf
+                self._index = n
+                out.extend(buf[:n])
+                return out
+            out.extend(buf)
+            n -= len(buf)
+
 
 # -- sequential streaming ----------------------------------------------
 
@@ -103,6 +122,18 @@ class _SequentialStream(AccessPattern):
             if self._line >= self._lines:
                 self._line = 0
         return addr
+
+    def next_addresses(self, n: int) -> list[int]:
+        # The stream is periodic with period lines*repeats; index the
+        # next n ticks of that cycle in one vectorised step.
+        repeats = self._repeats
+        period = self._lines * repeats
+        start = self._line * repeats + self._count
+        ticks = (start + np.arange(n, dtype=np.int64)) % period
+        end = (start + n) % period
+        self._line = end // repeats
+        self._count = end % repeats
+        return (ticks // repeats + self._base).tolist()
 
     def footprint_lines(self) -> int:
         return self._lines
@@ -197,6 +228,19 @@ class _PointerChase(AccessPattern):
         current = self._current
         self._current = self._next[current]
         return self._base + current
+
+    def next_addresses(self, n: int) -> list[int]:
+        # A dependent chain cannot be vectorised, but hoisting the
+        # attribute loads out of the per-address loop still pays.
+        succ = self._next
+        base = self._base
+        current = self._current
+        out = [0] * n
+        for i in range(n):
+            out[i] = base + current
+            current = succ[current]
+        self._current = current
+        return out
 
     def footprint_lines(self) -> int:
         return len(self._next)
@@ -362,6 +406,21 @@ class _StridedScan(AccessPattern):
                 self._pos = 0
         return addr
 
+    def next_addresses(self, n: int) -> list[int]:
+        # Positions cycle through ceil(lines/stride) stride multiples;
+        # index the next n ticks of that cycle vectorised, as in
+        # _SequentialStream.
+        repeats = self._repeats
+        stride = self._stride
+        npos = (self._lines + stride - 1) // stride
+        period = npos * repeats
+        start = (self._pos // stride) * repeats + self._count
+        ticks = (start + np.arange(n, dtype=np.int64)) % period
+        end = (start + n) % period
+        self._pos = (end // repeats) * stride
+        self._count = end % repeats
+        return ((ticks // repeats) * stride + self._base).tolist()
+
     def footprint_lines(self) -> int:
         return (self._lines + self._stride - 1) // self._stride
 
@@ -464,20 +523,35 @@ class TraceSpec(PatternSpec):
 
 
 class _TraceReplay(AccessPattern):
-    __slots__ = ("_trace", "_base", "_index", "_footprint")
+    __slots__ = ("_addrs", "_index", "_footprint")
 
     def __init__(self, trace: tuple[int, ...], base: int):
-        self._trace = trace
-        self._base = base
+        # Rebase once so replay serves precomputed absolute addresses.
+        self._addrs = [base + a for a in trace]
         self._index = 0
         self._footprint = max(trace) + 1
 
     def next_address(self) -> int:
-        addr = self._base + self._trace[self._index]
+        addr = self._addrs[self._index]
         self._index += 1
-        if self._index >= len(self._trace):
+        if self._index >= len(self._addrs):
             self._index = 0
         return addr
+
+    def next_addresses(self, n: int) -> list[int]:
+        addrs = self._addrs
+        length = len(addrs)
+        i = self._index
+        out: list[int] = []
+        while n > 0:
+            take = min(n, length - i)
+            out.extend(addrs[i:i + take])
+            i += take
+            if i >= length:
+                i = 0
+            n -= take
+        self._index = i
+        return out
 
     def footprint_lines(self) -> int:
         return self._footprint

@@ -124,3 +124,61 @@ class TestChip:
         chip = MulticoreChip()
         assert chip.machine.l3.capacity_lines == 8192
         assert chip.num_cores == 4
+
+
+class TestCycleAccounting:
+    """Charged cycles never exceed the granted budgets (no overshoot).
+
+    The final access of a ``run()`` call can stall past the budget; the
+    excess is carried as debt into the next call instead of being
+    charged immediately, so cumulative accounting stays exact.
+    """
+
+    def test_cycles_never_exceed_sum_of_budgets(self):
+        chip = make_chip()
+        proc = make_process(
+            synthetic.streamer(lines=4096, instructions=1e9)
+        )
+        core = chip.core(0)
+        granted = 0.0
+        for _ in range(200):
+            used = core.run(proc, 137.0)
+            assert used <= 137.0 + 1e-9
+            granted += 137.0
+        assert core.cycles_executed <= granted + 1e-9
+
+    def test_debt_drains_small_budgets(self):
+        # A memory stall dwarfs a 5-cycle budget: the budget must be
+        # consumed by the outstanding debt, never overcharged.
+        chip = make_chip()
+        proc = make_process(
+            synthetic.pointer_chaser(lines=8192, instructions=1e9)
+        )
+        core = chip.core(0)
+        for _ in range(50):
+            assert core.run(proc, 5.0) <= 5.0 + 1e-9
+        assert core.cycles_executed <= 250.0 + 1e-9
+
+    def test_accounting_matches_between_fast_and_generic(self):
+        import os
+
+        results = {}
+        for flag in ("1", "0"):
+            os.environ["REPRO_FAST_LANE"] = flag
+            try:
+                chip = make_chip()
+                proc = make_process(
+                    synthetic.streamer(lines=2048, instructions=50_000.0)
+                )
+                core = chip.core(0)
+                while not proc.finished:
+                    core.run(proc, 313.0)
+                results[flag] = (
+                    core.cycles_executed,
+                    core.accesses_issued,
+                    core.instructions_retired,
+                    chip.hierarchy.counters[0].as_dict(),
+                )
+            finally:
+                os.environ.pop("REPRO_FAST_LANE", None)
+        assert results["1"] == results["0"]

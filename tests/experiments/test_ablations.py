@@ -22,6 +22,9 @@ class StubRunner:
         self.evaluated.append((victim, config))
         return 0.1, 0.5
 
+    def evaluate_many(self, pairs, jobs=None):
+        return [self.evaluate(victim, config) for victim, config in pairs]
+
 
 class TestRegistry:
     def test_all_named_ablations_registered(self):

@@ -140,3 +140,61 @@ class TestInstance:
 
     def test_footprint_is_max_over_phases(self):
         assert two_phase_spec().footprint_lines() == 8
+
+
+class TestRuntimePhaseBatching:
+    """take_addresses / push_back must preserve the scalar stream."""
+
+    def _phase(self, seed=0):
+        from repro.workloads.base import RuntimePhase
+
+        spec = PhaseSpec(
+            pattern=SequentialStreamSpec(lines=11, line_repeats=2),
+            duration_instructions=1e6,
+        )
+        import numpy as np
+
+        return RuntimePhase(
+            spec, spec.pattern.instantiate(np.random.default_rng(seed), 0)
+        )
+
+    def _reference(self, n, seed=0):
+        phase = self._phase(seed)
+        return phase.take_addresses(n)
+
+    def test_push_back_resumes_exactly(self):
+        expected = self._reference(60)
+        phase = self._phase()
+        batch = phase.take_addresses(20)
+        # Consume only 7, return the rest.
+        phase.push_back(batch, 7)
+        got = batch[:7]
+        got += phase.take_addresses(13)
+        got += phase.take_addresses(40)
+        assert got == expected
+
+    def test_push_back_of_pending_window_rewinds_cursor(self):
+        expected = self._reference(30)
+        phase = self._phase()
+        first = phase.take_addresses(25)
+        phase.push_back(first, 5)  # 20 pending
+        second = phase.take_addresses(8)  # window into pending
+        phase.push_back(second, 3)  # rewind 5 of them
+        got = first[:5] + second[:3]
+        got += phase.take_addresses(30 - len(got))
+        assert got == expected
+
+    def test_push_back_of_fully_consumed_batch_is_noop(self):
+        expected = self._reference(20)
+        phase = self._phase()
+        batch = phase.take_addresses(10)
+        phase.push_back(batch, 10)
+        assert batch + phase.take_addresses(10) == expected
+
+    def test_take_spanning_pending_and_fresh(self):
+        expected = self._reference(50)
+        phase = self._phase()
+        batch = phase.take_addresses(10)
+        phase.push_back(batch, 4)
+        # 6 pending + 44 fresh in one draw.
+        assert batch[:4] + phase.take_addresses(46) == expected

@@ -14,6 +14,7 @@ from repro.workloads.patterns import (
     PointerChaseSpec,
     SequentialStreamSpec,
     StridedScanSpec,
+    TraceSpec,
     UniformRandomSpec,
     ZipfSpec,
 )
@@ -277,3 +278,69 @@ class TestTraceReplay:
         )
         result = run_solo(spec, MachineConfig.tiny())
         assert result.latency_sensitive().first_completion_period is not None
+
+
+#: One spec per pattern family, for the batch-equality checks below.
+BATCH_SPECS = [
+    SequentialStreamSpec(lines=7, line_repeats=3),
+    SequentialStreamSpec(lines=64, line_repeats=1),
+    UniformRandomSpec(lines=50),
+    PointerChaseSpec(lines=40),
+    ZipfSpec(lines=30, alpha=1.1),
+    HotColdSpec(hot_lines=4, cold_lines=60, hot_fraction=0.9),
+    StridedScanSpec(lines=64, stride=5, line_repeats=2),
+    MixtureSpec(
+        components=(
+            (0.7, SequentialStreamSpec(lines=16, line_repeats=2)),
+            (0.3, UniformRandomSpec(lines=32)),
+        )
+    ),
+    TraceSpec(trace=(0, 3, 3, 1, 7, 2, 2, 5)),
+]
+
+
+class TestBatchGeneration:
+    """``next_addresses(n)`` must equal ``n`` ``next_address()`` calls.
+
+    The simulator's core loop draws addresses in batches; any
+    divergence from the scalar stream would silently change simulated
+    results, so the equivalence is exact, per pattern family, across
+    uneven batch boundaries.
+    """
+
+    @pytest.mark.parametrize(
+        "spec", BATCH_SPECS, ids=lambda s: type(s).__name__
+    )
+    def test_matches_scalar_stream(self, spec):
+        scalar = spec.instantiate(np.random.default_rng(7), 16)
+        batched = spec.instantiate(np.random.default_rng(7), 16)
+        expected = [scalar.next_address() for _ in range(500)]
+        got: list[int] = []
+        for n in (1, 2, 3, 5, 17, 64, 100, 308):
+            got.extend(batched.next_addresses(n))
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "spec", BATCH_SPECS, ids=lambda s: type(s).__name__
+    )
+    def test_scalar_and_batch_draws_interleave(self, spec):
+        scalar = spec.instantiate(np.random.default_rng(3), 0)
+        mixed = spec.instantiate(np.random.default_rng(3), 0)
+        expected = [scalar.next_address() for _ in range(120)]
+        got: list[int] = []
+        while len(got) < 120:
+            got.append(mixed.next_address())
+            got.extend(mixed.next_addresses(9))
+        assert got == expected[: len(got)]
+
+    @given(sizes=st.lists(st.integers(1, 50), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_batch_sizes(self, sizes):
+        spec = SequentialStreamSpec(lines=13, line_repeats=2)
+        scalar = spec.instantiate(np.random.default_rng(1), 5)
+        batched = spec.instantiate(np.random.default_rng(1), 5)
+        expected = [scalar.next_address() for _ in range(sum(sizes))]
+        got: list[int] = []
+        for n in sizes:
+            got.extend(batched.next_addresses(n))
+        assert got == expected
