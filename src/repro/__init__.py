@@ -46,6 +46,12 @@ from .caer import (
     caer_factory,
 )
 from .config import CacheGeometry, CacheLatencies, MachineConfig
+from .obs import (
+    JSONLSink,
+    MetricsRegistry,
+    RingBufferSink,
+    Tracer,
+)
 from .sim import (
     AppClass,
     RunResult,
@@ -78,5 +84,9 @@ __all__ = [
     "RandomDetector",
     "RedLightGreenLight",
     "SoftLock",
+    "Tracer",
+    "RingBufferSink",
+    "JSONLSink",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -17,6 +17,15 @@ Typical use::
                            caer_factory=caer_factory(config))
 """
 
+from .analysis import (
+    AccuracyReport,
+    DecisionSummary,
+    DetectionAccuracy,
+    PeriodConfusion,
+    score_detection_events,
+    score_verdicts,
+    summarise_decisions,
+)
 from .detector import ContentionDetector, DetectorStep, Observation
 from .metrics import (
     accuracy_vs_random,
@@ -65,4 +74,11 @@ __all__ = [
     "slowdown",
     "interference_eliminated",
     "accuracy_vs_random",
+    "AccuracyReport",
+    "DecisionSummary",
+    "DetectionAccuracy",
+    "PeriodConfusion",
+    "score_detection_events",
+    "score_verdicts",
+    "summarise_decisions",
 ]

@@ -12,9 +12,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..errors import ExperimentError
+from ..obs import DetectionEvent
 from ..sim.results import RunResult
+from .detector import Observation
+from .profile_detector import DEFAULT_TOLERANCE, ProfileDetector
 
 
 @dataclass(frozen=True)
@@ -153,4 +157,102 @@ def score_verdicts(
         false_positives=fp,
         true_negatives=tn,
         false_negatives=fn,
+    )
+
+
+@dataclass(frozen=True)
+class PeriodConfusion:
+    """One scored period: the online verdict vs. the oracle's."""
+
+    period: int
+    verdict: bool
+    oracle: bool
+
+    @property
+    def label(self) -> str:
+        """The confusion-matrix cell: 'tp', 'fp', 'tn', or 'fn'."""
+        if self.verdict and self.oracle:
+            return "tp"
+        if self.verdict and not self.oracle:
+            return "fp"
+        if not self.verdict and not self.oracle:
+            return "tn"
+        return "fn"
+
+
+@dataclass(frozen=True)
+class DetectionAccuracy:
+    """Per-period confusion of a decision trace against the oracle."""
+
+    report: AccuracyReport
+    periods: list[PeriodConfusion]
+
+    def counts(self) -> dict[str, int]:
+        """Confusion cell counts keyed by 'tp'/'fp'/'tn'/'fn'."""
+        return dict(Counter(p.label for p in self.periods))
+
+
+def score_detection_events(
+    events: Iterable[DetectionEvent | dict],
+    baseline_misses: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+    noise_floor: float = 0.0,
+) -> DetectionAccuracy:
+    """Score a ``DetectionEvent`` trace against the profile oracle.
+
+    This is the trace-side counterpart of :func:`score_verdicts` and of
+    Figures 9/10's accuracy metric (Eq. 2): the ground truth is the
+    offline-profile detector — the related work's upper bound, which
+    knows the victim's solo LLC-miss ``baseline_misses`` — replayed
+    over the *same observations* the online heuristic saw, so every
+    scored period compares two verdicts about identical evidence.
+
+    ``events`` may be :class:`~repro.obs.DetectionEvent` instances (a
+    ring-buffer sink's ``by_kind("detection")``) or the payload dicts
+    of a JSONL trace (:func:`repro.obs.read_jsonl`); other event kinds
+    are skipped, as are periods where the heuristic issued no verdict
+    (matching §6.4: only actual assertions are scored).
+    """
+    oracle = ProfileDetector(
+        baseline_misses, tolerance=tolerance, noise_floor=noise_floor
+    )
+    periods: list[PeriodConfusion] = []
+    seen_detection = False
+    for event in events:
+        if isinstance(event, dict):
+            if event.get("kind") != DetectionEvent.kind:
+                continue
+            data = event
+        else:
+            if event.kind != DetectionEvent.kind:
+                continue
+            data = event.to_dict()
+        seen_detection = True
+        verdict = data["verdict"]
+        if verdict is None:
+            continue
+        truth = oracle.step(Observation(
+            own_misses=data["own_misses"],
+            neighbor_misses=data["neighbor_misses"],
+            own_mean=data["own_mean"],
+            neighbor_mean=data["neighbor_mean"],
+            period=data["period"],
+        )).assertion
+        periods.append(PeriodConfusion(
+            period=data["period"], verdict=verdict, oracle=bool(truth)
+        ))
+    if not seen_detection:
+        raise ExperimentError(
+            "trace contains no detection events — was the run traced "
+            "with a CAER runtime attached?"
+        )
+    counts = Counter(p.label for p in periods)
+    return DetectionAccuracy(
+        report=AccuracyReport(
+            true_positives=counts.get("tp", 0),
+            false_positives=counts.get("fp", 0),
+            true_negatives=counts.get("tn", 0),
+            false_negatives=counts.get("fn", 0),
+        ),
+        periods=periods,
     )

@@ -52,6 +52,10 @@ class ContentionDetector(ABC):
     #: short identifier used in logs and reports
     name: str = "abstract"
 
+    #: the heuristic's decision threshold, surfaced in trace events
+    #: (``None`` when the heuristic has no single scalar threshold)
+    trace_threshold: float | None = None
+
     @abstractmethod
     def step(self, obs: Observation) -> DetectorStep:
         """Advance one period; possibly produce a verdict."""

@@ -50,6 +50,7 @@ class ProfileDetector(ContentionDetector):
         if noise_floor < 0:
             raise ConfigError(f"noise_floor must be >= 0: {noise_floor}")
         self.baseline_misses = baseline_misses
+        self.trace_threshold = baseline_misses
         self.tolerance = tolerance
         self.noise_floor = noise_floor
         self.verdicts: list[bool] = []

@@ -28,6 +28,7 @@ class RandomDetector(ContentionDetector):
                 f"probability must be in [0, 1]: {probability}"
             )
         self.probability = probability
+        self.trace_threshold = probability
         self._rng = random.Random(seed)
         self.verdicts: list[bool] = []
 

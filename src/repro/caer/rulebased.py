@@ -32,6 +32,7 @@ class RuleBasedDetector(ContentionDetector):
         if usage_thresh < 0:
             raise ConfigError(f"usage_thresh must be >= 0: {usage_thresh}")
         self.usage_thresh = usage_thresh
+        self.trace_threshold = usage_thresh
         self.verdicts: list[bool] = []
 
     def step(self, obs: Observation) -> DetectorStep:

@@ -27,6 +27,14 @@ from typing import Callable
 from ..arch.pmu import PMUSample
 from ..config import MachineConfig, default_usage_threshold
 from ..errors import ConfigError
+from ..obs import (
+    NULL_TRACER,
+    DetectionEvent,
+    MetricsRegistry,
+    PhaseEvent,
+    ResponseEvent,
+    Tracer,
+)
 from ..sim.engine import SimulationEngine
 from ..sim.process import AppClass
 from .detector import ContentionDetector, Observation
@@ -208,11 +216,30 @@ class CaerConfig:
 
 
 class CaerRuntime:
-    """The period hook implementing the CAER control loop."""
+    """The period hook implementing the CAER control loop.
 
-    def __init__(self, engine: SimulationEngine, config: CaerConfig):
+    ``tracer``/``metrics`` default to the engine's, so wiring a tracer
+    into the simulation engine is enough to capture the full decision
+    trace; pass explicit instances to route CAER telemetry separately.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: CaerConfig,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         machine = engine.chip.machine
         self.config = config
+        self.tracer = (
+            tracer if tracer is not None
+            else getattr(engine, "tracer", NULL_TRACER)
+        )
+        self.metrics = (
+            metrics if metrics is not None
+            else getattr(engine, "metrics", None)
+        )
         self.detector = config.build_detector(machine)
         self.response = config.build_response(machine)
         self.table = CommunicationTable(window_size=config.window_size)
@@ -231,6 +258,8 @@ class CaerRuntime:
                 "CAER needs at least one latency-sensitive application"
             )
         self._state = "detect"
+        #: the assertion the active response is acting on (trace only)
+        self._response_verdict: bool | None = None
 
     def __call__(
         self,
@@ -251,8 +280,13 @@ class CaerRuntime:
         assertion: bool | None = None
         speed = 1.0
         quota: float | None = None
+        state_before = self._state
+        rstep = None
+        response_verdict: bool | None = None
+        pause_self = False
         if self._state == "respond":
             rstep = self.response.step(obs)
+            response_verdict = self._response_verdict
             pause = rstep.pause_batch
             speed = rstep.speed
             quota = rstep.l3_quota
@@ -263,6 +297,7 @@ class CaerRuntime:
         else:
             dstep = self.detector.step(obs)
             pause = dstep.pause_self
+            pause_self = dstep.pause_self
             reason = "detect"
             assertion = dstep.assertion
             if assertion is not None:
@@ -270,11 +305,49 @@ class CaerRuntime:
                 # directive governs the very next period.
                 self.response.begin(assertion)
                 rstep = self.response.step(obs)
+                response_verdict = assertion
+                self._response_verdict = assertion
                 pause = rstep.pause_batch
                 speed = rstep.speed
                 quota = rstep.l3_quota
                 reason = "c-positive" if assertion else "c-negative"
                 self._state = "detect" if rstep.done else "respond"
+        if self.metrics is not None:
+            self.metrics.counter("caer.periods").inc()
+            if assertion is True:
+                self.metrics.counter("caer.verdicts_positive").inc()
+            elif assertion is False:
+                self.metrics.counter("caer.verdicts_negative").inc()
+            if pause:
+                self.metrics.counter("caer.batch_paused_periods").inc()
+        if self.tracer.enabled:
+            self.tracer.emit(DetectionEvent(
+                period=period,
+                detector=self.detector.name,
+                state=reason,
+                own_misses=obs.own_misses,
+                neighbor_misses=obs.neighbor_misses,
+                own_mean=obs.own_mean,
+                neighbor_mean=obs.neighbor_mean,
+                threshold=self.detector.trace_threshold,
+                pause_self=pause_self,
+                verdict=assertion,
+            ))
+            if rstep is not None:
+                self.tracer.emit(ResponseEvent(
+                    period=period,
+                    response=self.response.name,
+                    verdict=bool(response_verdict),
+                    pause_batch=rstep.pause_batch,
+                    speed=rstep.speed,
+                    l3_quota=rstep.l3_quota,
+                    done=rstep.done,
+                ))
+            if self._state != state_before:
+                self.tracer.emit(PhaseEvent(
+                    period=period, scope="caer",
+                    subject=self.detector.name, phase=self._state,
+                ))
         self.table.directives.pause_batch = pause
         self.table.directives.batch_speed = speed
         self.table.directives.reason = reason

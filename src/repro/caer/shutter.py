@@ -72,6 +72,7 @@ class BurstShutterDetector(ContentionDetector):
         self.end_point = end_point
         self.impact_factor = impact_factor
         self.noise_thresh = noise_thresh
+        self.trace_threshold = noise_thresh
         self.mode = mode
         self._count = 0
         self._steady: list[float] = []

@@ -17,8 +17,10 @@ environment variable (default 0.2; 1.0 is the slowest/most faithful).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from .errors import ReproError
 from .experiments import (
     ABLATIONS,
     Campaign,
@@ -83,6 +85,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit tables as CSV instead of aligned text",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "write a JSONL decision trace per simulated run to "
+            "results/traces/ (cached runs are not re-simulated and "
+            "therefore not traced)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="directory for --trace output (default results/traces)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("fig", help="regenerate one figure")
@@ -113,6 +129,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default="results/report.md",
         help="where to write the markdown report",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one run and dump its JSONL decision trace",
+    )
+    trace.add_argument("bench", help="benchmark name (e.g. mcf)")
+    trace.add_argument(
+        "config", help="solo, raw, shutter, rule, or random"
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        help="trace path (default results/traces/trace_<bench>__<config>.jsonl)",
+    )
+    sub.add_parser(
+        "stats", help="summarize cached campaign telemetry"
+    )
     sub.add_parser("calibrate", help="workload calibration table")
     sub.add_parser("list", help="list available artefacts")
     return parser
@@ -139,9 +171,26 @@ def _emit(table, args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for the ``repro-caer`` console script."""
+    """Entry point for the ``repro-caer`` console script.
+
+    Library errors (unknown benchmark or configuration names, campaign
+    failures) are reported as a one-line message on stderr with a
+    nonzero exit — never a raw traceback.
+    """
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     settings = _settings(args)
+    if args.trace or args.trace_dir:
+        trace_dir = args.trace_dir or "results/traces"
+        os.makedirs(trace_dir, exist_ok=True)
+        os.environ["REPRO_TRACE_DIR"] = trace_dir
     campaign = Campaign(
         settings, use_disk_cache=not args.no_cache, jobs=args.jobs
     )
@@ -150,7 +199,25 @@ def main(argv: list[str] | None = None) -> int:
         print("figures: 1 2 3 6 7 8 9 10")
         print("ablations:", " ".join(sorted(ABLATIONS)))
         print("extensions: scaling crossval contenders repeatability "
-              "report")
+              "report trace stats")
+        return 0
+
+    if args.command == "trace":
+        from .experiments.telemetry import render_trace_report, trace_run
+
+        output = args.output
+        if output is None:
+            safe = args.bench.replace(".", "_")
+            os.makedirs("results/traces", exist_ok=True)
+            output = f"results/traces/trace_{safe}__{args.config}.jsonl"
+        report = trace_run(settings, args.bench, args.config, output)
+        sys.stdout.write(render_trace_report(report))
+        return 0
+
+    if args.command == "stats":
+        from .experiments.telemetry import campaign_stats
+
+        sys.stdout.write(campaign_stats(campaign))
         return 0
 
     if args.command == "calibrate":

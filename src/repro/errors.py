@@ -56,3 +56,7 @@ class DetectorError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment campaign failed or was asked for unknown artefacts."""
+
+
+class ObservabilityError(ReproError):
+    """A tracer sink or metrics instrument was mis-configured or misused."""

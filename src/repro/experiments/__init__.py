@@ -34,6 +34,7 @@ from .repeatability import repeatability_study
 from .report import generate_report, write_report
 from .scaling import scaling_study
 from .reporting import FigureTable, render_series
+from .telemetry import campaign_stats, trace_run
 
 __all__ = [
     "Campaign",
@@ -66,4 +67,6 @@ __all__ = [
     "write_report",
     "contender_study",
     "repeatability_study",
+    "trace_run",
+    "campaign_stats",
 ]

@@ -28,10 +28,16 @@ from ..caer.metrics import utilization_gained
 from ..caer.runtime import CaerConfig, caer_factory
 from ..config import MachineConfig
 from ..errors import ExperimentError
+from ..obs import JSONLSink, MetricsRegistry, Tracer
 from ..sim import run_colocated, run_solo
 from ..sim.results import RunResult
 from ..workloads import benchmark
 from .executor import run_many
+
+#: When set, every simulated run writes its decision trace as
+#: ``trace_<bench>__<config>.jsonl`` under this directory (the CLI's
+#: ``--trace`` flag sets it; worker processes inherit it via fork).
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 
 #: Bump when simulation semantics change so cached results invalidate.
 CACHE_EPOCH = 5
@@ -108,8 +114,14 @@ class RunSummary:
     #: per-period instructions retired by the latency-sensitive app
     instruction_series: list[float] = field(default_factory=list)
     #: wall-clock seconds the simulation took (excluded from equality:
-    #: parallel and serial campaigns must compare identical)
+    #: parallel and serial campaigns must compare identical).  0.0
+    #: marks cached entries that predate timing ("n/a" in reports).
     wall_seconds: float = field(default=0.0, compare=False)
+    #: telemetry snapshot of the run (metrics registry snapshot plus
+    #: derived scalars); ``None`` for entries cached before the
+    #: observability layer existed.  Excluded from equality: tracing
+    #: and telemetry must never make two runs compare different.
+    telemetry: dict | None = field(default=None, compare=False)
 
     @classmethod
     def from_run(
@@ -155,6 +167,42 @@ def resolve_caer_config(config: str) -> CaerConfig | None:
     raise ExperimentError(f"unknown co-location config {config!r}")
 
 
+def _run_tracer(bench: str, config: str) -> Tracer | None:
+    """Build the per-run JSONL tracer when ``REPRO_TRACE_DIR`` is set."""
+    trace_dir = os.environ.get(TRACE_DIR_ENV)
+    if not trace_dir:
+        return None
+    safe = bench.replace(".", "_")
+    path = Path(trace_dir) / f"trace_{safe}__{config}.jsonl"
+    return Tracer([JSONLSink(path)])
+
+
+def derive_telemetry(metrics: MetricsRegistry) -> dict:
+    """Snapshot a run's registry plus the derived headline scalars."""
+    snapshot = metrics.snapshot()
+
+    def _counter(name: str) -> float:
+        entry = snapshot.get(name)
+        return entry["value"] if entry else 0.0
+
+    caer_periods = _counter("caer.periods")
+    positives = _counter("caer.verdicts_positive")
+    verdicts = positives + _counter("caer.verdicts_negative")
+    paused = _counter("caer.batch_paused_periods")
+    derived: dict = {
+        #: fraction of issued verdicts asserting contention
+        "detector_trigger_rate": (
+            positives / verdicts if verdicts else 0.0
+        ),
+        #: fraction of CAER-governed periods the batch side actually ran
+        "batch_run_fraction": (
+            1.0 - paused / caer_periods if caer_periods else 1.0
+        ),
+        "verdicts": verdicts,
+    }
+    return {"metrics": snapshot, "derived": derived}
+
+
 def produce_summary(
     settings: CampaignSettings, bench: str, config: str
 ) -> RunSummary:
@@ -169,26 +217,37 @@ def produce_summary(
     machine = settings.machine()
     l3 = machine.l3.capacity_lines
     spec = benchmark(bench, l3, length=settings.length)
-    if config == "solo":
-        result = run_solo(
-            spec,
-            machine,
-            seed=settings.seed,
-            slices_per_period=settings.slices_per_period,
-        )
-    else:
-        batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
-        caer = resolve_caer_config(config)
-        result = run_colocated(
-            spec,
-            batch,
-            machine,
-            caer_factory=caer_factory(caer) if caer else None,
-            seed=settings.seed,
-            slices_per_period=settings.slices_per_period,
-        )
+    tracer = _run_tracer(bench, config)
+    metrics = MetricsRegistry()
+    try:
+        if config == "solo":
+            result = run_solo(
+                spec,
+                machine,
+                seed=settings.seed,
+                slices_per_period=settings.slices_per_period,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        else:
+            batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
+            caer = resolve_caer_config(config)
+            result = run_colocated(
+                spec,
+                batch,
+                machine,
+                caer_factory=caer_factory(caer) if caer else None,
+                seed=settings.seed,
+                slices_per_period=settings.slices_per_period,
+                tracer=tracer,
+                metrics=metrics,
+            )
+    finally:
+        if tracer is not None:
+            tracer.close()
     summary = RunSummary.from_run(bench, config, result)
     summary.wall_seconds = round(time.perf_counter() - started, 3)
+    summary.telemetry = derive_telemetry(metrics)
     return summary
 
 
@@ -212,6 +271,9 @@ class Campaign:
         #: default worker count for :meth:`prefetch` (None = resolve
         #: from ``REPRO_JOBS`` / cpu count at fan-out time)
         self.jobs = jobs
+        #: campaign-level telemetry: cache hit/miss counters and the
+        #: executor's per-job span histogram
+        self.metrics = MetricsRegistry()
 
     # -- configuration -> runtime factory --------------------------------
 
@@ -232,16 +294,20 @@ class Campaign:
     def _load(self, bench: str, config: str) -> RunSummary | None:
         key = (bench, config)
         if key in self._memory:
+            self.metrics.counter("campaign.cache_memory_hits").inc()
             return self._memory[key]
         path = self._cache_path(bench, config)
         if path is None or not path.exists():
+            self.metrics.counter("campaign.cache_misses").inc()
             return None
         try:
             with open(path) as handle:
                 data = json.load(handle)
             summary = RunSummary(**data)
         except (json.JSONDecodeError, TypeError):
+            self.metrics.counter("campaign.cache_invalid").inc()
             return None
+        self.metrics.counter("campaign.cache_disk_hits").inc()
         self._memory[key] = summary
         return summary
 
@@ -295,8 +361,12 @@ class Campaign:
             return 0
         if jobs is None:
             jobs = self.jobs
-        for summary in run_many(self.settings, pairs, jobs=jobs):
+        summaries = run_many(
+            self.settings, pairs, jobs=jobs, metrics=self.metrics
+        )
+        for summary in summaries:
             self._store(summary)
+        self.metrics.counter("campaign.runs_simulated").inc(len(pairs))
         return len(pairs)
 
     def solo(self, bench: str) -> RunSummary:
@@ -306,6 +376,7 @@ class Campaign:
             return cached
         summary = produce_summary(self.settings, bench, "solo")
         self._store(summary)
+        self.metrics.counter("campaign.runs_simulated").inc()
         return summary
 
     def colocated(self, bench: str, config: str) -> RunSummary:
@@ -319,6 +390,7 @@ class Campaign:
             return cached
         summary = produce_summary(self.settings, bench, config)
         self._store(summary)
+        self.metrics.counter("campaign.runs_simulated").inc()
         return summary
 
     # -- derived metrics --------------------------------------------------
@@ -343,3 +415,23 @@ class Campaign:
         Runs served from a pre-timing disk cache contribute 0.0.
         """
         return sum(s.wall_seconds for s in self._memory.values())
+
+    def timing_coverage(self) -> tuple[int, int]:
+        """``(timed, total)`` memoised runs.
+
+        ``timed`` counts summaries carrying a real ``wall_seconds``
+        measurement; cached entries written before run timing existed
+        (same cache epoch, older code) deserialise as 0.0 and are *not*
+        timed — reports must render those as "n/a", never as 0.0 s.
+        """
+        timed = sum(
+            1 for s in self._memory.values() if s.wall_seconds > 0.0
+        )
+        return timed, len(self._memory)
+
+    def telemetry_snapshots(self) -> list[dict]:
+        """Per-run telemetry of every memoised run that carries one."""
+        return [
+            s.telemetry for s in self._memory.values()
+            if s.telemetry is not None
+        ]

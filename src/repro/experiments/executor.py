@@ -18,10 +18,12 @@ variable, and finally ``os.cpu_count()``.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ExperimentError
+from ..obs import SECONDS_BUCKETS, MetricsRegistry
 
 if TYPE_CHECKING:
     from .campaign import CampaignSettings, RunSummary
@@ -52,6 +54,7 @@ def fan_out(
     tasks: Sequence[T],
     jobs: int | None = None,
     describe: Callable[[T], str] = repr,
+    metrics: MetricsRegistry | None = None,
 ) -> list[R]:
     """Run ``worker`` over ``tasks``, results in task order.
 
@@ -60,29 +63,70 @@ def fan_out(
     abort its siblings: every task runs to completion or failure, then
     one :class:`ExperimentError` reports *which* tasks failed, via
     ``describe``.
+
+    ``metrics``, when given, receives per-job spans: the
+    ``executor.job_seconds`` histogram (submit-to-result for parallel
+    jobs, so queueing time is included), plus ``executor.tasks`` /
+    ``executor.failures`` counters and the batch's total wall time.
     """
     jobs = resolve_jobs(jobs)
+    batch_started = time.perf_counter()
+    if metrics is not None:
+        metrics.counter("executor.tasks").inc(len(tasks))
+        span = metrics.histogram(
+            "executor.job_seconds", buckets=SECONDS_BUCKETS
+        )
     if jobs == 1 or len(tasks) <= 1:
         results: list[R] = []
         for task in tasks:
+            started = time.perf_counter()
             try:
                 results.append(worker(task))
             except ExperimentError:
+                if metrics is not None:
+                    metrics.counter("executor.failures").inc()
                 raise
             except Exception as exc:
+                if metrics is not None:
+                    metrics.counter("executor.failures").inc()
                 raise ExperimentError(
                     f"run {describe(task)} failed: {exc!r}"
                 ) from exc
+            finally:
+                if metrics is not None:
+                    span.observe(time.perf_counter() - started)
+                    metrics.gauge("executor.batch_seconds").set(
+                        time.perf_counter() - batch_started
+                    )
         return results
     out: list[R | None] = [None] * len(tasks)
     failures: list[str] = []
+    done_at: dict[int, float] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = [pool.submit(worker, task) for task in tasks]
+        submitted_at = time.perf_counter()
+        futures = []
+        for index, task in enumerate(tasks):
+            future = pool.submit(worker, task)
+            # Stamp completion on the callback thread: the span then
+            # covers queue wait + execution, not result-drain order.
+            future.add_done_callback(
+                lambda _f, i=index: done_at.__setitem__(
+                    i, time.perf_counter()
+                )
+            )
+            futures.append(future)
         for index, future in enumerate(futures):
             try:
                 out[index] = future.result()
             except Exception as exc:
                 failures.append(f"{describe(tasks[index])}: {exc!r}")
+    if metrics is not None:
+        for index in range(len(tasks)):
+            span.observe(done_at.get(index, submitted_at) - submitted_at)
+        metrics.counter("executor.failures").inc(len(failures))
+        metrics.gauge("executor.batch_seconds").set(
+            time.perf_counter() - batch_started
+        )
     if failures:
         raise ExperimentError(
             f"{len(failures)} of {len(tasks)} runs failed — "
@@ -108,6 +152,7 @@ def run_many(
     settings: "CampaignSettings",
     pairs: Iterable[tuple[str, str]],
     jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> list["RunSummary"]:
     """Simulate every (bench, config) pair, fanned across processes.
 
@@ -115,4 +160,7 @@ def run_many(
     summaries come back in ``pairs`` order.
     """
     tasks = [(settings, bench, config) for bench, config in pairs]
-    return fan_out(_run_summary, tasks, jobs=jobs, describe=_describe_run)
+    return fan_out(
+        _run_summary, tasks, jobs=jobs, describe=_describe_run,
+        metrics=metrics,
+    )

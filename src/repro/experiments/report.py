@@ -13,7 +13,7 @@ import time
 from pathlib import Path
 
 from . import paperdata
-from .campaign import Campaign
+from .campaign import CACHE_EPOCH, Campaign
 from .figures import (
     figure1,
     figure2,
@@ -71,13 +71,80 @@ def generate_report(campaign: Campaign) -> str:
     out.write(_code_block(figure3_correlations(campaign).render()))
 
     elapsed = time.perf_counter() - started
-    sim_seconds = campaign.total_wall_seconds()
     out.write("## Campaign timing\n\n")
-    out.write(
+    out.write(_timing_section(campaign, elapsed))
+    out.write(_telemetry_section(campaign))
+    return out.getvalue()
+
+
+def _timing_section(campaign: Campaign, elapsed: float) -> str:
+    """Render wall-time totals, honest about untimed cache entries.
+
+    Cached summaries written before run timing existed deserialise
+    with ``wall_seconds == 0.0``; summing those silently reports an
+    impossible 0.0 s, so untimed entries are called out as "n/a".
+    """
+    timed, total = campaign.timing_coverage()
+    epoch_note = (
+        f"Untimed entries were cached by an older build (cache epoch "
+        f"{CACHE_EPOCH} is unchanged by timing); re-run with "
+        f"`--no-cache` or a fresh `REPRO_CACHE_DIR` to re-measure.\n"
+    )
+    if total and timed == 0:
+        return (
+            f"Simulated-run wall time: n/a — none of the {total} "
+            f"cached runs carry timing. {epoch_note}"
+            f"Report generation took {elapsed:.1f} s.\n"
+        )
+    sim_seconds = campaign.total_wall_seconds()
+    text = (
         f"Simulated-run wall time: {sim_seconds:.1f} s across "
-        f"{campaign.memoised_runs()} runs (cached runs count 0); "
+        f"{timed} timed runs (cached runs count 0); "
         f"report generation took {elapsed:.1f} s.\n"
     )
+    if timed < total:
+        text += (
+            f"{total - timed} of {total} runs have no timing (n/a). "
+            + epoch_note
+        )
+    return text
+
+
+def _telemetry_section(campaign: Campaign) -> str:
+    """Summarise the runs' telemetry snapshots, when any carry one."""
+    snapshots = campaign.telemetry_snapshots()
+    if not snapshots:
+        return ""
+    derived = [s.get("derived", {}) for s in snapshots]
+    caer = [d for d in derived if d.get("verdicts", 0)]
+    out = io.StringIO()
+    out.write("\n## Telemetry\n\n")
+    out.write(
+        f"{len(snapshots)} of {campaign.memoised_runs()} memoised "
+        f"runs carry telemetry"
+    )
+    if caer:
+        trigger = sum(d["detector_trigger_rate"] for d in caer) / len(caer)
+        run_frac = sum(d["batch_run_fraction"] for d in caer) / len(caer)
+        out.write(
+            f"; across the {len(caer)} CAER-governed runs the mean "
+            f"detector trigger rate is {trigger:.0%} and the batch ran "
+            f"{run_frac:.0%} of governed periods"
+        )
+    out.write(".\n")
+    cache = campaign.metrics.snapshot()
+    hits = sum(
+        cache.get(name, {}).get("value", 0.0)
+        for name in (
+            "campaign.cache_memory_hits", "campaign.cache_disk_hits",
+        )
+    )
+    misses = cache.get("campaign.cache_misses", {}).get("value", 0.0)
+    if hits or misses:
+        out.write(
+            f"Campaign cache: {hits:.0f} hits, {misses:.0f} misses "
+            f"this invocation.\n"
+        )
     return out.getvalue()
 
 

@@ -1,0 +1,174 @@
+"""Telemetry drivers behind ``repro-caer trace`` and ``repro-caer stats``.
+
+``trace`` is the single-run microscope: simulate one (benchmark,
+configuration) pair with a JSONL sink attached and report what the
+decision trace contains.  ``stats`` is the campaign-level view: walk
+the cached run summaries for the current settings and aggregate their
+telemetry snapshots without simulating anything.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from ..errors import ExperimentError
+from ..obs import JSONLSink, MetricsRegistry, Tracer
+from ..sim import run_colocated, run_solo
+from ..workloads import benchmark, benchmark_names
+from .campaign import (
+    BATCH_BENCHMARK,
+    CONFIGS,
+    Campaign,
+    CampaignSettings,
+    caer_factory,
+    derive_telemetry,
+    resolve_caer_config,
+)
+
+#: Every config ``trace`` accepts: solo plus the co-location matrix.
+TRACE_CONFIGS = ("solo",) + CONFIGS
+
+
+def trace_run(
+    settings: CampaignSettings,
+    bench: str,
+    config: str,
+    output: str | Path,
+) -> dict:
+    """Simulate one run with a JSONL decision trace attached.
+
+    Returns a plain-dict report: the trace path, the run's period
+    count, per-kind event counts, and the derived telemetry scalars.
+    Raises :class:`ExperimentError` (or
+    :class:`~repro.errors.UnknownBenchmarkError` from the workload
+    registry) for unknown names — the CLI turns those into one-line
+    messages.
+    """
+    if config not in TRACE_CONFIGS:
+        raise ExperimentError(
+            f"config must be one of {', '.join(TRACE_CONFIGS)}; "
+            f"got {config!r}"
+        )
+    machine = settings.machine()
+    l3 = machine.l3.capacity_lines
+    spec = benchmark(bench, l3, length=settings.length)
+    output = Path(output)
+    metrics = MetricsRegistry()
+    with Tracer([JSONLSink(output)]) as tracer:
+        if config == "solo":
+            result = run_solo(
+                spec, machine, seed=settings.seed,
+                slices_per_period=settings.slices_per_period,
+                tracer=tracer, metrics=metrics,
+            )
+        else:
+            batch = benchmark(
+                BATCH_BENCHMARK, l3, length=settings.length
+            )
+            caer = resolve_caer_config(config)
+            result = run_colocated(
+                spec, batch, machine,
+                caer_factory=caer_factory(caer) if caer else None,
+                seed=settings.seed,
+                slices_per_period=settings.slices_per_period,
+                tracer=tracer, metrics=metrics,
+            )
+        counts = dict(tracer.counts)
+    return {
+        "bench": bench,
+        "config": config,
+        "path": str(output),
+        "periods": result.total_periods,
+        "events": counts,
+        "total_events": sum(counts.values()),
+        "telemetry": derive_telemetry(metrics)["derived"],
+    }
+
+
+def render_trace_report(report: dict) -> str:
+    """Human-readable summary of a :func:`trace_run` report."""
+    out = io.StringIO()
+    out.write(
+        f"trace of {report['bench']} under {report['config']}: "
+        f"{report['total_events']} events over "
+        f"{report['periods']} periods -> {report['path']}\n"
+    )
+    for kind in sorted(report["events"]):
+        out.write(f"  {kind:<12} {report['events'][kind]:>8}\n")
+    derived = report["telemetry"]
+    if derived.get("verdicts"):
+        out.write(
+            f"  verdicts: {derived['verdicts']:.0f}, trigger rate "
+            f"{derived['detector_trigger_rate']:.0%}, batch ran "
+            f"{derived['batch_run_fraction']:.0%} of periods\n"
+        )
+    return out.getvalue()
+
+
+def campaign_stats(campaign: Campaign) -> str:
+    """Summarise cached telemetry for the campaign's settings.
+
+    Reads only the memory/disk cache — nothing is simulated — so the
+    numbers describe whatever earlier invocations left behind.
+    """
+    available: dict[str, list] = {c: [] for c in TRACE_CONFIGS}
+    for bench in benchmark_names():
+        for config in TRACE_CONFIGS:
+            summary = campaign._load(bench, config)
+            if summary is not None:
+                available[config].append(summary)
+    cached = sum(len(v) for v in available.values())
+    total = len(benchmark_names()) * len(TRACE_CONFIGS)
+    out = io.StringIO()
+    out.write(
+        f"campaign {campaign.settings.cache_tag()}: {cached}/{total} "
+        f"runs cached\n"
+    )
+    if not cached:
+        out.write(
+            "no cached runs — run a figure or `repro-caer all` first\n"
+        )
+        return out.getvalue()
+    timed, memoised = campaign.timing_coverage()
+    if timed:
+        out.write(
+            f"simulation wall time: "
+            f"{campaign.total_wall_seconds():.1f} s over {timed} timed "
+            f"runs ({memoised - timed} n/a)\n"
+        )
+    else:
+        out.write(
+            f"simulation wall time: n/a (all {memoised} cached entries "
+            f"predate timing)\n"
+        )
+    header = (
+        f"{'config':<8} {'runs':>5} {'telemetry':>9} {'trigger':>8} "
+        f"{'run-frac':>9} {'mean-periods':>13}"
+    )
+    out.write(header + "\n")
+    for config in TRACE_CONFIGS:
+        summaries = available[config]
+        if not summaries:
+            continue
+        derived = [
+            s.telemetry["derived"] for s in summaries
+            if s.telemetry is not None
+        ]
+        caer = [d for d in derived if d.get("verdicts", 0)]
+        trigger = (
+            f"{sum(d['detector_trigger_rate'] for d in caer) / len(caer):.0%}"
+            if caer else "-"
+        )
+        run_frac = (
+            f"{sum(d['batch_run_fraction'] for d in caer) / len(caer):.0%}"
+            if caer else "-"
+        )
+        mean_periods = (
+            sum(s.total_periods for s in summaries) / len(summaries)
+        )
+        out.write(
+            f"{config:<8} {len(summaries):>5} {len(derived):>9} "
+            f"{trigger:>8} {run_frac:>9} {mean_periods:>13.1f}\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,69 @@
+"""Observability: period-level tracing and a metrics registry.
+
+CAER's argument is about *online* behaviour — per-period PMU samples
+driving detector verdicts and throttle directives — so this layer makes
+that behaviour inspectable without changing it:
+
+* :mod:`repro.obs.events` — typed, deterministic period-level events
+  (PMU samples, detection inputs/verdicts, response directives, phase
+  transitions);
+* :mod:`repro.obs.tracer` — the :class:`Tracer` fan-out with a free
+  disabled default (:data:`NULL_TRACER`), a bounded in-memory
+  :class:`RingBufferSink`, and a rotating :class:`JSONLSink`;
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms in a
+  :class:`MetricsRegistry` whose snapshots ride on run summaries and
+  the campaign report.
+
+The contract instrumented code must keep: tracing is *transparent* —
+attaching any tracer or registry never changes a run's results (the
+trace-transparency property tests enforce this), and a disabled tracer
+costs one attribute check per instrumentation site.
+"""
+
+from .events import (
+    EVENT_KINDS,
+    DetectionEvent,
+    PhaseEvent,
+    PMUSampleEvent,
+    ResponseEvent,
+    TraceEvent,
+)
+from .metrics import (
+    POW2_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from .tracer import (
+    NULL_TRACER,
+    JSONLSink,
+    RingBufferSink,
+    Sink,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "TraceEvent",
+    "PMUSampleEvent",
+    "DetectionEvent",
+    "ResponseEvent",
+    "PhaseEvent",
+    "EVENT_KINDS",
+    "Tracer",
+    "NULL_TRACER",
+    "Sink",
+    "RingBufferSink",
+    "JSONLSink",
+    "read_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "POW2_BUCKETS",
+    "SECONDS_BUCKETS",
+]

@@ -1,0 +1,212 @@
+"""The tracer and its sinks.
+
+A :class:`Tracer` fans typed events out to pluggable sinks.  The
+instrumentation sites in the engine, the CAER runtime, and the campaign
+executor all follow the same pattern::
+
+    if tracer.enabled:
+        tracer.emit(DetectionEvent(...))
+
+so the disabled default — :data:`NULL_TRACER` — costs one attribute
+read per site and constructs no event objects.  Two sinks ship with the
+library:
+
+* :class:`RingBufferSink` — a bounded in-memory window over the most
+  recent events, for tests and interactive inspection;
+* :class:`JSONLSink` — one JSON object per line, with size-triggered
+  file rotation, for post-mortem analysis of long campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter, deque
+from pathlib import Path
+from typing import Iterable, Protocol
+
+from ..errors import ObservabilityError
+from .events import TraceEvent
+
+
+class Sink(Protocol):
+    """Anything that can receive trace events."""
+
+    def emit(self, event: TraceEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class Tracer:
+    """Event fan-out with a cheap disabled state.
+
+    ``enabled`` is a plain attribute (not a property) so hot
+    instrumentation sites pay a single load for the common "tracing
+    off" case.  ``counts`` tallies emitted events by kind — the basis
+    of `repro-caer trace`'s summary and of the transparency tests.
+    """
+
+    __slots__ = ("sinks", "enabled", "counts")
+
+    def __init__(self, sinks: Iterable[Sink] = ()):
+        self.sinks: list[Sink] = list(sinks)
+        self.enabled = bool(self.sinks)
+        self.counts: Counter[str] = Counter()
+
+    def emit(self, event: TraceEvent) -> None:
+        """Deliver one event to every sink (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.counts[event.kind] += 1
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every sink (flushes file sinks)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def total_events(self) -> int:
+        """Number of events emitted so far."""
+        return sum(self.counts.values())
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(sinks={len(self.sinks)}, "
+            f"events={self.total_events()})"
+        )
+
+
+#: The shared disabled tracer every instrumentation site defaults to.
+NULL_TRACER = Tracer()
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events in memory.
+
+    When full, the oldest event is evicted and counted in ``evicted``
+    so consumers can tell a complete trace from a truncated window.
+    """
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise ObservabilityError(
+                f"ring capacity must be >= 1: {capacity}"
+            )
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.evicted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.evicted += 1
+        self._buffer.append(event)
+
+    def close(self) -> None:
+        """Nothing to release; the buffer stays readable."""
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The retained window, oldest first."""
+        return list(self._buffer)
+
+    def by_kind(self, kind: str) -> list[TraceEvent]:
+        """Retained events of one kind, oldest first."""
+        return [e for e in self._buffer if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return (
+            f"RingBufferSink({len(self._buffer)}/{self.capacity}, "
+            f"evicted={self.evicted})"
+        )
+
+
+class JSONLSink:
+    """Append events to a JSON-lines file, rotating by size.
+
+    When a write would push the current file past ``max_bytes`` the
+    file is rotated shift-style (``trace.jsonl`` → ``trace.jsonl.1`` →
+    ``trace.jsonl.2`` …); at most ``max_files`` rotated files are kept,
+    the oldest being dropped.  ``max_bytes=None`` disables rotation.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_bytes: int | None = None,
+        max_files: int = 3,
+    ):
+        if max_bytes is not None and max_bytes < 1:
+            raise ObservabilityError(
+                f"max_bytes must be >= 1 or None: {max_bytes}"
+            )
+        if max_files < 1:
+            raise ObservabilityError(
+                f"max_files must be >= 1: {max_files}"
+            )
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.rotations = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w")
+        self._bytes = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        line = json.dumps(event.to_dict(), separators=(",", ":")) + "\n"
+        if (
+            self.max_bytes is not None
+            and self._bytes
+            and self._bytes + len(line) > self.max_bytes
+        ):
+            self._rotate()
+        self._handle.write(line)
+        self._bytes += len(line)
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        oldest = self.path.with_name(
+            f"{self.path.name}.{self.max_files}"
+        )
+        if oldest.exists():
+            oldest.unlink()
+        for index in range(self.max_files - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{index}")
+            if src.exists():
+                src.rename(
+                    self.path.with_name(f"{self.path.name}.{index + 1}")
+                )
+        self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self._handle = open(self.path, "w")
+        self._bytes = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return f"JSONLSink({self.path}, rotations={self.rotations})"
+
+
+def read_jsonl(path: str | os.PathLike) -> list[dict]:
+    """Load a JSONL trace file back into event payload dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

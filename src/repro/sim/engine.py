@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Protocol
 from ..arch.chip import MulticoreChip
 from ..arch.pmu import PMUSample
 from ..errors import SchedulingError, SimulationError
+from ..obs import NULL_TRACER, MetricsRegistry, PhaseEvent, PMUSampleEvent, Tracer
 from ..perfmon.session import PerfmonSession
 from .clock import SimClock
 from .process import ProcessState, SimProcess
@@ -59,7 +60,15 @@ class SimulationEngine:
         slices_per_period: int = 8,
         max_periods: int = 200_000,
         probe_overhead_cycles: float | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
+        # Observability is strictly passive: the tracer and registry
+        # receive period-boundary events/observations and must never
+        # influence the simulation (enforced by the trace-transparency
+        # property tests).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.chip = chip
         self.processes: dict[str, SimProcess] = {}
         used_cores: set[int] = set()
@@ -183,6 +192,11 @@ class SimulationEngine:
             if proc.state is ProcessState.WAITING and \
                     proc.launch_period <= period:
                 proc.launch()
+                if self.tracer.enabled:
+                    self.tracer.emit(PhaseEvent(
+                        period=period, scope="process",
+                        subject=proc.name, phase="launched",
+                    ))
 
     def _execute_slices(self, period: int) -> None:
         # The periodic PMU probe consumes core cycles (charged by the
@@ -232,6 +246,28 @@ class SimulationEngine:
                 proc.periods_running += 1
             elif proc.state is ProcessState.PAUSED:
                 proc.periods_paused += 1
+            if self.tracer.enabled:
+                self.tracer.emit(PMUSampleEvent(
+                    period=period,
+                    process=name,
+                    state=states_at_start[name].name.lower(),
+                    cycles=sample.cycles,
+                    instructions=sample.instructions,
+                    llc_misses=sample.llc_misses,
+                    llc_references=sample.llc_references,
+                ))
+                if proc.state is ProcessState.FINISHED and \
+                        states_at_start[name] is not ProcessState.FINISHED:
+                    self.tracer.emit(PhaseEvent(
+                        period=period, scope="process",
+                        subject=name, phase="completed",
+                    ))
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    f"sim.llc_misses_per_period.{name}"
+                ).observe(sample.llc_misses)
+        if self.metrics is not None:
+            self.metrics.counter("sim.periods").inc()
         for hook in self.period_hooks:
             hook(self, period, samples)
 

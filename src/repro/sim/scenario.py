@@ -15,6 +15,7 @@ from typing import Callable
 from ..arch.chip import MulticoreChip
 from ..config import MachineConfig
 from ..errors import SchedulingError
+from ..obs import MetricsRegistry, Tracer
 from ..workloads.base import WorkloadSpec
 from .engine import PeriodHook, SimulationEngine
 from .process import AppClass, SimProcess
@@ -29,6 +30,8 @@ def run_solo(
     machine: MachineConfig | None = None,
     seed: int = 0,
     slices_per_period: int = 8,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """Run one workload alone on the chip to completion."""
     chip = MulticoreChip(machine, seed=seed)
@@ -39,7 +42,8 @@ def run_solo(
         seed=seed,
     )
     engine = SimulationEngine(
-        chip, [proc], slices_per_period=slices_per_period
+        chip, [proc], slices_per_period=slices_per_period,
+        tracer=tracer, metrics=metrics,
     )
     return engine.run()
 
@@ -53,6 +57,8 @@ def run_colocated(
     slices_per_period: int = 8,
     launch_stagger: int = DEFAULT_LAUNCH_STAGGER,
     batch_name: str | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """Co-locate a latency-sensitive app with a relaunching batch app.
 
@@ -81,7 +87,8 @@ def run_colocated(
         launch_period=launch_stagger,
     )
     engine = SimulationEngine(
-        chip, [ls, batch], slices_per_period=slices_per_period
+        chip, [ls, batch], slices_per_period=slices_per_period,
+        tracer=tracer, metrics=metrics,
     )
     if caer_factory is not None:
         engine.period_hooks.append(caer_factory(engine))
@@ -96,6 +103,8 @@ def run_multi_colocated(
     seed: int = 0,
     slices_per_period: int = 8,
     launch_stagger: int = DEFAULT_LAUNCH_STAGGER,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """The paper's Figure 4 *architecture* scenario: one latency-
     sensitive application plus several relaunching batch applications,
@@ -134,7 +143,8 @@ def run_multi_colocated(
             )
         )
     engine = SimulationEngine(
-        chip, processes, slices_per_period=slices_per_period
+        chip, processes, slices_per_period=slices_per_period,
+        tracer=tracer, metrics=metrics,
     )
     if caer_factory is not None:
         engine.period_hooks.append(caer_factory(engine))

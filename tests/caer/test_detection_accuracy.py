@@ -1,0 +1,110 @@
+"""Scoring DetectionEvent traces against the profile oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer import score_detection_events
+from repro.caer.analysis import PeriodConfusion
+from repro.caer.runtime import CaerConfig, caer_factory
+from repro.errors import ExperimentError
+from repro.obs import DetectionEvent, PhaseEvent, RingBufferSink, Tracer
+from repro.sim import run_colocated, run_solo
+from repro.workloads import benchmark
+
+BASELINE = 100.0
+
+
+def event(period: int, verdict, neighbor_mean: float) -> DetectionEvent:
+    """A detection event whose oracle truth is set by ``neighbor_mean``.
+
+    With ``BASELINE=100`` and the default 25% tolerance, the oracle
+    asserts contention iff ``neighbor_mean`` deviates from 100 by more
+    than 25.
+    """
+    return DetectionEvent(
+        period=period, detector="burst-shutter", state="detect",
+        own_misses=50.0, neighbor_misses=neighbor_mean,
+        own_mean=50.0, neighbor_mean=neighbor_mean,
+        threshold=0.4, pause_self=False, verdict=verdict,
+    )
+
+
+class TestPeriodConfusion:
+    def test_labels(self):
+        assert PeriodConfusion(0, True, True).label == "tp"
+        assert PeriodConfusion(0, True, False).label == "fp"
+        assert PeriodConfusion(0, False, False).label == "tn"
+        assert PeriodConfusion(0, False, True).label == "fn"
+
+
+class TestScoreDetectionEvents:
+    def test_confusion_counts_against_oracle(self):
+        events = [
+            event(0, verdict=True, neighbor_mean=200.0),   # tp
+            event(1, verdict=True, neighbor_mean=100.0),   # fp
+            event(2, verdict=False, neighbor_mean=100.0),  # tn
+            event(3, verdict=False, neighbor_mean=200.0),  # fn
+            event(4, verdict=None, neighbor_mean=200.0),   # skipped
+        ]
+        scored = score_detection_events(events, baseline_misses=BASELINE)
+        assert scored.counts() == {"tp": 1, "fp": 1, "tn": 1, "fn": 1}
+        assert scored.report.accuracy == pytest.approx(0.5)
+        assert scored.report.precision == pytest.approx(0.5)
+        assert scored.report.recall == pytest.approx(0.5)
+        assert [p.period for p in scored.periods] == [0, 1, 2, 3]
+
+    def test_accepts_jsonl_payload_dicts(self):
+        events = [
+            event(0, verdict=True, neighbor_mean=200.0).to_dict(),
+            event(1, verdict=False, neighbor_mean=100.0).to_dict(),
+            PhaseEvent(
+                period=1, scope="process", subject="ls", phase="completed"
+            ).to_dict(),  # skipped: wrong kind
+        ]
+        scored = score_detection_events(events, baseline_misses=BASELINE)
+        assert scored.counts() == {"tp": 1, "tn": 1}
+        assert scored.report.accuracy == 1.0
+
+    def test_noise_floor_suppresses_small_deviations(self):
+        events = [event(0, verdict=False, neighbor_mean=160.0)]
+        assert score_detection_events(
+            events, baseline_misses=BASELINE
+        ).counts() == {"fn": 1}
+        assert score_detection_events(
+            events, baseline_misses=BASELINE, noise_floor=80.0
+        ).counts() == {"tn": 1}
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ExperimentError):
+            score_detection_events([], baseline_misses=BASELINE)
+        phase_only = [
+            PhaseEvent(
+                period=0, scope="process", subject="ls", phase="launched"
+            )
+        ]
+        with pytest.raises(ExperimentError):
+            score_detection_events(phase_only, baseline_misses=BASELINE)
+
+
+def test_scores_a_real_trace_end_to_end(tiny_machine):
+    """Trace a governed run, score it against the run's solo baseline."""
+    l3 = tiny_machine.l3.capacity_lines
+    ls = benchmark("429.mcf", l3, length=0.02)
+    batch = benchmark("470.lbm", l3, length=0.02)
+    solo = run_solo(ls, tiny_machine, seed=2)
+    solo_ls = solo.latency_sensitive()
+    baseline = solo_ls.total_llc_misses() / max(1, solo.total_periods)
+    ring = RingBufferSink(1 << 16)
+    run_colocated(
+        ls, batch, tiny_machine,
+        caer_factory=caer_factory(CaerConfig.shutter()),
+        seed=2,
+        tracer=Tracer([ring]),
+    )
+    scored = score_detection_events(
+        ring.by_kind("detection"), baseline_misses=baseline
+    )
+    counts = scored.counts()
+    assert sum(counts.values()) == len(scored.periods) > 0
+    assert 0.0 <= scored.report.accuracy <= 1.0

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro import cli
+from repro.obs import read_jsonl
 
 
 class TestParser:
@@ -39,3 +42,60 @@ class TestParser:
         parser = cli._build_parser()
         args = parser.parse_args(["list"])
         assert cli._settings(args).length == 0.15
+
+    def test_list_mentions_trace_and_stats(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "stats" in out
+
+
+class TestErrorRouting:
+    def test_unknown_benchmark_is_one_line_error(self, capsys, tmp_path):
+        code = cli.main([
+            "trace", "nonesuch", "shutter",
+            "--output", str(tmp_path / "t.jsonl"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "nonesuch" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_config_is_one_line_error(self, capsys, tmp_path):
+        code = cli.main([
+            "trace", "mcf", "bogus",
+            "--output", str(tmp_path / "t.jsonl"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "bogus" in captured.err
+
+
+class TestTraceCommand:
+    def test_trace_writes_jsonl_with_one_detection_per_period(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "trace.jsonl"
+        code = cli.main([
+            "--length", "0.02", "trace", "mcf", "shutter",
+            "--output", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(path) in out
+        records = read_jsonl(path)
+        detections = [r for r in records if r["kind"] == "detection"]
+        periods = int(re.search(r"over (\d+) periods", out).group(1))
+        assert len(detections) == periods > 0
+        # determinism contract: no wall-clock in any event payload
+        assert all("seconds" not in key and "time" not in key
+                   for record in records for key in record)
+
+    def test_stats_smoke_on_empty_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["stats"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no cached runs" in out

@@ -1,0 +1,133 @@
+"""Counter/gauge/histogram semantics and registry aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    POW2_BUCKETS,
+    merge_snapshots,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("runs")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert registry.counter("runs") is counter
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("runs").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("batch_seconds")
+        gauge.set(4.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_bounds(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0):
+            hist.observe(value)
+        # bounds are inclusive: 1.0 lands in the first bucket,
+        # 9.0 in the overflow bucket.
+        assert hist.counts == [2, 2, 2, 1]
+        assert hist.count == 7
+        assert hist.total == pytest.approx(21.0)
+        assert hist.min == 0.5 and hist.max == 9.0
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_quantile_reports_bucket_bound(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            hist.observe(value)
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(1.0) == 9.0  # overflow reports observed max
+        with pytest.raises(ObservabilityError):
+            hist.quantile(1.5)
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.min is None and hist.max is None
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=())
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("x")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("x")
+
+    def test_snapshot_is_sorted_and_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.level").set(0.5)
+        registry.histogram("c.dist", buckets=(1.0, 2.0)).observe(1.5)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.level", "b.count", "c.dist"]
+        assert snap["b.count"] == {"type": "counter", "value": 2.0}
+        assert snap["c.dist"]["counts"] == [0, 1, 0]
+        json.dumps(snap)  # must not raise
+
+    def test_default_buckets_are_powers_of_two(self):
+        assert POW2_BUCKETS[0] == 1.0
+        assert all(b == 2 * a for a, b in zip(POW2_BUCKETS, POW2_BUCKETS[1:]))
+
+
+class TestMergeSnapshots:
+    def _snap(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(3)
+        registry.gauge("level").set(2.0)
+        registry.histogram("dist", buckets=(1.0, 2.0)).observe(0.5)
+        return registry.snapshot()
+
+    def test_counters_and_histograms_add_gauges_last_win(self):
+        first, second = self._snap(), self._snap()
+        second["gauge_only"] = {"type": "gauge", "value": 9.0}
+        second["level"]["value"] = 7.0
+        merged = merge_snapshots([first, second])
+        assert merged["runs"]["value"] == 6.0
+        assert merged["level"]["value"] == 7.0
+        assert merged["dist"]["counts"] == [2, 0, 0]
+        assert merged["dist"]["count"] == 2
+        assert merged["gauge_only"]["value"] == 9.0
+
+    def test_merge_does_not_mutate_inputs(self):
+        first, second = self._snap(), self._snap()
+        merge_snapshots([first, second])
+        assert first["runs"]["value"] == 3.0
+        assert first["dist"]["counts"] == [1, 0, 0]
+
+    def test_mismatched_buckets_fall_back_to_latest(self):
+        first = self._snap()
+        registry = MetricsRegistry()
+        registry.histogram("dist", buckets=(5.0,)).observe(4.0)
+        second = registry.snapshot()
+        merged = merge_snapshots([first, second])
+        assert merged["dist"]["buckets"] == [5.0]
+        assert merged["dist"]["count"] == 1

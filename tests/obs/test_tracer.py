@@ -1,0 +1,147 @@
+"""Tracer fan-out, ring-buffer eviction, and JSONL sink rotation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NULL_TRACER,
+    DetectionEvent,
+    JSONLSink,
+    PhaseEvent,
+    PMUSampleEvent,
+    ResponseEvent,
+    RingBufferSink,
+    Tracer,
+    read_jsonl,
+)
+
+
+def pmu_event(period: int, process: str = "ls") -> PMUSampleEvent:
+    return PMUSampleEvent(
+        period=period, process=process, state="running",
+        cycles=1000.0, instructions=500.0,
+        llc_misses=7, llc_references=40,
+    )
+
+
+def detection_event(period: int, verdict=None) -> DetectionEvent:
+    return DetectionEvent(
+        period=period, detector="rule-based", state="detect",
+        own_misses=10.0, neighbor_misses=20.0,
+        own_mean=12.0, neighbor_mean=18.0,
+        threshold=22.5, pause_self=False, verdict=verdict,
+    )
+
+
+class TestTracer:
+    def test_null_tracer_disabled_and_counts_nothing(self):
+        assert not NULL_TRACER.enabled
+        assert not NULL_TRACER
+        NULL_TRACER.emit(pmu_event(0))
+        assert NULL_TRACER.total_events() == 0
+
+    def test_fan_out_reaches_every_sink(self):
+        a, b = RingBufferSink(10), RingBufferSink(10)
+        tracer = Tracer([a, b])
+        assert tracer.enabled
+        tracer.emit(pmu_event(0))
+        assert len(a) == len(b) == 1
+
+    def test_counts_by_kind(self):
+        tracer = Tracer([RingBufferSink(10)])
+        tracer.emit(pmu_event(0))
+        tracer.emit(pmu_event(1))
+        tracer.emit(detection_event(1, verdict=True))
+        assert tracer.counts == {"pmu_sample": 2, "detection": 1}
+        assert tracer.total_events() == 3
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer([JSONLSink(path)]) as tracer:
+            tracer.emit(pmu_event(0))
+        assert len(read_jsonl(path)) == 1
+
+
+class TestRingBufferSink:
+    def test_eviction_keeps_newest_and_counts(self):
+        sink = RingBufferSink(capacity=3)
+        for period in range(5):
+            sink.emit(pmu_event(period))
+        assert len(sink) == 3
+        assert sink.evicted == 2
+        assert [e.period for e in sink.events] == [2, 3, 4]
+
+    def test_by_kind_filters(self):
+        sink = RingBufferSink(capacity=10)
+        sink.emit(pmu_event(0))
+        sink.emit(detection_event(0))
+        sink.emit(PhaseEvent(
+            period=0, scope="process", subject="ls", phase="launched"
+        ))
+        assert [e.kind for e in sink.by_kind("detection")] == ["detection"]
+        assert len(sink.by_kind("pmu_sample")) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ObservabilityError):
+            RingBufferSink(capacity=0)
+
+
+class TestJSONLSink:
+    def test_round_trip_payloads(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path)
+        events = [
+            pmu_event(0),
+            detection_event(0, verdict=True),
+            ResponseEvent(
+                period=1, response="soft-lock", verdict=True,
+                pause_batch=True, speed=1.0, l3_quota=None, done=False,
+            ),
+        ]
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        records = read_jsonl(path)
+        assert records == [e.to_dict() for e in events]
+        assert records[1]["kind"] == "detection"
+        assert records[1]["verdict"] is True
+
+    def test_rotation_shifts_and_bounds_files(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        line_bytes = len(
+            json.dumps(pmu_event(0).to_dict(), separators=(",", ":"))
+        ) + 1
+        # Room for 2 lines per file; 10 emits -> 4 rotations.
+        sink = JSONLSink(path, max_bytes=2 * line_bytes, max_files=2)
+        for period in range(10):
+            sink.emit(pmu_event(period))
+        sink.close()
+        assert sink.rotations == 4
+        assert path.exists()
+        assert (tmp_path / "trace.jsonl.1").exists()
+        assert (tmp_path / "trace.jsonl.2").exists()
+        assert not (tmp_path / "trace.jsonl.3").exists()
+        # The live file holds the newest events, rotations the older.
+        newest = [r["period"] for r in read_jsonl(path)]
+        older = [r["period"] for r in read_jsonl(tmp_path / "trace.jsonl.1")]
+        assert newest == [8, 9]
+        assert older == [6, 7]
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JSONLSink(path)
+        for period in range(50):
+            sink.emit(pmu_event(period))
+        sink.close()
+        assert sink.rotations == 0
+        assert len(read_jsonl(path)) == 50
+
+    def test_rejects_bad_limits(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            JSONLSink(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ObservabilityError):
+            JSONLSink(tmp_path / "t.jsonl", max_files=0)

@@ -1,0 +1,84 @@
+"""Trace transparency: observing a run must never change it.
+
+The acceptance contract for the observability layer: attaching a tracer
+and a metrics registry to a simulation leaves the :class:`RunResult`
+(and the cached :class:`RunSummary` derived from it) bit-identical to
+an unobserved run, while the emitted trace itself satisfies the
+one-detection-event-per-period invariant.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caer.runtime import caer_factory
+from repro.config import MachineConfig
+from repro.experiments.campaign import RunSummary, resolve_caer_config
+from repro.obs import MetricsRegistry, RingBufferSink, Tracer
+from repro.sim import run_colocated
+from repro.workloads import benchmark
+
+LENGTH = 0.02
+
+
+def _run(bench: str, config: str, seed: int, tracer=None, metrics=None):
+    machine = MachineConfig.tiny()
+    l3 = machine.l3.capacity_lines
+    ls = benchmark(bench, l3, length=LENGTH)
+    batch = benchmark("470.lbm", l3, length=LENGTH)
+    caer = resolve_caer_config(config)
+    return run_colocated(
+        ls, batch, machine,
+        caer_factory=caer_factory(caer) if caer else None,
+        seed=seed,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+@given(
+    bench=st.sampled_from(["429.mcf", "462.libquantum"]),
+    config=st.sampled_from(["shutter", "rule"]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=8, deadline=None)
+def test_tracing_leaves_run_result_bit_identical(bench, config, seed):
+    untraced = _run(bench, config, seed)
+    ring = RingBufferSink(1 << 20)
+    traced = _run(
+        bench, config, seed,
+        tracer=Tracer([ring]),
+        metrics=MetricsRegistry(),
+    )
+    assert traced == untraced
+    assert RunSummary.from_run(bench, config, traced) == RunSummary.from_run(
+        bench, config, untraced
+    )
+    assert len(ring.events) > 0
+
+
+@given(
+    config=st.sampled_from(["shutter", "rule"]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=6, deadline=None)
+def test_detection_event_per_governed_period(config, seed):
+    """Every period the CAER hook runs emits exactly one DetectionEvent."""
+    ring = RingBufferSink(1 << 20)
+    result = _run(
+        "429.mcf", config, seed, tracer=Tracer([ring])
+    )
+    detections = ring.by_kind("detection")
+    assert len(detections) == result.total_periods
+    assert [e.period for e in detections] == list(range(result.total_periods))
+
+
+def test_metrics_alone_are_also_transparent():
+    baseline = _run("429.mcf", "shutter", seed=1)
+    metrics = MetricsRegistry()
+    observed = _run("429.mcf", "shutter", seed=1, metrics=metrics)
+    assert observed == baseline
+    snap = metrics.snapshot()
+    assert snap["caer.periods"]["value"] == baseline.total_periods
+    assert snap["sim.periods"]["value"] == baseline.total_periods
