@@ -21,7 +21,8 @@ interrupt).  Each period it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 from typing import Callable
 
 from ..arch.pmu import PMUSample
@@ -145,6 +146,27 @@ class CaerConfig:
         )
         defaults.update(overrides)
         return cls(**defaults)  # type: ignore[arg-type]
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-serialisable form (all knobs, even defaults).
+
+        Every field rides along so a run spec's content digest covers
+        the whole policy by construction — adding a knob to this config
+        automatically widens every cache key that embeds it.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaerConfig":
+        """Rebuild a config from :meth:`to_dict` output (validating)."""
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(
+                f"bad CAER config payload: {exc}"
+            ) from None
 
     # -- component construction ------------------------------------------
 

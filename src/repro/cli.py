@@ -17,10 +17,12 @@ environment variable (default 0.2; 1.0 is the slowest/most faithful).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
+from pathlib import Path
 
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .experiments import (
     ABLATIONS,
     Campaign,
@@ -37,6 +39,7 @@ from .experiments import (
     headline_numbers,
     run_ablation,
 )
+from .runspec import RunSpec, backend_names, execute_run
 
 _FIGURES = {
     "1": figure1,
@@ -73,6 +76,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for simulation fan-out (default from "
             "REPRO_JOBS or the cpu count; 1 = serial)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help=(
+            "execution engine for every run (default from "
+            "REPRO_BACKEND or 'sim'; 'statistical' is the closed-form "
+            "fast engine)"
         ),
     )
     parser.add_argument(
@@ -113,8 +126,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "scaling", help="multi-batch scaling study (extension)"
     )
-    sub.add_parser(
-        "crossval", help="analytic-vs-simulated cross-validation"
+    crossval = sub.add_parser(
+        "crossval",
+        help="cross-validation: sim vs. statistical backend over "
+             "identical specs (--analytic for the closed-form model)",
+    )
+    crossval.add_argument(
+        "--analytic",
+        action="store_true",
+        help="compare the analytic predictor against the campaign "
+             "instead of the two backends",
     )
     sub.add_parser(
         "contenders", help="alternative-contender study (§6.1)"
@@ -145,6 +166,30 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "stats", help="summarize cached campaign telemetry"
     )
+    spec = sub.add_parser(
+        "spec",
+        help="print (or execute) the declarative JSON spec of one run",
+    )
+    spec.add_argument(
+        "bench", nargs="?", default=None,
+        help="benchmark name (e.g. mcf); omit when using --file",
+    )
+    spec.add_argument(
+        "config", nargs="?", default="solo",
+        help="solo, raw, shutter, rule, or random (default solo)",
+    )
+    spec.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="read the spec as JSON from PATH ('-' = stdin) instead "
+             "of building it from bench/config",
+    )
+    spec.add_argument(
+        "--execute",
+        action="store_true",
+        help="execute the spec on its backend and print the outcome",
+    )
     sub.add_parser("calibrate", help="workload calibration table")
     sub.add_parser("list", help="list available artefacts")
     return parser
@@ -153,14 +198,35 @@ def _build_parser() -> argparse.ArgumentParser:
 def _settings(args: argparse.Namespace) -> CampaignSettings:
     settings = CampaignSettings.from_env()
     if args.length is not None:
-        settings = CampaignSettings(
-            length=args.length, seed=settings.seed
-        )
+        settings = dataclasses.replace(settings, length=args.length)
     if args.seed is not None:
-        settings = CampaignSettings(
-            length=settings.length, seed=args.seed
-        )
+        settings = dataclasses.replace(settings, seed=args.seed)
+    if args.backend is not None:
+        settings = dataclasses.replace(settings, backend=args.backend)
     return settings
+
+
+def _load_spec(args: argparse.Namespace,
+               settings: CampaignSettings) -> RunSpec:
+    """Resolve the ``spec`` subcommand's input to a :class:`RunSpec`."""
+    if args.file is not None:
+        if args.file == "-":
+            text = sys.stdin.read()
+        else:
+            try:
+                text = Path(args.file).read_text()
+            except OSError as exc:
+                raise ConfigError(f"cannot read spec file: {exc}")
+        return RunSpec.from_json(text)
+    if args.bench is None:
+        raise ConfigError(
+            "spec needs a benchmark name (or --file PATH / --file -)"
+        )
+    from .workloads import resolve_benchmark_name
+
+    return settings.run_spec(
+        resolve_benchmark_name(args.bench), args.config
+    )
 
 
 def _emit(table, args: argparse.Namespace) -> None:
@@ -187,6 +253,10 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     settings = _settings(args)
+    if args.jobs is not None:
+        from .experiments import resolve_jobs
+
+        resolve_jobs(args.jobs, source="--jobs")
     if args.trace or args.trace_dir:
         trace_dir = args.trace_dir or "results/traces"
         os.makedirs(trace_dir, exist_ok=True)
@@ -199,7 +269,24 @@ def _dispatch(args: argparse.Namespace) -> int:
         print("figures: 1 2 3 6 7 8 9 10")
         print("ablations:", " ".join(sorted(ABLATIONS)))
         print("extensions: scaling crossval contenders repeatability "
-              "report trace stats")
+              "report trace stats spec")
+        print("backends:", " ".join(backend_names()))
+        return 0
+
+    if args.command == "spec":
+        spec = _load_spec(args, settings)
+        if not args.execute:
+            print(spec.to_json())
+            return 0
+        outcome = execute_run(spec)
+        print(f"spec {spec.digest}")
+        print(f"backend: {outcome.backend}")
+        print(f"run: {spec.describe()}")
+        print(f"completion_periods: {outcome.completion_periods}")
+        print(f"total_periods: {outcome.total_periods}")
+        print(f"ls_total_llc_misses: {outcome.ls_total_llc_misses}")
+        print(f"utilization_gained: {outcome.utilization_gained:.4f}")
+        print(f"wall_seconds: {outcome.wall_seconds}")
         return 0
 
     if args.command == "trace":
@@ -241,9 +328,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "crossval":
-        from .experiments.crossval import analytic_figure1
+        from .experiments.crossval import analytic_figure1, backend_crossval
 
-        _emit(analytic_figure1(campaign), args)
+        if args.analytic:
+            _emit(analytic_figure1(campaign), args)
+        else:
+            _emit(backend_crossval(settings, jobs=args.jobs), args)
         return 0
 
     if args.command == "contenders":
@@ -255,7 +345,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "repeatability":
         from .experiments.repeatability import repeatability_study
 
-        _emit(repeatability_study(settings), args)
+        _emit(repeatability_study(settings, jobs=args.jobs), args)
         return 0
 
     if args.command == "report":

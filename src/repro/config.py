@@ -89,6 +89,24 @@ class CacheGeometry:
             )
         return replace(self, num_sets=new_sets)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {
+            "num_sets": self.num_sets,
+            "associativity": self.associativity,
+            "line_bytes": self.line_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheGeometry":
+        """Rebuild a geometry from :meth:`to_dict` output (validating)."""
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise CacheConfigError(
+                f"bad cache geometry payload {data!r}: {exc}"
+            ) from None
+
 
 @dataclass(frozen=True)
 class CacheLatencies:
@@ -119,6 +137,23 @@ class CacheLatencies:
             return table[level]
         except KeyError:
             raise ConfigError(f"no such memory level: {level}") from None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {
+            "l1": self.l1, "l2": self.l2,
+            "l3": self.l3, "memory": self.memory,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheLatencies":
+        """Rebuild latencies from :meth:`to_dict` output (validating)."""
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(
+                f"bad latency payload {data!r}: {exc}"
+            ) from None
 
 
 @dataclass(frozen=True)
@@ -204,6 +239,44 @@ class MachineConfig:
             replacement=full.replacement,
             l3_inclusive=full.l3_inclusive,
         )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-serialisable form of the whole machine.
+
+        Every field that affects simulation results is present, so the
+        payload is a complete identity: two machines with equal
+        ``to_dict`` outputs produce identical runs, and a run spec's
+        content digest can hash this form directly.
+        """
+        return {
+            "name": self.name,
+            "num_cores": self.num_cores,
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "l3": self.l3.to_dict(),
+            "latencies": self.latencies.to_dict(),
+            "period_cycles": self.period_cycles,
+            "replacement": self.replacement,
+            "l3_inclusive": self.l3_inclusive,
+            "prefetch_degree": self.prefetch_degree,
+            "model_writebacks": self.model_writebacks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Rebuild a machine from :meth:`to_dict` output (validating)."""
+        payload = dict(data)
+        try:
+            for level in ("l1", "l2", "l3"):
+                payload[level] = CacheGeometry.from_dict(payload[level])
+            payload["latencies"] = CacheLatencies.from_dict(
+                payload["latencies"]
+            )
+            return cls(**payload)
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(
+                f"bad machine payload: {exc!r}"
+            ) from None
 
     @classmethod
     def tiny(cls) -> "MachineConfig":

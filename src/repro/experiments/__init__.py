@@ -9,14 +9,15 @@ only simulate once.
 """
 
 from .ablations import ABLATIONS, AblationRunner, run_ablation
-from .crossval import analytic_figure1, rank_correlation
+from .crossval import analytic_figure1, backend_crossval, rank_correlation
 from .campaign import (
     Campaign,
     CampaignSettings,
     RunSummary,
+    audit_cache_key,
     produce_summary,
 )
-from .executor import fan_out, resolve_jobs, run_many
+from .executor import fan_out, resolve_jobs, run_many, run_specs
 from .figures import (
     figure1,
     figure2,
@@ -40,10 +41,12 @@ __all__ = [
     "Campaign",
     "CampaignSettings",
     "RunSummary",
+    "audit_cache_key",
     "produce_summary",
     "fan_out",
     "resolve_jobs",
     "run_many",
+    "run_specs",
     "FigureTable",
     "render_series",
     "figure1",
@@ -61,6 +64,7 @@ __all__ = [
     "AblationRunner",
     "run_ablation",
     "analytic_figure1",
+    "backend_crossval",
     "rank_correlation",
     "scaling_study",
     "generate_report",

@@ -13,13 +13,18 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from ..caer.runtime import CaerConfig, caer_factory
+from ..caer.runtime import CaerConfig
 from ..config import MachineConfig, default_usage_threshold
 from ..errors import ExperimentError
-from ..sim import run_colocated, run_solo
+from ..runspec import (
+    BATCH_BENCHMARK,
+    ContenderSpec,
+    RunSpec,
+    execute_run,
+)
 from ..workloads import benchmark
-from .campaign import BATCH_BENCHMARK, CampaignSettings
-from .executor import fan_out
+from .campaign import CampaignSettings
+from .executor import run_specs
 from .reporting import FigureTable
 
 #: The victims every ablation is evaluated on.
@@ -27,32 +32,20 @@ SENSITIVE_VICTIM = "429.mcf"
 INSENSITIVE_VICTIM = "444.namd"
 
 
-def _describe_ablation(task: tuple) -> str:
-    _machine, _settings, victim, config, _solo = task
+def _ablation_label(victim: str, config: CaerConfig | None) -> str:
     tag = f"{config.detector}/{config.response}" if config else "raw"
     return f"({victim}, {tag})"
 
 
-def _ablation_worker(task: tuple) -> tuple[float, float]:
-    """One co-located ablation run (picklable executor task)."""
-    from ..caer.metrics import utilization_gained
-
-    machine, settings, victim, config, solo_periods = task
-    l3 = machine.l3.capacity_lines
-    result = run_colocated(
-        benchmark(victim, l3, length=settings.length),
-        benchmark(BATCH_BENCHMARK, l3, length=settings.length),
-        machine,
-        caer_factory=caer_factory(config) if config else None,
-        seed=settings.seed,
-    )
-    ls = result.latency_sensitive()
-    penalty = ls.completion_periods / solo_periods - 1.0
-    return penalty, utilization_gained(result)
-
-
 class AblationRunner:
-    """Runs one CAER configuration against the two reference victims."""
+    """Runs one CAER configuration against the two reference victims.
+
+    Every evaluation is expressed as a declarative
+    :class:`~repro.runspec.RunSpec` built from the runner's (possibly
+    sweep-modified) ``machine``, and executed through the settings'
+    backend — serial :meth:`evaluate` and fanned-out
+    :meth:`evaluate_many` therefore produce bit-identical numbers.
+    """
 
     def __init__(
         self,
@@ -72,34 +65,49 @@ class AblationRunner:
             length=self.settings.length,
         )
 
+    def solo_spec(self, victim: str) -> RunSpec:
+        """The spec of the victim's solo baseline run."""
+        return RunSpec(
+            victim=victim,
+            machine=self.machine,
+            seed=self.settings.seed,
+            length=self.settings.length,
+            backend=self.settings.backend,
+        )
+
+    def colocated_spec(
+        self, victim: str, config: CaerConfig | None
+    ) -> RunSpec:
+        """The spec of one victim-vs-lbm run under ``config``."""
+        return RunSpec(
+            victim=victim,
+            contenders=(ContenderSpec(BATCH_BENCHMARK),),
+            machine=self.machine,
+            caer=config,
+            seed=self.settings.seed,
+            length=self.settings.length,
+            backend=self.settings.backend,
+        )
+
     def _solo_periods(self, victim: str) -> int:
         if victim not in self._solo_cache:
-            result = run_solo(
-                self._spec(victim), self.machine, seed=self.settings.seed
+            outcome = execute_run(
+                self.solo_spec(victim), keep_series=False
             )
-            self._solo_cache[victim] = (
-                result.latency_sensitive().completion_periods
-            )
+            self._solo_cache[victim] = outcome.completion_periods
         return self._solo_cache[victim]
 
     def evaluate(
         self, victim: str, config: CaerConfig | None
     ) -> tuple[float, float]:
         """(penalty, utilization gained) of one configuration."""
-        from ..caer.metrics import utilization_gained
-
-        result = run_colocated(
-            self._spec(victim),
-            self._spec(BATCH_BENCHMARK),
-            self.machine,
-            caer_factory=caer_factory(config) if config else None,
-            seed=self.settings.seed,
+        outcome = execute_run(
+            self.colocated_spec(victim, config), keep_series=False
         )
-        ls = result.latency_sensitive()
         penalty = (
-            ls.completion_periods / self._solo_periods(victim) - 1.0
+            outcome.completion_periods / self._solo_periods(victim) - 1.0
         )
-        return penalty, utilization_gained(result)
+        return penalty, outcome.utilization_gained
 
     def evaluate_many(
         self,
@@ -109,19 +117,31 @@ class AblationRunner:
         """(penalty, utilization) per (victim, config), fanned out.
 
         The solo baselines are produced (and memoised) up front in this
-        process; the independent co-located runs then fan across
+        process; the independent co-located specs then fan across
         workers, results in ``pairs`` order.
         """
         if jobs is None:
             jobs = self.jobs
-        tasks = [
-            (self.machine, self.settings, victim, config,
-             self._solo_periods(victim))
-            for victim, config in pairs
-        ]
-        return fan_out(
-            _ablation_worker, tasks, jobs=jobs, describe=_describe_ablation
+        specs: list[RunSpec] = []
+        labels: dict[str, str] = {}
+        baselines: list[int] = []
+        for victim, config in pairs:
+            spec = self.colocated_spec(victim, config)
+            labels[spec.digest] = _ablation_label(victim, config)
+            baselines.append(self._solo_periods(victim))
+            specs.append(spec)
+        outcomes = run_specs(
+            specs,
+            jobs=jobs,
+            describe=lambda spec: labels.get(spec.digest, spec.describe()),
         )
+        return [
+            (
+                outcome.completion_periods / baseline - 1.0,
+                outcome.utilization_gained,
+            )
+            for outcome, baseline in zip(outcomes, baselines)
+        ]
 
 
 def _sweep(
@@ -451,8 +471,6 @@ def ablate_detector(runner: AblationRunner) -> FigureTable:
     the online heuristics do not get); the gap between it and the
     heuristics is the price of detecting *online*.
     """
-    from ..sim import run_solo
-
     configs: list[tuple[str, CaerConfig]] = [
         ("shutter", CaerConfig.shutter()),
         ("rule-based", CaerConfig.rule_based()),
@@ -480,12 +498,8 @@ def ablate_detector(runner: AblationRunner) -> FigureTable:
         (SENSITIVE_VICTIM, "mcf"),
         (INSENSITIVE_VICTIM, "namd"),
     ):
-        solo = run_solo(
-            runner._spec(victim), runner.machine,
-            seed=runner.settings.seed,
-        )
-        ls = solo.latency_sensitive()
-        baseline = ls.total_llc_misses() / ls.completion_periods
+        solo = execute_run(runner.solo_spec(victim), keep_series=False)
+        baseline = solo.ls_total_llc_misses / solo.completion_periods
         config = CaerConfig.profile_oracle(baseline_misses=baseline)
         p, u = runner.evaluate(victim, config)
         columns[f"{prefix}_penalty"].append(p)

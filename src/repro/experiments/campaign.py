@@ -8,45 +8,60 @@ runs are summarised once into :class:`RunSummary` records, memoised in
 memory, and (optionally) persisted as JSON so repeated bench invocations
 do not re-simulate.
 
-The cache key includes the machine geometry, run length, seed, and the
-library version, so stale entries are never reused across code changes
-that alter results — bump :data:`CACHE_EPOCH` when simulation semantics
-change.
+Every run the campaign produces is described by a declarative
+:class:`~repro.runspec.RunSpec`, and the cache is keyed by the spec's
+content-addressed digest: two drivers asking for the same physical run
+— whatever words they use for it — hit the same entry, and any knob
+that can change a result (machine geometry, CAER policy, seed, length,
+backend) is in the key by construction.  :func:`audit_cache_key`
+enforces that invariant at campaign construction for every
+:class:`CampaignSettings` field.  Bump :data:`CACHE_EPOCH` when
+simulation semantics change without a spec-visible knob moving.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import tempfile
-import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable
 
 from ..caer.metrics import utilization_gained
-from ..caer.runtime import CaerConfig, caer_factory
 from ..config import MachineConfig
-from ..errors import ExperimentError
-from ..obs import JSONLSink, MetricsRegistry, Tracer
-from ..sim import run_colocated, run_solo
+from ..errors import ConfigError, ExperimentError
+from ..obs import MetricsRegistry
+from ..runspec import (
+    BATCH_BENCHMARK,
+    CONFIGS,
+    RunOutcome,
+    RunSpec,
+    derive_telemetry,
+    paper_run_spec,
+    resolve_caer_config,
+)
 from ..sim.results import RunResult
-from ..workloads import benchmark
-from .executor import run_many
+from .executor import TRACE_DIR_ENV, _execute_spec, run_many
 
-#: When set, every simulated run writes its decision trace as
-#: ``trace_<bench>__<config>.jsonl`` under this directory (the CLI's
-#: ``--trace`` flag sets it; worker processes inherit it via fork).
-TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+__all__ = [
+    "CACHE_EPOCH",
+    "CONFIGS",
+    "BATCH_BENCHMARK",
+    "TRACE_DIR_ENV",
+    "CampaignSettings",
+    "RunSummary",
+    "Campaign",
+    "audit_cache_key",
+    "produce_summary",
+    "resolve_caer_config",
+    "derive_telemetry",
+]
 
 #: Bump when simulation semantics change so cached results invalidate.
-CACHE_EPOCH = 5
-
-#: The co-location configurations of the paper's evaluation.
-CONFIGS = ("raw", "shutter", "rule", "random")
-
-#: The contender used throughout the paper's experiments (§6.1).
-BATCH_BENCHMARK = "470.lbm"
+#: (6: campaign cache re-keyed by RunSpec digest.)
+CACHE_EPOCH = 6
 
 
 def _env_float(name: str, default: float) -> float:
@@ -67,7 +82,13 @@ class CampaignSettings:
     ~1000 probe periods per solo run (the most faithful but slowest
     setting), and the default of 0.2 gives ~200 periods — enough for
     every heuristic to settle while keeping the full campaign to a few
-    minutes.  Override per shell with ``REPRO_LENGTH``.
+    minutes.  Override per shell with ``REPRO_LENGTH``.  ``backend``
+    names the execution engine every run uses (``REPRO_BACKEND``, or
+    the CLI's ``--backend``).
+
+    Every field here must flow into :meth:`run_spec` — and therefore
+    into the cache key — or :func:`audit_cache_key` refuses to build a
+    campaign on top of it.
     """
 
     length: float = 0.2
@@ -75,13 +96,16 @@ class CampaignSettings:
     cache_scale: int = 16
     period_cycles: int = 40_000
     slices_per_period: int = 8
+    backend: str = "sim"
 
     @classmethod
     def from_env(cls) -> "CampaignSettings":
-        """Settings with ``REPRO_LENGTH``/``REPRO_SEED`` applied."""
+        """Settings with ``REPRO_LENGTH``/``REPRO_SEED``/``REPRO_BACKEND``
+        applied."""
         return cls(
             length=_env_float("REPRO_LENGTH", 0.2),
             seed=int(_env_float("REPRO_SEED", 0)),
+            backend=os.environ.get("REPRO_BACKEND", "sim"),
         )
 
     def machine(self) -> MachineConfig:
@@ -91,12 +115,80 @@ class CampaignSettings:
             period_cycles=self.period_cycles,
         )
 
+    def run_spec(self, bench: str, config: str) -> RunSpec:
+        """The declarative spec of one (bench, config) campaign run."""
+        return paper_run_spec(
+            bench,
+            config,
+            self.machine(),
+            seed=self.seed,
+            length=self.length,
+            slices_per_period=self.slices_per_period,
+            backend=self.backend,
+        )
+
     def cache_tag(self) -> str:
-        """Filesystem-safe identity of these settings."""
+        """Filesystem-safe identity of these settings (for reports)."""
         return (
             f"e{CACHE_EPOCH}_s{self.cache_scale}_p{self.period_cycles}"
-            f"_l{self.length}_r{self.seed}"
+            f"_l{self.length}_r{self.seed}_{self.backend}"
         )
+
+
+#: How :func:`audit_cache_key` perturbs each settings field.  A new
+#: field on :class:`CampaignSettings` must add a perturbation here (one
+#: that yields a *valid* settings object differing only in that field).
+_AUDIT_PERTURBATIONS = {
+    "length": lambda s: dataclasses.replace(s, length=s.length * 2),
+    "seed": lambda s: dataclasses.replace(s, seed=s.seed + 1),
+    "cache_scale": lambda s: dataclasses.replace(
+        s, cache_scale=s.cache_scale * 2
+    ),
+    "period_cycles": lambda s: dataclasses.replace(
+        s, period_cycles=s.period_cycles * 2
+    ),
+    "slices_per_period": lambda s: dataclasses.replace(
+        s, slices_per_period=s.slices_per_period + 1
+    ),
+    "backend": lambda s: dataclasses.replace(
+        s, backend="statistical" if s.backend != "statistical" else "sim"
+    ),
+}
+
+#: The coordinates the audit probes (a co-located CAER run exercises
+#: every spec field, contenders and policy included).
+_AUDIT_RUN = ("429.mcf", "rule")
+
+
+def audit_cache_key(settings: CampaignSettings) -> None:
+    """Assert every settings field participates in the cache key.
+
+    For each field of :class:`CampaignSettings`, perturb it and check
+    the spec digest moves.  Raises :class:`ConfigError` if a field has
+    no registered perturbation (someone added a knob without auditing
+    it) or if perturbing it leaves the digest unchanged (the knob would
+    silently alias cache entries).  Runs at :class:`Campaign`
+    construction — digest checks are cheap; stale-cache bugs are not.
+    """
+    unaudited = [
+        f.name
+        for f in dataclasses.fields(settings)
+        if f.name not in _AUDIT_PERTURBATIONS
+    ]
+    if unaudited:
+        raise ConfigError(
+            f"CampaignSettings field(s) {unaudited} have no cache-key "
+            f"audit perturbation — add one to _AUDIT_PERTURBATIONS so "
+            f"the field provably reaches the cache key"
+        )
+    base = settings.run_spec(*_AUDIT_RUN).digest
+    for name, perturb in _AUDIT_PERTURBATIONS.items():
+        if perturb(settings).run_spec(*_AUDIT_RUN).digest == base:
+            raise ConfigError(
+                f"CampaignSettings.{name} does not affect the run-spec "
+                f"digest: changing it would silently reuse stale cache "
+                f"entries"
+            )
 
 
 @dataclass
@@ -118,9 +210,9 @@ class RunSummary:
     #: marks cached entries that predate timing ("n/a" in reports).
     wall_seconds: float = field(default=0.0, compare=False)
     #: telemetry snapshot of the run (metrics registry snapshot plus
-    #: derived scalars); ``None`` for entries cached before the
-    #: observability layer existed.  Excluded from equality: tracing
-    #: and telemetry must never make two runs compare different.
+    #: derived scalars and the spec digest); ``None`` for entries cached
+    #: before the observability layer existed.  Excluded from equality:
+    #: tracing and telemetry must never make two runs compare different.
     telemetry: dict | None = field(default=None, compare=False)
 
     @classmethod
@@ -153,102 +245,38 @@ class RunSummary:
             ),
         )
 
-
-def resolve_caer_config(config: str) -> CaerConfig | None:
-    """Map a config tag to the CAER setup the paper evaluates."""
-    if config == "raw":
-        return None
-    if config == "shutter":
-        return CaerConfig.shutter()
-    if config == "rule":
-        return CaerConfig.rule_based()
-    if config == "random":
-        return CaerConfig.random_baseline()
-    raise ExperimentError(f"unknown co-location config {config!r}")
-
-
-def _run_tracer(bench: str, config: str) -> Tracer | None:
-    """Build the per-run JSONL tracer when ``REPRO_TRACE_DIR`` is set."""
-    trace_dir = os.environ.get(TRACE_DIR_ENV)
-    if not trace_dir:
-        return None
-    safe = bench.replace(".", "_")
-    path = Path(trace_dir) / f"trace_{safe}__{config}.jsonl"
-    return Tracer([JSONLSink(path)])
-
-
-def derive_telemetry(metrics: MetricsRegistry) -> dict:
-    """Snapshot a run's registry plus the derived headline scalars."""
-    snapshot = metrics.snapshot()
-
-    def _counter(name: str) -> float:
-        entry = snapshot.get(name)
-        return entry["value"] if entry else 0.0
-
-    caer_periods = _counter("caer.periods")
-    positives = _counter("caer.verdicts_positive")
-    verdicts = positives + _counter("caer.verdicts_negative")
-    paused = _counter("caer.batch_paused_periods")
-    derived: dict = {
-        #: fraction of issued verdicts asserting contention
-        "detector_trigger_rate": (
-            positives / verdicts if verdicts else 0.0
-        ),
-        #: fraction of CAER-governed periods the batch side actually ran
-        "batch_run_fraction": (
-            1.0 - paused / caer_periods if caer_periods else 1.0
-        ),
-        "verdicts": verdicts,
-    }
-    return {"metrics": snapshot, "derived": derived}
+    @classmethod
+    def from_outcome(
+        cls, bench: str, config: str, outcome: RunOutcome
+    ) -> "RunSummary":
+        """Relabel a backend :class:`RunOutcome` into the campaign's
+        (bench, config) vocabulary."""
+        return cls(
+            bench=bench,
+            config=config,
+            completion_periods=outcome.completion_periods,
+            total_periods=outcome.total_periods,
+            ls_total_llc_misses=outcome.ls_total_llc_misses,
+            utilization_gained=outcome.utilization_gained,
+            miss_series=outcome.miss_series,
+            instruction_series=outcome.instruction_series,
+            wall_seconds=outcome.wall_seconds,
+            telemetry=outcome.telemetry,
+        )
 
 
 def produce_summary(
     settings: CampaignSettings, bench: str, config: str
 ) -> RunSummary:
-    """Simulate one (bench, config) run and condense it to a summary.
+    """Execute one (bench, config) run and condense it to a summary.
 
-    The unit of work of the parallel executor: module-level, driven
-    only by its (picklable) arguments, touching no shared state — the
-    campaign's memoisation layers stay in the parent process.
-    ``config`` is ``"solo"`` or one of :data:`CONFIGS`.
+    Builds the run's :class:`RunSpec` and executes it on the settings'
+    backend — the same path the parallel executor fans out, so serial
+    and parallel campaigns are bit-identical.  ``config`` is ``"solo"``
+    or one of :data:`CONFIGS`.
     """
-    started = time.perf_counter()
-    machine = settings.machine()
-    l3 = machine.l3.capacity_lines
-    spec = benchmark(bench, l3, length=settings.length)
-    tracer = _run_tracer(bench, config)
-    metrics = MetricsRegistry()
-    try:
-        if config == "solo":
-            result = run_solo(
-                spec,
-                machine,
-                seed=settings.seed,
-                slices_per_period=settings.slices_per_period,
-                tracer=tracer,
-                metrics=metrics,
-            )
-        else:
-            batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
-            caer = resolve_caer_config(config)
-            result = run_colocated(
-                spec,
-                batch,
-                machine,
-                caer_factory=caer_factory(caer) if caer else None,
-                seed=settings.seed,
-                slices_per_period=settings.slices_per_period,
-                tracer=tracer,
-                metrics=metrics,
-            )
-    finally:
-        if tracer is not None:
-            tracer.close()
-    summary = RunSummary.from_run(bench, config, result)
-    summary.wall_seconds = round(time.perf_counter() - started, 3)
-    summary.telemetry = derive_telemetry(metrics)
-    return summary
+    spec = settings.run_spec(bench, config)
+    return RunSummary.from_outcome(bench, config, _execute_spec(spec))
 
 
 class Campaign:
@@ -262,7 +290,9 @@ class Campaign:
         jobs: int | None = None,
     ):
         self.settings = settings or CampaignSettings.from_env()
-        self._memory: dict[tuple[str, str], RunSummary] = {}
+        audit_cache_key(self.settings)
+        self._memory: dict[str, RunSummary] = {}
+        self._specs: dict[tuple[str, str], RunSpec] = {}
         if cache_dir is None:
             cache_dir = os.environ.get(
                 "REPRO_CACHE_DIR", Path.home() / ".cache" / "repro-caer"
@@ -279,23 +309,30 @@ class Campaign:
 
     caer_config = staticmethod(resolve_caer_config)
 
+    # -- run identity -----------------------------------------------------
+
+    def spec_for(self, bench: str, config: str) -> RunSpec:
+        """The declarative spec this campaign runs for (bench, config)."""
+        key = (bench, config)
+        spec = self._specs.get(key)
+        if spec is None:
+            spec = self.settings.run_spec(bench, config)
+            self._specs[key] = spec
+        return spec
+
     # -- cache plumbing ---------------------------------------------------
 
     def _cache_path(self, bench: str, config: str) -> Path | None:
         if self.cache_dir is None:
             return None
-        safe = bench.replace(".", "_")
-        return (
-            self.cache_dir
-            / self.settings.cache_tag()
-            / f"{safe}__{config}.json"
-        )
+        digest = self.spec_for(bench, config).digest
+        return self.cache_dir / f"e{CACHE_EPOCH}" / f"{digest}.json"
 
     def _load(self, bench: str, config: str) -> RunSummary | None:
-        key = (bench, config)
-        if key in self._memory:
+        digest = self.spec_for(bench, config).digest
+        if digest in self._memory:
             self.metrics.counter("campaign.cache_memory_hits").inc()
-            return self._memory[key]
+            return self._memory[digest]
         path = self._cache_path(bench, config)
         if path is None or not path.exists():
             self.metrics.counter("campaign.cache_misses").inc()
@@ -308,11 +345,12 @@ class Campaign:
             self.metrics.counter("campaign.cache_invalid").inc()
             return None
         self.metrics.counter("campaign.cache_disk_hits").inc()
-        self._memory[key] = summary
+        self._memory[digest] = summary
         return summary
 
     def _store(self, summary: RunSummary) -> None:
-        self._memory[(summary.bench, summary.config)] = summary
+        digest = self.spec_for(summary.bench, summary.config).digest
+        self._memory[digest] = summary
         path = self._cache_path(summary.bench, summary.config)
         if path is None:
             return

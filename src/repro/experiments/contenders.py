@@ -13,12 +13,10 @@ manage.
 
 from __future__ import annotations
 
-from ..caer.metrics import utilization_gained
-from ..caer.runtime import CaerConfig, caer_factory
-from ..sim import run_colocated, run_solo
-from ..workloads import benchmark
+from ..caer.runtime import CaerConfig
+from ..runspec import ContenderSpec, RunSpec
 from .campaign import CampaignSettings
-from .executor import fan_out
+from .executor import run_specs
 from .reporting import FigureTable
 
 #: The paper's heavy contenders, plus one light adversary as control.
@@ -26,40 +24,6 @@ CONTENDERS = ("470.lbm", "462.libquantum", "433.milc", "444.namd")
 
 #: Victims spanning the sensitivity range.
 VICTIM_PANEL = ("429.mcf", "483.xalancbmk", "473.astar", "444.namd")
-
-
-def _solo_worker(task: tuple) -> int:
-    machine, settings, victim = task
-    result = run_solo(
-        benchmark(victim, machine.l3.capacity_lines,
-                  length=settings.length),
-        machine,
-        seed=settings.seed,
-    )
-    return result.latency_sensitive().completion_periods
-
-
-def _pair_worker(task: tuple) -> tuple[int, int, float]:
-    """(raw periods, managed periods, managed utilization) of one pair."""
-    machine, settings, victim, contender, caer = task
-    l3 = machine.l3.capacity_lines
-    victim_spec = benchmark(victim, l3, length=settings.length)
-    contender_spec = benchmark(contender, l3, length=settings.length)
-    raw = run_colocated(
-        victim_spec, contender_spec, machine, seed=settings.seed
-    )
-    managed = run_colocated(
-        victim_spec,
-        contender_spec,
-        machine,
-        caer_factory=caer_factory(caer),
-        seed=settings.seed,
-    )
-    return (
-        raw.latency_sensitive().completion_periods,
-        managed.latency_sensitive().completion_periods,
-        utilization_gained(managed),
-    )
 
 
 def contender_study(
@@ -72,20 +36,38 @@ def contender_study(
     """Raw and CAER-managed penalty for every (victim, contender) pair.
 
     Rows are ``victim vs contender``; the CAER configuration defaults
-    to rule-based (the paper's best performer).  Both the solo
-    baselines and the per-pair runs fan across worker processes.
+    to rule-based (the paper's best performer).  Every run — solo
+    baselines, raw pairs, managed pairs — is one declarative spec, and
+    the whole matrix fans across worker processes in a single batch.
     """
     settings = settings or CampaignSettings.from_env()
     caer = caer or CaerConfig.rule_based()
     machine = settings.machine()
 
-    solo_results = fan_out(
-        _solo_worker,
-        [(machine, settings, victim) for victim in victims],
-        jobs=jobs,
-        describe=lambda task: f"({task[2]}, solo)",
+    def spec(
+        victim: str,
+        contender: str | None = None,
+        config: CaerConfig | None = None,
+    ) -> RunSpec:
+        return RunSpec(
+            victim=victim,
+            contenders=(
+                (ContenderSpec(contender),) if contender else ()
+            ),
+            machine=machine,
+            caer=config,
+            seed=settings.seed,
+            length=settings.length,
+            slices_per_period=settings.slices_per_period,
+            backend=settings.backend,
+        )
+
+    solo_outcomes = run_specs(
+        [spec(victim) for victim in victims], jobs=jobs
     )
-    solo_periods = dict(zip(victims, solo_results))
+    solo_periods = dict(
+        zip(victims, (o.completion_periods for o in solo_outcomes))
+    )
 
     pairs = [
         (victim, contender)
@@ -94,26 +76,33 @@ def contender_study(
         if victim != contender
     ]
     rows = [f"{victim} vs {contender}" for victim, contender in pairs]
-    pair_results = fan_out(
-        _pair_worker,
-        [
-            (machine, settings, victim, contender, caer)
-            for victim, contender in pairs
-        ],
+    # Raw and managed runs of every pair, interleaved in one batch.
+    pair_specs: list[RunSpec] = []
+    labels: dict[str, str] = {}
+    for victim, contender in pairs:
+        raw_spec = spec(victim, contender)
+        managed_spec = spec(victim, contender, caer)
+        labels[raw_spec.digest] = f"({victim}, vs {contender})"
+        labels[managed_spec.digest] = (
+            f"({victim}, vs {contender} managed)"
+        )
+        pair_specs.extend((raw_spec, managed_spec))
+    pair_outcomes = run_specs(
+        pair_specs,
         jobs=jobs,
-        describe=lambda task: f"({task[2]}, vs {task[3]})",
+        describe=lambda s: labels.get(s.digest, s.describe()),
     )
 
     raw_penalties: list[float] = []
     caer_penalties: list[float] = []
     caer_utils: list[float] = []
-    for (victim, _contender), (raw, managed, util) in zip(
-        pairs, pair_results
-    ):
+    for index, (victim, _contender) in enumerate(pairs):
+        raw = pair_outcomes[2 * index]
+        managed = pair_outcomes[2 * index + 1]
         base = solo_periods[victim]
-        raw_penalties.append(raw / base - 1.0)
-        caer_penalties.append(managed / base - 1.0)
-        caer_utils.append(util)
+        raw_penalties.append(raw.completion_periods / base - 1.0)
+        caer_penalties.append(managed.completion_periods / base - 1.0)
+        caer_utils.append(managed.utilization_gained)
 
     table = FigureTable(
         title="Alternative contenders (§6.1): penalty by pair",

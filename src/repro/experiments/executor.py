@@ -1,14 +1,18 @@
 """Parallel fan-out of independent simulation runs.
 
-The campaign's run matrix — (benchmark, configuration) pairs — is
-embarrassingly parallel: every run builds its own chip, seeds its own
-RNG streams from the campaign settings, and shares no mutable state
-with its neighbours.  :func:`fan_out` distributes such runs across a
+The campaign's run matrix is embarrassingly parallel: every run is a
+self-contained :class:`~repro.runspec.RunSpec` — it builds its own
+chip, seeds its own RNG streams, and shares no mutable state with its
+neighbours.  :func:`fan_out` distributes such runs across a
 :class:`~concurrent.futures.ProcessPoolExecutor`; with ``jobs=1`` it
 degrades to a plain in-process loop, which is the bit-identical
 reference the parallel path is tested against (determinism holds
 because each run's results depend only on its picklable arguments,
 never on scheduling order).
+
+:func:`run_specs` is the one spec-in/outcome-out fan-out every
+experiment driver uses; :func:`run_many` keeps the campaign's
+(benchmark, config-tag) vocabulary on top of it.
 
 The worker count comes from, in priority order: an explicit ``jobs``
 argument (the CLI's ``--jobs``), the ``REPRO_JOBS`` environment
@@ -20,10 +24,12 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
-from ..errors import ExperimentError
-from ..obs import SECONDS_BUCKETS, MetricsRegistry
+from ..errors import ConfigError, ExperimentError, ReproError
+from ..obs import SECONDS_BUCKETS, JSONLSink, MetricsRegistry, Tracer
+from ..runspec import RunOutcome, RunSpec, execute_run
 
 if TYPE_CHECKING:
     from .campaign import CampaignSettings, RunSummary
@@ -31,21 +37,37 @@ if TYPE_CHECKING:
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: When set, every executed spec writes its decision trace as
+#: ``trace_<victim>__<config>.jsonl`` under this directory (the CLI's
+#: ``--trace`` flag sets it; worker processes inherit it via fork).
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 
-def resolve_jobs(jobs: int | None = None) -> int:
-    """Normalise a worker count, consulting ``REPRO_JOBS`` when unset."""
+
+def resolve_jobs(jobs: int | None = None, source: str = "jobs") -> int:
+    """Normalise a worker count, consulting ``REPRO_JOBS`` when unset.
+
+    Rejects non-integer and non-positive counts with a
+    :class:`ConfigError` that names where the bad value came from —
+    ``source`` (the CLI passes ``"--jobs"``) for an explicit argument,
+    ``REPRO_JOBS`` for the environment variable.
+    """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
         if env is None:
             return os.cpu_count() or 1
+        source = "REPRO_JOBS"
         try:
             jobs = int(env)
         except ValueError:
-            raise ExperimentError(
+            raise ConfigError(
                 f"REPRO_JOBS must be an integer, got {env!r}"
-            )
+            ) from None
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigError(
+            f"{source} must be an integer, got {jobs!r}"
+        )
     if jobs < 1:
-        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        raise ConfigError(f"{source} must be >= 1, got {jobs}")
     return jobs
 
 
@@ -135,17 +157,50 @@ def fan_out(
     return out  # type: ignore[return-value]
 
 
-def _describe_run(task: tuple) -> str:
-    _, bench, config = task
-    return f"({bench}, {config})"
+def _spec_tracer(spec: RunSpec) -> Tracer | None:
+    """Build the per-run JSONL tracer when ``REPRO_TRACE_DIR`` is set."""
+    trace_dir = os.environ.get(TRACE_DIR_ENV)
+    if not trace_dir:
+        return None
+    safe = spec.victim.replace(".", "_")
+    path = Path(trace_dir) / f"trace_{safe}__{spec.config_tag}.jsonl"
+    return Tracer([JSONLSink(path)])
 
 
-def _run_summary(task: tuple) -> "RunSummary":
-    # Imported lazily: campaign.py imports this module at load time.
-    from .campaign import produce_summary
+def _execute_spec(spec: RunSpec) -> RunOutcome:
+    """The executor's unit of work: one spec, on its named backend.
 
-    settings, bench, config = task
-    return produce_summary(settings, bench, config)
+    Module-level and driven only by its picklable argument, as the
+    process pool requires.  Attaches the environment-configured tracer
+    (if any) so traced campaigns behave identically serial or parallel.
+    """
+    tracer = _spec_tracer(spec)
+    try:
+        return execute_run(spec, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    jobs: int | None = None,
+    metrics: MetricsRegistry | None = None,
+    describe: Callable[[RunSpec], str] | None = None,
+) -> list[RunOutcome]:
+    """Execute every spec on its named backend, fanned across processes.
+
+    Outcomes come back in ``specs`` order.  Failures are reported with
+    ``describe`` (defaulting to :meth:`RunSpec.describe`, e.g.
+    ``(429.mcf, rule)``) and never abort sibling runs.
+    """
+    return fan_out(
+        _execute_spec,
+        list(specs),
+        jobs=jobs,
+        describe=describe or RunSpec.describe,
+        metrics=metrics,
+    )
 
 
 def run_many(
@@ -157,10 +212,33 @@ def run_many(
     """Simulate every (bench, config) pair, fanned across processes.
 
     ``config`` is ``"solo"`` or one of the co-location configurations;
-    summaries come back in ``pairs`` order.
+    summaries come back in ``pairs`` order.  Each pair is translated to
+    a :class:`RunSpec` up front (an unknown config therefore fails fast,
+    with the pair's identity in the message) and labelled by its digest,
+    so failure reports use the caller's vocabulary even though the
+    workers only ever see specs.
     """
-    tasks = [(settings, bench, config) for bench, config in pairs]
-    return fan_out(
-        _run_summary, tasks, jobs=jobs, describe=_describe_run,
+    from .campaign import RunSummary
+
+    pairs = list(pairs)
+    specs: list[RunSpec] = []
+    labels: dict[str, str] = {}
+    for bench, config in pairs:
+        try:
+            spec = settings.run_spec(bench, config)
+        except ReproError as exc:
+            raise ExperimentError(
+                f"run ({bench}, {config}) failed: {exc}"
+            ) from exc
+        labels[spec.digest] = f"({bench}, {config})"
+        specs.append(spec)
+    outcomes = run_specs(
+        specs,
+        jobs=jobs,
         metrics=metrics,
+        describe=lambda spec: labels.get(spec.digest, spec.describe()),
     )
+    return [
+        RunSummary.from_outcome(bench, config, outcome)
+        for (bench, config), outcome in zip(pairs, outcomes)
+    ]

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 import statistics
 
-from ..caer.metrics import utilization_gained
-from ..caer.runtime import CaerConfig, caer_factory
-from ..sim import run_colocated, run_solo
-from ..workloads import benchmark
-from .campaign import BATCH_BENCHMARK, CampaignSettings
+from ..caer.runtime import CaerConfig
+from ..runspec import BATCH_BENCHMARK, ContenderSpec, RunSpec
+from .campaign import CampaignSettings
+from .executor import run_specs
 from .reporting import FigureTable
 
 #: Victims re-measured per seed.
@@ -26,11 +25,44 @@ def repeatability_study(
     settings: CampaignSettings | None = None,
     seeds: tuple[int, ...] = (0, 1, 2),
     victims: tuple[str, ...] = VICTIMS,
+    jobs: int | None = None,
 ) -> FigureTable:
-    """Mean and spread of raw/CAER penalty and utilization over seeds."""
+    """Mean and spread of raw/CAER penalty and utilization over seeds.
+
+    Each (victim, seed) cell is three declarative specs — solo, raw,
+    and rule-based CAER, differing only in their ``seed`` field — and
+    the whole grid fans across workers in a single batch.
+    """
     settings = settings or CampaignSettings.from_env()
     machine = settings.machine()
-    l3 = machine.l3.capacity_lines
+    caer = CaerConfig.rule_based()
+
+    def spec(victim: str, seed: int, config: CaerConfig | None,
+             solo: bool) -> RunSpec:
+        return RunSpec(
+            victim=victim,
+            contenders=(
+                () if solo else (ContenderSpec(BATCH_BENCHMARK),)
+            ),
+            machine=machine,
+            caer=config,
+            seed=seed,
+            length=settings.length,
+            slices_per_period=settings.slices_per_period,
+            backend=settings.backend,
+        )
+
+    cells = [(victim, seed) for victim in victims for seed in seeds]
+    specs: list[RunSpec] = []
+    for victim, seed in cells:
+        specs.append(spec(victim, seed, None, solo=True))
+        specs.append(spec(victim, seed, None, solo=False))
+        specs.append(spec(victim, seed, caer, solo=False))
+    outcomes = run_specs(specs, jobs=jobs)
+    by_cell = {
+        cell: outcomes[3 * i: 3 * i + 3]
+        for i, cell in enumerate(cells)
+    }
 
     rows: list[str] = []
     columns: dict[str, list[float]] = {
@@ -43,28 +75,13 @@ def repeatability_study(
         caer_penalties: list[float] = []
         utils: list[float] = []
         for seed in seeds:
-            spec = benchmark(victim, l3, length=settings.length)
-            batch = benchmark(
-                BATCH_BENCHMARK, l3, length=settings.length
-            )
-            solo = run_solo(spec, machine, seed=seed)
-            base = solo.latency_sensitive().completion_periods
-            raw = run_colocated(spec, batch, machine, seed=seed)
-            raw_penalties.append(
-                raw.latency_sensitive().completion_periods / base - 1.0
-            )
-            managed = run_colocated(
-                spec,
-                batch,
-                machine,
-                caer_factory=caer_factory(CaerConfig.rule_based()),
-                seed=seed,
-            )
+            solo, raw, managed = by_cell[(victim, seed)]
+            base = solo.completion_periods
+            raw_penalties.append(raw.completion_periods / base - 1.0)
             caer_penalties.append(
-                managed.latency_sensitive().completion_periods / base
-                - 1.0
+                managed.completion_periods / base - 1.0
             )
-            utils.append(utilization_gained(managed))
+            utils.append(managed.utilization_gained)
         rows.append(victim)
         for key, values in (
             ("raw", raw_penalties),

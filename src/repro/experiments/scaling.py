@@ -14,38 +14,32 @@ cost that grows with the group size.
 
 from __future__ import annotations
 
-from ..caer.metrics import utilization_gained
-from ..caer.runtime import CaerConfig, caer_factory
-from ..sim import run_multi_colocated, run_solo
-from ..workloads import benchmark
-from .campaign import BATCH_BENCHMARK, CampaignSettings
-from .executor import fan_out
+from ..caer.runtime import CaerConfig
+from ..runspec import BATCH_BENCHMARK, ContenderSpec, RunSpec
+from .campaign import CampaignSettings
+from .executor import run_specs
 from .reporting import FigureTable
 
 #: Default victim of the scaling study.
 DEFAULT_VICTIM = "429.mcf"
 
 
-def _scaling_worker(task: tuple) -> tuple[int, int, float]:
-    """Raw and managed runs against ``k`` contenders (executor task)."""
-    machine, settings, victim, k = task
-    l3 = machine.l3.capacity_lines
-    ls = benchmark(victim, l3, length=settings.length)
-    batch = benchmark(BATCH_BENCHMARK, l3, length=settings.length)
-    raw = run_multi_colocated(
-        ls, [batch] * k, machine, seed=settings.seed
-    )
-    managed = run_multi_colocated(
-        ls,
-        [batch] * k,
-        machine,
-        caer_factory=caer_factory(CaerConfig.rule_based()),
+def scaling_spec(
+    settings: CampaignSettings,
+    victim: str,
+    k: int,
+    caer: CaerConfig | None = None,
+) -> RunSpec:
+    """The spec of ``victim`` against ``k`` lbm contenders."""
+    return RunSpec(
+        victim=victim,
+        contenders=(ContenderSpec(BATCH_BENCHMARK),) * k,
+        machine=settings.machine(),
+        caer=caer,
         seed=settings.seed,
-    )
-    return (
-        raw.latency_sensitive().completion_periods,
-        managed.latency_sensitive().completion_periods,
-        utilization_gained(managed),
+        length=settings.length,
+        slices_per_period=settings.slices_per_period,
+        backend=settings.backend,
     )
 
 
@@ -55,16 +49,29 @@ def scaling_study(
     max_batch: int = 3,
     jobs: int | None = None,
 ) -> FigureTable:
-    """Penalty and utilization vs. number of batch contenders."""
+    """Penalty and utilization vs. number of batch contenders.
+
+    The whole matrix — the solo baseline plus a raw and a rule-based
+    CAER run per contender count — is declared as specs up front and
+    fanned across workers in one batch.
+    """
     settings = settings or CampaignSettings.from_env()
-    machine = settings.machine()
-    l3 = machine.l3.capacity_lines
-    ls = benchmark(victim, l3, length=settings.length)
-    solo_periods = (
-        run_solo(ls, machine, seed=settings.seed)
-        .latency_sensitive()
-        .completion_periods
+    caer = CaerConfig.rule_based()
+
+    specs = [scaling_spec(settings, victim, 0)]
+    labels = {specs[0].digest: f"({victim}, solo)"}
+    for k in range(1, max_batch + 1):
+        raw = scaling_spec(settings, victim, k)
+        managed = scaling_spec(settings, victim, k, caer)
+        labels[raw.digest] = f"({victim}, {k} batch)"
+        labels[managed.digest] = f"({victim}, {k} batch managed)"
+        specs.extend((raw, managed))
+    outcomes = run_specs(
+        specs,
+        jobs=jobs,
+        describe=lambda s: labels.get(s.digest, s.describe()),
     )
+    solo_periods = outcomes[0].completion_periods
 
     rows = [f"{k} batch" for k in range(1, max_batch + 1)]
     table = FigureTable(
@@ -72,24 +79,21 @@ def scaling_study(
               "contenders",
         row_names=rows,
     )
-    results = fan_out(
-        _scaling_worker,
-        [
-            (machine, settings, victim, k)
-            for k in range(1, max_batch + 1)
-        ],
-        jobs=jobs,
-        describe=lambda task: f"({task[2]}, {task[3]} batch)",
-    )
     columns: dict[str, list[float]] = {
         "raw_penalty": [],
         "caer_penalty": [],
         "caer_util": [],
     }
-    for raw, managed, util in results:
-        columns["raw_penalty"].append(raw / solo_periods - 1.0)
-        columns["caer_penalty"].append(managed / solo_periods - 1.0)
-        columns["caer_util"].append(util)
+    for k in range(1, max_batch + 1):
+        raw = outcomes[2 * k - 1]
+        managed = outcomes[2 * k]
+        columns["raw_penalty"].append(
+            raw.completion_periods / solo_periods - 1.0
+        )
+        columns["caer_penalty"].append(
+            managed.completion_periods / solo_periods - 1.0
+        )
+        columns["caer_util"].append(managed.utilization_gained)
     for name, values in columns.items():
         table.add_column(name, values)
     table.notes.append(

@@ -14,16 +14,13 @@ from pathlib import Path
 
 from ..errors import ExperimentError
 from ..obs import JSONLSink, MetricsRegistry, Tracer
-from ..sim import run_colocated, run_solo
-from ..workloads import benchmark, benchmark_names
+from ..runspec import execute
+from ..workloads import benchmark_names
 from .campaign import (
-    BATCH_BENCHMARK,
     CONFIGS,
     Campaign,
     CampaignSettings,
-    caer_factory,
     derive_telemetry,
-    resolve_caer_config,
 )
 
 #: Every config ``trace`` accepts: solo plus the co-location matrix.
@@ -36,11 +33,15 @@ def trace_run(
     config: str,
     output: str | Path,
 ) -> dict:
-    """Simulate one run with a JSONL decision trace attached.
+    """Execute one run with a JSONL decision trace attached.
 
-    Returns a plain-dict report: the trace path, the run's period
-    count, per-kind event counts, and the derived telemetry scalars.
-    Raises :class:`ExperimentError` (or
+    The run is described as a :class:`~repro.runspec.RunSpec` and
+    executed through the settings' backend, so the trace opens with a
+    ``run_spec`` event carrying the spec's digest — the same digest the
+    campaign cache and run telemetry use.  Returns a plain-dict report:
+    the trace path, the spec identity, the run's period count, per-kind
+    event counts, and the derived telemetry scalars.  Raises
+    :class:`ExperimentError` (or
     :class:`~repro.errors.UnknownBenchmarkError` from the workload
     registry) for unknown names — the CLI turns those into one-line
     messages.
@@ -50,34 +51,17 @@ def trace_run(
             f"config must be one of {', '.join(TRACE_CONFIGS)}; "
             f"got {config!r}"
         )
-    machine = settings.machine()
-    l3 = machine.l3.capacity_lines
-    spec = benchmark(bench, l3, length=settings.length)
+    spec = settings.run_spec(bench, config)
     output = Path(output)
     metrics = MetricsRegistry()
     with Tracer([JSONLSink(output)]) as tracer:
-        if config == "solo":
-            result = run_solo(
-                spec, machine, seed=settings.seed,
-                slices_per_period=settings.slices_per_period,
-                tracer=tracer, metrics=metrics,
-            )
-        else:
-            batch = benchmark(
-                BATCH_BENCHMARK, l3, length=settings.length
-            )
-            caer = resolve_caer_config(config)
-            result = run_colocated(
-                spec, batch, machine,
-                caer_factory=caer_factory(caer) if caer else None,
-                seed=settings.seed,
-                slices_per_period=settings.slices_per_period,
-                tracer=tracer, metrics=metrics,
-            )
+        result = execute(spec, tracer=tracer, metrics=metrics)
         counts = dict(tracer.counts)
     return {
         "bench": bench,
         "config": config,
+        "digest": spec.digest,
+        "backend": spec.backend,
         "path": str(output),
         "periods": result.total_periods,
         "events": counts,
@@ -94,6 +78,11 @@ def render_trace_report(report: dict) -> str:
         f"{report['total_events']} events over "
         f"{report['periods']} periods -> {report['path']}\n"
     )
+    if report.get("digest"):
+        out.write(
+            f"  spec {report['digest'][:12]} "
+            f"(backend {report.get('backend', 'sim')})\n"
+        )
     for kind in sorted(report["events"]):
         out.write(f"  {kind:<12} {report['events'][kind]:>8}\n")
     derived = report["telemetry"]

@@ -26,6 +26,7 @@ from .events import (
     PhaseEvent,
     PMUSampleEvent,
     ResponseEvent,
+    RunSpecEvent,
     TraceEvent,
 )
 from .metrics import (
@@ -52,6 +53,7 @@ __all__ = [
     "DetectionEvent",
     "ResponseEvent",
     "PhaseEvent",
+    "RunSpecEvent",
     "EVENT_KINDS",
     "Tracer",
     "NULL_TRACER",

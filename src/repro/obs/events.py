@@ -92,6 +92,29 @@ class ResponseEvent:
 
 
 @dataclass(frozen=True)
+class RunSpecEvent:
+    """The identity of the run a trace belongs to, emitted at period 0.
+
+    Carries the executing :class:`~repro.runspec.RunSpec`'s
+    content-addressed digest plus the coordinates a human needs to
+    rebuild the spec, so any trace file (or ring buffer) is
+    self-describing: events can be joined back to the exact run
+    description — and its cache entry — that produced them.
+    """
+
+    kind: ClassVar[str] = "run_spec"
+
+    period: int
+    digest: str
+    backend: str
+    victim: str
+    contenders: int
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
 class PhaseEvent:
     """A lifecycle edge: ``scope`` names the state machine, ``subject``
     the instance, ``phase`` the state entered at ``period``."""
@@ -109,11 +132,13 @@ class PhaseEvent:
 
 #: Union of every event type a sink may receive.
 TraceEvent = Union[
-    PMUSampleEvent, DetectionEvent, ResponseEvent, PhaseEvent
+    PMUSampleEvent, DetectionEvent, ResponseEvent, PhaseEvent,
+    RunSpecEvent,
 ]
 
 #: All event kinds, in emission-priority order (for reports).
 EVENT_KINDS = (
+    RunSpecEvent.kind,
     PMUSampleEvent.kind,
     DetectionEvent.kind,
     ResponseEvent.kind,

@@ -1,0 +1,62 @@
+"""Declarative run specifications and pluggable execution backends.
+
+The package splits *what to run* from *how to run it*:
+
+* :mod:`repro.runspec.spec` — :class:`RunSpec`, a frozen, hashable
+  description of one run (victim, contenders, machine, CAER policy,
+  seed, length, backend id) with a canonical JSON form and a
+  content-addressed SHA-256 digest that doubles as the campaign cache
+  key;
+* :mod:`repro.runspec.backends` — the :class:`ExecutionBackend`
+  protocol and registry (``"sim"`` → trace-driven engine,
+  ``"statistical"`` → closed-form engine), plus :func:`execute_run`,
+  the single spec-in/outcome-out entry point every experiment driver
+  fans out over.
+
+Because both backends construct their processes through the shared
+helpers in :mod:`repro.sim.scenario`, the same spec is bit-identical to
+the equivalent hand-built scenario, and the same spec on two backends
+is a pure engine comparison (:mod:`repro.experiments.crossval`).
+"""
+
+from .backends import (
+    ExecutionBackend,
+    RunOutcome,
+    SimBackend,
+    StatisticalBackend,
+    backend_names,
+    derive_telemetry,
+    execute,
+    execute_run,
+    get_backend,
+    register_backend,
+)
+from .spec import (
+    BATCH_BENCHMARK,
+    CONFIGS,
+    SPEC_VERSION,
+    ContenderSpec,
+    RunSpec,
+    paper_run_spec,
+    resolve_caer_config,
+)
+
+__all__ = [
+    "RunSpec",
+    "ContenderSpec",
+    "SPEC_VERSION",
+    "BATCH_BENCHMARK",
+    "CONFIGS",
+    "paper_run_spec",
+    "resolve_caer_config",
+    "ExecutionBackend",
+    "SimBackend",
+    "StatisticalBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "execute",
+    "execute_run",
+    "derive_telemetry",
+    "RunOutcome",
+]

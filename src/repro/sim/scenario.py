@@ -6,11 +6,19 @@ running *alone* on the chip, and a latency-sensitive benchmark
 optionally under a CAER runtime.  The batch is launched first and the
 latency-sensitive application "shortly after", exactly as the paper
 scripts its SPEC runs.
+
+The process-construction conventions (core placement, batch naming,
+seed derivation, launch order) live in :func:`latency_process` and
+:func:`batch_process`; the ``run_*`` entry points and the pluggable
+execution backends in :mod:`repro.runspec.backends` both build their
+process lists through them, so a run described by a declarative
+:class:`~repro.runspec.RunSpec` is constructed bit-identically to one
+assembled by hand here.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..arch.chip import MulticoreChip
 from ..config import MachineConfig
@@ -24,6 +32,88 @@ from .results import RunResult
 #: Periods between batch launch and latency-sensitive launch.
 DEFAULT_LAUNCH_STAGGER = 3
 
+#: Seed offset between the victim's RNG stream and each batch stream.
+BATCH_SEED_STRIDE = 7_919
+
+
+def latency_process(
+    spec: WorkloadSpec,
+    seed: int = 0,
+    launch_period: int = 0,
+) -> SimProcess:
+    """The latency-sensitive victim on core 0 (the paper's placement)."""
+    return SimProcess(
+        spec,
+        core_id=0,
+        app_class=AppClass.LATENCY_SENSITIVE,
+        seed=seed,
+        launch_period=launch_period,
+    )
+
+
+def batch_process(
+    spec: WorkloadSpec,
+    index: int,
+    count: int,
+    seed: int = 0,
+    name: str | None = None,
+    relaunch: bool = True,
+    launch_period: int = 0,
+) -> SimProcess:
+    """Batch contender ``index`` of ``count``, on core ``1 + index``.
+
+    A single contender is named ``<spec>:batch`` (the paper's two-app
+    prototype); members of a larger group get ``<spec>:batch<i>``.
+    Each contender draws from its own RNG stream, offset from the
+    victim's seed by a fixed stride.
+    """
+    if count == 1:
+        default_name = f"{spec.name}:batch"
+    else:
+        default_name = f"{spec.name}:batch{index}"
+    return SimProcess(
+        spec,
+        core_id=1 + index,
+        app_class=AppClass.BATCH,
+        name=name or default_name,
+        seed=seed + BATCH_SEED_STRIDE * (index + 1),
+        launch_period=launch_period,
+        relaunch=relaunch,
+    )
+
+
+def colocation_processes(
+    ls_spec: WorkloadSpec,
+    batch_specs: Sequence[WorkloadSpec],
+    seed: int = 0,
+    launch_stagger: int = DEFAULT_LAUNCH_STAGGER,
+    batch_names: Sequence[str | None] | None = None,
+    relaunch: bool = True,
+    num_cores: int | None = None,
+) -> list[SimProcess]:
+    """The full §6.1 process list: victim plus its contender group.
+
+    Raises if ``num_cores`` is given and cannot host every process.
+    The victim is staggered ``launch_stagger`` periods after the batch.
+    """
+    count = len(batch_specs)
+    if num_cores is not None and count + 1 > num_cores:
+        raise SchedulingError(
+            f"{count} batch apps + 1 latency-sensitive app "
+            f"need more cores than the chip's {num_cores}"
+        )
+    processes = [
+        latency_process(ls_spec, seed=seed, launch_period=launch_stagger)
+    ]
+    for i, spec in enumerate(batch_specs):
+        name = batch_names[i] if batch_names else None
+        processes.append(
+            batch_process(
+                spec, i, count, seed=seed, name=name, relaunch=relaunch
+            )
+        )
+    return processes
+
 
 def run_solo(
     spec: WorkloadSpec,
@@ -35,14 +125,9 @@ def run_solo(
 ) -> RunResult:
     """Run one workload alone on the chip to completion."""
     chip = MulticoreChip(machine, seed=seed)
-    proc = SimProcess(
-        spec,
-        core_id=0,
-        app_class=AppClass.LATENCY_SENSITIVE,
-        seed=seed,
-    )
     engine = SimulationEngine(
-        chip, [proc], slices_per_period=slices_per_period,
+        chip, [latency_process(spec, seed=seed)],
+        slices_per_period=slices_per_period,
         tracer=tracer, metrics=metrics,
     )
     return engine.run()
@@ -70,24 +155,12 @@ def run_colocated(
     configuration with no runtime intervention.
     """
     chip = MulticoreChip(machine, seed=seed)
-    batch = SimProcess(
-        batch_spec,
-        core_id=1,
-        app_class=AppClass.BATCH,
-        name=batch_name or f"{batch_spec.name}:batch",
-        seed=seed + 7_919,
-        launch_period=0,
-        relaunch=True,
-    )
-    ls = SimProcess(
-        ls_spec,
-        core_id=0,
-        app_class=AppClass.LATENCY_SENSITIVE,
-        seed=seed,
-        launch_period=launch_stagger,
+    processes = colocation_processes(
+        ls_spec, [batch_spec], seed=seed, launch_stagger=launch_stagger,
+        batch_names=[batch_name],
     )
     engine = SimulationEngine(
-        chip, [ls, batch], slices_per_period=slices_per_period,
+        chip, processes, slices_per_period=slices_per_period,
         tracer=tracer, metrics=metrics,
     )
     if caer_factory is not None:
@@ -116,32 +189,10 @@ def run_multi_colocated(
     the machine has fewer than ``1 + len(batch_specs)`` cores.
     """
     chip = MulticoreChip(machine, seed=seed)
-    if len(batch_specs) + 1 > chip.num_cores:
-        raise SchedulingError(
-            f"{len(batch_specs)} batch apps + 1 latency-sensitive app "
-            f"need more cores than the chip's {chip.num_cores}"
-        )
-    processes = [
-        SimProcess(
-            ls_spec,
-            core_id=0,
-            app_class=AppClass.LATENCY_SENSITIVE,
-            seed=seed,
-            launch_period=launch_stagger,
-        )
-    ]
-    for i, spec in enumerate(batch_specs):
-        processes.append(
-            SimProcess(
-                spec,
-                core_id=1 + i,
-                app_class=AppClass.BATCH,
-                name=f"{spec.name}:batch{i}",
-                seed=seed + 7_919 * (i + 1),
-                launch_period=0,
-                relaunch=True,
-            )
-        )
+    processes = colocation_processes(
+        ls_spec, batch_specs, seed=seed, launch_stagger=launch_stagger,
+        num_cores=chip.num_cores,
+    )
     engine = SimulationEngine(
         chip, processes, slices_per_period=slices_per_period,
         tracer=tracer, metrics=metrics,

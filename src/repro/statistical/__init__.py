@@ -17,6 +17,11 @@ behaviour.
 """
 
 from .engine import StatisticalEngine
-from .scenario import fast_colocated, fast_solo
+from .scenario import fast_colocated, fast_multi_colocated, fast_solo
 
-__all__ = ["StatisticalEngine", "fast_solo", "fast_colocated"]
+__all__ = [
+    "StatisticalEngine",
+    "fast_solo",
+    "fast_colocated",
+    "fast_multi_colocated",
+]

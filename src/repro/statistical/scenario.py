@@ -1,4 +1,10 @@
-"""Canonical scenarios on the statistical engine."""
+"""Canonical scenarios on the statistical engine.
+
+Process construction is shared with the trace engine
+(:mod:`repro.sim.scenario`), so a given scenario places, names, seeds,
+and staggers its processes identically on both engines — only the
+period-stepping machinery differs.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +12,12 @@ from typing import Callable
 
 from ..config import MachineConfig
 from ..sim.engine import PeriodHook
-from ..sim.process import AppClass, SimProcess
 from ..sim.results import RunResult
-from ..sim.scenario import DEFAULT_LAUNCH_STAGGER
+from ..sim.scenario import (
+    DEFAULT_LAUNCH_STAGGER,
+    colocation_processes,
+    latency_process,
+)
 from ..workloads.base import WorkloadSpec
 from .engine import StatisticalEngine
 
@@ -20,10 +29,9 @@ def fast_solo(
 ) -> RunResult:
     """Run one workload alone, analytically."""
     machine = machine or MachineConfig.scaled_nehalem()
-    proc = SimProcess(
-        spec, core_id=0, app_class=AppClass.LATENCY_SENSITIVE, seed=seed
-    )
-    return StatisticalEngine(machine, [proc]).run()
+    return StatisticalEngine(
+        machine, [latency_process(spec, seed=seed)]
+    ).run()
 
 
 def fast_colocated(
@@ -37,23 +45,31 @@ def fast_colocated(
 ) -> RunResult:
     """The paper's co-location scenario on the statistical engine."""
     machine = machine or MachineConfig.scaled_nehalem()
-    batch = SimProcess(
-        batch_spec,
-        core_id=1,
-        app_class=AppClass.BATCH,
-        name=batch_name or f"{batch_spec.name}:batch",
-        seed=seed + 7_919,
-        launch_period=0,
-        relaunch=True,
+    processes = colocation_processes(
+        ls_spec, [batch_spec], seed=seed, launch_stagger=launch_stagger,
+        batch_names=[batch_name],
     )
-    ls = SimProcess(
-        ls_spec,
-        core_id=0,
-        app_class=AppClass.LATENCY_SENSITIVE,
-        seed=seed,
-        launch_period=launch_stagger,
+    engine = StatisticalEngine(machine, processes)
+    if caer_factory is not None:
+        engine.period_hooks.append(caer_factory(engine))
+    return engine.run()
+
+
+def fast_multi_colocated(
+    ls_spec: WorkloadSpec,
+    batch_specs: list[WorkloadSpec],
+    machine: MachineConfig | None = None,
+    caer_factory: Callable[[StatisticalEngine], PeriodHook] | None = None,
+    seed: int = 0,
+    launch_stagger: int = DEFAULT_LAUNCH_STAGGER,
+) -> RunResult:
+    """One victim against a group of contenders, analytically."""
+    machine = machine or MachineConfig.scaled_nehalem()
+    processes = colocation_processes(
+        ls_spec, batch_specs, seed=seed, launch_stagger=launch_stagger,
+        num_cores=machine.num_cores,
     )
-    engine = StatisticalEngine(machine, [ls, batch])
+    engine = StatisticalEngine(machine, processes)
     if caer_factory is not None:
         engine.period_hooks.append(caer_factory(engine))
     return engine.run()

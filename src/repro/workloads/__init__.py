@@ -32,6 +32,7 @@ from .spec2006 import (
     SPEC2006_CPP,
     benchmark,
     benchmark_names,
+    resolve_benchmark_name,
     spec_registry,
 )
 from .synthetic import compute_bound, pointer_chaser, streamer, zipf_worker
@@ -54,6 +55,7 @@ __all__ = [
     "SPEC2006_CPP",
     "benchmark",
     "benchmark_names",
+    "resolve_benchmark_name",
     "spec_registry",
     "streamer",
     "pointer_chaser",

@@ -530,6 +530,17 @@ def benchmark_names() -> tuple[str, ...]:
     return SPEC2006_CPP
 
 
+def resolve_benchmark_name(name: str) -> str:
+    """Canonicalise ``name`` to its full SPEC form (``"mcf"`` ->
+    ``"429.mcf"``), raising :class:`UnknownBenchmarkError` otherwise."""
+    if name in _REGISTRY:
+        return name
+    matches = [n for n in _REGISTRY if n.split(".", 1)[-1] == name]
+    if len(matches) == 1:
+        return matches[0]
+    raise UnknownBenchmarkError(name, tuple(sorted(_REGISTRY)))
+
+
 def benchmark(
     name: str,
     l3_lines: int = DEFAULT_L3_LINES,
@@ -541,13 +552,4 @@ def benchmark(
     harness's default run length; tests use shorter runs).  Accepts both
     full SPEC names (``"429.mcf"``) and bare suffixes (``"mcf"``).
     """
-    key = name
-    if key not in _REGISTRY:
-        matches = [n for n in _REGISTRY if n.split(".", 1)[-1] == name]
-        if len(matches) == 1:
-            key = matches[0]
-    try:
-        info = _REGISTRY[key]
-    except KeyError:
-        raise UnknownBenchmarkError(name, tuple(sorted(_REGISTRY))) from None
-    return info.build(l3_lines, length)
+    return _REGISTRY[resolve_benchmark_name(name)].build(l3_lines, length)

@@ -1,0 +1,109 @@
+"""Digest-keyed campaign cache: cross-driver hits and the key audit."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.campaign import (
+    _AUDIT_PERTURBATIONS,
+    Campaign,
+    CampaignSettings,
+    audit_cache_key,
+)
+
+FAST = CampaignSettings(length=0.02)
+
+
+def _count(campaign: Campaign, name: str) -> float:
+    entry = campaign.metrics.snapshot().get(name)
+    return entry["value"] if entry else 0.0
+
+
+class TestCrossDriverCacheHits:
+    def test_identical_specs_hit_across_campaigns(self, tmp_path):
+        """A re-run over the same cache serves 100% from cache.
+
+        First campaign populates the disk cache via the parallel
+        prefetch path; a second, fresh campaign asking for the same
+        specs — through prefetch, ``solo`` and ``colocated`` alike —
+        simulates nothing and never misses.
+        """
+        benches = ["429.mcf", "470.lbm"]
+        configs = ["solo", "raw", "rule"]
+        first = Campaign(FAST, cache_dir=tmp_path, jobs=2)
+        assert first.prefetch(benches, configs) == 6
+        assert _count(first, "campaign.runs_simulated") == 6
+
+        rerun = Campaign(FAST, cache_dir=tmp_path, jobs=2)
+        assert rerun.prefetch(benches, configs) == 0
+        for bench in benches:
+            rerun.solo(bench)
+            rerun.colocated(bench, "raw")
+            rerun.colocated(bench, "rule")
+        assert _count(rerun, "campaign.runs_simulated") == 0
+        assert _count(rerun, "campaign.cache_misses") == 0
+        assert _count(rerun, "campaign.cache_invalid") == 0
+        assert _count(rerun, "campaign.cache_disk_hits") == 6
+        assert _count(rerun, "campaign.cache_memory_hits") == 6
+
+    def test_cache_path_is_the_spec_digest(self, tmp_path):
+        campaign = Campaign(FAST, cache_dir=tmp_path)
+        spec = campaign.spec_for("429.mcf", "rule")
+        path = campaign._cache_path("429.mcf", "rule")
+        assert path.name == f"{spec.digest}.json"
+
+    def test_backends_never_share_cache_entries(self, tmp_path):
+        sim = Campaign(FAST, cache_dir=tmp_path)
+        stat = Campaign(
+            dataclasses.replace(FAST, backend="statistical"),
+            cache_dir=tmp_path,
+        )
+        assert sim._cache_path("429.mcf", "raw") != stat._cache_path(
+            "429.mcf", "raw"
+        )
+
+    def test_differing_settings_produce_differing_keys(self):
+        """Satellite collision check at the campaign level."""
+        digests = {
+            perturb(FAST).run_spec("429.mcf", "rule").digest
+            for perturb in _AUDIT_PERTURBATIONS.values()
+        }
+        digests.add(FAST.run_spec("429.mcf", "rule").digest)
+        assert len(digests) == len(_AUDIT_PERTURBATIONS) + 1
+
+
+class TestCacheKeyAudit:
+    def test_default_settings_pass(self):
+        audit_cache_key(CampaignSettings())
+
+    def test_unaudited_field_refused(self, monkeypatch):
+        trimmed = dict(_AUDIT_PERTURBATIONS)
+        del trimmed["seed"]
+        monkeypatch.setattr(
+            "repro.experiments.campaign._AUDIT_PERTURBATIONS", trimmed
+        )
+        with pytest.raises(ConfigError, match="seed"):
+            audit_cache_key(CampaignSettings())
+
+    def test_digest_invariant_perturbation_refused(self, monkeypatch):
+        broken = dict(_AUDIT_PERTURBATIONS)
+        broken["length"] = lambda s: s  # knob "changes" but digest won't
+        monkeypatch.setattr(
+            "repro.experiments.campaign._AUDIT_PERTURBATIONS", broken
+        )
+        with pytest.raises(ConfigError, match="length"):
+            audit_cache_key(CampaignSettings())
+
+    def test_campaign_construction_runs_the_audit(
+        self, tmp_path, monkeypatch
+    ):
+        trimmed = dict(_AUDIT_PERTURBATIONS)
+        del trimmed["backend"]
+        monkeypatch.setattr(
+            "repro.experiments.campaign._AUDIT_PERTURBATIONS", trimmed
+        )
+        with pytest.raises(ConfigError, match="backend"):
+            Campaign(FAST, cache_dir=tmp_path)

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import json
 import re
 
 import pytest
 
 from repro import cli
 from repro.obs import read_jsonl
+from repro.runspec import RunSpec
 
 
 class TestParser:
@@ -47,6 +49,141 @@ class TestParser:
         assert cli.main(["list"]) == 0
         out = capsys.readouterr().out
         assert "trace" in out and "stats" in out
+
+    def test_list_mentions_spec_and_backends(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "spec" in out
+        assert "backends: sim statistical" in out
+
+    def test_backend_flag_parsed(self):
+        parser = cli._build_parser()
+        args = parser.parse_args(["--backend", "statistical", "list"])
+        assert cli._settings(args).backend == "statistical"
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--backend", "quantum", "list"])
+
+    def test_bad_jobs_is_one_line_error(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["--jobs", "0", "list"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "--jobs" in captured.err
+
+
+class TestSpecCommand:
+    def test_prints_canonical_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["--length", "0.02", "spec", "429.mcf", "rule"])
+        out = capsys.readouterr().out
+        assert code == 0
+        spec = RunSpec.from_json(out)
+        assert spec.victim == "429.mcf"
+        assert spec.config_tag == "rule"
+        assert spec.length == 0.02
+        # Canonical: printing the parsed spec reproduces the text.
+        assert out.strip() == spec.to_json()
+
+    def test_backend_flag_reaches_the_spec(self, capsys, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli.main([
+            "--backend", "statistical", "spec", "429.mcf", "raw",
+        ]) == 0
+        spec = RunSpec.from_json(capsys.readouterr().out)
+        assert spec.backend == "statistical"
+
+    def test_file_round_trips(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli.main(["--length", "0.02", "spec", "429.mcf"]) == 0
+        text = capsys.readouterr().out
+        path = tmp_path / "spec.json"
+        path.write_text(text)
+        assert cli.main(["spec", "--file", str(path)]) == 0
+        assert capsys.readouterr().out == text
+
+    def test_execute_reports_outcome(self, capsys, tmp_path,
+                                     monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main([
+            "--length", "0.02", "spec", "429.mcf", "solo", "--execute",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend: sim" in out
+        assert "run: (429.mcf, solo)" in out
+        assert re.search(r"completion_periods: \d+", out)
+
+    def test_execute_on_statistical_backend(self, capsys, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main([
+            "--length", "0.02", "--backend", "statistical",
+            "spec", "429.mcf", "rule", "--execute",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend: statistical" in out
+
+    def test_short_bench_name_canonicalised(self, capsys, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli.main(["spec", "mcf"]) == 0
+        spec = RunSpec.from_json(capsys.readouterr().out)
+        assert spec.victim == "429.mcf"
+
+    def test_unknown_bench_is_one_line_error(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["spec", "nonesuch", "rule"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "nonesuch" in captured.err
+
+    def test_missing_bench_is_one_line_error(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["spec"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "--file" in captured.err
+
+    def test_unreadable_file_is_one_line_error(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["spec", "--file", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_invalid_spec_json_is_one_line_error(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999}))
+        code = cli.main(["spec", "--file", str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "version" in captured.err
+
+
+class TestBackendFlag:
+    def test_headline_runs_on_statistical_backend(self, capsys, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main([
+            "--length", "0.02", "--backend", "statistical", "headline",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "penalty" in out.lower()
 
 
 class TestErrorRouting:

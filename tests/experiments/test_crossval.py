@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.crossval import analytic_figure1, rank_correlation
+from repro.experiments.campaign import CampaignSettings
+from repro.experiments.crossval import (
+    analytic_figure1,
+    backend_crossval,
+    rank_correlation,
+)
 
 
 class TestRankCorrelation:
@@ -38,3 +43,47 @@ class TestAnalyticFigure1:
         by_name = dict(zip(table.row_names, predicted))
         assert by_name["429.mcf"] > by_name["444.namd"] + 0.1
         assert by_name["470.lbm"] > by_name["453.povray"] + 0.1
+
+
+class TestBackendCrossval:
+    def test_end_to_end_at_tiny_length(self):
+        victims = ("429.mcf", "444.namd")
+        table = backend_crossval(
+            CampaignSettings(length=0.02), victims=victims
+        )
+        assert table.row_names == list(victims)
+        sim = table.column("sim_slowdown")
+        stat = table.column("stat_slowdown")
+        # Both engines see contention: co-location never speeds the
+        # victim up, on either backend.
+        assert all(s >= 1.0 for s in sim)
+        assert all(s >= 1.0 for s in stat)
+        # The error column is the relative gap between the engines.
+        error = table.column("error")
+        assert error == pytest.approx(
+            [t / s - 1.0 for s, t in zip(sim, stat)]
+        )
+        assert any("spearman" in note for note in table.notes)
+
+    def test_engines_rank_sensitivity_the_same_way(self):
+        """mcf (cache-hungry) must out-slow namd on both engines."""
+        table = backend_crossval(
+            CampaignSettings(length=0.02),
+            victims=("429.mcf", "444.namd"),
+        )
+        sim = table.column("sim_slowdown")
+        stat = table.column("stat_slowdown")
+        assert sim[0] > sim[1]
+        assert stat[0] > stat[1]
+
+    def test_parallel_matches_serial(self):
+        settings = CampaignSettings(length=0.02)
+        victims = ("429.mcf",)
+        parallel = backend_crossval(settings, victims=victims, jobs=2)
+        serial = backend_crossval(settings, victims=victims, jobs=1)
+        assert parallel.column("sim_slowdown") == serial.column(
+            "sim_slowdown"
+        )
+        assert parallel.column("stat_slowdown") == serial.column(
+            "stat_slowdown"
+        )

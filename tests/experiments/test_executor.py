@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.experiments.campaign import Campaign, CampaignSettings
 from repro.experiments.executor import fan_out, resolve_jobs, run_many
 
@@ -36,13 +36,27 @@ class TestResolveJobs:
 
     def test_garbage_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
-        with pytest.raises(ExperimentError, match="REPRO_JOBS"):
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
             resolve_jobs()
 
     @pytest.mark.parametrize("jobs", [0, -3])
     def test_non_positive_rejected(self, jobs):
-        with pytest.raises(ExperimentError, match="jobs"):
+        with pytest.raises(ConfigError, match="jobs"):
             resolve_jobs(jobs)
+
+    @pytest.mark.parametrize("jobs", [2.5, "4", True])
+    def test_non_integer_rejected(self, jobs):
+        with pytest.raises(ConfigError, match="integer"):
+            resolve_jobs(jobs)
+
+    def test_error_names_the_cli_source(self):
+        with pytest.raises(ConfigError, match="--jobs"):
+            resolve_jobs(0, source="--jobs")
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigError, match="REPRO_JOBS"):
+            resolve_jobs()
 
 
 def _failing_worker(task):

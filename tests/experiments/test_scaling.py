@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+from repro.caer.runtime import CaerConfig
 from repro.errors import SchedulingError
 from repro.experiments.campaign import CampaignSettings
-from repro.experiments.scaling import scaling_study
+from repro.experiments.scaling import scaling_spec, scaling_study
 from repro.sim import run_multi_colocated
 from repro.workloads import synthetic
+
+FAST = CampaignSettings(length=0.02)
 
 
 class TestScenario:
@@ -50,9 +53,23 @@ class TestScenario:
         assert periods(3) > periods(1)
 
 
+class TestSpecs:
+    def test_k_contenders_and_policy(self):
+        spec = scaling_spec(FAST, "429.mcf", 3, CaerConfig.rule_based())
+        assert len(spec.contenders) == 3
+        assert spec.caer == CaerConfig.rule_based()
+        assert spec.describe() == "(429.mcf, rule x3)"
+
+    def test_settings_flow_into_the_spec(self):
+        spec = scaling_spec(FAST, "429.mcf", 1)
+        assert spec.length == FAST.length
+        assert spec.backend == FAST.backend
+        assert spec.machine == FAST.machine()
+
+
 class TestStudy:
     def test_table_structure_and_direction(self):
-        table = scaling_study(CampaignSettings(length=0.02))
+        table = scaling_study(FAST)
         assert table.row_names == ["1 batch", "2 batch", "3 batch"]
         raw = table.column("raw_penalty")
         caer = table.column("caer_penalty")
@@ -61,3 +78,27 @@ class TestStudy:
         # ...while CAER holds the penalty well below raw at every count.
         for r, c in zip(raw, caer):
             assert c < r
+
+    def test_caer_holds_the_penalty_roughly_flat(self):
+        """The docstring's shape claim, quantified.
+
+        Adding contenders grows the raw penalty by some margin; CAER's
+        penalty may drift too, but by less — the whole point of
+        throttling the batch group as one.
+        """
+        table = scaling_study(FAST)
+        raw = table.column("raw_penalty")
+        caer = table.column("caer_penalty")
+        raw_growth = raw[-1] - raw[0]
+        caer_growth = caer[-1] - caer[0]
+        assert raw_growth > 0
+        assert caer_growth < raw_growth
+        # "Roughly flat": CAER's worst penalty stays within a small
+        # absolute band of its best, while raw fans out.
+        assert max(caer) - min(caer) < max(raw) - min(raw)
+
+    def test_parallel_matches_serial(self):
+        assert (
+            scaling_study(FAST, jobs=2).column("caer_penalty")
+            == scaling_study(FAST, jobs=1).column("caer_penalty")
+        )

@@ -1,0 +1,166 @@
+"""Execution backends: registry, parity with hand-built scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.runtime import CaerConfig, caer_factory
+from repro.errors import ConfigError, SchedulingError
+from repro.obs import RingBufferSink, Tracer
+from repro.runspec import (
+    BATCH_BENCHMARK,
+    ContenderSpec,
+    RunSpec,
+    backend_names,
+    execute,
+    execute_run,
+    get_backend,
+    paper_run_spec,
+    register_backend,
+)
+from repro.sim.scenario import run_colocated, run_solo
+from repro.workloads import benchmark
+
+LENGTH = 0.02
+
+
+class TestRegistry:
+    def test_both_engines_registered(self):
+        assert backend_names() == ("sim", "statistical")
+
+    def test_unknown_backend_names_the_known_ones(self):
+        with pytest.raises(ConfigError, match="sim, statistical"):
+            get_backend("quantum")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_backend("sim", get_backend("sim"))
+
+    def test_replace_allows_override(self):
+        original = get_backend("sim")
+        register_backend("sim", original, replace=True)
+        assert get_backend("sim") is original
+
+    def test_executing_an_unknown_backend_fails(self):
+        spec = RunSpec(victim="429.mcf", length=LENGTH, backend="quantum")
+        with pytest.raises(ConfigError, match="unknown backend"):
+            execute(spec)
+
+
+class TestSimParity:
+    """The sim backend is bit-identical to the hand-built scenarios."""
+
+    def test_solo_matches_run_solo(self, scaled_machine):
+        spec = paper_run_spec(
+            "429.mcf", "solo", scaled_machine, length=LENGTH
+        )
+        via_spec = execute(spec)
+        workload = benchmark(
+            "429.mcf", scaled_machine.l3.capacity_lines, length=LENGTH
+        )
+        direct = run_solo(workload, scaled_machine, seed=0)
+        assert via_spec.latency_sensitive().completion_periods == (
+            direct.latency_sensitive().completion_periods
+        )
+        assert via_spec.latency_sensitive().llc_miss_series() == (
+            direct.latency_sensitive().llc_miss_series()
+        )
+
+    @pytest.mark.parametrize("config", ["raw", "rule"])
+    def test_colocated_matches_run_colocated(self, scaled_machine, config):
+        spec = paper_run_spec(
+            "429.mcf", config, scaled_machine, length=LENGTH
+        )
+        via_spec = execute(spec)
+        lines = scaled_machine.l3.capacity_lines
+        factory = (
+            None if spec.caer is None else caer_factory(spec.caer)
+        )
+        direct = run_colocated(
+            benchmark("429.mcf", lines, length=LENGTH),
+            benchmark(BATCH_BENCHMARK, lines, length=LENGTH),
+            scaled_machine,
+            caer_factory=factory,
+            seed=0,
+        )
+        assert via_spec.latency_sensitive().completion_periods == (
+            direct.latency_sensitive().completion_periods
+        )
+        assert via_spec.latency_sensitive().llc_miss_series() == (
+            direct.latency_sensitive().llc_miss_series()
+        )
+        assert via_spec.total_periods == direct.total_periods
+
+
+class TestStatisticalBackend:
+    def test_executes_and_differs_from_sim(self, scaled_machine):
+        spec = paper_run_spec(
+            "429.mcf", "rule", scaled_machine, length=LENGTH,
+            backend="statistical",
+        )
+        outcome = execute_run(spec)
+        assert outcome.backend == "statistical"
+        assert outcome.completion_periods > 0
+        assert outcome.digest == spec.digest
+
+    def test_caer_hook_engages(self, scaled_machine):
+        raw = execute_run(
+            paper_run_spec("429.mcf", "raw", scaled_machine,
+                           length=LENGTH, backend="statistical"),
+            keep_series=False,
+        )
+        managed = execute_run(
+            paper_run_spec("429.mcf", "rule", scaled_machine,
+                           length=LENGTH, backend="statistical"),
+            keep_series=False,
+        )
+        assert managed.completion_periods <= raw.completion_periods
+
+
+class TestExecuteRun:
+    def test_outcome_carries_identity_and_telemetry(self, scaled_machine):
+        spec = paper_run_spec(
+            "429.mcf", "rule", scaled_machine, length=LENGTH
+        )
+        outcome = execute_run(spec)
+        assert outcome.digest == spec.digest
+        assert outcome.config == "rule"
+        assert outcome.telemetry["spec_digest"] == spec.digest
+        assert outcome.telemetry["backend"] == "sim"
+        assert "detector_trigger_rate" in outcome.telemetry["derived"]
+        assert outcome.wall_seconds > 0.0
+
+    def test_keep_series_false_drops_series(self, scaled_machine):
+        spec = paper_run_spec(
+            "429.mcf", "solo", scaled_machine, length=LENGTH
+        )
+        outcome = execute_run(spec, keep_series=False)
+        assert outcome.miss_series == []
+        assert outcome.instruction_series == []
+
+    def test_too_many_contenders_rejected(self, scaled_machine):
+        spec = RunSpec(
+            victim="429.mcf",
+            contenders=(ContenderSpec(BATCH_BENCHMARK),)
+            * scaled_machine.num_cores,
+            machine=scaled_machine,
+            length=LENGTH,
+        )
+        with pytest.raises(SchedulingError, match="cores"):
+            execute_run(spec)
+
+
+class TestTracing:
+    def test_execute_emits_runspec_event(self, scaled_machine):
+        spec = paper_run_spec(
+            "429.mcf", "rule", scaled_machine, length=LENGTH
+        )
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        execute(spec, tracer=tracer)
+        events = sink.by_kind("run_spec")
+        assert len(events) == 1
+        assert events[0].digest == spec.digest
+        assert events[0].backend == "sim"
+        assert events[0].victim == "429.mcf"
+        assert events[0].contenders == 1

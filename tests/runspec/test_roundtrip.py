@@ -1,0 +1,77 @@
+"""Satellite: spec round-trip identity, in value, digest, and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.runtime import CaerConfig
+from repro.runspec import (
+    BATCH_BENCHMARK,
+    ContenderSpec,
+    RunSpec,
+    execute_run,
+    paper_run_spec,
+)
+
+LENGTH = 0.02
+
+
+def spec_corpus(machine) -> list[RunSpec]:
+    """A spread of representative specs covering every field."""
+    return [
+        paper_run_spec("429.mcf", "solo", machine, length=LENGTH),
+        paper_run_spec("429.mcf", "raw", machine, length=LENGTH),
+        paper_run_spec("462.libquantum", "rule", machine, seed=3,
+                       length=LENGTH),
+        paper_run_spec("429.mcf", "rule", machine, length=LENGTH,
+                       backend="statistical"),
+        RunSpec(
+            victim="444.namd",
+            contenders=(
+                ContenderSpec(BATCH_BENCHMARK),
+                ContenderSpec(BATCH_BENCHMARK, relaunch=False,
+                              launch_period=2),
+            ),
+            machine=machine,
+            caer=CaerConfig.shutter(),
+            seed=11,
+            length=LENGTH,
+            slices_per_period=4,
+            launch_stagger=5,
+        ),
+    ]
+
+
+def test_json_round_trip_is_identity(scaled_machine):
+    for spec in spec_corpus(scaled_machine):
+        rebuilt = RunSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.digest == spec.digest
+        assert rebuilt.to_json() == spec.to_json()
+
+
+def test_dict_round_trip_is_identity(scaled_machine):
+    for spec in spec_corpus(scaled_machine):
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("config", ["solo", "rule"])
+def test_rebuilt_spec_executes_bit_identically(scaled_machine, config):
+    spec = paper_run_spec("429.mcf", config, scaled_machine,
+                          length=LENGTH)
+    rebuilt = RunSpec.from_json(spec.to_json())
+    original = execute_run(spec)
+    again = execute_run(rebuilt)
+    # RunOutcome equality excludes wall_seconds/telemetry, so this is a
+    # field-by-field comparison of the simulated quantities, series
+    # included.
+    assert again == original
+    assert again.miss_series == original.miss_series
+    assert again.instruction_series == original.instruction_series
+
+
+def test_rebuilt_statistical_spec_executes_identically(scaled_machine):
+    spec = paper_run_spec("429.mcf", "rule", scaled_machine,
+                          length=LENGTH, backend="statistical")
+    rebuilt = RunSpec.from_json(spec.to_json())
+    assert execute_run(rebuilt) == execute_run(spec)

@@ -1,0 +1,155 @@
+"""RunSpec: validation, canonical serialization, digest sensitivity."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.caer.runtime import CaerConfig
+from repro.config import MachineConfig
+from repro.errors import ConfigError, ExperimentError
+from repro.runspec import (
+    BATCH_BENCHMARK,
+    SPEC_VERSION,
+    ContenderSpec,
+    RunSpec,
+    paper_run_spec,
+)
+
+MACHINE = MachineConfig.scaled_nehalem()
+
+
+def colocated_spec(**overrides) -> RunSpec:
+    base = dict(
+        victim="429.mcf",
+        contenders=(ContenderSpec(BATCH_BENCHMARK),),
+        machine=MACHINE,
+        caer=CaerConfig.rule_based(),
+        seed=0,
+        length=0.02,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestValidation:
+    def test_empty_victim_rejected(self):
+        with pytest.raises(ConfigError, match="victim"):
+            RunSpec(victim="")
+
+    def test_caer_without_contenders_rejected(self):
+        with pytest.raises(ConfigError, match="contender"):
+            RunSpec(victim="429.mcf", caer=CaerConfig.rule_based())
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(ConfigError, match="length"):
+            RunSpec(victim="429.mcf", length=0.0)
+
+    def test_contender_list_coerced_to_tuple(self):
+        spec = RunSpec(
+            victim="429.mcf",
+            contenders=[ContenderSpec(BATCH_BENCHMARK)],
+        )
+        assert isinstance(spec.contenders, tuple)
+        hash(spec)  # stays hashable
+
+    def test_negative_launch_period_rejected(self):
+        with pytest.raises(ConfigError, match="launch_period"):
+            ContenderSpec("470.lbm", launch_period=-1)
+
+    def test_empty_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            RunSpec(victim="429.mcf", backend="")
+
+
+class TestCanonicalForm:
+    def test_json_is_compact_and_sorted(self):
+        text = colocated_spec().to_json()
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert ": " not in text and ", " not in text
+
+    def test_version_tag_present(self):
+        assert colocated_spec().to_dict()["version"] == SPEC_VERSION
+
+    def test_unsupported_version_rejected(self):
+        payload = colocated_spec().to_dict()
+        payload["version"] = SPEC_VERSION + 1
+        with pytest.raises(ConfigError, match="version"):
+            RunSpec.from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            RunSpec.from_json("{not json")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ConfigError, match="object"):
+            RunSpec.from_json("[1, 2]")
+
+    def test_bad_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            RunSpec.from_dict({"version": SPEC_VERSION, "victim": "x",
+                               "machine": {"bogus": 1}})
+
+
+class TestDigest:
+    def test_equal_specs_share_a_digest(self):
+        assert colocated_spec().digest == colocated_spec().digest
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"victim": "444.namd"},
+            {"contenders": (), "caer": None},
+            {"contenders": (ContenderSpec(BATCH_BENCHMARK),) * 2},
+            {"contenders": (ContenderSpec(BATCH_BENCHMARK,
+                                          relaunch=False),)},
+            {"caer": None},
+            {"caer": CaerConfig.shutter()},
+            {"seed": 1},
+            {"length": 0.04},
+            {"slices_per_period": 4},
+            {"launch_stagger": 5},
+            {"backend": "statistical"},
+            {"machine": MachineConfig.scaled_nehalem(cache_scale=32)},
+        ],
+    )
+    def test_every_field_moves_the_digest(self, overrides):
+        assert colocated_spec(**overrides).digest != colocated_spec().digest
+
+    def test_no_collision_across_config_tags(self):
+        digests = {
+            paper_run_spec("429.mcf", config, MACHINE).digest
+            for config in ("solo", "raw", "shutter", "rule", "random")
+        }
+        assert len(digests) == 5
+
+    def test_with_backend_only_moves_backend(self):
+        spec = colocated_spec()
+        flipped = spec.with_backend("statistical")
+        assert flipped.backend == "statistical"
+        assert dataclasses.replace(flipped, backend="sim") == spec
+
+
+class TestPaperSpecs:
+    def test_solo_has_no_contenders(self):
+        spec = paper_run_spec("429.mcf", "solo", MACHINE)
+        assert spec.contenders == () and spec.caer is None
+        assert spec.config_tag == "solo"
+
+    def test_raw_has_contender_but_no_caer(self):
+        spec = paper_run_spec("429.mcf", "raw", MACHINE)
+        assert spec.contenders[0].bench == BATCH_BENCHMARK
+        assert spec.caer is None and spec.config_tag == "raw"
+
+    @pytest.mark.parametrize("tag", ["shutter", "rule", "random"])
+    def test_caer_tags_recovered_from_policy(self, tag):
+        spec = paper_run_spec("429.mcf", tag, MACHINE)
+        assert spec.config_tag == tag
+        assert spec.describe() == f"(429.mcf, {tag})"
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown"):
+            paper_run_spec("429.mcf", "psychic", MACHINE)
