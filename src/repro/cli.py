@@ -140,6 +140,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "contenders", help="alternative-contender study (§6.1)"
     )
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection sweep: detection accuracy vs. PMU "
+             "signal-path fault intensity (robustness extension)",
+    )
+    faults.add_argument(
+        "--victim", default="429.mcf",
+        help="latency-sensitive benchmark under test (default 429.mcf)",
+    )
+    faults.add_argument(
+        "--intensity",
+        type=float,
+        action="append",
+        default=None,
+        metavar="I",
+        help="fault intensity to sweep (repeatable; default "
+             "0 0.25 0.5 1.0)",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plans' RNG streams (default 0)",
+    )
     sub.add_parser(
         "repeatability", help="seed-stability study"
     )
@@ -268,8 +290,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         print("figures: 1 2 3 6 7 8 9 10")
         print("ablations:", " ".join(sorted(ABLATIONS)))
-        print("extensions: scaling crossval contenders repeatability "
-              "report trace stats spec")
+        print("extensions: scaling crossval contenders faults "
+              "repeatability report trace stats spec")
         print("backends:", " ".join(backend_names()))
         return 0
 
@@ -340,6 +362,27 @@ def _dispatch(args: argparse.Namespace) -> int:
         from .experiments.contenders import contender_study
 
         _emit(contender_study(settings, jobs=args.jobs), args)
+        return 0
+
+    if args.command == "faults":
+        from .experiments.faults import DEFAULT_INTENSITIES, fault_sweep
+        from .workloads import resolve_benchmark_name
+
+        intensities = (
+            tuple(args.intensity)
+            if args.intensity
+            else DEFAULT_INTENSITIES
+        )
+        _emit(
+            fault_sweep(
+                settings,
+                victim=resolve_benchmark_name(args.victim),
+                intensities=intensities,
+                jobs=args.jobs,
+                fault_seed=args.fault_seed,
+            ),
+            args,
+        )
         return 0
 
     if args.command == "repeatability":

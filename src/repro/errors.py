@@ -60,3 +60,15 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """A tracer sink or metrics instrument was mis-configured or misused."""
+
+
+class FaultPlanError(ConfigError):
+    """A fault-injection plan was mis-specified (rates, caps, seeds)."""
+
+
+class ChaosError(ReproError):
+    """A failure injected on purpose by the ``REPRO_CHAOS`` test mode.
+
+    Raised only when chaos mode is armed; seeing one outside a test run
+    means the environment variable leaked.
+    """

@@ -18,6 +18,13 @@ from .campaign import (
     produce_summary,
 )
 from .executor import fan_out, resolve_jobs, run_many, run_specs
+from .faults import fault_sweep
+from .resilience import (
+    CampaignJournal,
+    QuarantineRecord,
+    RetryPolicy,
+    run_specs_resilient,
+)
 from .figures import (
     figure1,
     figure2,
@@ -47,6 +54,11 @@ __all__ = [
     "resolve_jobs",
     "run_many",
     "run_specs",
+    "run_specs_resilient",
+    "RetryPolicy",
+    "QuarantineRecord",
+    "CampaignJournal",
+    "fault_sweep",
     "FigureTable",
     "render_series",
     "figure1",

@@ -43,13 +43,20 @@ from ..runspec import (
     resolve_caer_config,
 )
 from ..sim.results import RunResult
-from .executor import TRACE_DIR_ENV, _execute_spec, run_many
+from .executor import TRACE_DIR_ENV, _execute_spec
+from .resilience import (
+    CampaignJournal,
+    QuarantineRecord,
+    RetryPolicy,
+    run_specs_resilient,
+)
 
 __all__ = [
     "CACHE_EPOCH",
     "CONFIGS",
     "BATCH_BENCHMARK",
     "TRACE_DIR_ENV",
+    "RETRY_QUARANTINED_ENV",
     "CampaignSettings",
     "RunSummary",
     "Campaign",
@@ -60,8 +67,14 @@ __all__ = [
 ]
 
 #: Bump when simulation semantics change so cached results invalidate.
-#: (6: campaign cache re-keyed by RunSpec digest.)
-CACHE_EPOCH = 6
+#: (7: spec version 2 — the fault plan joined the digest — and
+#: statistical-backend telemetry became CAER-aware.)
+CACHE_EPOCH = 7
+
+#: When set (to anything truthy), a campaign ignores quarantine records
+#: inherited from its journal and gives previously failing specs a
+#: fresh chance; the journal itself is left intact until they complete.
+RETRY_QUARANTINED_ENV = "REPRO_RETRY_QUARANTINED"
 
 
 def _env_float(name: str, default: float) -> float:
@@ -288,6 +301,7 @@ class Campaign:
         cache_dir: str | os.PathLike | None = None,
         use_disk_cache: bool = True,
         jobs: int | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.settings = settings or CampaignSettings.from_env()
         audit_cache_key(self.settings)
@@ -301,9 +315,32 @@ class Campaign:
         #: default worker count for :meth:`prefetch` (None = resolve
         #: from ``REPRO_JOBS`` / cpu count at fan-out time)
         self.jobs = jobs
+        #: retry/timeout posture of :meth:`prefetch` (None = defaults
+        #: with ``REPRO_RETRIES``/``REPRO_RUN_TIMEOUT`` applied)
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
         #: campaign-level telemetry: cache hit/miss counters and the
         #: executor's per-job span histogram
         self.metrics = MetricsRegistry()
+        #: specs given up on, by digest (persisted through the journal)
+        self.quarantined: dict[str, QuarantineRecord] = {}
+        #: crash-safe record of completed/quarantined digests; lives
+        #: next to the cache entries it describes
+        self.journal: CampaignJournal | None = None
+        if self.cache_dir is not None:
+            self.journal = CampaignJournal(
+                self.cache_dir / f"e{CACHE_EPOCH}" / "journal.jsonl"
+            )
+            if not os.environ.get(RETRY_QUARANTINED_ENV):
+                for digest, record in self.journal.quarantined.items():
+                    self.quarantined[digest] = QuarantineRecord(
+                        digest=digest,
+                        label=(
+                            f"({record.get('bench', '?')}, "
+                            f"{record.get('config', '?')})"
+                        ),
+                        attempts=int(record.get("attempts", 0)),
+                        error=str(record.get("error", "unknown failure")),
+                    )
 
     # -- configuration -> runtime factory --------------------------------
 
@@ -341,8 +378,19 @@ class Campaign:
             with open(path) as handle:
                 data = json.load(handle)
             summary = RunSummary(**data)
+        except OSError:
+            # The entry vanished between exists() and open(): a miss.
+            self.metrics.counter("campaign.cache_misses").inc()
+            return None
         except (json.JSONDecodeError, TypeError):
+            # A corrupt or truncated entry is a cache miss, never a
+            # crash: rename it aside (preserving the evidence) so the
+            # slot is free for the re-simulated result.
             self.metrics.counter("campaign.cache_invalid").inc()
+            try:
+                path.rename(path.with_name(path.name + ".corrupt"))
+            except OSError:
+                pass
             return None
         self.metrics.counter("campaign.cache_disk_hits").inc()
         self._memory[digest] = summary
@@ -388,30 +436,98 @@ class Campaign:
         back to the campaign's default, then ``REPRO_JOBS``/cpu count),
         cached, and subsequent :meth:`solo`/:meth:`colocated` calls are
         pure lookups.  Returns the number of runs simulated.
+
+        Execution is *resilient*: each run is checkpointed — stored,
+        journalled, counted — the moment it completes, so interrupting
+        a campaign and re-running resumes with zero re-execution
+        (``campaign.journal_resumed`` counts the runs the journal
+        vouched for); failing runs are retried per the campaign's
+        :class:`RetryPolicy` and quarantined when persistent, leaving
+        the rest of the campaign intact.
         """
-        pairs = [
-            (bench, config)
-            for bench in benches
-            for config in configs
-            if self._load(bench, config) is None
-        ]
+        pairs: list[tuple[str, str]] = []
+        for bench in benches:
+            for config in configs:
+                if self._load(bench, config) is not None:
+                    if (
+                        self.journal is not None
+                        and self.spec_for(bench, config).digest
+                        in self.journal.completed
+                    ):
+                        self.metrics.counter(
+                            "campaign.journal_resumed"
+                        ).inc()
+                    continue
+                digest = self.spec_for(bench, config).digest
+                if digest in self.quarantined:
+                    self.metrics.counter(
+                        "campaign.quarantine_skipped"
+                    ).inc()
+                    continue
+                pairs.append((bench, config))
         if not pairs:
             return 0
         if jobs is None:
             jobs = self.jobs
-        summaries = run_many(
-            self.settings, pairs, jobs=jobs, metrics=self.metrics
+        by_digest: dict[str, tuple[str, str]] = {}
+        specs: list[RunSpec] = []
+        for bench, config in pairs:
+            spec = self.spec_for(bench, config)
+            by_digest[spec.digest] = (bench, config)
+            specs.append(spec)
+
+        def _checkpoint(
+            spec: RunSpec, outcome: RunOutcome, attempt: int
+        ) -> None:
+            bench, config = by_digest[spec.digest]
+            self._store(RunSummary.from_outcome(bench, config, outcome))
+            if self.journal is not None:
+                self.journal.record_done(
+                    spec.digest, bench, config, attempts=attempt
+                )
+            self.metrics.counter("campaign.runs_simulated").inc()
+
+        def _label(spec: RunSpec) -> str:
+            pair = by_digest.get(spec.digest)
+            if pair is None:
+                return spec.describe()
+            return f"({pair[0]}, {pair[1]})"
+
+        outcomes, quarantined = run_specs_resilient(
+            specs,
+            jobs=jobs,
+            metrics=self.metrics,
+            policy=self.retry,
+            describe=_label,
+            on_complete=_checkpoint,
         )
-        for summary in summaries:
-            self._store(summary)
-        self.metrics.counter("campaign.runs_simulated").inc(len(pairs))
-        return len(pairs)
+        for digest, record in quarantined.items():
+            self.quarantined[digest] = record
+            self.metrics.counter("campaign.quarantined").inc()
+            if self.journal is not None:
+                bench, config = by_digest[digest]
+                self.journal.record_quarantined(
+                    digest, bench, config,
+                    attempts=record.attempts, error=record.error,
+                )
+        return len(outcomes)
+
+    def _check_quarantine(self, bench: str, config: str) -> None:
+        record = self.quarantined.get(self.spec_for(bench, config).digest)
+        if record is not None:
+            raise ExperimentError(
+                f"run ({bench}, {config}) is quarantined after "
+                f"{record.attempts} failed attempts: {record.error} — "
+                f"clear with Campaign.clear_quarantine() or set "
+                f"{RETRY_QUARANTINED_ENV}=1 to retry it"
+            )
 
     def solo(self, bench: str) -> RunSummary:
         """The benchmark running alone on the chip."""
         cached = self._load(bench, "solo")
         if cached is not None:
             return cached
+        self._check_quarantine(bench, "solo")
         summary = produce_summary(self.settings, bench, "solo")
         self._store(summary)
         self.metrics.counter("campaign.runs_simulated").inc()
@@ -426,6 +542,7 @@ class Campaign:
         cached = self._load(bench, config)
         if cached is not None:
             return cached
+        self._check_quarantine(bench, config)
         summary = produce_summary(self.settings, bench, config)
         self._store(summary)
         self.metrics.counter("campaign.runs_simulated").inc()
@@ -442,6 +559,21 @@ class Campaign:
     def penalty(self, bench: str, config: str) -> float:
         """Cross-core interference penalty of ``config`` vs. solo."""
         return self.slowdown(bench, config) - 1.0
+
+    def quarantine_report(self) -> list[QuarantineRecord]:
+        """Every quarantined spec, sorted by label (for the report)."""
+        return sorted(
+            self.quarantined.values(), key=lambda r: (r.label, r.digest)
+        )
+
+    def clear_quarantine(self) -> int:
+        """Lift every quarantine (journalled); returns how many."""
+        count = len(self.quarantined)
+        if self.journal is not None:
+            for digest in list(self.quarantined):
+                self.journal.record_cleared(digest)
+        self.quarantined.clear()
+        return count
 
     def memoised_runs(self) -> int:
         """Number of run summaries currently memoised in this process."""

@@ -124,7 +124,8 @@ def fan_out(
     out: list[R | None] = [None] * len(tasks)
     failures: list[str] = []
     done_at: dict[int, float] = {}
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    try:
         submitted_at = time.perf_counter()
         futures = []
         for index, task in enumerate(tasks):
@@ -142,6 +143,13 @@ def fan_out(
                 out[index] = future.result()
             except Exception as exc:
                 failures.append(f"{describe(tasks[index])}: {exc!r}")
+    except BaseException:
+        # Ctrl-C (or any non-run failure) mid-collection: cancel every
+        # task that has not started and leave without waiting, so a
+        # dying batch cannot leak orphan workers that keep simulating.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
     if metrics is not None:
         for index in range(len(tasks)):
             span.observe(done_at.get(index, submitted_at) - submitted_at)

@@ -4,6 +4,11 @@
 the paper-vs-measured comparison into a single self-contained markdown
 document — the generated counterpart of the hand-written
 EXPERIMENTS.md, with whatever run length and seed the campaign used.
+
+The report degrades instead of dying: a section whose runs are
+quarantined (or otherwise unrenderable) is replaced by an inline note,
+and every quarantined run is listed in its own section — a partially
+failing campaign still yields a report covering everything that worked.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ import io
 import time
 from pathlib import Path
 
+from ..errors import ReproError
 from . import paperdata
 from .campaign import CACHE_EPOCH, Campaign
 from .figures import (
@@ -32,6 +38,20 @@ def _code_block(text: str) -> str:
     return f"```\n{text.rstrip()}\n```\n"
 
 
+def _render_section(render) -> str:
+    """Render one section's body, degrading a failure to a note.
+
+    Any :class:`ReproError` — typically an
+    :class:`~repro.errors.ExperimentError` from a quarantined run —
+    becomes an italic "unavailable" note instead of aborting the whole
+    report.
+    """
+    try:
+        return render()
+    except ReproError as exc:
+        return f"_unavailable: {exc}_\n"
+
+
 def generate_report(campaign: Campaign) -> str:
     """Render the full evaluation as a markdown document."""
     settings = campaign.settings
@@ -47,7 +67,11 @@ def generate_report(campaign: Campaign) -> str:
     out.write(f"Paper machine: {paperdata.PAPER_MACHINE}.\n\n")
 
     out.write("## Headline numbers\n\n")
-    out.write(_code_block(headline_numbers(campaign).render()))
+    out.write(
+        _render_section(
+            lambda: _code_block(headline_numbers(campaign).render())
+        )
+    )
     out.write("\n")
 
     sections = [
@@ -61,19 +85,53 @@ def generate_report(campaign: Campaign) -> str:
     ]
     for title, driver in sections:
         out.write(f"## {title}\n\n")
-        out.write(_code_block(driver(campaign).render()))
+        out.write(
+            _render_section(
+                lambda driver=driver: _code_block(
+                    driver(campaign).render()
+                )
+            )
+        )
         out.write("\n")
 
     out.write("## Figure 3 — time series\n\n")
-    for chart in figure3(campaign).values():
-        out.write(_code_block(chart))
-        out.write("\n")
-    out.write(_code_block(figure3_correlations(campaign).render()))
+    out.write(_render_section(lambda: _figure3_section(campaign)))
 
     elapsed = time.perf_counter() - started
     out.write("## Campaign timing\n\n")
     out.write(_timing_section(campaign, elapsed))
     out.write(_telemetry_section(campaign))
+    out.write(_quarantine_section(campaign))
+    return out.getvalue()
+
+
+def _figure3_section(campaign: Campaign) -> str:
+    out = io.StringIO()
+    for chart in figure3(campaign).values():
+        out.write(_code_block(chart))
+        out.write("\n")
+    out.write(_code_block(figure3_correlations(campaign).render()))
+    return out.getvalue()
+
+
+def _quarantine_section(campaign: Campaign) -> str:
+    """List every run the campaign gave up on, with its last error."""
+    records = campaign.quarantine_report()
+    if not records:
+        return ""
+    out = io.StringIO()
+    out.write("\n## Quarantine\n\n")
+    out.write(
+        f"{len(records)} run(s) failed every retry and were "
+        f"quarantined; sections depending on them are marked "
+        f"unavailable. Clear with `Campaign.clear_quarantine()` or "
+        f"rerun with `REPRO_RETRY_QUARANTINED=1`.\n\n"
+    )
+    for record in records:
+        out.write(
+            f"- {record.label} — {record.attempts} attempts; last "
+            f"error: {record.error}\n"
+        )
     return out.getvalue()
 
 

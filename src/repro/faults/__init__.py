@@ -1,0 +1,41 @@
+"""Deterministic fault injection for the PMU signal path.
+
+Two arms, one package:
+
+* **Signal faults** — :class:`FaultPlan` (a frozen, digest-visible
+  description of PMU perturbations carried on
+  :class:`~repro.runspec.RunSpec`), applied by :class:`FaultInjector` /
+  :class:`FaultChannel` through the :class:`FaultyPerfmonSession`
+  wrapper, with every injection emitted as a typed
+  :class:`~repro.obs.FaultEvent`.  The engines keep recording the
+  *true* samples (physical ground truth, and the solo baselines); only
+  what monitoring — and therefore CAER — observes is perturbed.
+* **Chaos mode** — :mod:`repro.faults.chaos`, the ``REPRO_CHAOS``
+  test-only saboteur of the executor itself (worker crashes, hangs,
+  interrupts) used to exercise retry/quarantine/resume.
+
+See ``docs/robustness.md`` for the fault taxonomy and semantics.
+"""
+
+from .chaos import CHAOS_ENV, HANG_SECONDS, ChaosSpec, maybe_inject
+from .injector import STUCK_RECOVERY, FaultChannel, FaultInjector
+from .plan import (
+    DEFAULT_SATURATION_CAP,
+    SCALE_COEFFICIENTS,
+    FaultPlan,
+)
+from .session import FaultyPerfmonSession
+
+__all__ = [
+    "FaultPlan",
+    "DEFAULT_SATURATION_CAP",
+    "SCALE_COEFFICIENTS",
+    "FaultInjector",
+    "FaultChannel",
+    "STUCK_RECOVERY",
+    "FaultyPerfmonSession",
+    "ChaosSpec",
+    "maybe_inject",
+    "CHAOS_ENV",
+    "HANG_SECONDS",
+]

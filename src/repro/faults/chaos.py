@@ -1,0 +1,108 @@
+"""``REPRO_CHAOS``: deliberate infrastructure failure for tests.
+
+Signal faults (:mod:`repro.faults.plan`) corrupt what the detectors
+see; chaos mode breaks the *executor* instead — worker crashes, hangs,
+and interruptions — so the resilience machinery (retry, per-run
+timeout, quarantine, checkpoint/resume) can be exercised end to end
+without any real flakiness.
+
+The environment variable is ``kind:count[:victim]``:
+
+* ``kind`` — ``crash`` (raise :class:`~repro.errors.ChaosError` in the
+  worker), ``hang`` (sleep :data:`HANG_SECONDS`, tripping a per-run
+  timeout), or ``interrupt`` (raise :exc:`KeyboardInterrupt`, the
+  deterministic stand-in for Ctrl-C mid-campaign);
+* ``count`` — sabotage attempts 1..count of each matching run, so
+  ``crash:1`` fails once and then succeeds on retry while ``crash:99``
+  fails persistently (the quarantine path);
+* ``victim`` — optional benchmark name; when present only runs of that
+  victim are sabotaged.
+
+Worker processes inherit the variable through fork, exactly like
+``REPRO_TRACE_DIR``.  Chaos is strictly test-only: with the variable
+unset, :func:`maybe_inject` is a single dict lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import ChaosError, ConfigError
+
+if TYPE_CHECKING:
+    from ..runspec import RunSpec
+
+#: The arming environment variable.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: How long a chaos ``hang`` sleeps — long enough to trip any sane
+#: per-run timeout, short enough that a leaked worker drains quickly.
+HANG_SECONDS = 3.0
+
+_KINDS = ("crash", "hang", "interrupt")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A parsed ``REPRO_CHAOS`` directive."""
+
+    kind: str
+    count: int
+    victim: str | None = None
+
+    @classmethod
+    def from_env(cls) -> "ChaosSpec | None":
+        """Parse the environment variable (None when unarmed)."""
+        raw = os.environ.get(CHAOS_ENV)
+        if not raw:
+            return None
+        parts = raw.split(":")
+        kind = parts[0]
+        if kind not in _KINDS:
+            raise ConfigError(
+                f"{CHAOS_ENV} kind must be one of {_KINDS}, got {kind!r}"
+            )
+        try:
+            count = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+        except ValueError:
+            raise ConfigError(
+                f"{CHAOS_ENV} count must be an integer, got {parts[1]!r}"
+            ) from None
+        if count < 1:
+            raise ConfigError(
+                f"{CHAOS_ENV} count must be >= 1, got {count}"
+            )
+        victim = parts[2] if len(parts) > 2 and parts[2] else None
+        return cls(kind=kind, count=count, victim=victim)
+
+    def applies(self, spec: "RunSpec", attempt: int) -> bool:
+        """Whether this directive sabotages ``spec``'s ``attempt``."""
+        if self.victim is not None and self.victim != spec.victim:
+            return False
+        return attempt <= self.count
+
+
+def maybe_inject(spec: "RunSpec", attempt: int) -> None:
+    """Sabotage the current run attempt if chaos mode says so.
+
+    Called by the resilient executor's worker unit before the real
+    execution; runs in the worker process (or inline when serial).
+    """
+    chaos = ChaosSpec.from_env()
+    if chaos is None or not chaos.applies(spec, attempt):
+        return
+    if chaos.kind == "crash":
+        raise ChaosError(
+            f"chaos: injected crash on attempt {attempt} of "
+            f"{spec.describe()}"
+        )
+    if chaos.kind == "hang":
+        time.sleep(HANG_SECONDS)
+        return
+    raise KeyboardInterrupt(
+        f"chaos: injected interrupt on attempt {attempt} of "
+        f"{spec.describe()}"
+    )

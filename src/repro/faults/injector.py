@@ -1,0 +1,208 @@
+"""Deterministic application of a :class:`~repro.faults.FaultPlan`.
+
+One :class:`FaultInjector` serves a whole run; it hands out one
+:class:`FaultChannel` per monitored process.  A channel owns the
+process's fault RNG stream — seeded from ``(plan.seed, crc32(name))``
+so the stream is identical in every worker process regardless of
+Python's per-process hash randomisation — plus the small amount of
+state the fault kinds need (the drop carry, the stuck latch, the
+delayed sample).
+
+The perturbation pipeline is applied in a fixed order every probe
+(carry-in, stuck, drop, jitter, noise, saturate, delay), and the draws
+depend only on the plan and the stream — never on the sample values —
+so the fault sequence of a run is a pure function of the plan.
+
+Every injected fault is emitted as a typed
+:class:`~repro.obs.FaultEvent` through the run's tracer and counted in
+its metrics registry (``faults.injected`` plus a per-kind counter).
+Observation stays passive: attaching or detaching a tracer never
+changes which faults fire.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..arch.pmu import PMUSample
+from ..obs import NULL_TRACER, FaultEvent, MetricsRegistry, Tracer
+from .plan import FaultPlan
+
+#: Per-period probability a stuck counter recovers (fixed, so the mean
+#: stuck episode is 1/RECOVERY periods regardless of the plan).
+STUCK_RECOVERY = 0.25
+
+_INT_FIELDS = (
+    "llc_misses", "llc_references", "l2_misses", "l1_misses",
+    "back_invalidations", "lines_stolen",
+)
+_SATURATING_FIELDS = (
+    "llc_misses", "llc_references", "l2_misses", "l1_misses",
+)
+_ALL_FIELDS = ("cycles", "instructions") + _INT_FIELDS
+
+
+def _add(a: PMUSample, b: PMUSample) -> PMUSample:
+    """Field-wise sum (counter deltas are additive across periods)."""
+    return PMUSample(
+        **{
+            name: getattr(a, name) + getattr(b, name)
+            for name in _ALL_FIELDS
+        }
+    )
+
+
+def _scale(sample: PMUSample, factor: float) -> PMUSample:
+    """Scale every field, keeping the integer counters integral."""
+    values = {}
+    for name in _ALL_FIELDS:
+        value = getattr(sample, name) * factor
+        values[name] = (
+            max(0, int(round(value))) if name in _INT_FIELDS
+            else max(0.0, value)
+        )
+    return PMUSample(**values)
+
+
+def _per_counter(sample: PMUSample, factors) -> PMUSample:
+    """Scale each field by its own factor (multiplicative noise)."""
+    values = {}
+    for name, factor in zip(_ALL_FIELDS, factors):
+        value = getattr(sample, name) * float(factor)
+        values[name] = (
+            max(0, int(round(value))) if name in _INT_FIELDS
+            else max(0.0, value)
+        )
+    return PMUSample(**values)
+
+
+def _saturate(sample: PMUSample, cap: int) -> PMUSample:
+    """Peg the cache-event counters at the saturation ceiling."""
+    values = {name: getattr(sample, name) for name in _ALL_FIELDS}
+    for name in _SATURATING_FIELDS:
+        values[name] = cap
+    return PMUSample(**values)
+
+
+class FaultChannel:
+    """The fault pipeline of one monitored process."""
+
+    def __init__(self, injector: "FaultInjector", name: str):
+        import numpy as np
+
+        self.injector = injector
+        self.name = name
+        # crc32, not hash(): the seed must not vary across processes.
+        self._rng = np.random.default_rng(
+            [injector.plan.seed, zlib.crc32(name.encode("utf-8"))]
+        )
+        self._carry: PMUSample | None = None
+        self._delayed: PMUSample | None = None
+        self._stuck = False
+        self._last = PMUSample.zero()
+
+    def perturb(self, period: int, true_sample: PMUSample) -> PMUSample:
+        """What monitoring observes for ``true_sample`` this period."""
+        out = self._pipeline(period, true_sample)
+        self._last = out
+        return out
+
+    def _pipeline(self, period: int, sample: PMUSample) -> PMUSample:
+        plan = self.injector.plan
+        rng = self._rng
+        if self._carry is not None:
+            # A previously dropped read's deltas arrive with this one.
+            sample = _add(sample, self._carry)
+            self._carry = None
+        if self._stuck:
+            if rng.random() < STUCK_RECOVERY:
+                self._stuck = False
+            else:
+                self._emit(period, "stuck", 1.0)
+                return self._last
+        if plan.stuck_rate and rng.random() < plan.stuck_rate:
+            self._stuck = True
+            self._emit(period, "stuck", 1.0)
+            return self._last
+        if plan.drop_rate and rng.random() < plan.drop_rate:
+            self._carry = sample
+            self._emit(period, "drop", 1.0)
+            return PMUSample.zero()
+        if plan.jitter:
+            factor = 1.0 + rng.uniform(-plan.jitter, plan.jitter)
+            sample = _scale(sample, factor)
+            self._emit(period, "jitter", factor)
+        if plan.noise:
+            factors = rng.normal(1.0, plan.noise, size=len(_ALL_FIELDS))
+            sample = _per_counter(sample, factors)
+            self._emit(period, "noise", plan.noise)
+        if plan.saturate_rate and rng.random() < plan.saturate_rate:
+            sample = _saturate(sample, plan.saturation_cap)
+            self._emit(period, "saturate", float(plan.saturation_cap))
+        if plan.delay_rate and rng.random() < plan.delay_rate:
+            self._delayed = (
+                sample if self._delayed is None
+                else _add(self._delayed, sample)
+            )
+            self._emit(period, "delay", 1.0)
+            return PMUSample.zero()
+        if self._delayed is not None:
+            sample = _add(sample, self._delayed)
+            self._delayed = None
+        return sample
+
+    def _emit(self, period: int, fault: str, magnitude: float) -> None:
+        self.injector.record(period, self.name, fault, magnitude)
+
+
+class FaultInjector:
+    """Per-run fault state: one channel per process, shared observers."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.plan = plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._channels: dict[str, FaultChannel] = {}
+
+    def channel(self, name: str) -> FaultChannel:
+        """The (lazily created) fault channel of one process."""
+        chan = self._channels.get(name)
+        if chan is None:
+            chan = FaultChannel(self, name)
+            self._channels[name] = chan
+        return chan
+
+    def observe(
+        self, period: int, name: str, true_sample: PMUSample
+    ) -> PMUSample:
+        """Perturb one process's sample for one period."""
+        return self.channel(name).perturb(period, true_sample)
+
+    def observe_all(
+        self, period: int, samples: dict[str, PMUSample]
+    ) -> dict[str, PMUSample]:
+        """Perturb a whole period's samples (insertion order preserved)."""
+        return {
+            name: self.observe(period, name, sample)
+            for name, sample in samples.items()
+        }
+
+    def record(
+        self, period: int, process: str, fault: str, magnitude: float
+    ) -> None:
+        """Publish one injected fault to the tracer and metrics."""
+        if self.tracer.enabled:
+            self.tracer.emit(FaultEvent(
+                period=period,
+                process=process,
+                fault=fault,
+                magnitude=magnitude,
+            ))
+        if self.metrics is not None:
+            self.metrics.counter("faults.injected").inc()
+            self.metrics.counter(f"faults.{fault}").inc()

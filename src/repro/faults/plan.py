@@ -1,0 +1,155 @@
+"""The declarative fault plan.
+
+The paper's whole signal path rests on periodic Perfmon2 counter reads
+("1ms has shown to provide both high accuracy and low overhead", §4);
+a :class:`FaultPlan` describes how that path may misbehave — samples
+that never arrive, probe windows that wobble, counters that read noisy,
+stick, saturate, or deliver late.  The plan is a frozen, hashable value
+object carried on :class:`~repro.runspec.RunSpec`, so a faulty run is a
+first-class, cacheable experiment: the plan is part of the canonical
+JSON form and therefore of the content digest.
+
+Faults are *deterministic*: every perturbation is drawn from a stream
+seeded by ``(plan.seed, process name)``, so the same plan replays the
+same fault sequence across repeats, worker processes, and hosts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import FaultPlanError
+
+#: Default ceiling a saturated counter pegs at (in per-period events).
+DEFAULT_SATURATION_CAP = 4096
+
+#: Canonical per-kind coefficients of :meth:`FaultPlan.scaled`: a single
+#: intensity knob in [0, 1] maps to a plan whose kinds grow together.
+SCALE_COEFFICIENTS = {
+    "drop_rate": 0.15,
+    "jitter": 0.25,
+    "noise": 0.35,
+    "stuck_rate": 0.05,
+    "saturate_rate": 0.02,
+    "delay_rate": 0.10,
+}
+
+_RATE_FIELDS = ("drop_rate", "stuck_rate", "saturate_rate", "delay_rate")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded perturbations of the PMU sampling path.
+
+    * ``drop_rate`` — probability a period's sample is lost entirely;
+      its deltas accumulate into the next delivered sample (the counter
+      kept counting, only the read was missed).
+    * ``jitter`` — half-width of the multiplicative probe-window wobble:
+      every delivered sample is scaled by ``1 ± U(0, jitter)``.
+    * ``noise`` — per-counter multiplicative Gaussian noise sigma.
+    * ``stuck_rate`` — per-period probability the counters freeze at
+      their last delivered reading (a sticky state with a fixed
+      recovery probability; the true deltas of stuck periods are lost).
+    * ``saturate_rate`` — probability the cache-event counters peg at
+      ``saturation_cap`` for the period (overflowed hardware counter).
+    * ``delay_rate`` — probability delivery slips one period: the
+      sample arrives folded into the next one, a zero read now.
+    * ``seed`` — root of the per-process fault streams.
+
+    All rates live in ``[0, 1]``; ``jitter`` in ``[0, 1)`` so a sample
+    can never be scaled negative.  A plan with every knob at zero
+    (:meth:`is_null`) injects nothing and is bit-identical to running
+    without a plan — but still moves the spec digest, keeping faulty
+    and fault-free cache entries distinct by construction.
+    """
+
+    drop_rate: float = 0.0
+    jitter: float = 0.0
+    noise: float = 0.0
+    stuck_rate: float = 0.0
+    saturate_rate: float = 0.0
+    saturation_cap: int = DEFAULT_SATURATION_CAP
+    delay_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if not 0.0 <= self.jitter < 1.0:
+            raise FaultPlanError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.noise < 0.0:
+            raise FaultPlanError(
+                f"noise must be >= 0, got {self.noise}"
+            )
+        if self.saturation_cap < 1:
+            raise FaultPlanError(
+                f"saturation_cap must be >= 1, got {self.saturation_cap}"
+            )
+
+    def is_null(self) -> bool:
+        """Whether this plan can never inject anything."""
+        return (
+            self.drop_rate == 0.0
+            and self.jitter == 0.0
+            and self.noise == 0.0
+            and self.stuck_rate == 0.0
+            and self.saturate_rate == 0.0
+            and self.delay_rate == 0.0
+        )
+
+    # -- serialization (mirrors the RunSpec conventions) ------------------
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise FaultPlanError(
+                f"bad fault plan payload {data!r}: {exc}"
+            ) from None
+
+    # -- the sweep's one-knob parameterisation ----------------------------
+
+    @classmethod
+    def scaled(cls, intensity: float, seed: int = 0) -> "FaultPlan":
+        """The canonical plan at ``intensity`` in [0, 1].
+
+        Every fault kind grows linearly with the single knob (see
+        :data:`SCALE_COEFFICIENTS`), which is what the ``faults``
+        experiment driver sweeps.  ``intensity=0`` yields a null plan.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise FaultPlanError(
+                f"intensity must be in [0, 1], got {intensity}"
+            )
+        return cls(
+            seed=seed,
+            **{
+                name: coefficient * intensity
+                for name, coefficient in SCALE_COEFFICIENTS.items()
+            },
+        )
+
+    def describe(self) -> str:
+        """Short human label, e.g. ``faults(drop=0.15,noise=0.35,seed=0)``."""
+        if self.is_null():
+            return f"faults(null,seed={self.seed})"
+        parts = [
+            f"{name.removesuffix('_rate')}={getattr(self, name):g}"
+            for name in (
+                "drop_rate", "jitter", "noise", "stuck_rate",
+                "saturate_rate", "delay_rate",
+            )
+            if getattr(self, name)
+        ]
+        return f"faults({','.join(parts)},seed={self.seed})"

@@ -1,0 +1,61 @@
+"""The faulty perfmon session.
+
+:class:`FaultyPerfmonSession` sits between :class:`~repro.perfmon.
+session.PerfmonSession` and whatever consumes its probes (the engines,
+and through them the CAER runtime): the wrapped session still performs
+the real read-and-restart — overhead charged to the core as always —
+but what monitoring *observes* is the fault channel's perturbation of
+the true reading.  The true sample is kept on :attr:`true_sample` so
+the engine can record physical ground truth while the detectors see
+the corrupted signal; that split is exactly the experiment the
+``faults`` sweep runs (how gracefully do the policies degrade when the
+signal path lies?).
+"""
+
+from __future__ import annotations
+
+from ..arch.pmu import PMUSample
+from ..perfmon.session import PerfmonSession
+from .injector import FaultChannel
+
+
+class FaultyPerfmonSession:
+    """A drop-in :class:`PerfmonSession` with a lying ``probe()``."""
+
+    def __init__(self, inner: PerfmonSession, channel: FaultChannel):
+        self.inner = inner
+        self.channel = channel
+        #: the unperturbed reading of the most recent probe
+        self.true_sample: PMUSample | None = None
+
+    @property
+    def probe_overhead_cycles(self) -> float:
+        return self.inner.probe_overhead_cycles
+
+    @property
+    def probes(self) -> int:
+        return self.inner.probes
+
+    def probe(self) -> PMUSample:
+        """Read-and-restart, then perturb what the reader sees."""
+        true = self.inner.probe()
+        self.true_sample = true
+        # probes was just incremented; the 0-based period index is -1.
+        return self.channel.perturb(self.inner.probes - 1, true)
+
+    def peek(self) -> PMUSample:
+        """Unperturbed peek (a debugging aid, like the inner one)."""
+        return self.inner.peek()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    def __enter__(self) -> "FaultyPerfmonSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

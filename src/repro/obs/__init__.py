@@ -23,6 +23,7 @@ costs one attribute check per instrumentation site.
 from .events import (
     EVENT_KINDS,
     DetectionEvent,
+    FaultEvent,
     PhaseEvent,
     PMUSampleEvent,
     ResponseEvent,
@@ -54,6 +55,7 @@ __all__ = [
     "ResponseEvent",
     "PhaseEvent",
     "RunSpecEvent",
+    "FaultEvent",
     "EVENT_KINDS",
     "Tracer",
     "NULL_TRACER",

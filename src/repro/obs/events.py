@@ -115,6 +115,30 @@ class RunSpecEvent:
 
 
 @dataclass(frozen=True)
+class FaultEvent:
+    """One injected PMU-signal fault (:mod:`repro.faults`).
+
+    Emitted by the fault injector at the moment a perturbation is
+    applied to a process's counter stream: ``fault`` names the
+    perturbation kind (``drop``, ``stuck``, ``jitter``, ``noise``,
+    ``saturate``, ``delay``) and ``magnitude`` its size in the kind's
+    natural unit (the jitter scale factor, the saturation cap, 1.0 for
+    the pure on/off kinds).  Like every trace event it carries no
+    wall-clock values, so faulty runs stay bit-reproducible.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    period: int
+    process: str
+    fault: str
+    magnitude: float
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
 class PhaseEvent:
     """A lifecycle edge: ``scope`` names the state machine, ``subject``
     the instance, ``phase`` the state entered at ``period``."""
@@ -133,13 +157,14 @@ class PhaseEvent:
 #: Union of every event type a sink may receive.
 TraceEvent = Union[
     PMUSampleEvent, DetectionEvent, ResponseEvent, PhaseEvent,
-    RunSpecEvent,
+    RunSpecEvent, FaultEvent,
 ]
 
 #: All event kinds, in emission-priority order (for reports).
 EVENT_KINDS = (
     RunSpecEvent.kind,
     PMUSampleEvent.kind,
+    FaultEvent.kind,
     DetectionEvent.kind,
     ResponseEvent.kind,
     PhaseEvent.kind,

@@ -33,6 +33,7 @@ from .backends import (
 )
 from .spec import (
     BATCH_BENCHMARK,
+    COMPATIBLE_VERSIONS,
     CONFIGS,
     SPEC_VERSION,
     ContenderSpec,
@@ -45,6 +46,7 @@ __all__ = [
     "RunSpec",
     "ContenderSpec",
     "SPEC_VERSION",
+    "COMPATIBLE_VERSIONS",
     "BATCH_BENCHMARK",
     "CONFIGS",
     "paper_run_spec",

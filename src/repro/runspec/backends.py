@@ -111,6 +111,7 @@ class SimBackend:
             slices_per_period=spec.slices_per_period,
             tracer=tracer,
             metrics=metrics,
+            faults=spec.faults,
         )
         if spec.caer is not None:
             engine.period_hooks.append(caer_factory(spec.caer)(engine))
@@ -135,7 +136,13 @@ class StatisticalBackend:
     ) -> RunResult:
         from ..statistical.engine import StatisticalEngine
 
-        engine = StatisticalEngine(spec.machine, _spec_processes(spec))
+        engine = StatisticalEngine(
+            spec.machine,
+            _spec_processes(spec),
+            tracer=tracer,
+            metrics=metrics,
+            faults=spec.faults,
+        )
         if spec.caer is not None:
             engine.period_hooks.append(caer_factory(spec.caer)(engine))
         return engine.run()

@@ -30,11 +30,18 @@ from dataclasses import dataclass, field
 from ..caer.runtime import CaerConfig
 from ..config import MachineConfig
 from ..errors import ConfigError, ExperimentError
+from ..faults import FaultPlan
 from ..sim.scenario import DEFAULT_LAUNCH_STAGGER
 
 #: Version tag of the canonical JSON form.  Bump on incompatible
-#: payload changes; :meth:`RunSpec.from_dict` rejects other versions.
-SPEC_VERSION = 1
+#: payload changes; :meth:`RunSpec.from_dict` rejects versions outside
+#: :data:`COMPATIBLE_VERSIONS`.  (2: optional ``faults`` plan.)
+SPEC_VERSION = 2
+
+#: Payload versions :meth:`RunSpec.from_dict` still accepts.  Version 1
+#: predates the fault plan; its payloads simply have no ``faults`` key
+#: and deserialise with ``faults=None``.
+COMPATIBLE_VERSIONS = (1, 2)
 
 #: The contender used throughout the paper's experiments (§6.1).
 BATCH_BENCHMARK = "470.lbm"
@@ -100,7 +107,10 @@ class RunSpec:
     engine in the :mod:`repro.runspec.backends` registry (``"sim"`` is
     the trace-driven engine, ``"statistical"`` the closed-form twin);
     it participates in the digest so cached results from different
-    engines can never be confused.
+    engines can never be confused.  ``faults``, when present, is the
+    :class:`~repro.faults.FaultPlan` the engines apply to the PMU
+    signal path; it too is digest-visible (even a null plan), so
+    faulty and clean runs can never share a cache entry.
     """
 
     victim: str
@@ -114,6 +124,7 @@ class RunSpec:
     slices_per_period: int = 8
     launch_stagger: int = DEFAULT_LAUNCH_STAGGER
     backend: str = "sim"
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.victim:
@@ -157,6 +168,9 @@ class RunSpec:
             "slices_per_period": self.slices_per_period,
             "launch_stagger": self.launch_stagger,
             "backend": self.backend,
+            "faults": (
+                None if self.faults is None else self.faults.to_dict()
+            ),
         }
 
     def to_json(self) -> str:
@@ -170,10 +184,10 @@ class RunSpec:
         """Rebuild a spec from :meth:`to_dict` output (validating)."""
         payload = dict(data)
         version = payload.pop("version", SPEC_VERSION)
-        if version != SPEC_VERSION:
+        if version not in COMPATIBLE_VERSIONS:
             raise ConfigError(
                 f"unsupported spec version {version!r} "
-                f"(this library speaks {SPEC_VERSION})"
+                f"(this library speaks {COMPATIBLE_VERSIONS})"
             )
         try:
             payload["contenders"] = tuple(
@@ -186,6 +200,10 @@ class RunSpec:
             caer = payload.get("caer")
             payload["caer"] = (
                 None if caer is None else CaerConfig.from_dict(caer)
+            )
+            faults = payload.get("faults")
+            payload["faults"] = (
+                None if faults is None else FaultPlan.from_dict(faults)
             )
             return cls(**payload)
         except (KeyError, TypeError) as exc:
@@ -233,11 +251,17 @@ class RunSpec:
         tag = self.config_tag
         if len(self.contenders) > 1:
             tag = f"{tag} x{len(self.contenders)}"
+        if self.faults is not None:
+            tag = f"{tag}+faults"
         return f"({self.victim}, {tag})"
 
     def with_backend(self, backend: str) -> "RunSpec":
         """The same physical run description on another engine."""
         return dataclasses.replace(self, backend=backend)
+
+    def with_faults(self, faults: FaultPlan | None) -> "RunSpec":
+        """The same run description under a (possibly null) fault plan."""
+        return dataclasses.replace(self, faults=faults)
 
 
 def paper_run_spec(

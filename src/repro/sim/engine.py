@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Protocol
 from ..arch.chip import MulticoreChip
 from ..arch.pmu import PMUSample
 from ..errors import SchedulingError, SimulationError
+from ..faults import FaultInjector, FaultPlan, FaultyPerfmonSession
 from ..obs import NULL_TRACER, MetricsRegistry, PhaseEvent, PMUSampleEvent, Tracer
 from ..perfmon.session import PerfmonSession
 from .clock import SimClock
@@ -62,6 +63,7 @@ class SimulationEngine:
         probe_overhead_cycles: float | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultPlan | None = None,
     ):
         # Observability is strictly passive: the tracer and registry
         # receive period-boundary events/observations and must never
@@ -99,13 +101,28 @@ class SimulationEngine:
         session_kwargs = {}
         if probe_overhead_cycles is not None:
             session_kwargs["probe_overhead_cycles"] = probe_overhead_cycles
-        self.sessions = {
+        self.sessions: dict[str, PerfmonSession | FaultyPerfmonSession] = {
             name: PerfmonSession(
                 chip.pmu(proc.core_id), chip.core(proc.core_id),
                 **session_kwargs,
             )
             for name, proc in self.processes.items()
         }
+        # A non-null fault plan interposes the faulty-session wrapper:
+        # probes still charge their overhead and the physical record
+        # keeps the true samples, but everything downstream of probe()
+        # (the period hooks, so CAER) observes the perturbed signal.
+        self.fault_injector: FaultInjector | None = None
+        if faults is not None and not faults.is_null():
+            self.fault_injector = FaultInjector(
+                faults, tracer=self.tracer, metrics=self.metrics
+            )
+            self.sessions = {
+                name: FaultyPerfmonSession(
+                    session, self.fault_injector.channel(name)
+                )
+                for name, session in self.sessions.items()
+            }
         self._pending_pause: dict[str, bool] = {}
         self._pending_speed: dict[str, float] = {}
         self._pending_quota: dict[str, float | None] = {}
@@ -236,11 +253,17 @@ class SimulationEngine:
         self, period: int, states_at_start: dict[str, ProcessState]
     ) -> None:
         samples: dict[str, PMUSample] = {}
+        faulty = self.fault_injector is not None
         for name, proc in self.processes.items():
-            sample = self.sessions[name].probe()
+            session = self.sessions[name]
+            # ``sample`` is what monitoring observes; the physical
+            # record always keeps the true reading (identical unless a
+            # fault plan interposed the faulty-session wrapper).
+            sample = session.probe()
+            true = session.true_sample if faulty else sample
             samples[name] = sample
             record = self.result.processes[name]
-            record.record(states_at_start[name], sample,
+            record.record(states_at_start[name], true,
                           speed=proc.speed_factor)
             if proc.state is ProcessState.RUNNING:
                 proc.periods_running += 1
@@ -263,9 +286,12 @@ class SimulationEngine:
                         subject=name, phase="completed",
                     ))
             if self.metrics is not None:
+                # The histogram profiles physical behaviour, so it gets
+                # the true reading; the trace above is the signal-path
+                # view and keeps the observed one.
                 self.metrics.histogram(
                     f"sim.llc_misses_per_period.{name}"
-                ).observe(sample.llc_misses)
+                ).observe(true.llc_misses)
         if self.metrics is not None:
             self.metrics.counter("sim.periods").inc()
         for hook in self.period_hooks:

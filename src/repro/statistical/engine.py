@@ -34,6 +34,8 @@ from ..arch.memory import MAX_RHO
 from ..arch.pmu import PMUSample
 from ..config import MachineConfig
 from ..errors import SchedulingError, SimulationError
+from ..faults import FaultInjector, FaultPlan
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..sim.engine import PeriodHook
 from ..sim.process import ProcessState, SimProcess
 from ..sim.results import ProcessResult, RunResult
@@ -147,7 +149,20 @@ class StatisticalEngine:
         max_periods: int = 500_000,
         probe_overhead_cycles: float = DEFAULT_PROBE_OVERHEAD_CYCLES,
         service_cycles: float = 36.0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        faults: FaultPlan | None = None,
     ):
+        # Same passive-observability seam as the trace engine: the CAER
+        # runtime reads ``engine.tracer``/``engine.metrics`` via getattr,
+        # so attaching them here makes statistical runs traceable too.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self._fault_injector: FaultInjector | None = None
+        if faults is not None and not faults.is_null():
+            self._fault_injector = FaultInjector(
+                faults, tracer=self.tracer, metrics=metrics
+            )
         self.machine = machine
         self.chip = _MachineView(machine)
         self.processes: dict[str, SimProcess] = {}
@@ -322,8 +337,13 @@ class StatisticalEngine:
                 proc.periods_running += 1
             elif proc.state is ProcessState.PAUSED:
                 proc.periods_paused += 1
+        # The physical records above always keep the true samples; the
+        # hooks (CAER) observe the fault channel's perturbation of them.
+        observed = samples
+        if self._fault_injector is not None:
+            observed = self._fault_injector.observe_all(period, samples)
         for hook in self.period_hooks:
-            hook(self, period, samples)
+            hook(self, period, observed)
 
         for name, paused in self._pending_pause.items():
             self.processes[name].set_paused(paused)

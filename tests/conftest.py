@@ -1,10 +1,49 @@
-"""Shared fixtures: tiny machines and small workloads for fast tests."""
+"""Shared fixtures: tiny machines and small workloads for fast tests.
+
+Also installs a global per-test timeout (``REPRO_TEST_TIMEOUT``
+seconds, default 300) via ``SIGALRM``, so a hung worker — exactly what
+the chaos tests provoke on purpose — fails the test instead of
+stalling the whole suite.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.config import CacheGeometry, MachineConfig
+
+TEST_TIMEOUT_ENV = "REPRO_TEST_TIMEOUT"
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout():
+    """Fail any test that runs longer than the global timeout."""
+    seconds = int(os.environ.get(TEST_TIMEOUT_ENV, "300"))
+    if (
+        seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the global {seconds}s timeout "
+            f"({TEST_TIMEOUT_ENV})"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,93 @@
+"""Determinism contract under faults (ISSUE 4 satellite).
+
+A faulted run is a pure function of its spec: bit-identical across
+repeats, across ``jobs=1`` vs ``jobs>1``, and with or without tracing;
+and a zero-intensity plan is bit-identical to running with no plan at
+all (only the digest moves).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.executor import run_specs
+from repro.faults import FaultPlan
+from repro.obs import RingBufferSink, Tracer
+from repro.runspec import execute, execute_run, paper_run_spec
+
+LENGTH = 0.02
+
+
+def faulted_spec(machine, intensity=0.8, config="rule",
+                 backend="sim", fault_seed=0):
+    return paper_run_spec(
+        "429.mcf", config, machine, length=LENGTH, backend=backend
+    ).with_faults(FaultPlan.scaled(intensity, seed=fault_seed))
+
+
+def comparable(outcome):
+    """Strip identity so faulted/clean outcomes can compare equal."""
+    return dataclasses.replace(outcome, digest="")
+
+
+@pytest.mark.parametrize("backend", ["sim", "statistical"])
+class TestRepeatability:
+    def test_repeats_are_bit_identical(self, scaled_machine, backend):
+        spec = faulted_spec(scaled_machine, backend=backend)
+        assert execute_run(spec) == execute_run(spec)
+
+    def test_zero_intensity_equals_no_faults(self, scaled_machine,
+                                             backend):
+        clean = paper_run_spec(
+            "429.mcf", "rule", scaled_machine, length=LENGTH,
+            backend=backend,
+        )
+        nulled = clean.with_faults(FaultPlan.scaled(0.0))
+        assert nulled.digest != clean.digest
+        assert comparable(execute_run(nulled)) == comparable(
+            execute_run(clean)
+        )
+
+    def test_fault_seed_changes_results(self, scaled_machine, backend):
+        a = execute_run(faulted_spec(scaled_machine, backend=backend,
+                                     fault_seed=0))
+        b = execute_run(faulted_spec(scaled_machine, backend=backend,
+                                     fault_seed=1))
+        assert comparable(a) != comparable(b)
+
+
+class TestParallelism:
+    def test_jobs1_matches_jobs2(self, scaled_machine):
+        specs = [
+            faulted_spec(scaled_machine, intensity=i)
+            for i in (0.4, 0.8)
+        ]
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
+        assert serial == parallel
+
+
+class TestTracingNeutrality:
+    def test_traced_equals_untraced_under_faults(self, scaled_machine):
+        spec = faulted_spec(scaled_machine)
+        untraced = execute(spec)
+        ring = RingBufferSink()
+        traced = execute(spec, tracer=Tracer([ring]))
+        ls = untraced.latency_sensitive()
+        traced_ls = traced.latency_sensitive()
+        assert ls.llc_miss_series() == traced_ls.llc_miss_series()
+        assert ls.completion_periods == traced_ls.completion_periods
+        assert ring.by_kind("fault")  # faults really fired
+
+    def test_raw_run_ignores_faults_bit_identically(self, scaled_machine):
+        """No hook consumes observations in a raw run, so even an
+        aggressive plan cannot change its physical results."""
+        clean = paper_run_spec(
+            "429.mcf", "raw", scaled_machine, length=LENGTH
+        )
+        faulted = clean.with_faults(FaultPlan.scaled(1.0))
+        assert comparable(execute_run(faulted)) == comparable(
+            execute_run(clean)
+        )

@@ -1,0 +1,165 @@
+"""FaultChannel/FaultInjector: pipeline semantics and observability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.pmu import PMUSample
+from repro.faults import FaultInjector, FaultPlan, FaultyPerfmonSession
+from repro.obs import MetricsRegistry, RingBufferSink, Tracer
+
+
+def sample(misses: int = 100) -> PMUSample:
+    return PMUSample(
+        cycles=40_000.0,
+        instructions=20_000.0,
+        llc_misses=misses,
+        llc_references=4 * misses,
+        l2_misses=2 * misses,
+        l1_misses=8 * misses,
+        back_invalidations=0,
+        lines_stolen=0,
+    )
+
+
+def drain(injector: FaultInjector, name: str, periods: int = 400):
+    """Run ``periods`` identical samples through one channel."""
+    return [
+        injector.observe(period, name, sample())
+        for period in range(periods)
+    ]
+
+
+class TestPipeline:
+    def test_null_plan_is_identity(self):
+        injector = FaultInjector(FaultPlan())
+        for period in range(50):
+            assert injector.observe(period, "ls0", sample()) == sample()
+
+    def test_dropped_deltas_carry_into_next_delivery(self):
+        injector = FaultInjector(FaultPlan(drop_rate=0.5, seed=1))
+        observed = drain(injector, "ls0")
+        true_total = 400 * sample().llc_misses
+        # Conservation: drops only move deltas later, never lose them
+        # (up to one still-carried sample at the end of the run).
+        observed_total = sum(s.llc_misses for s in observed)
+        assert true_total - sample().llc_misses <= observed_total
+        assert observed_total <= true_total
+        assert any(s.llc_misses == 0 for s in observed)
+        assert any(
+            s.llc_misses >= 2 * sample().llc_misses for s in observed
+        )
+
+    def test_stuck_counters_repeat_last_observation(self):
+        injector = FaultInjector(FaultPlan(stuck_rate=0.3, seed=2))
+        ring = RingBufferSink()
+        injector.tracer = Tracer([ring])
+        observed = drain(injector, "ls0", periods=100)
+        stuck = [e for e in ring.events if e.fault == "stuck"]
+        assert stuck
+        for event in stuck:
+            if event.period == 0:
+                continue  # nothing observed before period 0
+            # A stuck period re-reads the previous period's observation.
+            assert observed[event.period] == observed[event.period - 1]
+
+    def test_saturation_pegs_cache_counters(self):
+        plan = FaultPlan(saturate_rate=1.0, saturation_cap=7)
+        injector = FaultInjector(plan)
+        observed = injector.observe(0, "ls0", sample())
+        assert observed.llc_misses == 7
+        assert observed.llc_references == 7
+        assert observed.l2_misses == 7
+        assert observed.l1_misses == 7
+        assert observed.instructions == sample().instructions
+
+    def test_jitter_scales_within_bounds(self):
+        injector = FaultInjector(FaultPlan(jitter=0.2, seed=3))
+        for observed in drain(injector, "ls0", periods=100):
+            assert 0.8 * 20_000 <= observed.instructions <= 1.2 * 20_000
+
+    def test_counters_never_negative_under_heavy_noise(self):
+        injector = FaultInjector(FaultPlan(noise=2.0, seed=4))
+        for observed in drain(injector, "ls0", periods=200):
+            assert observed.llc_misses >= 0
+            assert observed.cycles >= 0.0
+
+    def test_delay_folds_into_next_delivery(self):
+        injector = FaultInjector(FaultPlan(delay_rate=0.4, seed=5))
+        observed = drain(injector, "ls0", periods=300)
+        assert any(s.llc_misses == 0 for s in observed)
+        assert any(
+            s.llc_misses >= 2 * sample().llc_misses for s in observed
+        )
+
+
+class TestDeterminismAndIsolation:
+    def test_same_seed_same_stream(self):
+        a = drain(FaultInjector(FaultPlan.scaled(1.0, seed=7)), "ls0")
+        b = drain(FaultInjector(FaultPlan.scaled(1.0, seed=7)), "ls0")
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = drain(FaultInjector(FaultPlan.scaled(1.0, seed=7)), "ls0")
+        b = drain(FaultInjector(FaultPlan.scaled(1.0, seed=8)), "ls0")
+        assert a != b
+
+    def test_channels_are_independent_per_process(self):
+        injector = FaultInjector(FaultPlan.scaled(1.0, seed=7))
+        a = drain(injector, "ls0")
+        b = drain(FaultInjector(FaultPlan.scaled(1.0, seed=7)), "batch1")
+        assert a != b  # distinct per-name streams
+
+    def test_tracing_never_changes_injection(self):
+        untraced = drain(
+            FaultInjector(FaultPlan.scaled(0.8, seed=9)), "ls0"
+        )
+        ring = RingBufferSink()
+        traced_injector = FaultInjector(
+            FaultPlan.scaled(0.8, seed=9), tracer=Tracer([ring])
+        )
+        traced = drain(traced_injector, "ls0")
+        assert traced == untraced
+        assert ring.events  # but the faults were observable
+
+
+class TestObservability:
+    def test_metrics_count_each_kind(self):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(
+            FaultPlan(drop_rate=1.0, seed=0), metrics=metrics
+        )
+        injector.observe(0, "ls0", sample())
+        snapshot = metrics.snapshot()
+        assert snapshot["faults.injected"]["value"] == 1.0
+        assert snapshot["faults.drop"]["value"] == 1.0
+
+    def test_fault_events_carry_identity(self):
+        ring = RingBufferSink()
+        injector = FaultInjector(
+            FaultPlan(saturate_rate=1.0), tracer=Tracer([ring])
+        )
+        injector.observe(3, "ls0", sample())
+        event = ring.by_kind("fault")[0]
+        assert event.period == 3
+        assert event.process == "ls0"
+        assert event.fault == "saturate"
+        payload = event.to_dict()
+        assert payload["kind"] == "fault"
+
+
+class TestFaultySession:
+    def test_wraps_probe_and_remembers_truth(self, tiny_machine):
+        from repro.arch.chip import MulticoreChip
+        from repro.perfmon.session import PerfmonSession
+
+        chip = MulticoreChip(tiny_machine, seed=0)
+        inner = PerfmonSession(chip.pmu(0), chip.core(0))
+        injector = FaultInjector(FaultPlan(drop_rate=1.0, seed=0))
+        session = FaultyPerfmonSession(inner, injector.channel("core0"))
+        observed = session.probe()
+        assert observed == PMUSample.zero()  # the read was dropped
+        assert session.true_sample is not None
+        assert session.probes == inner.probes
+        session.close()
+        assert session.closed

@@ -1,0 +1,77 @@
+"""FaultPlan: validation, serialization, scaling, identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    DEFAULT_SATURATION_CAP,
+    SCALE_COEFFICIENTS,
+    FaultPlan,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field", ["drop_rate", "stuck_rate", "saturate_rate", "delay_rate"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(FaultPlanError, match=field):
+            FaultPlan(**{field: value})
+
+    def test_jitter_below_one(self):
+        with pytest.raises(FaultPlanError, match="jitter"):
+            FaultPlan(jitter=1.0)
+
+    def test_noise_non_negative(self):
+        with pytest.raises(FaultPlanError, match="noise"):
+            FaultPlan(noise=-0.5)
+
+    def test_saturation_cap_positive(self):
+        with pytest.raises(FaultPlanError, match="saturation_cap"):
+            FaultPlan(saturation_cap=0)
+
+
+class TestIdentity:
+    def test_null_plan(self):
+        assert FaultPlan().is_null()
+        assert not FaultPlan(drop_rate=0.01).is_null()
+        assert FaultPlan.scaled(0.0).is_null()
+
+    def test_hashable_and_frozen(self):
+        plan = FaultPlan(drop_rate=0.1, seed=3)
+        assert hash(plan) == hash(FaultPlan(drop_rate=0.1, seed=3))
+        with pytest.raises(AttributeError):
+            plan.drop_rate = 0.2
+
+    def test_round_trip(self):
+        plan = FaultPlan.scaled(0.7, seed=11)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_describe_names_every_knob(self):
+        text = FaultPlan.scaled(1.0).describe()
+        for key in ("drop", "jitter", "noise", "stuck", "saturate",
+                    "delay", "seed"):
+            assert key in text
+
+
+class TestScaled:
+    def test_scaling_is_linear(self):
+        half = FaultPlan.scaled(0.5)
+        for field, coefficient in SCALE_COEFFICIENTS.items():
+            assert getattr(half, field) == pytest.approx(
+                0.5 * coefficient
+            )
+
+    def test_intensity_bounds(self):
+        with pytest.raises(FaultPlanError, match="intensity"):
+            FaultPlan.scaled(-0.1)
+
+    def test_seed_carried(self):
+        assert FaultPlan.scaled(0.5, seed=9).seed == 9
+        assert FaultPlan.scaled(0.5, seed=9) != FaultPlan.scaled(0.5)
+
+    def test_cap_default(self):
+        assert FaultPlan().saturation_cap == DEFAULT_SATURATION_CAP

@@ -10,6 +10,7 @@ import pytest
 from repro.caer.runtime import CaerConfig
 from repro.config import MachineConfig
 from repro.errors import ConfigError, ExperimentError
+from repro.faults import FaultPlan
 from repro.runspec import (
     BATCH_BENCHMARK,
     SPEC_VERSION,
@@ -93,6 +94,18 @@ class TestCanonicalForm:
             RunSpec.from_dict({"version": SPEC_VERSION, "victim": "x",
                                "machine": {"bogus": 1}})
 
+    def test_faulted_spec_round_trips(self):
+        spec = colocated_spec(faults=FaultPlan.scaled(0.5, seed=7))
+        again = RunSpec.from_json(spec.to_json())
+        assert again == spec and again.digest == spec.digest
+
+    def test_version_1_payload_still_accepted(self):
+        payload = colocated_spec().to_dict()
+        payload["version"] = 1
+        payload.pop("faults")
+        spec = RunSpec.from_dict(payload)
+        assert spec.faults is None
+
 
 class TestDigest:
     def test_equal_specs_share_a_digest(self):
@@ -114,6 +127,8 @@ class TestDigest:
             {"launch_stagger": 5},
             {"backend": "statistical"},
             {"machine": MachineConfig.scaled_nehalem(cache_scale=32)},
+            {"faults": FaultPlan()},
+            {"faults": FaultPlan(drop_rate=0.1)},
         ],
     )
     def test_every_field_moves_the_digest(self, overrides):
