@@ -11,10 +11,10 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_simspeed.py --json BENCH_simspeed.json
 
 simspeed:
-	$(PYTHON) benchmarks/bench_simspeed.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_simspeed.py
 
 figures:
 	$(PYTHON) -m repro.cli all

@@ -1,20 +1,29 @@
-"""Single-run simulator throughput: fast lane vs. generic reference.
+"""Simulator throughput across the three execution tiers.
 
 Measures raw access throughput (simulated memory accesses per wall
-second) of one core driving the scaled-Nehalem hierarchy, with the
-hot-path specializations on (``REPRO_FAST_LANE=1``: batched address
-generation feeding the inlined L1 MRU check and the LRU-specialized
-probe/fill) against the generic reference path (``REPRO_FAST_LANE=0``),
-which matches the pre-fast-lane hot path structurally: virtual policy
-dispatch and exception-based probing on every access.
+second) of one core driving the scaled-Nehalem hierarchy for each
+execution tier:
 
-Run standalone for the acceptance check (the streaming microbenchmark
-must be >= 1.8x)::
+* **generic** (``REPRO_FAST_LANE=0``) — the reference path: virtual
+  policy dispatch and exception-based probing on every access;
+* **fastlane** (``REPRO_FAST_LANE=1 REPRO_BULK_KERNEL=0``) — the
+  first-generation fast lane: batched address generation, inlined
+  list-based LRU verbs, scalar hierarchy walks;
+* **kernel** (``REPRO_FAST_LANE=1 REPRO_BULK_KERNEL=1``) — the bulk
+  kernel: flat-array set storage plus batched ``access_many`` walks.
+
+All three produce bit-identical results (the differential suite in
+``tests/arch/test_bulk_kernel.py`` proves it); only wall-clock differs.
+
+Run standalone for the acceptance check (the streaming benchmark must
+show the kernel >= 1.7x over the fast lane and >= 3x over generic)::
 
     PYTHONPATH=src python benchmarks/bench_simspeed.py
     PYTHONPATH=src python benchmarks/bench_simspeed.py --smoke  # CI
+    PYTHONPATH=src python benchmarks/bench_simspeed.py --json BENCH_simspeed.json
+    PYTHONPATH=src python benchmarks/bench_simspeed.py --profile
 
-or through pytest (smoke-sized, sanity threshold only)::
+or through pytest (smoke-sized, sanity ordering only)::
 
     pytest benchmarks/bench_simspeed.py
 """
@@ -22,7 +31,9 @@ or through pytest (smoke-sized, sanity threshold only)::
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -35,83 +46,257 @@ except ImportError:  # running as a script without PYTHONPATH=src
 from repro.config import MachineConfig
 from repro.workloads import synthetic
 
-#: The acceptance threshold for streaming workloads (fast vs. generic).
+#: Version of the ``--json`` schema; bump when fields change meaning.
+SCHEMA_VERSION = 1
+
+#: PR1 gate, kept: fast lane vs. generic on streaming workloads.
 STREAMING_TARGET = 1.8
+
+#: Kernel gates, applied to the streaming benchmark (``stream-llc``).
+KERNEL_OVER_FASTLANE_TARGET = 1.7
+KERNEL_OVER_GENERIC_TARGET = 3.0
 
 #: Maximum allowed slowdown of a fully traced engine run (ring-buffer
 #: sink) over an untraced one.
 TRACE_OVERHEAD_TARGET = 0.02
 
-#: name -> (workload factory, counts toward the streaming target)
+#: tier name -> (REPRO_FAST_LANE, REPRO_BULK_KERNEL)
+TIERS = {
+    "generic": ("0", "0"),
+    "fastlane": ("1", "0"),
+    "kernel": ("1", "1"),
+}
+
+#: name -> (factory, streaming gate applies, kernel gate applies).
+#: ``stream-llc`` is *the* streaming benchmark of the acceptance
+#: criteria: a cyclic sweep well past the L3, every fourth access a
+#: fresh line.  ``stream-l2`` stresses the L3-hit walk (informational
+#: for the kernel gate: the walk is a handful of C-level operations
+#: either way, so the batched win is structurally smaller there).
 WORKLOADS = {
     "stream-llc": (
         lambda: synthetic.streamer(lines=70_000, instructions=1e9),
+        True,
         True,
     ),
     "stream-l2": (
         lambda: synthetic.streamer(lines=512, instructions=1e9),
         True,
+        False,
     ),
     "pointer-chase": (
         lambda: synthetic.pointer_chaser(lines=70_000, instructions=1e9),
+        False,
         False,
     ),
 }
 
 
 def measure(
-    flag: str, factory, warm: int, timed: int, budget: float = 40_000.0
+    tier: str,
+    factory,
+    warm: int,
+    timed: int,
+    budget: float = 40_000.0,
+    reps: int = 3,
 ) -> float:
-    """Accesses/second with the fast lane forced to ``flag``.
+    """Best-of-``reps`` accesses/second for one execution tier.
 
-    The gate is read at object construction, so the chip is built after
-    setting the environment; the workload restarts when it finishes so
-    the measured stream is steady-state.
+    The gates are read at object construction, so the chip is built
+    after setting the environment; the workload restarts when it
+    finishes so the measured stream is steady-state.  Best-of-N is the
+    standard defence against interpreter and scheduler noise (only
+    slowdowns are spurious).
     """
-    os.environ["REPRO_FAST_LANE"] = flag
+    fast, bulk = TIERS[tier]
+    os.environ["REPRO_FAST_LANE"] = fast
+    os.environ["REPRO_BULK_KERNEL"] = bulk
+    try:
+        from repro.arch.chip import MulticoreChip
+
+        best = 0.0
+        for _ in range(max(1, reps)):
+            chip = MulticoreChip(MachineConfig.scaled_nehalem(), seed=7)
+            spec = factory()
+            workload = spec.instantiate(seed=3, base=1 << 34)
+            core = chip.core(0)
+            for _ in range(warm):
+                core.run(workload, budget)
+                if workload.finished:
+                    workload = spec.instantiate(seed=3, base=1 << 34)
+            start = time.perf_counter()
+            accesses_before = core.accesses_issued
+            for _ in range(timed):
+                core.run(workload, budget)
+                if workload.finished:
+                    workload = spec.instantiate(seed=3, base=1 << 34)
+            elapsed = time.perf_counter() - start
+            best = max(
+                best, (core.accesses_issued - accesses_before) / elapsed
+            )
+        return best
+    finally:
+        os.environ.pop("REPRO_FAST_LANE", None)
+        os.environ.pop("REPRO_BULK_KERNEL", None)
+
+
+def run_suite(warm: int, timed: int, reps: int = 3) -> list[dict]:
+    """One row per workload: tier throughputs, ratios, gate flags."""
+    rows = []
+    for name, (factory, is_streaming, kernel_gated) in WORKLOADS.items():
+        tiers = {
+            tier: measure(tier, factory, warm, timed, reps=reps)
+            for tier in TIERS
+        }
+        rows.append({
+            "workload": name,
+            "streaming": is_streaming,
+            "kernel_gated": kernel_gated,
+            "tiers": tiers,
+            "ratios": {
+                "fastlane_over_generic":
+                    tiers["fastlane"] / tiers["generic"],
+                "kernel_over_fastlane":
+                    tiers["kernel"] / tiers["fastlane"],
+                "kernel_over_generic":
+                    tiers["kernel"] / tiers["generic"],
+            },
+        })
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    lines = [
+        f"{'workload':<14} {'generic/s':>10} {'fastlane/s':>10} "
+        f"{'kernel/s':>10} {'f/g':>6} {'k/f':>6} {'k/g':>6}"
+    ]
+    for row in rows:
+        t, r = row["tiers"], row["ratios"]
+        lines.append(
+            f"{row['workload']:<14} {t['generic']:>10.0f} "
+            f"{t['fastlane']:>10.0f} {t['kernel']:>10.0f} "
+            f"{r['fastlane_over_generic']:>5.2f}x "
+            f"{r['kernel_over_fastlane']:>5.2f}x "
+            f"{r['kernel_over_generic']:>5.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def check_gates(rows: list[dict], smoke: bool) -> list[str]:
+    """Gate failures for the suite; empty when everything passes."""
+    failures = []
+    for row in rows:
+        name, r = row["workload"], row["ratios"]
+        if smoke:
+            # CI machines are noisy: sanity ordering only, using the
+            # ratios with structural (>= 2x) margin.
+            if r["fastlane_over_generic"] <= 1.0:
+                failures.append(
+                    f"{name}: fastlane slower than generic "
+                    f"({r['fastlane_over_generic']:.2f}x)"
+                )
+            if r["kernel_over_generic"] <= 1.0:
+                failures.append(
+                    f"{name}: kernel slower than generic "
+                    f"({r['kernel_over_generic']:.2f}x)"
+                )
+            if row["kernel_gated"] and r["kernel_over_fastlane"] <= 1.0:
+                failures.append(
+                    f"{name}: kernel slower than fastlane "
+                    f"({r['kernel_over_fastlane']:.2f}x)"
+                )
+            continue
+        if row["streaming"] and \
+                r["fastlane_over_generic"] < STREAMING_TARGET:
+            failures.append(
+                f"{name}: fastlane {r['fastlane_over_generic']:.2f}x "
+                f"below the {STREAMING_TARGET}x streaming target"
+            )
+        if row["kernel_gated"]:
+            if r["kernel_over_fastlane"] < KERNEL_OVER_FASTLANE_TARGET:
+                failures.append(
+                    f"{name}: kernel {r['kernel_over_fastlane']:.2f}x "
+                    f"below the {KERNEL_OVER_FASTLANE_TARGET}x "
+                    f"over-fastlane target"
+                )
+            if r["kernel_over_generic"] < KERNEL_OVER_GENERIC_TARGET:
+                failures.append(
+                    f"{name}: kernel {r['kernel_over_generic']:.2f}x "
+                    f"below the {KERNEL_OVER_GENERIC_TARGET}x "
+                    f"over-generic target"
+                )
+    return failures
+
+
+def build_report(rows: list[dict], warm: int, timed: int,
+                 reps: int) -> dict:
+    """The ``--json`` payload (see docs/performance.md for the format).
+
+    Future PRs append comparable points by re-running ``make bench`` on
+    the same machine and diffing ``workloads.*.tiers``.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "bench_simspeed",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "machine_config": "scaled_nehalem",
+            "budget_cycles": 40_000,
+            "warm": warm,
+            "timed": timed,
+            "reps": reps,
+        },
+        "targets": {
+            "streaming_fastlane_over_generic": STREAMING_TARGET,
+            "kernel_over_fastlane": KERNEL_OVER_FASTLANE_TARGET,
+            "kernel_over_generic": KERNEL_OVER_GENERIC_TARGET,
+        },
+        "workloads": {
+            row["workload"]: {
+                "streaming": row["streaming"],
+                "kernel_gated": row["kernel_gated"],
+                "tiers": row["tiers"],
+                "ratios": row["ratios"],
+            }
+            for row in rows
+        },
+    }
+
+
+def profile_streaming_run(top: int = 20) -> None:
+    """cProfile one kernel-tier streaming run; print top ``top`` by
+    cumulative time — the shopping list for future hot-path work."""
+    import cProfile
+    import pstats
+
+    os.environ["REPRO_FAST_LANE"] = "1"
+    os.environ["REPRO_BULK_KERNEL"] = "1"
     try:
         from repro.arch.chip import MulticoreChip
 
         chip = MulticoreChip(MachineConfig.scaled_nehalem(), seed=7)
-        spec = factory()
+        spec = WORKLOADS["stream-llc"][0]()
         workload = spec.instantiate(seed=3, base=1 << 34)
         core = chip.core(0)
-        for _ in range(warm):
-            core.run(workload, budget)
+        for _ in range(5):  # warm imports and caches outside the profile
+            core.run(workload, 40_000.0)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for _ in range(50):
+            core.run(workload, 40_000.0)
             if workload.finished:
                 workload = spec.instantiate(seed=3, base=1 << 34)
-        start = time.perf_counter()
-        accesses_before = core.accesses_issued
-        for _ in range(timed):
-            core.run(workload, budget)
-            if workload.finished:
-                workload = spec.instantiate(seed=3, base=1 << 34)
-        elapsed = time.perf_counter() - start
-        return (core.accesses_issued - accesses_before) / elapsed
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
     finally:
         os.environ.pop("REPRO_FAST_LANE", None)
-
-
-def run_suite(warm: int, timed: int) -> list[tuple[str, float, float, bool]]:
-    """(name, fast, generic, is_streaming) per workload."""
-    rows = []
-    for name, (factory, is_streaming) in WORKLOADS.items():
-        fast = measure("1", factory, warm, timed)
-        generic = measure("0", factory, warm, timed)
-        rows.append((name, fast, generic, is_streaming))
-    return rows
-
-
-def render(rows) -> str:
-    lines = [
-        f"{'workload':<14} {'fast/s':>10} {'generic/s':>10} {'ratio':>7}"
-    ]
-    for name, fast, generic, _streaming in rows:
-        lines.append(
-            f"{name:<14} {fast:>10.0f} {generic:>10.0f} "
-            f"{fast / generic:>6.2f}x"
-        )
-    return "\n".join(lines)
+        os.environ.pop("REPRO_BULK_KERNEL", None)
 
 
 def _timed_engine_run(tracer=None, length: float = 0.05) -> float:
@@ -171,14 +356,11 @@ def measure_trace_overhead(
 
 
 def bench_simspeed_smoke():
-    """Pytest entry: the fast lane must never be slower than generic."""
-    rows = run_suite(warm=3, timed=12)
+    """Pytest entry: tier ordering must hold (no absolute thresholds)."""
+    rows = run_suite(warm=3, timed=10, reps=1)
     print(render(rows))
-    for name, fast, generic, _streaming in rows:
-        assert fast > generic, (
-            f"{name}: fast lane ({fast:.0f}/s) slower than generic "
-            f"({generic:.0f}/s)"
-        )
+    failures = check_gates(rows, smoke=True)
+    assert not failures, "; ".join(failures)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -188,7 +370,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="short run: sanity-check fast >= generic, no 1.8x gate",
+        help="short run: tier-ordering sanity only, no absolute gates",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as JSON to PATH "
+             "(format: docs/performance.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="instead of the suite, cProfile one kernel-tier streaming "
+             "run and print the top-20 cumulative functions",
     )
     parser.add_argument(
         "--trace-overhead",
@@ -203,7 +398,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="warm-up run() calls per measurement")
     parser.add_argument("--timed", type=int, default=None,
                         help="timed run() calls per measurement")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per measurement (best-of)")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_streaming_run()
+        return 0
 
     if args.trace_overhead:
         untraced, traced, overhead = measure_trace_overhead()
@@ -220,31 +421,31 @@ def main(argv: list[str] | None = None) -> int:
         print(f"OK: tracing overhead < {TRACE_OVERHEAD_TARGET:.0%}")
         return 0
 
-    warm = args.warm if args.warm is not None else (3 if args.smoke else 20)
+    warm = args.warm if args.warm is not None else (3 if args.smoke else 10)
     timed = (
-        args.timed if args.timed is not None else (12 if args.smoke else 200)
+        args.timed if args.timed is not None else (10 if args.smoke else 40)
     )
-    rows = run_suite(warm, timed)
+    reps = args.reps if args.reps is not None else (1 if args.smoke else 3)
+    rows = run_suite(warm, timed, reps)
     print(render(rows))
 
-    failures = []
-    for name, fast, generic, is_streaming in rows:
-        ratio = fast / generic
-        if args.smoke:
-            if ratio <= 1.0:
-                failures.append(f"{name}: fast lane slower ({ratio:.2f}x)")
-        elif is_streaming and ratio < STREAMING_TARGET:
-            failures.append(
-                f"{name}: {ratio:.2f}x below the {STREAMING_TARGET}x "
-                f"streaming target"
-            )
+    if args.json:
+        report = build_report(rows, warm, timed, reps)
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    failures = check_gates(rows, smoke=args.smoke)
     if failures:
         print("FAIL: " + "; ".join(failures))
         return 1
     print(
         "OK"
         if args.smoke
-        else f"OK: streaming >= {STREAMING_TARGET}x"
+        else (
+            f"OK: streaming fastlane >= {STREAMING_TARGET}x, kernel >= "
+            f"{KERNEL_OVER_FASTLANE_TARGET}x fastlane / "
+            f"{KERNEL_OVER_GENERIC_TARGET}x generic"
+        )
     )
     return 0
 

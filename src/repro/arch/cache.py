@@ -37,6 +37,26 @@ def fast_lane_enabled() -> bool:
     return os.environ.get("REPRO_FAST_LANE", "1") != "0"
 
 
+def bulk_kernel_enabled() -> bool:
+    """Whether the bulk-kernel tier is on (default yes).
+
+    ``REPRO_BULK_KERNEL=0`` disables both halves of the bulk tier —
+    the flat-array set storage *and* the batched
+    :meth:`repro.arch.hierarchy.CacheHierarchy.access_many` walks that
+    are inlined against it — leaving exactly the first-generation fast
+    lane (list-based LRU specializations, scalar walks).  That is how
+    ``bench_simspeed`` isolates the kernel's contribution from the
+    scalar fast lane's.  Only meaningful while the fast lane itself is
+    enabled; like it, the flag is read at object construction.
+    """
+    return os.environ.get("REPRO_BULK_KERNEL", "1") != "0"
+
+
+#: Sentinel tag for an unoccupied flat-array slot.  Line addresses are
+#: non-negative, so the sentinel can never collide with a real line.
+_EMPTY = -1
+
+
 class CacheStats:
     """Cumulative event counts of one cache."""
 
@@ -80,10 +100,27 @@ class SetAssociativeCache:
     """One level of cache: ``num_sets`` sets of ``associativity`` ways.
 
     When the replacement policy is plain LRU (the default everywhere),
-    ``probe`` and ``fill`` are rebound at construction to specialized
-    variants that inline the policy's list operations, skipping the
-    virtual dispatch through :class:`ReplacementPolicy` on every access.
-    FIFO/Random/PLRU stay on the generic path.  Pass
+    set contents are stored in one preallocated *flat* tag array of
+    ``num_sets * associativity`` slots, and ``probe``/``fill``/
+    ``invalidate`` are rebound at construction to specialized variants
+    operating directly on that array — no per-set list objects to
+    grow/shrink on fills/evictions and no virtual dispatch through
+    :class:`ReplacementPolicy` on any access.  Three side structures
+    keep every hot operation O(1) or a single C-level shift:
+
+    * ``_resident`` — one set of all resident line addresses, making
+      the miss verdict a hash probe instead of a scan;
+    * ``_heads`` — a per-set rotation index turning a full set into a
+      circular window, so the evict-and-insert of a streaming miss
+      rewrites one slot instead of shifting the whole set;
+    * ``_mru`` — a per-set MRU tag shadow answering re-touches in two
+      loads.
+
+    Logical LRU order (LRU first) is always reconstructable, so
+    :meth:`set_contents` stays comparable 1:1 with the generic path.
+    The flat layout is also what
+    :meth:`repro.arch.hierarchy.CacheHierarchy.access_many` inlines.
+    FIFO/Random/PLRU stay on the generic list-of-lists path.  Pass
     ``specialize=False`` (or set ``REPRO_FAST_LANE=0``) to force the
     generic path for benchmarking and equivalence tests.
     """
@@ -102,7 +139,6 @@ class SetAssociativeCache:
         self._num_sets = geometry.num_sets
         self._set_mask = geometry.num_sets - 1
         self._assoc = geometry.associativity
-        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
         if specialize is None:
             specialize = fast_lane_enabled()
         #: whether re-touching the MRU line (list tail) is a policy
@@ -110,11 +146,52 @@ class SetAssociativeCache:
         self.hit_is_mru_noop = specialize and isinstance(
             policy, (LRUPolicy, FIFOPolicy, RandomPolicy)
         )
-        if specialize and type(policy) is LRUPolicy:
-            # Rebind the hot verbs on the instance; the class methods
-            # remain the generic reference implementation.
+        #: whether this cache uses the flat-array LRU storage (the
+        #: representation the bulk-access kernel requires); with
+        #: ``REPRO_BULK_KERNEL=0`` plain-LRU caches fall back to the
+        #: first-generation list-based specializations instead
+        self._flat = (
+            specialize
+            and policy.flat_lru_compatible
+            and bulk_kernel_enabled()
+        )
+        self._sets: list[list[int]] | None
+        if self._flat:
+            # Flat storage: each set owns the slot range
+            # [set*assoc, (set+1)*assoc).  While a set is not full its
+            # head is 0 and slots base..base+fill-1 run LRU -> MRU;
+            # once full, logical position p lives at physical slot
+            # base + (head + p) % assoc, i.e. the set is a circular
+            # window whose LRU sits at the head slot.
+            self._tags: list[int] = [_EMPTY] * (
+                self._num_sets * self._assoc
+            )
+            self._fill_counts: list[int] = [0] * self._num_sets
+            self._heads: list[int] = [0] * self._num_sets
+            # Shadow of each set's MRU tag, letting the hottest checks
+            # skip the slot arithmetic entirely.
+            self._mru: list[int] = [_EMPTY] * self._num_sets
+            # All resident lines: the miss verdict in one hash probe.
+            # A line maps to exactly one set, so cache-wide membership
+            # equals set membership.
+            self._resident: set[int] = set()
+            self._sets = None
             self.probe = self._probe_lru  # type: ignore[method-assign]
             self.fill = self._fill_lru  # type: ignore[method-assign]
+            self.invalidate = (  # type: ignore[method-assign]
+                self._invalidate_lru
+            )
+        else:
+            self._sets = [[] for _ in range(geometry.num_sets)]
+            if specialize and policy.flat_lru_compatible:
+                # Bulk tier off: the first-generation list-based LRU
+                # specializations (no flat arrays, scalar walks only).
+                self.probe = (  # type: ignore[method-assign]
+                    self._probe_lru_list
+                )
+                self.fill = (  # type: ignore[method-assign]
+                    self._fill_lru_list
+                )
 
     # -- hot path ------------------------------------------------------
 
@@ -156,8 +233,8 @@ class SetAssociativeCache:
         self.stats.fills += 1
         return victim
 
-    def _probe_lru(self, addr: int) -> bool:
-        """LRU-inlined :meth:`probe`: move-to-tail without dispatch.
+    def _probe_lru_list(self, addr: int) -> bool:
+        """LRU-inlined :meth:`probe` on per-set lists (the PR1 tier).
 
         Tests membership before ``list.index`` — raising ``ValueError``
         costs ~4x a C-level scan of an 8-entry set, and misses dominate
@@ -172,10 +249,10 @@ class SetAssociativeCache:
         self.stats.hits += 1
         return True
 
-    def _fill_lru(self, addr: int) -> int | None:
-        """LRU-inlined :meth:`fill`: victim is always the list head.
+    def _fill_lru_list(self, addr: int) -> int | None:
+        """LRU-inlined :meth:`fill` on per-set lists (the PR1 tier).
 
-        Membership-first for the same reason as :meth:`_probe_lru`:
+        Membership-first for the same reason as :meth:`_probe_lru_list`:
         nearly every fill inserts a line that is not yet resident.
         """
         contents = self._sets[addr & self._set_mask]
@@ -190,6 +267,126 @@ class SetAssociativeCache:
         contents.append(addr)
         self.stats.fills += 1
         return victim
+
+    def _move_to_tail(self, si: int, addr: int) -> None:
+        """Make resident ``addr`` the logical MRU of set ``si``.
+
+        Callers guarantee residency, so ``list.index`` cannot raise.
+        In a full rotated set the logical window may wrap the physical
+        slot range, in which case the shift is two slice moves plus the
+        boundary element.
+        """
+        tags = self._tags
+        assoc = self._assoc
+        base = si * assoc
+        fill = self._fill_counts[si]
+        if fill < assoc:  # head == 0: contiguous, physical == logical
+            top = base + fill
+            way = tags.index(addr, base, top)
+            tags[way:top - 1] = tags[way + 1:top]
+            tags[top - 1] = addr
+        else:
+            head = self._heads[si]
+            way = tags.index(addr, base, base + assoc)
+            tail = base + (head - 1 if head else assoc - 1)
+            if way <= tail:
+                tags[way:tail] = tags[way + 1:tail + 1]
+                tags[tail] = addr
+            else:
+                end = base + assoc - 1
+                tags[way:end] = tags[way + 1:end + 1]
+                tags[end] = tags[base]
+                tags[base:tail] = tags[base + 1:tail + 1]
+                tags[tail] = addr
+        self._mru[si] = addr
+
+    def _probe_lru(self, addr: int) -> bool:
+        """LRU-flat :meth:`probe`.
+
+        The MRU shadow answers the dominant re-touch case in two loads;
+        the resident set answers the miss verdict in one hash probe.
+        Only a non-MRU hit pays for the move-to-tail shift.
+        """
+        si = addr & self._set_mask
+        if self._mru[si] == addr:
+            self.stats.hits += 1
+            return True
+        if addr not in self._resident:
+            self.stats.misses += 1
+            return False
+        self._move_to_tail(si, addr)
+        self.stats.hits += 1
+        return True
+
+    def _fill_lru(self, addr: int) -> int | None:
+        """LRU-flat :meth:`fill`: O(1) evict-and-insert at the head slot.
+
+        A full set is a circular window, so the streaming-miss fill —
+        evict the LRU, insert the new line as MRU — rewrites exactly
+        one slot and advances the head, with no shifting at all.
+        """
+        si = addr & self._set_mask
+        if self._mru[si] == addr:
+            return None
+        resident = self._resident
+        if addr in resident:
+            self._move_to_tail(si, addr)
+            return None
+        assoc = self._assoc
+        base = si * assoc
+        fill = self._fill_counts[si]
+        victim: int | None = None
+        if fill >= assoc:
+            heads = self._heads
+            head = heads[si]
+            slot = base + head
+            victim = self._tags[slot]
+            self._tags[slot] = addr
+            heads[si] = head + 1 if head + 1 < assoc else 0
+            resident.discard(victim)
+            self.stats.evictions += 1
+        else:
+            self._tags[base + fill] = addr
+            self._fill_counts[si] = fill + 1
+        resident.add(addr)
+        self._mru[si] = addr
+        self.stats.fills += 1
+        return victim
+
+    def _invalidate_lru(self, addr: int) -> bool:
+        """LRU-flat :meth:`invalidate`: compact the set back to head 0.
+
+        Invalidations are orders of magnitude rarer than probes/fills
+        (inclusive-L3 back-invalidations only), so the non-resident
+        verdict is the fast path and removal may de-rotate the window.
+        """
+        resident = self._resident
+        if addr not in resident:
+            return False
+        resident.discard(addr)
+        si = addr & self._set_mask
+        assoc = self._assoc
+        base = si * assoc
+        fill = self._fill_counts[si]
+        tags = self._tags
+        head = self._heads[si]
+        if fill >= assoc and head:
+            # De-rotate into logical order, drop addr, store contiguous.
+            order = tags[base + head:base + assoc] + tags[base:base + head]
+            order.remove(addr)
+            order.append(_EMPTY)
+            tags[base:base + assoc] = order
+            self._heads[si] = 0
+        else:
+            top = base + fill
+            way = tags.index(addr, base, top)
+            tags[way:top - 1] = tags[way + 1:top]
+            tags[top - 1] = _EMPTY
+        fill -= 1
+        self._fill_counts[si] = fill
+        self._mru[si] = tags[base + fill - 1] if fill else _EMPTY
+        self.stats.invalidations += 1
+        return True
 
     def invalidate(self, addr: int) -> bool:
         """Drop ``addr`` if resident; return whether it was present."""
@@ -207,14 +404,29 @@ class SetAssociativeCache:
 
     def contains(self, addr: int) -> bool:
         """Membership test with no side effects (for tests/assertions)."""
+        if self._flat:
+            return addr in self._resident
         return addr in self._sets[addr & self._set_mask]
 
     def set_contents(self, set_index: int) -> tuple[int, ...]:
         """Snapshot of one set's resident lines (policy order)."""
+        if self._flat:
+            assoc = self._assoc
+            base = set_index * assoc
+            fill = self._fill_counts[set_index]
+            head = self._heads[set_index]
+            if fill >= assoc and head:
+                return tuple(
+                    self._tags[base + head:base + assoc]
+                    + self._tags[base:base + head]
+                )
+            return tuple(self._tags[base:base + fill])
         return tuple(self._sets[set_index])
 
     def resident_lines(self) -> set[int]:
         """All line addresses currently resident (for invariant checks)."""
+        if self._flat:
+            return set(self._resident)
         resident: set[int] = set()
         for contents in self._sets:
             resident.update(contents)
@@ -223,6 +435,8 @@ class SetAssociativeCache:
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently held."""
+        if self._flat:
+            return sum(self._fill_counts)
         return sum(len(contents) for contents in self._sets)
 
     @property
@@ -232,6 +446,14 @@ class SetAssociativeCache:
 
     def flush(self) -> None:
         """Empty the cache (keeps statistics)."""
+        if self._flat:
+            n = len(self._tags)
+            self._tags[:] = [_EMPTY] * n
+            self._fill_counts[:] = [0] * self._num_sets
+            self._heads[:] = [0] * self._num_sets
+            self._mru[:] = [_EMPTY] * self._num_sets
+            self._resident.clear()
+            return
         for contents in self._sets:
             contents.clear()
 

@@ -19,6 +19,9 @@ periods with few instructions retired.
 
 from __future__ import annotations
 
+from functools import reduce
+from operator import add as _fadd
+
 from ..config import MachineConfig
 from .cache import fast_lane_enabled
 from .hierarchy import CacheHierarchy
@@ -26,6 +29,10 @@ from .memory import MainMemory
 
 #: Upper bound on one address batch drawn from a pattern.
 _MAX_BATCH = 4096
+
+#: Smallest guaranteed-safe batch worth routing through the bulk
+#: kernel; below this the scalar tail loop finishes the budget.
+_KERNEL_MIN_BATCH = 8
 
 
 class Core:
@@ -85,15 +92,22 @@ class Core:
         total_instructions = 0.0
         hierarchy = self.hierarchy
         hier_access = hierarchy.access
-        mem_access = self.memory.access
+        access_many = hierarchy.access_many
+        memory = self.memory
+        mem_access = memory.access
         extra = self._extra_stall
         l1_lat = self._l1_latency
         cid = self.core_id
-        # Fast lane: inline the L1 MRU-hit check (list tail) when it is
-        # provably equivalent to the generic walk; hit counts are
-        # accumulated locally and flushed per chunk.
+        # Fast lane: inline the L1 MRU-hit check when it is provably
+        # equivalent to the generic walk; hit counts are accumulated
+        # locally and flushed per chunk.  Flat LRU caches expose the
+        # MRU tag directly; FIFO/Random keep per-set lists.
         l1 = hierarchy.l1[cid]
-        l1_sets = l1._sets
+        flat = l1._flat
+        if flat:
+            l1_mru = l1._mru
+        else:
+            l1_sets = l1._sets
         l1_mask = l1._set_mask
         l1_stats = l1.stats
         counters = hierarchy.counters[cid]
@@ -110,6 +124,40 @@ class Core:
             chunk = process.accesses_left_in_phase()
             done = 0
             mru_hits = 0
+            if flat and hierarchy.bulk_kernel_ok(cid):
+                # Bulk kernel: whole batches through access_many, with
+                # cycle accounting from the returned serving levels.
+                # The per-level costs are the exact expressions the
+                # scalar loop evaluates per access (the memory channel
+                # prices every access in a period identically), so the
+                # float accumulation into `used` is bit-identical.
+                # Batches are sized so even all-worst-case costs cannot
+                # cross the budget: the scalar loop would consume every
+                # address too, and no push-back can be needed.
+                c2 = cpa + extra[2] * inv_overlap
+                c3 = cpa + extra[3] * inv_overlap
+                mem_unit = memory.latency + memory.current_queue_delay
+                c4 = cpa + (mem_unit - l1_lat) * inv_overlap
+                costs = (0.0, cpa, c2, c3, c4)
+                worst = max(cpa, c2, c3, c4)
+                while done < chunk:
+                    safe = int((cycle_budget - used) / worst)
+                    if safe < _KERNEL_MIN_BATCH:
+                        break
+                    batch = chunk - done
+                    if batch > safe:
+                        batch = safe
+                    if batch > _MAX_BATCH:
+                        batch = _MAX_BATCH
+                    levels = access_many(cid, take_addresses(batch))
+                    # Same left-to-right IEEE-754 add sequence as the
+                    # scalar loop, folded at C level.
+                    used = reduce(_fadd, map(costs.__getitem__, levels),
+                                  used)
+                    n_mem = levels.count(4)
+                    if n_mem:
+                        memory.access_bulk(n_mem)
+                    done += batch
             while done < chunk and used < cycle_budget:
                 # An L1 hit (cpa cycles) is the cheapest access, so at
                 # most this many accesses can start inside the budget.
@@ -121,7 +169,25 @@ class Core:
                     batch = _MAX_BATCH
                 addrs = take_addresses(batch)
                 consumed = batch
-                if fast:
+                if fast and flat:
+                    for i, addr in enumerate(addrs):
+                        if used >= cycle_budget:
+                            push_back(addrs, i)
+                            consumed = i
+                            break
+                        if l1_mru[addr & l1_mask] == addr:
+                            mru_hits += 1
+                            used += cpa
+                            continue
+                        level = hier_access(cid, addr)
+                        if level == 1:
+                            used += cpa
+                        elif level == 4:
+                            stall = mem_access(start_cycle + used) - l1_lat
+                            used += cpa + stall * inv_overlap
+                        else:
+                            used += cpa + extra[level] * inv_overlap
+                elif fast:
                     for i, addr in enumerate(addrs):
                         if used >= cycle_budget:
                             push_back(addrs, i)

@@ -19,9 +19,12 @@ exposes to CAER.
 
 from __future__ import annotations
 
+from itertools import repeat as _repeat
+from typing import Sequence
+
 from ..config import MachineConfig
 from ..errors import ConfigError
-from .cache import SetAssociativeCache
+from .cache import SetAssociativeCache, bulk_kernel_enabled
 from .replacement import make_policy
 
 #: Access outcome levels returned by :meth:`CacheHierarchy.access`.
@@ -138,6 +141,10 @@ class CacheHierarchy:
         self._l2_probes = [cache.probe for cache in self.l2]
         self._l2_fills = [cache.fill for cache in self.l2]
         self._l3_probe = self.l3.probe
+        # Whether the bulk-access kernel may be used at all (flat-array
+        # LRU storage is a separate per-cache property; see
+        # bulk_kernel_ok for the full predicate).
+        self._bulk_enabled = bulk_kernel_enabled()
 
     # -- hot path ------------------------------------------------------
 
@@ -177,6 +184,359 @@ class CacheHierarchy:
         if self._prefetch_degree:
             self._prefetch(core, addr)
         return MEMORY
+
+    def access_many(self, core: int, addrs: Sequence[int]) -> list[int]:
+        """Route a whole address batch; return the per-address levels.
+
+        Semantically identical to ``[self.access(core, a) for a in
+        addrs]`` — and that is literally what runs when
+        :meth:`bulk_kernel_ok` denies the kernel (non-LRU policies,
+        writebacks, prefetch, an L3 quota on this core, or
+        ``REPRO_BULK_KERNEL=0``).  On the kernel path all hot state is
+        hoisted into locals, the L1/L2/L3 probes and fills are inlined
+        over the flat tag arrays, and per-access counter increments
+        become batch-local integer deltas flushed into
+        :class:`HierarchyCounters` (and the per-cache stats) once at
+        the end.  Runs of identical consecutive addresses collapse into
+        one walk plus guaranteed L1 hits: after any access the line is
+        MRU in this core's L1, and nothing else can touch the hierarchy
+        mid-batch (cores interleave at slice granularity).
+        """
+        if not self.bulk_kernel_ok(core):
+            access = self.access
+            return [access(core, a) for a in addrs]
+        l1 = self.l1[core]
+        l2 = self.l2[core]
+        l3 = self.l3
+        l1_tags = l1._tags
+        l1_fill = l1._fill_counts
+        l1_heads = l1._heads
+        l1_mru = l1._mru
+        l1_res = l1._resident
+        l1_mask = l1._set_mask
+        l1_assoc = l1._assoc
+        l2_tags = l2._tags
+        l2_fill = l2._fill_counts
+        l2_heads = l2._heads
+        l2_mru = l2._mru
+        l2_res = l2._resident
+        l2_mask = l2._set_mask
+        l2_assoc = l2._assoc
+        l3_tags = l3._tags
+        l3_fill = l3._fill_counts
+        l3_heads = l3._heads
+        l3_mru = l3._mru
+        l3_res = l3._resident
+        l3_mask = l3._set_mask
+        l3_assoc = l3._assoc
+        l1_res_add = l1_res.add
+        l1_res_discard = l1_res.discard
+        l2_res_add = l2_res.add
+        l2_res_discard = l2_res.discard
+        l3_res_add = l3_res.add
+        l3_res_discard = l3_res.discard
+        l1_invalidate = l1.invalidate
+        l2_invalidate = l2.invalidate
+        owners_map = self._l3_owners
+        owners_get = owners_map.get
+        owners_pop = owners_map.pop
+        occupancy = self._occupancy
+        counters_all = self.counters
+        inclusive = self._inclusive
+        l1_caches = self.l1
+        l2_caches = self.l2
+        counters_core = counters_all[core]
+        levels: list[int] = []
+        lv_append = levels.append
+        lv_extend = levels.extend
+        # Batch-local deltas: hierarchy counters and cache stats.
+        nh1 = nm1 = nh2 = nm2 = nh3 = nm3 = 0
+        fl1 = ev1 = fl2 = ev2 = fl3 = ev3 = 0
+        i = 0
+        n = len(addrs)
+        while i < n:
+            addr = addrs[i]
+            j = i + 1
+            # Trailing repeats are guaranteed L1 MRU hits; let the end
+            # of the batch terminate the scan instead of re-checking
+            # the bound on every step.
+            try:
+                while addrs[j] == addr:
+                    j += 1
+            except IndexError:
+                j = n
+            run = j - i - 1
+            i = j
+            si1 = addr & l1_mask
+            if l1_mru[si1] == addr:
+                nh1 += run + 1
+                if run:
+                    lv_extend(_repeat(1, run + 1))
+                else:
+                    lv_append(1)
+                continue
+            if addr in l1_res:
+                # Non-MRU L1 hit: move to the logical tail (wrap-aware
+                # when the full set's window is rotated).
+                base1 = si1 * l1_assoc
+                fill = l1_fill[si1]
+                if fill < l1_assoc:
+                    top = base1 + fill
+                    w = l1_tags.index(addr, base1, top)
+                    l1_tags[w:top - 1] = l1_tags[w + 1:top]
+                    l1_tags[top - 1] = addr
+                else:
+                    head = l1_heads[si1]
+                    w = l1_tags.index(addr, base1, base1 + l1_assoc)
+                    tail = base1 + (head - 1 if head else l1_assoc - 1)
+                    if w <= tail:
+                        l1_tags[w:tail] = l1_tags[w + 1:tail + 1]
+                        l1_tags[tail] = addr
+                    else:
+                        end = base1 + l1_assoc - 1
+                        l1_tags[w:end] = l1_tags[w + 1:end + 1]
+                        l1_tags[end] = l1_tags[base1]
+                        l1_tags[base1:tail] = l1_tags[base1 + 1:tail + 1]
+                        l1_tags[tail] = addr
+                l1_mru[si1] = addr
+                nh1 += run + 1
+                if run:
+                    lv_extend(_repeat(1, run + 1))
+                else:
+                    lv_append(1)
+                continue
+            nm1 += 1
+            # -- L2 probe (move-to-tail on hit) ------------------------
+            si2 = addr & l2_mask
+            if l2_mru[si2] == addr:
+                hit = True
+            elif addr in l2_res:
+                base2 = si2 * l2_assoc
+                fill = l2_fill[si2]
+                if fill < l2_assoc:
+                    top = base2 + fill
+                    w = l2_tags.index(addr, base2, top)
+                    l2_tags[w:top - 1] = l2_tags[w + 1:top]
+                    l2_tags[top - 1] = addr
+                else:
+                    head = l2_heads[si2]
+                    w = l2_tags.index(addr, base2, base2 + l2_assoc)
+                    tail = base2 + (head - 1 if head else l2_assoc - 1)
+                    if w <= tail:
+                        l2_tags[w:tail] = l2_tags[w + 1:tail + 1]
+                        l2_tags[tail] = addr
+                    else:
+                        end = base2 + l2_assoc - 1
+                        l2_tags[w:end] = l2_tags[w + 1:end + 1]
+                        l2_tags[end] = l2_tags[base2]
+                        l2_tags[base2:tail] = l2_tags[base2 + 1:tail + 1]
+                        l2_tags[tail] = addr
+                l2_mru[si2] = addr
+                hit = True
+            else:
+                hit = False
+            if hit:
+                nh2 += 1
+                # Fill L1: the membership probe above just missed, so
+                # the line is absent -- insert directly, no rescan.
+                base1 = si1 * l1_assoc
+                fill = l1_fill[si1]
+                if fill >= l1_assoc:
+                    head = l1_heads[si1]
+                    slot = base1 + head
+                    l1_res_discard(l1_tags[slot])
+                    l1_tags[slot] = addr
+                    l1_heads[si1] = head + 1 if head + 1 < l1_assoc else 0
+                    ev1 += 1
+                else:
+                    l1_tags[base1 + fill] = addr
+                    l1_fill[si1] = fill + 1
+                l1_res_add(addr)
+                l1_mru[si1] = addr
+                fl1 += 1
+                lv_append(2)
+                if run:
+                    nh1 += run
+                    lv_extend(_repeat(1, run))
+                continue
+            nm2 += 1
+            # -- L3 probe ----------------------------------------------
+            si3 = addr & l3_mask
+            if l3_mru[si3] == addr:
+                hit = True
+            elif addr in l3_res:
+                base3 = si3 * l3_assoc
+                fill = l3_fill[si3]
+                if fill < l3_assoc:
+                    top = base3 + fill
+                    w = l3_tags.index(addr, base3, top)
+                    l3_tags[w:top - 1] = l3_tags[w + 1:top]
+                    l3_tags[top - 1] = addr
+                else:
+                    head = l3_heads[si3]
+                    w = l3_tags.index(addr, base3, base3 + l3_assoc)
+                    tail = base3 + (head - 1 if head else l3_assoc - 1)
+                    if w <= tail:
+                        l3_tags[w:tail] = l3_tags[w + 1:tail + 1]
+                        l3_tags[tail] = addr
+                    else:
+                        end = base3 + l3_assoc - 1
+                        l3_tags[w:end] = l3_tags[w + 1:end + 1]
+                        l3_tags[end] = l3_tags[base3]
+                        l3_tags[base3:tail] = l3_tags[base3 + 1:tail + 1]
+                        l3_tags[tail] = addr
+                l3_mru[si3] = addr
+                hit = True
+            else:
+                hit = False
+            if hit:
+                nh3 += 1
+                owners = owners_get(addr)
+                if owners is not None and core not in owners:
+                    owners.add(core)
+                    occupancy[core] += 1
+                level = 3
+            else:
+                nm3 += 1
+                # Fill L3 (absent: just probed and missed).  A full set
+                # is a circular window: evict-and-insert rewrites the
+                # head slot, no shifting.
+                base3 = si3 * l3_assoc
+                fill = l3_fill[si3]
+                if fill >= l3_assoc:
+                    head = l3_heads[si3]
+                    slot = base3 + head
+                    victim = l3_tags[slot]
+                    l3_tags[slot] = addr
+                    l3_heads[si3] = head + 1 if head + 1 < l3_assoc else 0
+                    l3_res_discard(victim)
+                    ev3 += 1
+                    owners = owners_pop(victim, None)
+                    if owners is None:
+                        owners_map[addr] = {core}
+                        occupancy[core] += 1
+                    elif len(owners) == 1 and core in owners:
+                        # Dominant case: evicting our own line.  The
+                        # victim's occupancy -1 cancels the new line's
+                        # +1 and the ownership set moves over as-is.
+                        if inclusive:
+                            # Back-invalidate our own private caches;
+                            # the resident sets give the (almost
+                            # always negative) verdict in one hash
+                            # probe each.
+                            inv = False
+                            if victim in l2_res:
+                                l2_invalidate(victim)
+                                inv = True
+                            if victim in l1_res:
+                                l1_invalidate(victim)
+                                inv = True
+                            if inv:
+                                counters_core.back_invalidations += 1
+                        owners_map[addr] = owners
+                    else:
+                        for owner in owners:
+                            occupancy[owner] -= 1
+                            if owner == core:
+                                if inclusive:
+                                    inv = False
+                                    if victim in l2_res:
+                                        l2_invalidate(victim)
+                                        inv = True
+                                    if victim in l1_res:
+                                        l1_invalidate(victim)
+                                        inv = True
+                                    if inv:
+                                        counters_core.back_invalidations += 1
+                            else:
+                                counters_all[owner].lines_stolen += 1
+                                if inclusive:
+                                    invalidated = l2_caches[
+                                        owner
+                                    ].invalidate(victim)
+                                    invalidated |= l1_caches[
+                                        owner
+                                    ].invalidate(victim)
+                                    if invalidated:
+                                        counters_all[
+                                            owner
+                                        ].back_invalidations += 1
+                        # Reuse the popped set for the new line's
+                        # ownership record instead of allocating one
+                        # per miss.
+                        owners.clear()
+                        owners.add(core)
+                        owners_map[addr] = owners
+                        occupancy[core] += 1
+                else:
+                    l3_tags[base3 + fill] = addr
+                    l3_fill[si3] = fill + 1
+                    owners_map[addr] = {core}
+                    occupancy[core] += 1
+                l3_res_add(addr)
+                l3_mru[si3] = addr
+                fl3 += 1
+                level = 4
+            # -- private fills (L2 then L1, both absent) ---------------
+            # Fill counts are read here, after the L3-miss path: a
+            # back-invalidation above may have removed our own lines.
+            base2 = si2 * l2_assoc
+            fill = l2_fill[si2]
+            if fill >= l2_assoc:
+                head = l2_heads[si2]
+                slot = base2 + head
+                l2_res_discard(l2_tags[slot])
+                l2_tags[slot] = addr
+                l2_heads[si2] = head + 1 if head + 1 < l2_assoc else 0
+                ev2 += 1
+            else:
+                l2_tags[base2 + fill] = addr
+                l2_fill[si2] = fill + 1
+            l2_res_add(addr)
+            l2_mru[si2] = addr
+            fl2 += 1
+            base1 = si1 * l1_assoc
+            fill = l1_fill[si1]
+            if fill >= l1_assoc:
+                head = l1_heads[si1]
+                slot = base1 + head
+                l1_res_discard(l1_tags[slot])
+                l1_tags[slot] = addr
+                l1_heads[si1] = head + 1 if head + 1 < l1_assoc else 0
+                ev1 += 1
+            else:
+                l1_tags[base1 + fill] = addr
+                l1_fill[si1] = fill + 1
+            l1_res_add(addr)
+            l1_mru[si1] = addr
+            fl1 += 1
+            lv_append(level)
+            if run:
+                nh1 += run
+                lv_extend(_repeat(1, run))
+        # -- flush batch-local deltas ----------------------------------
+        counters_core.l1_hits += nh1
+        counters_core.l1_misses += nm1
+        counters_core.l2_hits += nh2
+        counters_core.l2_misses += nm2
+        counters_core.l3_hits += nh3
+        counters_core.l3_misses += nm3
+        stats = l1.stats
+        stats.hits += nh1
+        stats.misses += nm1
+        stats.fills += fl1
+        stats.evictions += ev1
+        stats = l2.stats
+        stats.hits += nh2
+        stats.misses += nm2
+        stats.fills += fl2
+        stats.evictions += ev2
+        stats = l3.stats
+        stats.hits += nh3
+        stats.misses += nm3
+        stats.fills += fl3
+        stats.evictions += ev3
+        return levels
 
     def _prefetch(self, core: int, addr: int) -> None:
         """Next-line prefetch into the L3 on a demand memory access.
@@ -286,6 +646,29 @@ class CacheHierarchy:
         return self.l1[core].hit_is_mru_noop and \
             not self._writebacks_enabled
 
+    def bulk_kernel_ok(self, core: int) -> bool:
+        """Whether ``core`` may route batches through :meth:`access_many`.
+
+        The single predicate centralising every fallback condition (the
+        bulk sibling of :meth:`l1_mru_fastpath_ok`): the kernel inlines
+        flat-array LRU walks only, so every level this core touches
+        must use the flat storage (plain LRU with specialization on),
+        and the per-access side channels the kernel does not model —
+        the store accumulator (writebacks), the next-line prefetcher,
+        and this core's L3 occupancy quota — must all be off.  Quotas
+        arrive mid-run (CAER's response hook), so the answer can change
+        between periods; callers re-check per batch loop.
+        """
+        return (
+            self._bulk_enabled
+            and not self._writebacks_enabled
+            and not self._prefetch_degree
+            and self._l3_quota[core] is None
+            and self.l1[core]._flat
+            and self.l2[core]._flat
+            and self.l3._flat
+        )
+
     # -- inspection ----------------------------------------------------
 
     def l3_occupancy(self, core: int) -> int:
@@ -325,6 +708,11 @@ class CacheHierarchy:
         self._l3_owners.clear()
         self._occupancy = [0] * self.machine.num_cores
         self._dirty.clear()
+        # The store accumulator is per-run state too: without this
+        # reset, repetition N's dirty-line marking (with writebacks
+        # modelled) would depend on where repetition N-1 left the
+        # fractional store credit.
+        self._store_accumulator = [0.0] * self.machine.num_cores
 
     def counters_for(self, core: int) -> HierarchyCounters:
         """The cumulative counter bank of one core."""

@@ -82,6 +82,24 @@ class MainMemory:
         self.total_queue_cycles += self._queue_delay
         return self.latency + self._queue_delay
 
+    def access_bulk(self, count: int) -> None:
+        """Record ``count`` off-chip accesses issued by one batch.
+
+        Bookkeeping-identical to ``count`` sequential :meth:`access`
+        calls (the rate-based model prices every access in a period the
+        same, so order inside a batch cannot matter): the queue-cycle
+        total is accumulated with the same per-access float adds so a
+        batched run stays bit-identical to a scalar one.
+        """
+        self.accesses += count
+        self._arrivals_this_period += count
+        delay = self._queue_delay
+        if delay:
+            total = self.total_queue_cycles
+            for _ in range(count):
+                total += delay
+            self.total_queue_cycles = total
+
     def end_period(self, period_cycles: int) -> None:
         """Recompute the queueing delay from last period's arrivals."""
         if not self.service_cycles:

@@ -28,6 +28,14 @@ class ReplacementPolicy(ABC):
     beyond the contents list itself is keyed by ``set_index``.
     """
 
+    #: Whether a cache may replace this policy's list bookkeeping with
+    #: the flat-array LRU storage (and route batches through the bulk
+    #: kernel's inlined walks).  Only exact tail-MRU/head-victim LRU
+    #: semantics qualify: the flat representation hard-codes
+    #: move-to-tail on hit, append on fill, and head eviction.  A
+    #: subclass that changes any of those must leave this ``False``.
+    flat_lru_compatible = False
+
     @abstractmethod
     def on_hit(self, contents: list[int], way: int, set_index: int) -> None:
         """Update recency state after a hit on ``contents[way]``."""
@@ -49,6 +57,8 @@ class ReplacementPolicy(ABC):
 
 class LRUPolicy(ReplacementPolicy):
     """True least-recently-used. Convention: MRU at the list tail."""
+
+    flat_lru_compatible = True
 
     def on_hit(self, contents: list[int], way: int, set_index: int) -> None:
         contents.append(contents.pop(way))

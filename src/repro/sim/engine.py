@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Protocol
 
+from ..arch.cache import bulk_kernel_enabled, fast_lane_enabled
 from ..arch.chip import MulticoreChip
 from ..arch.pmu import PMUSample
 from ..errors import SchedulingError, SimulationError
@@ -71,6 +72,18 @@ class SimulationEngine:
         # property tests).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        if self.metrics is not None:
+            # Record which execution tier served this run (generic /
+            # fast lane / bulk kernel) so perf profiles are
+            # attributable.  Telemetry only — never part of RunResult,
+            # which must hash identically across all three tiers.
+            self.metrics.gauge("sim.fast_lane").set(
+                1.0 if fast_lane_enabled() else 0.0
+            )
+            self.metrics.gauge("sim.bulk_kernel").set(
+                1.0 if (fast_lane_enabled() and bulk_kernel_enabled())
+                else 0.0
+            )
         self.chip = chip
         self.processes: dict[str, SimProcess] = {}
         used_cores: set[int] = set()

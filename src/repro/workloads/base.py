@@ -152,7 +152,11 @@ class RuntimePhase:
         head = pend[pos:] if pos else pend
         if avail == n:
             return head
-        return head + self.pattern.next_addresses(n - avail)
+        # Extend in place instead of concatenating: the bulk kernel
+        # consumes whole batches, so avoiding the intermediate copy
+        # matters on the refill path.
+        head.extend(self.pattern.next_addresses(n - avail))
+        return head
 
     def push_back(self, addrs: list[int], start: int) -> None:
         """Return ``addrs[start:]`` (unconsumed) to the stream front.

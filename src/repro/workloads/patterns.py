@@ -125,7 +125,10 @@ class _SequentialStream(AccessPattern):
 
     def next_addresses(self, n: int) -> list[int]:
         # The stream is periodic with period lines*repeats; index the
-        # next n ticks of that cycle in one vectorised step.
+        # next n ticks of that cycle in one vectorised step.  The
+        # single ``tolist`` conversion is the only materialisation —
+        # the batch is handed to the bulk kernel wholesale, so no
+        # intermediate Python list is ever built.
         repeats = self._repeats
         period = self._lines * repeats
         start = self._line * repeats + self._count

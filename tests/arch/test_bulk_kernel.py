@@ -1,0 +1,371 @@
+"""Bulk-access kernel vs. the scalar reference, differentially.
+
+The bulk kernel (`CacheHierarchy.access_many` over flat-array LRU
+storage) is a pure optimisation: for any address stream, any core
+interleaving, and any configuration it must produce exactly the scalar
+walk's observables — serving levels, per-core counters, cache stats,
+final cache contents, L3 ownership/occupancy, and back-invalidations.
+These tests drive a kernel-tier hierarchy and a scalar reference with
+identical inputs and compare everything, plus check that the fallback
+predicate routes unsupported configurations to the scalar path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import SetAssociativeCache, bulk_kernel_enabled
+from repro.arch.hierarchy import CacheHierarchy
+from repro.arch.replacement import make_policy
+from repro.config import CacheGeometry, MachineConfig
+
+
+def tiny_machine(**overrides) -> MachineConfig:
+    """A small machine whose caches thrash under ~64-line streams."""
+    return dataclasses.replace(MachineConfig.tiny(), **overrides)
+
+
+@contextmanager
+def tier_env(fast: str = "1", bulk: str = "1"):
+    """Pin the execution-tier env flags for the enclosed block.
+
+    A context manager (not a fixture) so hypothesis-driven tests can
+    re-enter it per generated input.
+    """
+    keys = ("REPRO_FAST_LANE", "REPRO_BULK_KERNEL")
+    saved = {k: os.environ.get(k) for k in keys}
+    os.environ["REPRO_FAST_LANE"] = fast
+    os.environ["REPRO_BULK_KERNEL"] = bulk
+    try:
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def hierarchy_pair(machine: MachineConfig):
+    """Two identically seeded hierarchies (kernel target + reference)."""
+    return CacheHierarchy(machine, seed=11), CacheHierarchy(machine, seed=11)
+
+
+def snapshot(h: CacheHierarchy) -> dict:
+    caches = list(h.l1) + list(h.l2) + [h.l3]
+    return {
+        "contents": [
+            [cache.set_contents(si) for si in range(cache._num_sets)]
+            for cache in caches
+        ],
+        "stats": [
+            (c.stats.hits, c.stats.misses, c.stats.fills,
+             c.stats.evictions, c.stats.invalidations)
+            for c in caches
+        ],
+        "counters": [c.as_dict() for c in h.counters],
+        "occupancy": [
+            h.l3_occupancy(core)
+            for core in range(h.machine.num_cores)
+        ],
+        "owners": {
+            addr: sorted(owners)
+            for addr, owners in h._l3_owners.items()
+        },
+    }
+
+
+def drive_and_compare(machine, batches):
+    """Feed (core, addrs) batches to both paths; assert equality.
+
+    The kernel hierarchy consumes whole batches through
+    ``access_many``; the reference replays the same stream through
+    scalar ``access`` calls.  Serving levels must match per address,
+    and every piece of hierarchy state must match at the end.
+    """
+    kern, ref = hierarchy_pair(machine)
+    for core, addrs in batches:
+        got = kern.access_many(core, addrs)
+        want = [ref.access(core, a) for a in addrs]
+        assert got == want
+    assert snapshot(kern) == snapshot(ref)
+
+
+#: Interleaved 2-core batches over a 64-line footprint, with runs of
+#: consecutive repeats (the kernel collapses those) made likely.
+BATCHES = st.lists(
+    st.tuples(
+        st.integers(0, 1),
+        st.lists(
+            st.tuples(st.integers(0, 63), st.integers(1, 3)),
+            min_size=1,
+            max_size=40,
+        ).map(lambda runs: [a for a, reps in runs for _ in range(reps)]),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestKernelDifferential:
+    """access_many == scalar access loop, bit for bit."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(batches=BATCHES)
+    def test_randomized_two_core_streams(self, batches):
+        with tier_env():
+            drive_and_compare(tiny_machine(), batches)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batches=BATCHES)
+    def test_non_inclusive_l3(self, batches):
+        with tier_env():
+            drive_and_compare(tiny_machine(l3_inclusive=False), batches)
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random", "plru"])
+    def test_every_policy_matches(self, policy):
+        # Non-LRU policies take the scalar fallback inside access_many;
+        # either way the observable behaviour must be identical.
+        with tier_env():
+            machine = tiny_machine(replacement=policy)
+            stream = [(a * 7 + c) % 64 for a in range(200) for c in range(2)]
+            drive_and_compare(
+                machine,
+                [(0, stream[:200]), (1, stream[200:]), (0, stream[::3])],
+            )
+
+    def test_co_located_thrash_with_back_invalidations(self):
+        # Two cores fighting over an L3 smaller than their combined
+        # footprint: evictions must steal lines and back-invalidate
+        # the private caches of both the evicting and the foreign core.
+        machine = tiny_machine()
+        # Core 0 keeps a small set hot in its private caches; core 1
+        # streams a footprint larger than the L3, evicting core 0's
+        # (L3-cold but privately-resident) lines from behind it.
+        # All addresses are multiples of 16, so they collide in L3 set
+        # 0 (16 sets): core 1's 16-line sweep evicts core 0's hot
+        # lines, which are still resident in core 0's L2.
+        hot = [a * 16 for a in range(8)]
+        sweep = [(8 + a) * 16 for a in range(16)]
+        batches = []
+        for _ in range(6):
+            batches.append((0, hot * 3))
+            batches.append((1, sweep))
+        with tier_env():
+            kern, ref = hierarchy_pair(machine)
+            for core, addrs in batches:
+                assert kern.access_many(core, addrs) == [
+                    ref.access(core, a) for a in addrs
+                ]
+        assert snapshot(kern) == snapshot(ref)
+        # The scenario must actually exercise the interesting paths.
+        assert any(c.back_invalidations > 0 for c in ref.counters)
+        assert any(c.lines_stolen > 0 for c in ref.counters)
+
+
+class TestFallbackPredicate:
+    """Configs the kernel cannot model must take the scalar path."""
+
+    def test_kernel_allowed_on_plain_lru(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "1")
+        h = CacheHierarchy(tiny_machine(), seed=1)
+        assert h.bulk_kernel_ok(0)
+
+    @pytest.mark.parametrize("overrides", [
+        {"replacement": "fifo"},
+        {"replacement": "plru"},
+        {"model_writebacks": True},
+        {"prefetch_degree": 1},
+    ])
+    def test_config_denies_kernel(self, overrides, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "1")
+        h = CacheHierarchy(tiny_machine(**overrides), seed=1)
+        assert not h.bulk_kernel_ok(0)
+
+    def test_quota_denies_kernel_per_core(self, monkeypatch):
+        # Quotas arrive mid-run (CAER's response hook): the predicate
+        # must flip off for the capped core only, and back on when the
+        # cap lifts.
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "1")
+        h = CacheHierarchy(tiny_machine(), seed=1)
+        h.set_l3_quota(0, 0.5)
+        assert not h.bulk_kernel_ok(0)
+        assert h.bulk_kernel_ok(1)
+        h.set_l3_quota(0, None)
+        assert h.bulk_kernel_ok(0)
+
+    def test_env_gate_denies_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "0")
+        assert not bulk_kernel_enabled()
+        h = CacheHierarchy(tiny_machine(), seed=1)
+        assert not h.bulk_kernel_ok(0)
+        # BULK=0 also reverts the caches to list-based storage: the
+        # middle tier is exactly the first-generation fast lane.
+        assert not h.l1[0]._flat
+
+    @pytest.mark.parametrize("overrides", [
+        {"model_writebacks": True},
+        {"prefetch_degree": 2},
+    ])
+    def test_fallback_matches_scalar(self, overrides, monkeypatch):
+        # The fallback literally is the scalar loop; results and side
+        # effects (store accumulator, prefetch fills) must match.
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "1")
+        machine = tiny_machine(**overrides)
+        kern, ref = hierarchy_pair(machine)
+        kern.set_store_ratio(0, 0.3)
+        ref.set_store_ratio(0, 0.3)
+        stream = [(a * 5) % 48 for a in range(300)]
+        assert kern.access_many(0, stream) == [
+            ref.access(0, a) for a in stream
+        ]
+        assert snapshot(kern) == snapshot(ref)
+        assert kern._store_accumulator == ref._store_accumulator
+
+
+class TestFlatStorageInvariants:
+    """The flat circular representation must stay self-consistent."""
+
+    GEOMETRY = CacheGeometry(num_sets=4, associativity=4)
+
+    def make_flat(self) -> SetAssociativeCache:
+        with tier_env():
+            cache = SetAssociativeCache(
+                "flat", self.GEOMETRY, make_policy("lru", 4),
+                specialize=True,
+            )
+        assert cache._flat
+        return cache
+
+    def check_invariants(self, cache: SetAssociativeCache) -> None:
+        assoc = self.GEOMETRY.associativity
+        resident = set()
+        for si in range(self.GEOMETRY.num_sets):
+            contents = cache.set_contents(si)
+            assert len(contents) == len(set(contents))
+            assert len(contents) == cache._fill_counts[si]
+            if cache._fill_counts[si] < assoc:
+                # Partially filled sets are never rotated.
+                assert cache._heads[si] == 0
+            if contents:
+                # The MRU shadow is the logical tail.
+                assert cache._mru[si] == contents[-1]
+            resident.update(contents)
+        assert resident == cache._resident
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 31)),
+        min_size=1, max_size=200,
+    ))
+    def test_random_ops_preserve_invariants(self, ops):
+        cache = self.make_flat()
+        for op, addr in ops:
+            if op == 0:
+                cache.probe(addr)
+            elif op == 1:
+                cache.fill(addr)
+            else:
+                cache.invalidate(addr)
+        self.check_invariants(cache)
+
+    def test_flush_resets_flat_state(self):
+        cache = self.make_flat()
+        for addr in range(64):
+            cache.fill(addr)
+        cache.flush()
+        self.check_invariants(cache)
+        assert not cache._resident
+        assert all(f == 0 for f in cache._fill_counts)
+
+    def test_set_contents_roundtrip_when_rotated(self):
+        cache = self.make_flat()
+        # Fill past capacity so the set's circular window rotates.
+        for addr in range(0, 6 * 4, 4):
+            cache.fill(addr)
+        before = cache.set_contents(0)
+        assert cache.set_contents(0) == before
+        self.check_invariants(cache)
+
+
+class TestFlushStoreAccumulator:
+    """Regression: flush() must reset the fractional store credit."""
+
+    def test_two_flush_separated_runs_identical_writebacks(self):
+        machine = tiny_machine(model_writebacks=True)
+        h = CacheHierarchy(machine, seed=3)
+        # A store ratio that leaves a fractional credit dangling after
+        # an odd number of accesses.
+        stream = [(a * 5) % 48 for a in range(301)]
+
+        def one_run() -> int:
+            before = h.counters[0].writebacks
+            h.set_store_ratio(0, 0.35)
+            for addr in stream:
+                h.access(0, addr)
+            return h.counters[0].writebacks - before
+
+        first = one_run()
+        h.flush()
+        assert h._store_accumulator == [0.0] * machine.num_cores
+        second = one_run()
+        assert first == second
+
+
+class TestEndToEndTiers:
+    """Full engine runs must be identical across all three tiers."""
+
+    @staticmethod
+    def _run(metrics=None):
+        from repro.caer.runtime import caer_factory
+        from repro.experiments.campaign import resolve_caer_config
+        from repro.sim import run_colocated
+        from repro.workloads import benchmark
+
+        machine = MachineConfig.tiny()
+        l3 = machine.l3.capacity_lines
+        ls = benchmark("429.mcf", l3, length=0.02)
+        batch = benchmark("470.lbm", l3, length=0.02)
+        return run_colocated(
+            ls, batch, machine,
+            caer_factory=caer_factory(resolve_caer_config("shutter")),
+            seed=2, metrics=metrics,
+        )
+
+    def test_run_result_identical_across_tiers(self):
+        results = {}
+        for name, (fast, bulk) in [
+            ("generic", ("0", "0")),
+            ("fastlane", ("1", "0")),
+            ("kernel", ("1", "1")),
+        ]:
+            with tier_env(fast, bulk):
+                results[name] = self._run()
+        assert results["fastlane"] == results["generic"]
+        assert results["kernel"] == results["generic"]
+
+    def test_tier_recorded_in_metrics_gauges(self):
+        from repro.obs import MetricsRegistry
+
+        for fast, bulk, want_fast, want_bulk in [
+            ("0", "0", 0.0, 0.0),
+            ("1", "0", 1.0, 0.0),
+            ("1", "1", 1.0, 1.0),
+        ]:
+            with tier_env(fast, bulk):
+                metrics = MetricsRegistry()
+                self._run(metrics=metrics)
+            snap = metrics.snapshot()
+            assert snap["sim.fast_lane"]["value"] == want_fast
+            assert snap["sim.bulk_kernel"]["value"] == want_bulk

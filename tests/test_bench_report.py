@@ -1,0 +1,106 @@
+"""The bench_simspeed ``--json`` report: schema and gate logic.
+
+``BENCH_simspeed.json`` is the seed of the perf trajectory: future PRs
+append comparable points, so the format is a contract (documented in
+docs/performance.md).  These tests pin the schema and the gate
+semantics without running full-length measurements.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks"
+    / "bench_simspeed.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_simspeed", BENCH_PATH)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def fake_rows(kf: float = 2.0, kg: float = 4.0, fg: float = 2.2):
+    """Synthetic suite rows with the given ratios on every workload."""
+    rows = []
+    for name, (_factory, streaming, gated) in bench.WORKLOADS.items():
+        generic = 100_000.0
+        rows.append({
+            "workload": name,
+            "streaming": streaming,
+            "kernel_gated": gated,
+            "tiers": {
+                "generic": generic,
+                "fastlane": generic * fg,
+                "kernel": generic * kg,
+            },
+            "ratios": {
+                "fastlane_over_generic": fg,
+                "kernel_over_fastlane": kf,
+                "kernel_over_generic": kg,
+            },
+        })
+    return rows
+
+
+class TestReportSchema:
+    def test_report_has_contract_fields(self):
+        report = bench.build_report(fake_rows(), warm=1, timed=2, reps=1)
+        assert report["schema_version"] == bench.SCHEMA_VERSION
+        assert report["benchmark"] == "bench_simspeed"
+        for key in ("platform", "python", "implementation", "cpu_count"):
+            assert key in report["machine"]
+        assert report["config"]["machine_config"] == "scaled_nehalem"
+        for name in bench.WORKLOADS:
+            wl = report["workloads"][name]
+            assert set(wl["tiers"]) == {"generic", "fastlane", "kernel"}
+            assert set(wl["ratios"]) == {
+                "fastlane_over_generic",
+                "kernel_over_fastlane",
+                "kernel_over_generic",
+            }
+        assert report["targets"]["kernel_over_fastlane"] == \
+            bench.KERNEL_OVER_FASTLANE_TARGET
+
+    def test_report_is_json_serialisable(self):
+        report = bench.build_report(fake_rows(), warm=1, timed=2, reps=1)
+        assert json.loads(json.dumps(report)) == report
+
+    def test_checked_in_seed_matches_schema(self):
+        seed_path = BENCH_PATH.parent.parent / "BENCH_simspeed.json"
+        report = json.loads(seed_path.read_text())
+        assert report["schema_version"] == bench.SCHEMA_VERSION
+        assert set(report["workloads"]) == set(bench.WORKLOADS)
+
+
+class TestGateLogic:
+    def test_passing_ratios_produce_no_failures(self):
+        assert bench.check_gates(fake_rows(), smoke=False) == []
+        assert bench.check_gates(fake_rows(), smoke=True) == []
+
+    def test_kernel_below_fastlane_target_fails_gated_workload(self):
+        failures = bench.check_gates(fake_rows(kf=1.2), smoke=False)
+        assert any("over-fastlane" in f for f in failures)
+        # Only the gated streaming benchmark enforces the kernel gate.
+        gated = [
+            name for name, (_f, _s, g) in bench.WORKLOADS.items() if g
+        ]
+        assert all(f.split(":")[0] in gated for f in failures)
+
+    def test_kernel_below_generic_target_fails(self):
+        failures = bench.check_gates(fake_rows(kg=2.0), smoke=False)
+        assert any("over-generic" in f for f in failures)
+
+    def test_fastlane_below_streaming_target_fails(self):
+        failures = bench.check_gates(fake_rows(fg=1.5), smoke=False)
+        assert any("streaming target" in f for f in failures)
+
+    def test_smoke_checks_ordering_only(self):
+        # Below absolute targets but correctly ordered: smoke passes.
+        rows = fake_rows(kf=1.05, kg=1.3, fg=1.2)
+        assert bench.check_gates(rows, smoke=True) == []
+        assert bench.check_gates(rows, smoke=False) != []
+        # An inversion fails even the smoke run.
+        inverted = fake_rows(kf=0.9, kg=0.8, fg=0.9)
+        assert bench.check_gates(inverted, smoke=True) != []
