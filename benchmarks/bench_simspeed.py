@@ -1,4 +1,4 @@
-"""Simulator throughput across the three execution tiers.
+"""Simulator throughput across the four execution tiers.
 
 Measures raw access throughput (simulated memory accesses per wall
 second) of one core driving the scaled-Nehalem hierarchy for each
@@ -9,19 +9,36 @@ execution tier:
 * **fastlane** (``REPRO_FAST_LANE=1 REPRO_BULK_KERNEL=0``) — the
   first-generation fast lane: batched address generation, inlined
   list-based LRU verbs, scalar hierarchy walks;
-* **kernel** (``REPRO_FAST_LANE=1 REPRO_BULK_KERNEL=1``) — the bulk
-  kernel: flat-array set storage plus batched ``access_many`` walks.
+* **kernel** (``REPRO_FAST_LANE=1 REPRO_BULK_KERNEL=1
+  REPRO_VECTOR_KERNEL=0``) — the bulk kernel: flat-array set storage
+  plus batched ``access_many`` walks;
+* **vector** (``REPRO_VECTOR_KERNEL=1``) — the tier-4 numpy kernel:
+  classify-then-commit batches with vectorized tag probes and bulk
+  fills, counter and stat deltas flushed once per batch.
 
-All three produce bit-identical results (the differential suite in
+All four produce bit-identical results (the differential suite in
 ``tests/arch/test_bulk_kernel.py`` proves it); only wall-clock differs.
 
-Run standalone for the acceptance check (the streaming benchmark must
-show the kernel >= 1.7x over the fast lane and >= 3x over generic)::
+The vector gates compare vector against kernel per workload at that
+workload's amortisation budget: ``stream-llc`` at the default 40 K
+cycles (large consecutive batches exist there already), and
+``pointer-chase`` at a longer budget — a 40 K chase period holds only
+a ~200-access batch, too small to amortise numpy dispatch, and the
+engine's batch-size guard deliberately stands the vector tier down to
+parity there (so the chase column of the main table is
+informational).
+
+Run standalone for the acceptance check::
 
     PYTHONPATH=src python benchmarks/bench_simspeed.py
     PYTHONPATH=src python benchmarks/bench_simspeed.py --smoke  # CI
-    PYTHONPATH=src python benchmarks/bench_simspeed.py --json BENCH_simspeed.json
+    PYTHONPATH=src python benchmarks/bench_simspeed.py \
+        --json BENCH_simspeed.json --append
     PYTHONPATH=src python benchmarks/bench_simspeed.py --profile
+
+``--append`` accumulates a perf trajectory: the JSON file holds a
+``points`` list and every run appends one comparable point (a
+schema-1 single-point file is migrated in place).
 
 or through pytest (smoke-sized, sanity ordering only)::
 
@@ -47,7 +64,9 @@ from repro.config import MachineConfig
 from repro.workloads import synthetic
 
 #: Version of the ``--json`` schema; bump when fields change meaning.
-SCHEMA_VERSION = 1
+#: Schema 2 turned the file into a trajectory: a ``points`` list of
+#: comparable measurement snapshots (schema 1 was one bare snapshot).
+SCHEMA_VERSION = 2
 
 #: PR1 gate, kept: fast lane vs. generic on streaming workloads.
 STREAMING_TARGET = 1.8
@@ -56,38 +75,58 @@ STREAMING_TARGET = 1.8
 KERNEL_OVER_FASTLANE_TARGET = 1.7
 KERNEL_OVER_GENERIC_TARGET = 3.0
 
+#: Vector (tier-4) gates: vector over kernel, per workload, at the
+#: workload's amortisation budget (see the module docstring).
+VECTOR_OVER_KERNEL_STREAM_TARGET = 3.0
+VECTOR_OVER_KERNEL_CHASE_TARGET = 1.5
+
 #: Maximum allowed slowdown of a fully traced engine run (ring-buffer
 #: sink) over an untraced one.
 TRACE_OVERHEAD_TARGET = 0.02
 
-#: tier name -> (REPRO_FAST_LANE, REPRO_BULK_KERNEL)
+#: Cycle budget of one ``core.run`` call in the main table.
+DEFAULT_BUDGET = 40_000.0
+
+#: Budget for the pointer-chase vector gate: long enough that one
+#: period batches a few thousand dependent-chain addresses, which is
+#: what the vectorized scatter fill needs to amortise its dispatch.
+CHASE_GATE_BUDGET = 360_000.0
+
+#: tier -> (REPRO_FAST_LANE, REPRO_BULK_KERNEL, REPRO_VECTOR_KERNEL)
 TIERS = {
-    "generic": ("0", "0"),
-    "fastlane": ("1", "0"),
-    "kernel": ("1", "1"),
+    "generic": ("0", "0", "0"),
+    "fastlane": ("1", "0", "0"),
+    "kernel": ("1", "1", "0"),
+    "vector": ("1", "1", "1"),
 }
 
-#: name -> (factory, streaming gate applies, kernel gate applies).
-#: ``stream-llc`` is *the* streaming benchmark of the acceptance
-#: criteria: a cyclic sweep well past the L3, every fourth access a
-#: fresh line.  ``stream-l2`` stresses the L3-hit walk (informational
-#: for the kernel gate: the walk is a handful of C-level operations
-#: either way, so the batched win is structurally smaller there).
+#: name -> (factory, streaming gate applies, kernel gate applies,
+#: vector gate spec or None).  ``stream-llc`` is *the* streaming
+#: benchmark of the acceptance criteria: a cyclic sweep well past the
+#: L3, every fourth access a fresh line.  ``stream-l2`` stresses the
+#: L3-hit walk (informational for the kernel and vector gates: the
+#: walk is a handful of C-level operations either way, so the batched
+#: win is structurally smaller there).
 WORKLOADS = {
     "stream-llc": (
         lambda: synthetic.streamer(lines=70_000, instructions=1e9),
         True,
         True,
+        {"target": VECTOR_OVER_KERNEL_STREAM_TARGET,
+         "budget": DEFAULT_BUDGET},
     ),
     "stream-l2": (
         lambda: synthetic.streamer(lines=512, instructions=1e9),
         True,
         False,
+        None,
     ),
     "pointer-chase": (
         lambda: synthetic.pointer_chaser(lines=70_000, instructions=1e9),
         False,
         False,
+        {"target": VECTOR_OVER_KERNEL_CHASE_TARGET,
+         "budget": CHASE_GATE_BUDGET},
     ),
 }
 
@@ -97,7 +136,7 @@ def measure(
     factory,
     warm: int,
     timed: int,
-    budget: float = 40_000.0,
+    budget: float = DEFAULT_BUDGET,
     reps: int = 3,
 ) -> float:
     """Best-of-``reps`` accesses/second for one execution tier.
@@ -108,9 +147,10 @@ def measure(
     standard defence against interpreter and scheduler noise (only
     slowdowns are spurious).
     """
-    fast, bulk = TIERS[tier]
+    fast, bulk, vector = TIERS[tier]
     os.environ["REPRO_FAST_LANE"] = fast
     os.environ["REPRO_BULK_KERNEL"] = bulk
+    os.environ["REPRO_VECTOR_KERNEL"] = vector
     try:
         from repro.arch.chip import MulticoreChip
 
@@ -138,17 +178,26 @@ def measure(
     finally:
         os.environ.pop("REPRO_FAST_LANE", None)
         os.environ.pop("REPRO_BULK_KERNEL", None)
+        os.environ.pop("REPRO_VECTOR_KERNEL", None)
 
 
-def run_suite(warm: int, timed: int, reps: int = 3) -> list[dict]:
-    """One row per workload: tier throughputs, ratios, gate flags."""
+def run_suite(
+    warm: int, timed: int, reps: int = 3, vector_gates: bool = True
+) -> list[dict]:
+    """One row per workload: tier throughputs, ratios, gate data.
+
+    ``vector_gates=False`` (smoke runs) skips the separate
+    long-budget kernel-vs-vector measurements; the main table still
+    carries all four tiers at the default budget.
+    """
     rows = []
-    for name, (factory, is_streaming, kernel_gated) in WORKLOADS.items():
+    for name, (factory, is_streaming, kernel_gated,
+               vgate) in WORKLOADS.items():
         tiers = {
             tier: measure(tier, factory, warm, timed, reps=reps)
             for tier in TIERS
         }
-        rows.append({
+        row = {
             "workload": name,
             "streaming": is_streaming,
             "kernel_gated": kernel_gated,
@@ -160,25 +209,67 @@ def run_suite(warm: int, timed: int, reps: int = 3) -> list[dict]:
                     tiers["kernel"] / tiers["fastlane"],
                 "kernel_over_generic":
                     tiers["kernel"] / tiers["generic"],
+                "vector_over_kernel":
+                    tiers["vector"] / tiers["kernel"],
+                "vector_over_generic":
+                    tiers["vector"] / tiers["generic"],
             },
-        })
+            "vector_gate": None,
+        }
+        if vgate is not None and vector_gates:
+            if vgate["budget"] == DEFAULT_BUDGET:
+                kernel, vector = tiers["kernel"], tiers["vector"]
+            else:
+                # A longer budget multiplies the work per run() call;
+                # scale the counts down to keep wall time in check.
+                scale = DEFAULT_BUDGET / vgate["budget"]
+                gw = max(2, round(warm * scale))
+                gt = max(4, round(timed * scale))
+                kernel = measure(
+                    "kernel", factory, gw, gt,
+                    budget=vgate["budget"], reps=reps,
+                )
+                vector = measure(
+                    "vector", factory, gw, gt,
+                    budget=vgate["budget"], reps=reps,
+                )
+            row["vector_gate"] = {
+                "budget": vgate["budget"],
+                "target": vgate["target"],
+                "kernel": kernel,
+                "vector": vector,
+                "vector_over_kernel": vector / kernel,
+            }
+        rows.append(row)
     return rows
 
 
 def render(rows: list[dict]) -> str:
     lines = [
         f"{'workload':<14} {'generic/s':>10} {'fastlane/s':>10} "
-        f"{'kernel/s':>10} {'f/g':>6} {'k/f':>6} {'k/g':>6}"
+        f"{'kernel/s':>10} {'vector/s':>10} "
+        f"{'f/g':>6} {'k/f':>6} {'k/g':>6} {'v/k':>6}"
     ]
     for row in rows:
         t, r = row["tiers"], row["ratios"]
         lines.append(
             f"{row['workload']:<14} {t['generic']:>10.0f} "
             f"{t['fastlane']:>10.0f} {t['kernel']:>10.0f} "
+            f"{t['vector']:>10.0f} "
             f"{r['fastlane_over_generic']:>5.2f}x "
             f"{r['kernel_over_fastlane']:>5.2f}x "
-            f"{r['kernel_over_generic']:>5.2f}x"
+            f"{r['kernel_over_generic']:>5.2f}x "
+            f"{r['vector_over_kernel']:>5.2f}x"
         )
+        gate = row.get("vector_gate")
+        if gate is not None and gate["budget"] != DEFAULT_BUDGET:
+            lines.append(
+                f"{'':<14} vector gate @ {gate['budget']:.0f} cycles: "
+                f"kernel {gate['kernel']:.0f}/s, vector "
+                f"{gate['vector']:.0f}/s "
+                f"({gate['vector_over_kernel']:.2f}x, target "
+                f"{gate['target']}x)"
+            )
     return "\n".join(lines)
 
 
@@ -205,6 +296,20 @@ def check_gates(rows: list[dict], smoke: bool) -> list[str]:
                     f"{name}: kernel slower than fastlane "
                     f"({r['kernel_over_fastlane']:.2f}x)"
                 )
+            if r["vector_over_generic"] <= 1.0:
+                failures.append(
+                    f"{name}: vector slower than generic "
+                    f"({r['vector_over_generic']:.2f}x)"
+                )
+            # vector-vs-kernel ordering is only structural where the
+            # default budget amortises the batches (the kernel-gated
+            # streaming benchmark); pointer-chase stands down to
+            # parity at 40 K and parity-plus-noise may dip below 1.
+            if row["kernel_gated"] and r["vector_over_kernel"] <= 1.0:
+                failures.append(
+                    f"{name}: vector slower than kernel "
+                    f"({r['vector_over_kernel']:.2f}x)"
+                )
             continue
         if row["streaming"] and \
                 r["fastlane_over_generic"] < STREAMING_TARGET:
@@ -225,19 +330,21 @@ def check_gates(rows: list[dict], smoke: bool) -> list[str]:
                     f"below the {KERNEL_OVER_GENERIC_TARGET}x "
                     f"over-generic target"
                 )
+        gate = row.get("vector_gate")
+        if gate is not None and \
+                gate["vector_over_kernel"] < gate["target"]:
+            failures.append(
+                f"{name}: vector {gate['vector_over_kernel']:.2f}x "
+                f"below the {gate['target']}x over-kernel target "
+                f"(at {gate['budget']:.0f}-cycle budget)"
+            )
     return failures
 
 
-def build_report(rows: list[dict], warm: int, timed: int,
-                 reps: int) -> dict:
-    """The ``--json`` payload (see docs/performance.md for the format).
-
-    Future PRs append comparable points by re-running ``make bench`` on
-    the same machine and diffing ``workloads.*.tiers``.
-    """
+def build_point(rows: list[dict], warm: int, timed: int,
+                reps: int) -> dict:
+    """One comparable trajectory point (see docs/performance.md)."""
     return {
-        "schema_version": SCHEMA_VERSION,
-        "benchmark": "bench_simspeed",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "machine": {
             "platform": platform.platform(),
@@ -247,7 +354,7 @@ def build_report(rows: list[dict], warm: int, timed: int,
         },
         "config": {
             "machine_config": "scaled_nehalem",
-            "budget_cycles": 40_000,
+            "budget_cycles": int(DEFAULT_BUDGET),
             "warm": warm,
             "timed": timed,
             "reps": reps,
@@ -256,6 +363,10 @@ def build_report(rows: list[dict], warm: int, timed: int,
             "streaming_fastlane_over_generic": STREAMING_TARGET,
             "kernel_over_fastlane": KERNEL_OVER_FASTLANE_TARGET,
             "kernel_over_generic": KERNEL_OVER_GENERIC_TARGET,
+            "vector_over_kernel_stream":
+                VECTOR_OVER_KERNEL_STREAM_TARGET,
+            "vector_over_kernel_chase":
+                VECTOR_OVER_KERNEL_CHASE_TARGET,
         },
         "workloads": {
             row["workload"]: {
@@ -263,20 +374,59 @@ def build_report(rows: list[dict], warm: int, timed: int,
                 "kernel_gated": row["kernel_gated"],
                 "tiers": row["tiers"],
                 "ratios": row["ratios"],
+                "vector_gate": row.get("vector_gate"),
             }
             for row in rows
         },
     }
 
 
+def build_report(points: list[dict]) -> dict:
+    """The ``--json`` payload: a trajectory of comparable points."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "bench_simspeed",
+        "points": points,
+    }
+
+
+def migrate_points(report: dict) -> list[dict]:
+    """Existing-file contents -> its trajectory points.
+
+    Schema 1 was a single bare snapshot: it becomes point zero of the
+    trajectory, its fields carried over untouched (the tier and ratio
+    keys it lacks simply stay absent — consumers key off what is
+    present).  Schema 2 files return their ``points`` list as is.
+    """
+    if report.get("schema_version") == SCHEMA_VERSION:
+        return list(report["points"])
+    point = {
+        key: value for key, value in report.items()
+        if key not in ("schema_version", "benchmark")
+    }
+    return [point]
+
+
+def write_report(path: Path, rows: list[dict], warm: int, timed: int,
+                 reps: int, append: bool) -> int:
+    """Write (or extend) the trajectory file; return its point count."""
+    point = build_point(rows, warm, timed, reps)
+    points = [point]
+    if append and path.exists():
+        points = migrate_points(json.loads(path.read_text())) + [point]
+    path.write_text(json.dumps(build_report(points), indent=2) + "\n")
+    return len(points)
+
+
 def profile_streaming_run(top: int = 20) -> None:
-    """cProfile one kernel-tier streaming run; print top ``top`` by
+    """cProfile one vector-tier streaming run; print top ``top`` by
     cumulative time — the shopping list for future hot-path work."""
     import cProfile
     import pstats
 
     os.environ["REPRO_FAST_LANE"] = "1"
     os.environ["REPRO_BULK_KERNEL"] = "1"
+    os.environ["REPRO_VECTOR_KERNEL"] = "1"
     try:
         from repro.arch.chip import MulticoreChip
 
@@ -297,6 +447,7 @@ def profile_streaming_run(top: int = 20) -> None:
     finally:
         os.environ.pop("REPRO_FAST_LANE", None)
         os.environ.pop("REPRO_BULK_KERNEL", None)
+        os.environ.pop("REPRO_VECTOR_KERNEL", None)
 
 
 def _timed_engine_run(tracer=None, length: float = 0.05) -> float:
@@ -357,7 +508,7 @@ def measure_trace_overhead(
 
 def bench_simspeed_smoke():
     """Pytest entry: tier ordering must hold (no absolute thresholds)."""
-    rows = run_suite(warm=3, timed=10, reps=1)
+    rows = run_suite(warm=3, timed=10, reps=1, vector_gates=False)
     print(render(rows))
     failures = check_gates(rows, smoke=True)
     assert not failures, "; ".join(failures)
@@ -380,9 +531,15 @@ def main(argv: list[str] | None = None) -> int:
              "(format: docs/performance.md)",
     )
     parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append this run as a new point to the --json trajectory "
+             "instead of overwriting it (schema-1 files are migrated)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
-        help="instead of the suite, cProfile one kernel-tier streaming "
+        help="instead of the suite, cProfile one vector-tier streaming "
              "run and print the top-20 cumulative functions",
     )
     parser.add_argument(
@@ -426,13 +583,14 @@ def main(argv: list[str] | None = None) -> int:
         args.timed if args.timed is not None else (10 if args.smoke else 40)
     )
     reps = args.reps if args.reps is not None else (1 if args.smoke else 3)
-    rows = run_suite(warm, timed, reps)
+    rows = run_suite(warm, timed, reps, vector_gates=not args.smoke)
     print(render(rows))
 
     if args.json:
-        report = build_report(rows, warm, timed, reps)
-        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
-        print(f"wrote {args.json}")
+        count = write_report(
+            Path(args.json), rows, warm, timed, reps, args.append
+        )
+        print(f"wrote {args.json} ({count} point(s))")
 
     failures = check_gates(rows, smoke=args.smoke)
     if failures:
@@ -444,7 +602,9 @@ def main(argv: list[str] | None = None) -> int:
         else (
             f"OK: streaming fastlane >= {STREAMING_TARGET}x, kernel >= "
             f"{KERNEL_OVER_FASTLANE_TARGET}x fastlane / "
-            f"{KERNEL_OVER_GENERIC_TARGET}x generic"
+            f"{KERNEL_OVER_GENERIC_TARGET}x generic, vector >= "
+            f"{VECTOR_OVER_KERNEL_STREAM_TARGET}x kernel on streaming / "
+            f"{VECTOR_OVER_KERNEL_CHASE_TARGET}x on pointer-chase"
         )
     )
     return 0

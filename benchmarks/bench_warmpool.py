@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Campaign fan-out wall clock: persistent warm pool vs cold spawns.
+
+The cold executor pays a full ``ProcessPoolExecutor`` spawn — fork,
+interpreter bring-up, ``repro`` import — for *every* batch it runs.
+The persistent pool (:mod:`repro.experiments.workerpool`) pays it once
+per campaign, keeps the workers hot between batches, interns specs by
+digest so repeats ship as a 16-byte key, and returns outcomes over a
+shared-memory ring instead of the executor's pickle queue.
+
+This benchmark times the acceptance scenario from the tier-4 PR: a
+64-spec fan-out at ``--jobs 4``, run as a sequence of batches the way
+a sweep driver issues them.  The warm pool must finish the campaign at
+least :data:`WARM_OVER_COLD_TARGET` times faster than the cold path.
+
+Usage::
+
+    python benchmarks/bench_warmpool.py            # full gate run
+    python benchmarks/bench_warmpool.py --smoke    # ordering only
+
+Exits non-zero when the gate fails, so CI can call it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.campaign import CampaignSettings  # noqa: E402
+from repro.experiments.executor import run_specs  # noqa: E402
+from repro.experiments.workerpool import shutdown_pool  # noqa: E402
+
+#: Required campaign speedup of the persistent pool over per-batch
+#: process spawning (the PR acceptance gate).
+WARM_OVER_COLD_TARGET = 1.3
+
+#: The acceptance scenario: 64 specs fanned over 4 workers.
+DEFAULT_SPECS = 64
+DEFAULT_JOBS = 4
+
+#: Batches per campaign — a sweep driver issues specs in waves (one
+#: per figure point, ablation step, or retry round), and the cold
+#: path re-spawns the pool for every one of them.
+DEFAULT_BATCHES = 16
+
+#: Very short simulator runs so the fixed per-batch transport cost —
+#: pool bring-up, lazy sim-module imports in fresh workers, spec
+#: pickling — dominates what we compare, not the simulation itself.
+SETTINGS = CampaignSettings(length=0.002, backend="sim")
+
+BENCHES = ("444.namd", "429.mcf", "450.soplex", "462.libquantum")
+CONFIGS = ("solo", "rule")
+
+
+def make_specs(n: int) -> list:
+    """``n`` distinct-but-cheap specs cycling the paper's pairings."""
+    specs = []
+    i = 0
+    while len(specs) < n:
+        bench = BENCHES[i % len(BENCHES)]
+        config = CONFIGS[(i // len(BENCHES)) % len(CONFIGS)]
+        specs.append(SETTINGS.run_spec(bench, config))
+        i += 1
+    return specs
+
+
+def run_campaign(specs: list, jobs: int, batches: int) -> float:
+    """Wall-clock seconds to run ``specs`` as ``batches`` waves."""
+    per = max(1, len(specs) // batches)
+    waves = [specs[i:i + per] for i in range(0, len(specs), per)]
+    start = time.perf_counter()
+    for wave in waves:
+        outcomes = run_specs(wave, jobs=jobs)
+        assert len(outcomes) == len(wave)
+    return time.perf_counter() - start
+
+
+def measure(specs: list, jobs: int, batches: int, warm: bool,
+            reps: int) -> float:
+    """Best-of-``reps`` campaign wall clock for one transport."""
+    os.environ["REPRO_WARM_POOL"] = "1" if warm else "0"
+    try:
+        best = float("inf")
+        for _ in range(max(1, reps)):
+            # The cold path must pay its spawn cost every batch; the
+            # warm path pays it once per campaign, so each rep starts
+            # from a dead pool to time the whole campaign honestly.
+            shutdown_pool()
+            best = min(best, run_campaign(specs, jobs, batches))
+        return best
+    finally:
+        shutdown_pool()
+        os.environ.pop("REPRO_WARM_POOL", None)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="warm-pool vs cold-spawn campaign wall clock"
+    )
+    parser.add_argument("--specs", type=int, default=DEFAULT_SPECS)
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--batches", type=int, default=DEFAULT_BATCHES)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny campaign, ordering check only (for noisy CI hosts)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.specs, args.batches, args.reps = 8, 4, 1
+    specs = make_specs(args.specs)
+    cold = measure(specs, args.jobs, args.batches, warm=False,
+                   reps=args.reps)
+    warm = measure(specs, args.jobs, args.batches, warm=True,
+                   reps=args.reps)
+    speedup = cold / warm if warm else float("inf")
+    print(f"{args.specs} specs, {args.batches} batches, "
+          f"--jobs {args.jobs}:")
+    print(f"  cold spawns : {cold:8.2f} s")
+    print(f"  warm pool   : {warm:8.2f} s")
+    print(f"  speedup     : {speedup:8.2f} x "
+          f"(target {WARM_OVER_COLD_TARGET}x)")
+    if args.smoke:
+        if speedup <= 1.0:
+            print("FAIL: warm pool slower than cold spawns")
+            return 1
+        print("OK: warm pool faster than cold spawns")
+        return 0
+    if speedup < WARM_OVER_COLD_TARGET:
+        print(f"FAIL: {speedup:.2f}x below the "
+              f"{WARM_OVER_COLD_TARGET}x campaign target")
+        return 1
+    print(f"OK: warm pool >= {WARM_OVER_COLD_TARGET}x over cold spawns")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

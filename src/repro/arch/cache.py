@@ -16,6 +16,9 @@ pure container with three verbs: :meth:`probe`, :meth:`fill`,
 from __future__ import annotations
 
 import os
+from array import array
+
+import numpy as np
 
 from ..config import CacheGeometry
 from .replacement import (
@@ -50,6 +53,22 @@ def bulk_kernel_enabled() -> bool:
     enabled; like it, the flag is read at object construction.
     """
     return os.environ.get("REPRO_BULK_KERNEL", "1") != "0"
+
+
+def vector_kernel_enabled() -> bool:
+    """Whether the vectorized (tier-4) kernel is on (default yes).
+
+    ``REPRO_VECTOR_KERNEL=0`` disables the numpy vector path — both the
+    ``array('q')``-backed flat storage (with its zero-copy numpy views)
+    and the batched
+    :meth:`repro.arch.hierarchy.CacheHierarchy.access_many_vector`
+    walks — leaving exactly the PR5 bulk kernel (list-backed flat
+    arrays, scalar inlined walks).  That is how ``bench_simspeed``
+    isolates the vector tier's contribution from the bulk kernel's.
+    Only meaningful while the bulk kernel itself is enabled; like the
+    other gates, the flag is read at object construction.
+    """
+    return os.environ.get("REPRO_VECTOR_KERNEL", "1") != "0"
 
 
 #: Sentinel tag for an unoccupied flat-array slot.  Line addresses are
@@ -131,6 +150,7 @@ class SetAssociativeCache:
         geometry: CacheGeometry,
         policy: ReplacementPolicy,
         specialize: bool | None = None,
+        vector_storage: bool = False,
     ):
         self.name = name
         self.geometry = geometry
@@ -139,6 +159,14 @@ class SetAssociativeCache:
         self._num_sets = geometry.num_sets
         self._set_mask = geometry.num_sets - 1
         self._assoc = geometry.associativity
+        #: Monotone upper bound on every line ever filled (never
+        #: lowered by evictions).  The vector classifier proves
+        #: batch-vs-resident disjointness with one comparison when a
+        #: monotone address stream has moved past this bound;
+        #: conservatively high values only cost that fast path, never
+        #: correctness.  Maintained by the flat fill verb, by
+        #: ``access_many``'s batched fills, and by the vector commit.
+        self._max_tag = -1
         if specialize is None:
             specialize = fast_lane_enabled()
         #: whether re-touching the MRU line (list tail) is a policy
@@ -155,6 +183,18 @@ class SetAssociativeCache:
             and policy.flat_lru_compatible
             and bulk_kernel_enabled()
         )
+        #: whether the flat arrays are ``array('q')``-backed with
+        #: zero-copy numpy views — the representation the vector
+        #: kernel scatters/gathers against.  Opt-in per cache
+        #: (``vector_storage=True``): the hierarchy requests it only
+        #: for the shared L3, whose capacity is large enough for numpy
+        #: to win; the small private levels stay plain lists so the
+        #: scalar tiers never pay ``array('q')`` int boxing on reads.
+        #: Off everywhere when ``REPRO_VECTOR_KERNEL=0`` so the
+        #: bulk-kernel tier benches exactly as shipped in PR5.
+        self._vector = (
+            self._flat and vector_storage and vector_kernel_enabled()
+        )
         self._sets: list[list[int]] | None
         if self._flat:
             # Flat storage: each set owns the slot range
@@ -163,14 +203,30 @@ class SetAssociativeCache:
             # once full, logical position p lives at physical slot
             # base + (head + p) % assoc, i.e. the set is a circular
             # window whose LRU sits at the head slot.
-            self._tags: list[int] = [_EMPTY] * (
-                self._num_sets * self._assoc
-            )
-            self._fill_counts: list[int] = [0] * self._num_sets
-            self._heads: list[int] = [0] * self._num_sets
+            nslots = self._num_sets * self._assoc
+            if self._vector:
+                # array('q') keeps the scalar verbs' list-like item
+                # and slice semantics while letting the vector kernel
+                # operate on writable zero-copy numpy views (created
+                # per batch by :meth:`_vector_views` — never stored:
+                # a live view keeps the buffer exported, and the array
+                # module then refuses even size-preserving slice
+                # assignments, which the scalar verbs rely on).
+                self._tags = array("q", [_EMPTY]) * nslots
+                self._fill_counts = array("q", bytes(8 * self._num_sets))
+                self._heads = array("q", bytes(8 * self._num_sets))
+            else:
+                self._tags = [_EMPTY] * nslots
+                self._fill_counts = [0] * self._num_sets
+                self._heads = [0] * self._num_sets
             # Shadow of each set's MRU tag, letting the hottest checks
-            # skip the slot arithmetic entirely.
-            self._mru: list[int] = [_EMPTY] * self._num_sets
+            # skip the slot arithmetic entirely.  Deliberately a plain
+            # list even in vector mode: line addresses are large ints,
+            # and an ``array('q')`` read would box a fresh object on
+            # every probe's MRU compare — the scalar fallback's hottest
+            # load.  The vector kernel writes it back in per-set-sized
+            # strokes instead of through a view.
+            self._mru = [_EMPTY] * self._num_sets
             # All resident lines: the miss verdict in one hash probe.
             # A line maps to exactly one set, so cache-wide membership
             # equals set membership.
@@ -349,6 +405,8 @@ class SetAssociativeCache:
             self._tags[base + fill] = addr
             self._fill_counts[si] = fill + 1
         resident.add(addr)
+        if addr > self._max_tag:
+            self._max_tag = addr
         self._mru[si] = addr
         self.stats.fills += 1
         return victim
@@ -400,6 +458,25 @@ class SetAssociativeCache:
         self.stats.invalidations += 1
         return True
 
+    def _vector_views(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fresh zero-copy numpy views of the flat arrays.
+
+        ``(tags, fill_counts, heads)``, each a writable int64 view
+        over the backing ``array('q')`` — mutations are visible both
+        ways.  Views are created per batch and must be dropped right
+        after: while one lives, the backing array "exports a buffer"
+        and CPython's array module then refuses the (size-preserving)
+        slice assignments the scalar verbs perform.  The MRU shadow is
+        a plain list (see ``__init__``) and is updated directly.
+        """
+        return (
+            np.frombuffer(self._tags, dtype=np.int64),
+            np.frombuffer(self._fill_counts, dtype=np.int64),
+            np.frombuffer(self._heads, dtype=np.int64),
+        )
+
     # -- inspection ----------------------------------------------------
 
     def contains(self, addr: int) -> bool:
@@ -447,11 +524,19 @@ class SetAssociativeCache:
     def flush(self) -> None:
         """Empty the cache (keeps statistics)."""
         if self._flat:
-            n = len(self._tags)
-            self._tags[:] = [_EMPTY] * n
-            self._fill_counts[:] = [0] * self._num_sets
-            self._heads[:] = [0] * self._num_sets
-            self._mru[:] = [_EMPTY] * self._num_sets
+            if self._vector:
+                self._tags[:] = array("q", [_EMPTY]) * len(self._tags)
+                self._fill_counts[:] = array(
+                    "q", bytes(8 * self._num_sets)
+                )
+                self._heads[:] = array("q", bytes(8 * self._num_sets))
+                self._mru[:] = [_EMPTY] * self._num_sets
+            else:
+                n = len(self._tags)
+                self._tags[:] = [_EMPTY] * n
+                self._fill_counts[:] = [0] * self._num_sets
+                self._heads[:] = [0] * self._num_sets
+                self._mru[:] = [_EMPTY] * self._num_sets
             self._resident.clear()
             return
         for contents in self._sets:

@@ -22,6 +22,8 @@ from __future__ import annotations
 from functools import reduce
 from operator import add as _fadd
 
+import numpy as np
+
 from ..config import MachineConfig
 from .cache import fast_lane_enabled
 from .hierarchy import CacheHierarchy
@@ -33,6 +35,14 @@ _MAX_BATCH = 4096
 #: Smallest guaranteed-safe batch worth routing through the bulk
 #: kernel; below this the scalar tail loop finishes the budget.
 _KERNEL_MIN_BATCH = 8
+
+#: Smallest per-budget access estimate for which the vector kernel's
+#: fixed per-batch dispatch cost amortises.  Miss-bound workloads that
+#: execute only a couple hundred accesses per cycle budget run faster
+#: through the scalar bulk kernel, so the vector path stands down; the
+#: estimate is refreshed from every budget-limited run (whichever tier
+#: executed it), so a later phase change re-engages the vector path.
+_VECTOR_MIN_EST = 384
 
 
 class Core:
@@ -66,6 +76,9 @@ class Core:
         # beyond its budget; deducted from the next budget so cycle
         # accounting never exceeds the sum of granted budgets.
         self._stall_debt = 0.0
+        # Running estimate of how many accesses one cycle budget
+        # executes, sizing the vector kernel's batches (see run()).
+        self._vector_est = 512
 
     def run(self, process: "object", cycle_budget: float,
             start_cycle: float = 0.0) -> float:
@@ -140,7 +153,90 @@ class Core:
                 c4 = cpa + (mem_unit - l1_lat) * inv_overlap
                 costs = (0.0, cpa, c2, c3, c4)
                 worst = max(cpa, c2, c3, c4)
+                vector = (hierarchy.vector_kernel_ok(cid)
+                          and self._vector_est >= _VECTOR_MIN_EST)
+                if vector:
+                    take_array = phase.take_addresses_array
+                    vec_classify = hierarchy.vector_classify
+                    vec_commit = hierarchy.vector_commit
+                    costs_np = np.array(costs, dtype=np.float64)
+                    # The running total seeds slot 0 so the accumulate
+                    # replays the scalar loop's exact left-to-right
+                    # IEEE-754 add sequence.
+                    fold = np.empty(_MAX_BATCH + 1, dtype=np.float64)
                 while done < chunk:
+                    if vector:
+                        # The vector kernel prices a batch before
+                        # touching any state, so it needs no worst-case
+                        # sizing: take a large batch, find the exact
+                        # budget cutoff, commit the executable prefix
+                        # and push the rest back as a zero-copy view.
+                        if used >= cycle_budget:
+                            break
+                        batch = chunk - done
+                        if batch > _MAX_BATCH:
+                            batch = _MAX_BATCH
+                        # Adapt to the observed per-budget throughput
+                        # so miss-heavy phases don't classify ~4096
+                        # addresses to execute a few hundred; the 25%
+                        # overdraw absorbs estimate drift.
+                        cap = self._vector_est + (self._vector_est >> 2)
+                        if cap < 64:
+                            cap = 64
+                        if batch > cap:
+                            batch = cap
+                        if batch < _KERNEL_MIN_BATCH:
+                            break
+                        addr_arr = take_array(batch)
+                        plan = vec_classify(cid, addr_arr)
+                        if plan is None:
+                            # Not provably uniform: return the batch
+                            # untouched and finish this chunk on the
+                            # worst-case-sized scalar kernel.
+                            phase.push_back_array(addr_arr, 0)
+                            vector = False
+                            continue
+                        fold[0] = used
+                        np.take(costs_np, plan.levels,
+                                out=fold[1:batch + 1])
+                        np.add.accumulate(fold[:batch + 1],
+                                          out=fold[:batch + 1])
+                        # Access i executes iff the total before it is
+                        # under budget — the scalar loops' exact rule.
+                        n_exec = int(np.searchsorted(
+                            fold[:batch], cycle_budget, side="left"
+                        ))
+                        if not vec_commit(cid, plan, n_exec):
+                            # Structural bail (overloaded L3 set, an
+                            # invalidated hit prediction, an own-core
+                            # back-invalidation): nothing was mutated
+                            # and the pricing may be wrong, so hand
+                            # the whole batch to the scalar ladder.
+                            phase.push_back_array(addr_arr, 0)
+                            vector = False
+                            continue
+                        if plan.hit is None:
+                            # All-miss plan: every executed collapsed
+                            # access went to memory.
+                            n_mem = int(np.searchsorted(
+                                plan.keep_raw, n_exec, side="left"
+                            ))
+                        else:
+                            n_mem = int(np.count_nonzero(
+                                plan.levels[:n_exec] == 4
+                            ))
+                        used = float(fold[n_exec])
+                        if n_mem:
+                            memory.access_bulk(n_mem)
+                        done += n_exec
+                        if n_exec < batch:
+                            # Budget truncation: push the unexecuted
+                            # suffix back untouched (the end-of-run
+                            # bookkeeping refreshes the batch-size
+                            # estimate from the whole run).
+                            phase.push_back_array(addr_arr, n_exec)
+                            break
+                        continue
                     safe = int((cycle_budget - used) / worst)
                     if safe < _KERNEL_MIN_BATCH:
                         break
@@ -152,7 +248,8 @@ class Core:
                     levels = access_many(cid, take_addresses(batch))
                     # Same left-to-right IEEE-754 add sequence as the
                     # scalar loop, folded at C level.
-                    used = reduce(_fadd, map(costs.__getitem__, levels),
+                    used = reduce(_fadd,
+                                  map(costs.__getitem__, levels),
                                   used)
                     n_mem = levels.count(4)
                     if n_mem:
@@ -228,6 +325,11 @@ class Core:
             total_instructions += done * ipa
             process.account(done)
 
+        if used >= cycle_budget and total_accesses:
+            # Budget-limited run: what it executed is what one budget
+            # buys — the estimate the vector kernel's batch sizing (and
+            # its stand-down threshold) needs, whichever tier ran.
+            self._vector_est = total_accesses
         if used > cycle_budget:
             # The final access overshot; carry the excess into the next
             # call so charged cycles never exceed granted budgets.

@@ -26,6 +26,8 @@ from ..config import MachineConfig
 from ..errors import ConfigError
 from .cache import SetAssociativeCache, bulk_kernel_enabled
 from .replacement import make_policy
+from .vector_kernel import classify as _vector_classify
+from .vector_kernel import commit as _vector_commit
 
 #: Access outcome levels returned by :meth:`CacheHierarchy.access`.
 L1_HIT, L2_HIT, L3_HIT, MEMORY = 1, 2, 3, 4
@@ -114,6 +116,7 @@ class CacheHierarchy:
             "L3.shared",
             machine.l3,
             make_policy(machine.replacement, machine.l3.associativity, seed),
+            vector_storage=True,
         )
         self.counters = [HierarchyCounters() for _ in range(n)]
         self._inclusive = machine.l3_inclusive
@@ -208,6 +211,16 @@ class CacheHierarchy:
         l1 = self.l1[core]
         l2 = self.l2[core]
         l3 = self.l3
+        if addrs:
+            # One conservative raise of the monotone fill bounds covers
+            # every inlined fill below (see SetAssociativeCache._max_tag).
+            mx = max(addrs)
+            if mx > l1._max_tag:
+                l1._max_tag = mx
+            if mx > l2._max_tag:
+                l2._max_tag = mx
+            if mx > l3._max_tag:
+                l3._max_tag = mx
         l1_tags = l1._tags
         l1_fill = l1._fill_counts
         l1_heads = l1._heads
@@ -668,6 +681,40 @@ class CacheHierarchy:
             and self.l2[core]._flat
             and self.l3._flat
         )
+
+    def vector_kernel_ok(self, core: int) -> bool:
+        """Whether ``core`` may route batches through the vector kernel.
+
+        Tier 4 sits strictly above the bulk kernel in the fallback
+        ladder: everything :meth:`bulk_kernel_ok` requires, plus the
+        ``array('q')``-backed storage (with its numpy views) on the
+        shared L3 — which
+        :class:`repro.arch.cache.SetAssociativeCache` only allocates
+        when ``REPRO_VECTOR_KERNEL`` was on at construction.  The
+        private levels stay list-backed (the vector kernel fills them
+        with scalar verbs; their capacities are too small for numpy to
+        win), so only the L3 storage gates the tier.
+        """
+        return self.bulk_kernel_ok(core) and self.l3._vector
+
+    def vector_classify(self, core: int, addrs):
+        """Classify an int64 batch for the vector kernel (pure read).
+
+        Returns a :class:`repro.arch.vector_kernel.BatchPlan` whose
+        serving levels let the core price the whole batch before
+        touching any state, or ``None`` when the batch is not provably
+        uniform and must route through :meth:`access_many` instead.
+        """
+        return _vector_classify(self, core, addrs)
+
+    def vector_commit(self, core: int, plan, n_exec: int) -> bool:
+        """Apply a classified batch's first ``n_exec`` accesses.
+
+        ``False`` means the bulk update could not replay the sequential
+        walk and nothing was mutated; the caller must re-route the
+        untouched batch through the scalar ladder.
+        """
+        return _vector_commit(self, core, plan, n_exec)
 
     # -- inspection ----------------------------------------------------
 

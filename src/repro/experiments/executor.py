@@ -16,7 +16,17 @@ experiment driver uses; :func:`run_many` keeps the campaign's
 
 The worker count comes from, in priority order: an explicit ``jobs``
 argument (the CLI's ``--jobs``), the ``REPRO_JOBS`` environment
-variable, and finally ``os.cpu_count()``.
+variable, and finally the number of CPUs this process may actually be
+scheduled on (``os.sched_getaffinity``, so container/cgroup CPU masks
+are honoured), falling back to ``os.cpu_count()`` where affinity is
+unsupported.
+
+Spec fan-outs (:func:`run_specs`) route through the persistent warm
+pool of :mod:`repro.experiments.workerpool` by default; set
+``REPRO_WARM_POOL=0`` for the cold per-batch
+:class:`~concurrent.futures.ProcessPoolExecutor` behaviour.
+:func:`fan_out` itself stays cold — it accepts arbitrary callables,
+which the spec-keyed warm protocol cannot intern.
 """
 
 from __future__ import annotations
@@ -54,7 +64,13 @@ def resolve_jobs(jobs: int | None = None, source: str = "jobs") -> int:
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
         if env is None:
-            return os.cpu_count() or 1
+            try:
+                # The schedulable-CPU count: inside a container or
+                # taskset mask this is the real parallelism available,
+                # which os.cpu_count() (all system CPUs) overstates.
+                return len(os.sched_getaffinity(0))
+            except (AttributeError, OSError):
+                return os.cpu_count() or 1
         source = "REPRO_JOBS"
         try:
             jobs = int(env)
@@ -201,14 +217,83 @@ def run_specs(
     Outcomes come back in ``specs`` order.  Failures are reported with
     ``describe`` (defaulting to :meth:`RunSpec.describe`, e.g.
     ``(429.mcf, rule)``) and never abort sibling runs.
+
+    Parallel batches run on the persistent warm pool
+    (:mod:`repro.experiments.workerpool`) unless ``REPRO_WARM_POOL=0``;
+    serial execution (``jobs=1``) stays in-process, the bit-identical
+    reference both parallel paths are tested against.
     """
+    from .workerpool import warm_pool_enabled
+
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    describe = describe or RunSpec.describe
+    if jobs > 1 and len(specs) > 1 and warm_pool_enabled():
+        return _run_specs_warm(specs, jobs, metrics, describe)
     return fan_out(
         _execute_spec,
-        list(specs),
+        specs,
         jobs=jobs,
-        describe=describe or RunSpec.describe,
+        describe=describe,
         metrics=metrics,
     )
+
+
+def _run_specs_warm(
+    specs: list[RunSpec],
+    jobs: int,
+    metrics: MetricsRegistry | None,
+    describe: Callable[[RunSpec], str],
+) -> list[RunOutcome]:
+    """:func:`run_specs` on the persistent pool — same contract.
+
+    Matches the cold parallel path observable-for-observable: results
+    in spec order, one aggregated :class:`ExperimentError` naming every
+    failed run, and the same metrics instruments (``executor.tasks``,
+    ``executor.failures``, ``executor.job_seconds``,
+    ``executor.batch_seconds``) plus the warm-only
+    ``executor.worker_reuse`` gauge — how many dispatches in this
+    batch were served from a worker's interned spec state.
+    """
+    from .workerpool import WorkerFailure, get_pool
+
+    pool = get_pool(jobs)
+    batch_started = time.perf_counter()
+    span = None
+    if metrics is not None:
+        metrics.counter("executor.tasks").inc(len(specs))
+        span = metrics.histogram(
+            "executor.job_seconds", buckets=SECONDS_BUCKETS
+        )
+
+    def on_result(key: object, value: object, seconds: float) -> None:
+        if span is not None:
+            span.observe(seconds)
+
+    results = pool.map_specs(
+        [(index, spec, None) for index, spec in enumerate(specs)],
+        on_result=on_result,
+    )
+    failures: list[str] = []
+    out: list[RunOutcome] = []
+    for index, spec in enumerate(specs):
+        value = results[index]
+        if isinstance(value, WorkerFailure):
+            failures.append(f"{describe(spec)}: {value.describe()}")
+        else:
+            out.append(value)
+    if metrics is not None:
+        metrics.counter("executor.failures").inc(len(failures))
+        metrics.gauge("executor.batch_seconds").set(
+            time.perf_counter() - batch_started
+        )
+        metrics.gauge("executor.worker_reuse").set(pool.last_batch_reuse)
+    if failures:
+        raise ExperimentError(
+            f"{len(failures)} of {len(specs)} runs failed — "
+            + "; ".join(failures)
+        )
+    return out
 
 
 def run_many(

@@ -37,6 +37,7 @@ from ..faults.chaos import maybe_inject
 from ..obs import MetricsRegistry
 from ..runspec import RunOutcome, RunSpec
 from .executor import _execute_spec, resolve_jobs
+from .workerpool import WorkerFailure, get_pool, warm_pool_enabled
 
 #: Environment overrides for :meth:`RetryPolicy.from_env`.
 RETRIES_ENV = "REPRO_RETRIES"
@@ -221,6 +222,11 @@ def _parallel_round(
     on_complete: Callable[[RunSpec, RunOutcome, int], None] | None,
     metrics: MetricsRegistry | None,
 ) -> list[RunSpec]:
+    if warm_pool_enabled():
+        return _warm_round(
+            pending, attempt, jobs, policy, outcomes, errors,
+            on_complete, metrics,
+        )
     failed: list[RunSpec] = []
     abandoned = False
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
@@ -259,6 +265,60 @@ def _parallel_round(
         pool.shutdown(wait=False, cancel_futures=True)
         raise
     pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+    return failed
+
+
+def _warm_round(
+    pending: list[RunSpec],
+    attempt: int,
+    jobs: int,
+    policy: RetryPolicy,
+    outcomes: dict[str, RunOutcome],
+    errors: dict[str, str],
+    on_complete: Callable[[RunSpec, RunOutcome, int], None] | None,
+    metrics: MetricsRegistry | None,
+) -> list[RunSpec]:
+    """One retry round on the persistent pool — same contract as cold.
+
+    Timeouts keep their failure identity (``timed out after Ns``), but
+    the enforcement improves: the pool kills and respawns exactly the
+    wedged worker instead of abandoning a whole
+    :class:`~concurrent.futures.ProcessPoolExecutor`, and a worker
+    that dies mid-run (chaos ``die``) fails only its own spec.
+    ``on_complete`` fires the moment each spec settles, preserving the
+    checkpoint seam.
+    """
+    pool = get_pool(jobs)
+    if metrics is not None:
+        metrics.counter("executor.attempts").inc(len(pending))
+    by_key = {spec.digest: spec for spec in pending}
+
+    def on_result(key: object, value: object, _span: float) -> None:
+        if isinstance(value, WorkerFailure):
+            return
+        spec = by_key[key]
+        outcomes[spec.digest] = value
+        if on_complete is not None:
+            on_complete(spec, value, attempt)
+
+    results = pool.map_specs(
+        [(spec.digest, spec, attempt) for spec in pending],
+        timeout=policy.timeout,
+        on_result=on_result,
+    )
+    failed: list[RunSpec] = []
+    for spec in pending:
+        value = results[spec.digest]
+        if isinstance(value, WorkerFailure):
+            if value.timed_out:
+                errors[spec.digest] = (
+                    f"timed out after {policy.timeout:g}s"
+                )
+            else:
+                errors[spec.digest] = value.describe()
+            failed.append(spec)
+    if metrics is not None:
+        metrics.gauge("executor.worker_reuse").set(pool.last_batch_reuse)
     return failed
 
 

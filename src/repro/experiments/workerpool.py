@@ -1,0 +1,474 @@
+"""Persistent spec workers: warm fan-out without per-batch spawns.
+
+:func:`~repro.experiments.executor.fan_out` pays a full
+:class:`~concurrent.futures.ProcessPoolExecutor` spin-up — process
+forks, pickled module state, pool teardown — for *every* batch.  A
+campaign is hundreds of small batches over the same few dozen specs,
+so the spawn tax dominates short runs.  This module keeps one warm
+pool of worker processes alive across batches:
+
+* **Spec interning** — a worker remembers every spec it has executed,
+  keyed by content digest; re-dispatching the same spec sends only the
+  digest string over the task queue (the ``executor.worker_reuse``
+  gauge counts these digest-only dispatches).
+* **Zero-copy results** — each worker owns a
+  :class:`multiprocessing.shared_memory.SharedMemory` SPSC ring
+  buffer; outcomes come back as pickled payloads written straight into
+  the ring (the queue then carries only a tiny header), falling back
+  to queue pickling when a payload outgrows the free ring space.
+* **Per-task environment forwarding** — the ``REPRO_*`` environment is
+  snapshotted at dispatch and replayed in the worker, so env-driven
+  behaviour (chaos, tracing, tier gates) tracks the parent exactly as
+  it did when every batch forked fresh processes.
+* **Failure containment** — a worker that dies (chaos ``die``, OOM
+  kill) or outlives a per-task timeout is killed and respawned; only
+  its in-flight task fails, with the same failure identity the cold
+  path reports.
+
+The pool is an implementation detail behind
+:func:`~repro.experiments.executor.run_specs` and the resilient
+executor's parallel rounds; ``REPRO_WARM_POOL=0`` restores the cold
+per-batch pools.  One task is in flight per worker at a time, so
+dispatch-to-result spans are exact and a kill loses exactly one task.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from queue import Empty
+from typing import Callable, Sequence
+
+from ..faults.chaos import maybe_inject
+from ..runspec import RunSpec
+
+#: Gate (default on): ``0``/``false``/``off`` restores the cold
+#: per-batch :class:`~concurrent.futures.ProcessPoolExecutor` path.
+WARM_POOL_ENV = "REPRO_WARM_POOL"
+
+#: Per-worker result ring capacity.  Outcomes are a few KiB; a ring
+#: this size never overflows in practice, and the queue-pickle
+#: fallback keeps correctness when one does.
+RING_BYTES = 1 << 20
+
+#: Ring header: two little-endian uint64 cursors (head, tail).
+_HEADER = 16
+
+#: Liveness/deadline poll cadence while waiting for results.
+_POLL_SECONDS = 0.05
+
+#: Only this namespace is forwarded per task; everything else the
+#: worker inherited at fork and never needs refreshed.
+_ENV_PREFIX = "REPRO_"
+
+
+def warm_pool_enabled() -> bool:
+    """Whether the persistent pool backs parallel spec execution."""
+    return os.environ.get(WARM_POOL_ENV, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+# -- SPSC ring ---------------------------------------------------------
+#
+# Layout: bytes [0, 8) the write cursor (head, worker-owned), [8, 16)
+# the read cursor (tail, parent-owned), the rest the data area.  Both
+# cursors grow monotonically; position = cursor % data_size.  Single
+# writer per cursor makes the protocol race-free: the worker only
+# writes payload bytes the parent has already consumed (head - tail is
+# the unread span), and the parent only reads bytes the header message
+# on the result queue has announced.
+
+def _ring_write(buf, data: bytes) -> bool:
+    """Append ``data`` to the ring; False when it does not fit."""
+    size = len(buf) - _HEADER
+    need = len(data)
+    head = int.from_bytes(buf[0:8], "little")
+    tail = int.from_bytes(buf[8:16], "little")
+    if need > size - (head - tail):
+        return False
+    pos = head % size
+    first = min(need, size - pos)
+    buf[_HEADER + pos:_HEADER + pos + first] = data[:first]
+    if first < need:
+        buf[_HEADER:_HEADER + need - first] = data[first:]
+    buf[0:8] = (head + need).to_bytes(8, "little")
+    return True
+
+
+def _ring_read(buf, length: int) -> bytes:
+    """Consume ``length`` announced bytes from the ring."""
+    size = len(buf) - _HEADER
+    tail = int.from_bytes(buf[8:16], "little")
+    pos = tail % size
+    first = min(length, size - pos)
+    data = bytes(buf[_HEADER + pos:_HEADER + pos + first])
+    if first < length:
+        data += bytes(buf[_HEADER:_HEADER + length - first])
+    buf[8:16] = (tail + length).to_bytes(8, "little")
+    return data
+
+
+# -- worker process ----------------------------------------------------
+
+def _apply_env(env: dict[str, str]) -> None:
+    """Make the worker's ``REPRO_*`` namespace equal the snapshot."""
+    for key in [k for k in os.environ if k.startswith(_ENV_PREFIX)]:
+        if key not in env:
+            del os.environ[key]
+    for key, value in env.items():
+        if os.environ.get(key) != value:
+            os.environ[key] = value
+
+
+def _worker_main(worker_id: int, task_q, result_q, shm_name: str) -> None:
+    """Worker loop: intern specs, execute, ship outcomes via the ring.
+
+    Result messages are ``(worker_id, key, ok, reused, in_ring,
+    payload)`` where ``payload`` is the pickled byte count when
+    ``in_ring`` else the pickled bytes themselves.  ``ok=False``
+    payloads unpickle to the raised exception, preserving the cold
+    path's per-run failure identities.
+    """
+    from .executor import _execute_spec
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    buf = shm.buf
+    specs: dict[str, RunSpec] = {}
+    try:
+        while True:
+            msg = task_q.get()
+            if msg is None:
+                break
+            key, payload, attempt, env = msg
+            _apply_env(env)
+            if isinstance(payload, str):
+                spec = specs[payload]
+                reused = True
+            else:
+                spec = payload
+                specs[spec.digest] = spec
+                reused = False
+            try:
+                if attempt is not None:
+                    maybe_inject(spec, attempt)
+                result: object = _execute_spec(spec)
+                ok = True
+            except BaseException as exc:  # shipped, not swallowed
+                result = exc
+                ok = False
+            try:
+                data = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                ok = False
+                data = pickle.dumps(
+                    RuntimeError(f"unpicklable result: {exc!r}")
+                )
+            in_ring = _ring_write(buf, data)
+            result_q.put((
+                worker_id, key, ok, reused, in_ring,
+                len(data) if in_ring else data,
+            ))
+    finally:
+        buf = None
+        shm.close()
+
+
+# -- parent-side pool --------------------------------------------------
+
+@dataclass
+class WorkerFailure:
+    """A task the pool could not turn into an outcome."""
+
+    error: BaseException | None
+    timed_out: bool = False
+    died: bool = False
+    message: str = ""
+
+    def describe(self) -> str:
+        if self.message:
+            return self.message
+        return repr(self.error)
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one persistent worker process."""
+
+    process: object
+    task_q: object
+    shm: shared_memory.SharedMemory
+    known: set[str] = field(default_factory=set)
+    #: (key, spec, attempt) currently executing, None when idle
+    busy: tuple | None = None
+    deadline: float | None = None
+    started: float = 0.0
+
+
+class SpecWorkerPool:
+    """A warm, fixed-size pool of persistent spec workers.
+
+    One task in flight per worker; :meth:`map_specs` drives a whole
+    batch and returns per-key outcomes or :class:`WorkerFailure`
+    markers.  The pool survives across batches — that is the point —
+    and :func:`get_pool` keeps a process-wide singleton sized to the
+    campaign's ``--jobs``.
+    """
+
+    def __init__(self, jobs: int, ring_bytes: int = RING_BYTES):
+        self.jobs = jobs
+        self._ring_bytes = ring_bytes
+        self._ctx = get_context("fork")
+        self._result_q = self._ctx.Queue()
+        self._workers: dict[int, _Worker] = {}
+        self._next_id = 0
+        self._closed = False
+        #: cumulative digest-only dispatches (spec already interned)
+        self.reuse_hits = 0
+        #: digest-only dispatches in the most recent map_specs batch
+        self.last_batch_reuse = 0
+        #: workers respawned after a death or timeout kill
+        self.respawns = 0
+        for _ in range(jobs):
+            self._spawn()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _spawn(self) -> int:
+        wid = self._next_id
+        self._next_id += 1
+        shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER + self._ring_bytes
+        )
+        shm.buf[0:_HEADER] = b"\x00" * _HEADER
+        task_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, self._result_q, shm.name),
+            daemon=True,
+            name=f"repro-spec-worker-{wid}",
+        )
+        process.start()
+        self._workers[wid] = _Worker(
+            process=process, task_q=task_q, shm=shm
+        )
+        return wid
+
+    def _retire(self, wid: int, kill: bool) -> None:
+        """Drop one worker (killing it if asked) and free its ring."""
+        worker = self._workers.pop(wid)
+        if kill:
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=2.0)
+        worker.task_q.close()
+        worker.shm.close()
+        try:
+            worker.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        """Shut every worker down and release the shared rings."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            if worker.busy is None and worker.process.is_alive():
+                try:
+                    worker.task_q.put(None)
+                except (OSError, ValueError):
+                    pass
+        for wid in list(self._workers):
+            self._retire(wid, kill=self._workers[wid].busy is not None)
+        self._result_q.close()
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(
+        self,
+        worker: _Worker,
+        task: tuple,
+        timeout: float | None,
+        env: dict[str, str],
+    ) -> None:
+        key, spec, attempt = task
+        if spec.digest in worker.known:
+            payload: object = spec.digest
+            self.reuse_hits += 1
+            self.last_batch_reuse += 1
+        else:
+            payload = spec
+            worker.known.add(spec.digest)
+        worker.busy = task
+        worker.started = time.monotonic()
+        worker.deadline = (
+            worker.started + timeout if timeout is not None else None
+        )
+        worker.task_q.put((key, payload, attempt, env))
+
+    def map_specs(
+        self,
+        tasks: Sequence[tuple[object, RunSpec, int | None]],
+        timeout: float | None = None,
+        on_result: Callable[[object, object, float], None] | None = None,
+    ) -> dict:
+        """Run ``(key, spec, attempt)`` tasks; outcomes keyed by key.
+
+        ``attempt`` arms the chaos hook (``None`` skips it, matching
+        the non-resilient executor).  Values are :class:`RunOutcome`
+        on success and :class:`WorkerFailure` otherwise: an exception
+        shipped back from the worker, a per-task ``timeout`` expiry
+        (the worker is killed and respawned), or a worker death.
+        ``on_result(key, value, span_seconds)`` fires as each task
+        settles, span measured dispatch-to-result.  Any exception that
+        escapes the batch — a worker exception that is not an
+        :class:`Exception` (chaos ``interrupt``'s
+        :exc:`KeyboardInterrupt`), Ctrl-C in this process, or an
+        ``on_result`` checkpoint failure — tears the whole pool down
+        before re-raising, so no orphan worker keeps simulating and a
+        fresh pool starts clean: the cold path's abandonment posture.
+        """
+        self.last_batch_reuse = 0
+        results: dict = {}
+        pending = deque(tasks)
+        env = {
+            k: v for k, v in os.environ.items()
+            if k.startswith(_ENV_PREFIX)
+        }
+
+        def settle(key: object, value: object, span: float) -> None:
+            results[key] = value
+            if on_result is not None:
+                on_result(key, value, span)
+
+        try:
+            while pending or any(
+                w.busy is not None for w in self._workers.values()
+            ):
+                for worker in self._workers.values():
+                    if not pending:
+                        break
+                    if worker.busy is None:
+                        self._dispatch(
+                            worker, pending.popleft(), timeout, env
+                        )
+                now = time.monotonic()
+                wait = _POLL_SECONDS
+                for worker in self._workers.values():
+                    if (worker.busy is not None
+                            and worker.deadline is not None):
+                        wait = min(
+                            wait, max(worker.deadline - now, 0.001)
+                        )
+                try:
+                    msg = self._result_q.get(timeout=wait)
+                except Empty:
+                    msg = None
+                if msg is not None:
+                    wid, key, ok, _reused, in_ring, payload = msg
+                    worker = self._workers.get(wid)
+                    if worker is None or worker.busy is None \
+                            or worker.busy[0] != key:
+                        continue  # stale: its worker was retired
+                    data = (
+                        _ring_read(worker.shm.buf, payload)
+                        if in_ring else payload
+                    )
+                    value = pickle.loads(data)
+                    span = time.monotonic() - worker.started
+                    worker.busy = None
+                    worker.deadline = None
+                    if ok:
+                        settle(key, value, span)
+                    elif isinstance(value, Exception):
+                        settle(key, WorkerFailure(error=value), span)
+                    else:
+                        # KeyboardInterrupt and kin: abandon the
+                        # batch the way the cold path does.
+                        raise value
+                now = time.monotonic()
+                for wid in list(self._workers):
+                    worker = self._workers[wid]
+                    if worker.busy is None:
+                        continue
+                    key, _spec, _attempt = worker.busy
+                    if not worker.process.is_alive():
+                        code = worker.process.exitcode
+                        span = now - worker.started
+                        self._retire(wid, kill=False)
+                        self._spawn()
+                        self.respawns += 1
+                        settle(
+                            key,
+                            WorkerFailure(
+                                error=None, died=True,
+                                message=(
+                                    "worker died with exit code "
+                                    f"{code}"
+                                ),
+                            ),
+                            span,
+                        )
+                    elif (worker.deadline is not None
+                            and now > worker.deadline):
+                        span = now - worker.started
+                        self._retire(wid, kill=True)
+                        self._spawn()
+                        self.respawns += 1
+                        settle(
+                            key,
+                            WorkerFailure(error=None, timed_out=True),
+                            span,
+                        )
+        except BaseException:
+            self.close()
+            _reset_singleton(self)
+            raise
+        return results
+
+
+# -- process-wide singleton --------------------------------------------
+
+_pool: SpecWorkerPool | None = None
+_atexit_registered = False
+
+
+def _reset_singleton(pool: SpecWorkerPool) -> None:
+    global _pool
+    if _pool is pool:
+        _pool = None
+
+
+def get_pool(jobs: int) -> SpecWorkerPool:
+    """The shared warm pool, (re)sized to ``jobs`` workers.
+
+    Campaigns call this per batch; the pool persists between calls —
+    resizing (a changed ``--jobs``) is the only thing that recycles
+    the workers and their interned spec state.
+    """
+    global _pool, _atexit_registered
+    if _pool is not None and _pool.jobs != jobs:
+        _pool.close()
+        _pool = None
+    if _pool is None:
+        _pool = SpecWorkerPool(jobs)
+        if not _atexit_registered:
+            atexit.register(shutdown_pool)
+            _atexit_registered = True
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Close the singleton pool (tests and interpreter exit)."""
+    global _pool
+    if _pool is not None:
+        _pool.close()
+        _pool = None

@@ -10,8 +10,11 @@ The environment variable is ``kind:count[:victim]``:
 
 * ``kind`` — ``crash`` (raise :class:`~repro.errors.ChaosError` in the
   worker), ``hang`` (sleep :data:`HANG_SECONDS`, tripping a per-run
-  timeout), or ``interrupt`` (raise :exc:`KeyboardInterrupt`, the
-  deterministic stand-in for Ctrl-C mid-campaign);
+  timeout), ``interrupt`` (raise :exc:`KeyboardInterrupt`, the
+  deterministic stand-in for Ctrl-C mid-campaign), or ``die``
+  (``os._exit`` the worker process outright — no exception, no
+  cleanup — exercising dead-worker detection and replacement; in the
+  main process, where nothing supervises us, it degrades to a crash);
 * ``count`` — sabotage attempts 1..count of each matching run, so
   ``crash:1`` fails once and then succeeds on retry while ``crash:99``
   fails persistently (the quarantine path);
@@ -42,7 +45,11 @@ CHAOS_ENV = "REPRO_CHAOS"
 #: per-run timeout, short enough that a leaked worker drains quickly.
 HANG_SECONDS = 3.0
 
-_KINDS = ("crash", "hang", "interrupt")
+#: Exit status a chaos ``die`` terminates the worker with; tests
+#: recognise it in dead-worker failure reports.
+_DIE_EXIT_CODE = 86
+
+_KINDS = ("crash", "hang", "interrupt", "die")
 
 
 @dataclass(frozen=True)
@@ -102,6 +109,20 @@ def maybe_inject(spec: "RunSpec", attempt: int) -> None:
     if chaos.kind == "hang":
         time.sleep(HANG_SECONDS)
         return
+    if chaos.kind == "die":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            # A stand-in for the kernel's OOM kill: the worker process
+            # vanishes mid-run with no exception and no goodbye.
+            os._exit(_DIE_EXIT_CODE)
+        # Executing in the main process (a serial round): exiting here
+        # would kill the campaign itself, which no real worker death
+        # can do.  Degrade to a crash so the retry ladder still turns.
+        raise ChaosError(
+            f"chaos: die requested in-process on attempt {attempt} of "
+            f"{spec.describe()} (no worker to kill; degraded to crash)"
+        )
     raise KeyboardInterrupt(
         f"chaos: injected interrupt on attempt {attempt} of "
         f"{spec.describe()}"

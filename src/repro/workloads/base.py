@@ -50,6 +50,16 @@ class AccessPattern(ABC):
         next_address = self.next_address
         return [next_address() for _ in range(n)]
 
+    def next_addresses_array(self, n: int) -> np.ndarray:
+        """Produce the next ``n`` line addresses as an int64 array.
+
+        The same stream :meth:`next_addresses` would yield, in ndarray
+        form for the vector kernel.  Patterns that compute their
+        batches in numpy anyway override this to skip the ``tolist``
+        round-trip; everything else converts the list batch.
+        """
+        return np.asarray(self.next_addresses(n), dtype=np.int64)
+
     def footprint_lines(self) -> int:
         """Number of distinct lines the pattern can touch (if known)."""
         return 0
@@ -125,6 +135,8 @@ class RuntimePhase:
         "store_ratio",
         "_pending",
         "_pending_pos",
+        "_pending_arr",
+        "_pending_arr_pos",
     )
 
     def __init__(self, spec: PhaseSpec, pattern: AccessPattern):
@@ -136,9 +148,26 @@ class RuntimePhase:
         self.store_ratio = spec.store_ratio
         self._pending: list[int] = []
         self._pending_pos = 0
+        # Array-form pending (written only by the vector kernel's
+        # push-back).  Always logically *ahead* of the list pending:
+        # an array push-back returns the unconsumed suffix of a batch
+        # whose addresses were already drawn past the list cursor.
+        self._pending_arr: np.ndarray | None = None
+        self._pending_arr_pos = 0
 
     def take_addresses(self, n: int) -> list[int]:
         """Up to ``n`` addresses, serving pushed-back ones first."""
+        arr = self._pending_arr
+        if arr is not None:
+            # A scalar path took over after a vector push-back: fold
+            # the array pending into the list pending once, in front.
+            head = arr[self._pending_arr_pos:].tolist()
+            self._pending_arr = None
+            self._pending_arr_pos = 0
+            if self._pending:
+                head.extend(self._pending[self._pending_pos:])
+            self._pending = head
+            self._pending_pos = 0
         pend = self._pending
         if not pend:
             return self.pattern.next_addresses(n)
@@ -158,6 +187,37 @@ class RuntimePhase:
         head.extend(self.pattern.next_addresses(n - avail))
         return head
 
+    def take_addresses_array(self, n: int) -> np.ndarray:
+        """Up to ``n`` addresses as an int64 array (vector-kernel path).
+
+        The stream is identical to :meth:`take_addresses`.  Array
+        pending (a vector push-back) is served first as zero-copy
+        views; list pending (a scalar push-back) next, converted; the
+        pattern refills the rest.
+        """
+        arr = self._pending_arr
+        if arr is not None:
+            pos = self._pending_arr_pos
+            avail = arr.shape[0] - pos
+            if avail > n:
+                self._pending_arr_pos = pos + n
+                return arr[pos:pos + n]
+            self._pending_arr = None
+            self._pending_arr_pos = 0
+            head = arr[pos:] if pos else arr
+            if avail == n:
+                return head
+            if self._pending:
+                rest = np.asarray(
+                    self.take_addresses(n - avail), dtype=np.int64
+                )
+            else:
+                rest = self.pattern.next_addresses_array(n - avail)
+            return np.concatenate((head, rest))
+        if not self._pending:
+            return self.pattern.next_addresses_array(n)
+        return np.asarray(self.take_addresses(n), dtype=np.int64)
+
     def push_back(self, addrs: list[int], start: int) -> None:
         """Return ``addrs[start:]`` (unconsumed) to the stream front.
 
@@ -173,6 +233,23 @@ class RuntimePhase:
         else:
             self._pending = addrs
             self._pending_pos = start
+
+    def push_back_array(self, addrs: np.ndarray, start: int) -> None:
+        """Array twin of :meth:`push_back`, storing views not copies.
+
+        ``addrs`` must be the most recent :meth:`take_addresses_array`
+        result.  When that batch was a window into the array pending,
+        rewinding the cursor restores the suffix; otherwise the suffix
+        view becomes the new array pending (served before any list
+        pending, whose cursor already advanced past these addresses).
+        """
+        if start >= addrs.shape[0]:
+            return
+        if self._pending_arr is not None:
+            self._pending_arr_pos -= addrs.shape[0] - start
+        else:
+            self._pending_arr = addrs
+            self._pending_arr_pos = start
 
 
 @dataclass(frozen=True)

@@ -138,6 +138,18 @@ class _SequentialStream(AccessPattern):
         self._count = end % repeats
         return (ticks // repeats + self._base).tolist()
 
+    def next_addresses_array(self, n: int) -> np.ndarray:
+        # Same periodic indexing as next_addresses, minus the tolist:
+        # the ndarray goes straight into the vector kernel.
+        repeats = self._repeats
+        period = self._lines * repeats
+        start = self._line * repeats + self._count
+        ticks = (start + np.arange(n, dtype=np.int64)) % period
+        end = (start + n) % period
+        self._line = end // repeats
+        self._count = end % repeats
+        return ticks // repeats + self._base
+
     def footprint_lines(self) -> int:
         return self._lines
 
@@ -423,6 +435,18 @@ class _StridedScan(AccessPattern):
         self._pos = (end // repeats) * stride
         self._count = end % repeats
         return ((ticks // repeats) * stride + self._base).tolist()
+
+    def next_addresses_array(self, n: int) -> np.ndarray:
+        repeats = self._repeats
+        stride = self._stride
+        npos = (self._lines + stride - 1) // stride
+        period = npos * repeats
+        start = (self._pos // stride) * repeats + self._count
+        ticks = (start + np.arange(n, dtype=np.int64)) % period
+        end = (start + n) % period
+        self._pos = (end // repeats) * stride
+        self._count = end % repeats
+        return (ticks // repeats) * stride + self._base
 
     def footprint_lines(self) -> int:
         return (self._lines + self._stride - 1) // self._stride

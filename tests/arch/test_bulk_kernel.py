@@ -16,11 +16,16 @@ import dataclasses
 import os
 from contextlib import contextmanager
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch.cache import SetAssociativeCache, bulk_kernel_enabled
+from repro.arch.cache import (
+    SetAssociativeCache,
+    bulk_kernel_enabled,
+    vector_kernel_enabled,
+)
 from repro.arch.hierarchy import CacheHierarchy
 from repro.arch.replacement import make_policy
 from repro.config import CacheGeometry, MachineConfig
@@ -32,16 +37,20 @@ def tiny_machine(**overrides) -> MachineConfig:
 
 
 @contextmanager
-def tier_env(fast: str = "1", bulk: str = "1"):
+def tier_env(fast: str = "1", bulk: str = "1", vector: str = "0"):
     """Pin the execution-tier env flags for the enclosed block.
 
     A context manager (not a fixture) so hypothesis-driven tests can
-    re-enter it per generated input.
+    re-enter it per generated input.  ``vector`` defaults off so the
+    existing kernel-tier differentials stay pinned one tier down; the
+    tier-4 tests pass ``vector="1"`` explicitly.
     """
-    keys = ("REPRO_FAST_LANE", "REPRO_BULK_KERNEL")
+    keys = ("REPRO_FAST_LANE", "REPRO_BULK_KERNEL",
+            "REPRO_VECTOR_KERNEL")
     saved = {k: os.environ.get(k) for k in keys}
     os.environ["REPRO_FAST_LANE"] = fast
     os.environ["REPRO_BULK_KERNEL"] = bulk
+    os.environ["REPRO_VECTOR_KERNEL"] = vector
     try:
         yield
     finally:
@@ -169,6 +178,224 @@ class TestKernelDifferential:
         assert any(c.lines_stolen > 0 for c in ref.counters)
 
 
+def drive_vector(machine, batches):
+    """Feed batches through the tier-4 ladder; scalar replay must match.
+
+    Each batch first tries the vector kernel (classify, then commit of
+    the whole batch); if either declines, it re-routes through the
+    kernel-tier ``access_many`` — exactly the core's fallback ladder.
+    Serving levels must match the scalar reference per address, and all
+    hierarchy state at the end.  Returns ``(committed, fallback)`` batch
+    counts so callers can assert the path they meant to test actually
+    ran.
+    """
+    kern, ref = hierarchy_pair(machine)
+    committed = fallback = 0
+    for core, addrs in batches:
+        plan = None
+        if kern.vector_kernel_ok(core):
+            arr = np.asarray(addrs, dtype=np.int64)
+            plan = kern.vector_classify(core, arr)
+        if plan is not None and kern.vector_commit(
+            core, plan, len(addrs)
+        ):
+            got = plan.levels.tolist()
+            committed += 1
+        else:
+            got = kern.access_many(core, addrs)
+            fallback += 1
+        want = [ref.access(core, a) for a in addrs]
+        assert got == want
+    assert snapshot(kern) == snapshot(ref)
+    return committed, fallback
+
+
+def _vector_stream(steps):
+    """Turn (core, length, rewind, reps) steps into address batches.
+
+    A cursor walks upward; ``rewind`` re-visits recently streamed lines
+    (exercising the resident-line fallback and the mixed L3 hit/miss
+    strata) and ``reps`` expands each address into a consecutive repeat
+    run (exercising run collapsing and the pure-MRU-repeat edge).
+    """
+    cur = 0
+    batches = []
+    for core, length, rewind, reps in steps:
+        start = max(0, cur - rewind)
+        batches.append(
+            (core,
+             [a for a in range(start, start + length)
+              for _ in range(reps)])
+        )
+        cur = start + length
+    return batches
+
+
+#: Mostly-ascending streams with occasional rewinds and repeat runs:
+#: the mix lands batches in every vector-kernel stratum (consecutive
+#: fast path, mixed hit/miss, classify-declined, commit-declined).
+VECTOR_BATCHES = st.lists(
+    st.tuples(
+        st.integers(0, 1),
+        st.integers(1, 120),
+        st.integers(0, 60),
+        st.integers(1, 3),
+    ),
+    min_size=1,
+    max_size=10,
+).map(_vector_stream)
+
+
+class TestVectorDifferential:
+    """Tier 4 (classify/commit) == scalar access loop, bit for bit."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(batches=VECTOR_BATCHES)
+    def test_randomized_streams(self, batches):
+        with tier_env(vector="1"):
+            drive_vector(tiny_machine(), batches)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batches=VECTOR_BATCHES)
+    def test_non_inclusive_l3(self, batches):
+        with tier_env(vector="1"):
+            drive_vector(tiny_machine(l3_inclusive=False), batches)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batches=BATCHES)
+    def test_small_footprint_streams_fall_back_correctly(self, batches):
+        # The revisit-heavy kernel-tier corpus: almost every batch is
+        # classify-declined, so this pins the ladder's scalar re-route
+        # (and the scalar verbs over vector-backed L3 storage).
+        with tier_env(vector="1"):
+            drive_vector(tiny_machine(), batches)
+
+    def test_streaming_batches_commit(self):
+        # The bread-and-butter case — large consecutive batches — must
+        # actually take the vector path, not silently fall back.  Each
+        # batch spans 6 lines per tiny-L3 set, within its 8 ways (the
+        # consec plan refuses batches whose own lines would evict each
+        # other mid-stream).
+        batches = [(0, list(range(base, base + 96)))
+                   for base in range(0, 576, 96)]
+        with tier_env(vector="1"):
+            committed, fallback = drive_vector(tiny_machine(), batches)
+        assert committed == len(batches)
+        assert fallback == 0
+
+    def test_dense_fill_strided_batches_commit(self):
+        # Pointer-chase-shaped batches: non-consecutive strides far
+        # larger than the private caches take the backward dense-fill
+        # verb (only the surviving tail of each set's insertion stream
+        # is written).  Five strided batches of 90 lines dwarf the tiny
+        # L1 (4 lines) and L2 (16 lines) while spreading under 8 lines
+        # per tiny-L3 set, so every batch must commit — and the scalar
+        # replay in drive_vector proves the shortcut left tags, MRU,
+        # resident sets and eviction counts bit-identical.
+        batches, base = [], 0
+        for stride in (3, 5, 7, 9, 11):
+            batches.append(
+                (0, [base + stride * i for i in range(90)])
+            )
+            base += stride * 90 + 1
+        with tier_env(vector="1"):
+            committed, fallback = drive_vector(tiny_machine(), batches)
+        assert committed == len(batches)
+        assert fallback == 0
+
+    def test_mixed_hit_miss_batch_commits(self):
+        # Re-streaming lines that fell out of the private caches but
+        # still sit in the L3 exercises the mixed hit/miss strata.
+        with tier_env(vector="1"):
+            kern, ref = hierarchy_pair(tiny_machine())
+            warm = list(range(64))
+            assert kern.access_many(0, warm) == [
+                ref.access(0, a) for a in warm
+            ]
+            # 0..47 are L3 hits (48..63 still sit in L1/L2, so stop
+            # short of them); 200..247 are cold misses.
+            batch = list(range(48)) + list(range(200, 248))
+            plan = kern.vector_classify(0, np.asarray(batch, np.int64))
+            assert plan is not None
+            assert plan.hit is not None and plan.hit.any()
+            assert kern.vector_commit(0, plan, len(batch))
+            assert plan.levels.tolist() == [
+                ref.access(0, a) for a in batch
+            ]
+            assert snapshot(kern) == snapshot(ref)
+
+    def test_partial_prefix_commit(self):
+        # The core's budget cutoff executes a prefix and pushes the
+        # suffix back untouched: only the prefix may mutate state.
+        addrs = list(range(200))
+        cut = 90
+        with tier_env(vector="1"):
+            kern, ref = hierarchy_pair(tiny_machine())
+            plan = kern.vector_classify(0, np.asarray(addrs, np.int64))
+            assert plan is not None
+            assert kern.vector_commit(0, plan, cut)
+            assert plan.levels[:cut].tolist() == [
+                ref.access(0, a) for a in addrs[:cut]
+            ]
+            assert snapshot(kern) == snapshot(ref)
+            # The pushed-back suffix then re-enters as its own batch.
+            suffix = addrs[cut:]
+            plan2 = kern.vector_classify(
+                0, np.asarray(suffix, np.int64)
+            )
+            assert plan2 is not None
+            assert kern.vector_commit(0, plan2, len(suffix))
+            assert plan2.levels.tolist() == [
+                ref.access(0, a) for a in suffix
+            ]
+            assert snapshot(kern) == snapshot(ref)
+
+    def test_mru_repeat_only_batch(self):
+        # A batch that is nothing but repeats of the previous batch's
+        # last line: zero collapsed accesses, pure L1-hit bookkeeping.
+        with tier_env(vector="1"):
+            kern, ref = hierarchy_pair(tiny_machine())
+            first = list(range(8))
+            drive = [(0, first), (0, [7] * 20), (0, [7, 8, 9])]
+            for core, addrs in drive:
+                plan = kern.vector_classify(
+                    core, np.asarray(addrs, np.int64)
+                )
+                assert plan is not None
+                assert kern.vector_commit(core, plan, len(addrs))
+                assert plan.levels.tolist() == [
+                    ref.access(core, a) for a in addrs
+                ]
+            assert snapshot(kern) == snapshot(ref)
+
+    def test_overloaded_set_declines_untouched(self):
+        # More lines into one L3 set than it has ways: commit must
+        # refuse with NO state mutated, and the scalar re-route must
+        # then match the reference exactly.
+        with tier_env(vector="1"):
+            kern, ref = hierarchy_pair(tiny_machine())
+            nsets = kern.l3._num_sets
+            assoc = kern.l3._assoc
+            addrs = [i * nsets for i in range(2 * assoc)]
+            plan = kern.vector_classify(0, np.asarray(addrs, np.int64))
+            assert plan is not None
+            before = snapshot(kern)
+            assert not kern.vector_commit(0, plan, len(addrs))
+            assert snapshot(kern) == before
+            assert kern.access_many(0, addrs) == [
+                ref.access(0, a) for a in addrs
+            ]
+            assert snapshot(kern) == snapshot(ref)
+
+    def test_within_batch_revisit_declines(self):
+        # Non-consecutive duplicates would hit lines the batch itself
+        # fills; classification must refuse outright.
+        with tier_env(vector="1"):
+            kern, _ = hierarchy_pair(tiny_machine())
+            addrs = np.asarray([5, 6, 7, 5], dtype=np.int64)
+            assert kern.vector_classify(0, addrs) is None
+
+
 class TestFallbackPredicate:
     """Configs the kernel cannot model must take the scalar path."""
 
@@ -212,6 +439,50 @@ class TestFallbackPredicate:
         # BULK=0 also reverts the caches to list-based storage: the
         # middle tier is exactly the first-generation fast lane.
         assert not h.l1[0]._flat
+
+    def test_vector_allowed_on_plain_lru(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "1")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "1")
+        h = CacheHierarchy(tiny_machine(), seed=1)
+        assert h.vector_kernel_ok(0)
+        # Only the shared L3 carries vector storage; the private
+        # levels stay list-backed (scalar fills win at their size).
+        assert h.l3._vector
+        assert not h.l1[0]._vector
+
+    def test_vector_env_gate_denies_only_tier_four(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "1")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "0")
+        assert not vector_kernel_enabled()
+        h = CacheHierarchy(tiny_machine(), seed=1)
+        assert not h.vector_kernel_ok(0)
+        assert not h.l3._vector
+        # One tier down keeps working: VECTOR=0 is exactly the PR5
+        # kernel configuration.
+        assert h.bulk_kernel_ok(0)
+
+    def test_bulk_prerequisites_gate_vector(self, monkeypatch):
+        # Tier 4 sits on top of tier 3: anything that denies the bulk
+        # kernel (here a mid-run L3 quota) denies the vector kernel
+        # for the same core, and recovers when the cap lifts.
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "1")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "1")
+        h = CacheHierarchy(tiny_machine(), seed=1)
+        h.set_l3_quota(0, 0.5)
+        assert not h.vector_kernel_ok(0)
+        assert h.vector_kernel_ok(1)
+        h.set_l3_quota(0, None)
+        assert h.vector_kernel_ok(0)
+
+    def test_bulk_env_gate_denies_vector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_LANE", "1")
+        monkeypatch.setenv("REPRO_BULK_KERNEL", "0")
+        monkeypatch.setenv("REPRO_VECTOR_KERNEL", "1")
+        h = CacheHierarchy(tiny_machine(), seed=1)
+        assert not h.vector_kernel_ok(0)
 
     @pytest.mark.parametrize("overrides", [
         {"model_writebacks": True},
@@ -324,7 +595,7 @@ class TestFlushStoreAccumulator:
 
 
 class TestEndToEndTiers:
-    """Full engine runs must be identical across all three tiers."""
+    """Full engine runs must be identical across all four tiers."""
 
     @staticmethod
     def _run(metrics=None):
@@ -345,27 +616,42 @@ class TestEndToEndTiers:
 
     def test_run_result_identical_across_tiers(self):
         results = {}
-        for name, (fast, bulk) in [
-            ("generic", ("0", "0")),
-            ("fastlane", ("1", "0")),
-            ("kernel", ("1", "1")),
+        for name, (fast, bulk, vector) in [
+            ("generic", ("0", "0", "0")),
+            ("fastlane", ("1", "0", "0")),
+            ("kernel", ("1", "1", "0")),
+            ("vector", ("1", "1", "1")),
         ]:
-            with tier_env(fast, bulk):
+            with tier_env(fast, bulk, vector):
                 results[name] = self._run()
         assert results["fastlane"] == results["generic"]
         assert results["kernel"] == results["generic"]
+        assert results["vector"] == results["generic"]
+
+    def test_traced_run_identical_on_vector_tier(self, tmp_path):
+        # Attaching metrics (and so the obs plumbing) must not perturb
+        # the simulation: the vector tier's RunResult has to be
+        # bit-identical with and without telemetry.
+        from repro.obs import MetricsRegistry
+
+        with tier_env("1", "1", "1"):
+            bare = self._run()
+            traced = self._run(metrics=MetricsRegistry())
+        assert traced == bare
 
     def test_tier_recorded_in_metrics_gauges(self):
         from repro.obs import MetricsRegistry
 
-        for fast, bulk, want_fast, want_bulk in [
-            ("0", "0", 0.0, 0.0),
-            ("1", "0", 1.0, 0.0),
-            ("1", "1", 1.0, 1.0),
+        for fast, bulk, vector, wants in [
+            ("0", "0", "0", (0.0, 0.0, 0.0)),
+            ("1", "0", "0", (1.0, 0.0, 0.0)),
+            ("1", "1", "0", (1.0, 1.0, 0.0)),
+            ("1", "1", "1", (1.0, 1.0, 1.0)),
         ]:
-            with tier_env(fast, bulk):
+            with tier_env(fast, bulk, vector):
                 metrics = MetricsRegistry()
                 self._run(metrics=metrics)
             snap = metrics.snapshot()
-            assert snap["sim.fast_lane"]["value"] == want_fast
-            assert snap["sim.bulk_kernel"]["value"] == want_bulk
+            assert snap["sim.fast_lane"]["value"] == wants[0]
+            assert snap["sim.bulk_kernel"]["value"] == wants[1]
+            assert snap["sim.vector_kernel"]["value"] == wants[2]

@@ -28,10 +28,35 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert resolve_jobs() == 5
 
-    def test_defaults_to_cpu_count(self, monkeypatch):
+    def test_defaults_to_schedulable_cpus(self, monkeypatch):
+        # Inside a container or taskset mask the schedulable-CPU count
+        # is the real parallelism; os.cpu_count() overstates it.
         import os
 
         monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 2, 5},
+            raising=False,
+        )
+        assert resolve_jobs() == 3
+
+    def test_env_beats_affinity(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 1, 2, 3},
+            raising=False,
+        )
+        assert resolve_jobs() == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        # Platforms without sched_getaffinity (macOS) fall back to the
+        # total CPU count.
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
         assert resolve_jobs() == (os.cpu_count() or 1)
 
     def test_garbage_env_rejected(self, monkeypatch):

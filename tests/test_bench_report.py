@@ -1,9 +1,11 @@
 """The bench_simspeed ``--json`` report: schema and gate logic.
 
-``BENCH_simspeed.json`` is the seed of the perf trajectory: future PRs
-append comparable points, so the format is a contract (documented in
-docs/performance.md).  These tests pin the schema and the gate
-semantics without running full-length measurements.
+``BENCH_simspeed.json`` is a perf *trajectory*: each full bench run
+appends one comparable point (schema 2), and pre-trajectory schema-1
+snapshots are migrated as point zero.  These tests pin the point
+schema, the v1 -> v2 migration, the append semantics, and the gate
+logic — including the per-workload vector gates — without running
+full-length measurements.
 """
 
 from __future__ import annotations
@@ -20,13 +22,33 @@ _spec = importlib.util.spec_from_file_location("bench_simspeed", BENCH_PATH)
 bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench)
 
+TIER_NAMES = {"generic", "fastlane", "kernel", "vector"}
+RATIO_NAMES = {
+    "fastlane_over_generic",
+    "kernel_over_fastlane",
+    "kernel_over_generic",
+    "vector_over_kernel",
+    "vector_over_generic",
+}
 
-def fake_rows(kf: float = 2.0, kg: float = 4.0, fg: float = 2.2):
-    """Synthetic suite rows with the given ratios on every workload."""
+
+def fake_rows(
+    kf: float = 2.0,
+    kg: float = 4.0,
+    fg: float = 2.2,
+    vk: float = 3.5,
+    gate_vk: float | None = None,
+):
+    """Synthetic suite rows with the given ratios on every workload.
+
+    ``vk`` is the default-budget vector/kernel ratio; ``gate_vk``
+    overrides the ratio measured at each workload's own gate budget
+    (defaults to comfortably above every target).
+    """
     rows = []
-    for name, (_factory, streaming, gated) in bench.WORKLOADS.items():
+    for name, (_f, streaming, gated, vgate) in bench.WORKLOADS.items():
         generic = 100_000.0
-        rows.append({
+        row = {
             "workload": name,
             "streaming": streaming,
             "kernel_gated": gated,
@@ -34,44 +56,157 @@ def fake_rows(kf: float = 2.0, kg: float = 4.0, fg: float = 2.2):
                 "generic": generic,
                 "fastlane": generic * fg,
                 "kernel": generic * kg,
+                "vector": generic * kg * vk,
             },
             "ratios": {
                 "fastlane_over_generic": fg,
                 "kernel_over_fastlane": kf,
                 "kernel_over_generic": kg,
+                "vector_over_kernel": vk,
+                "vector_over_generic": kg * vk,
             },
-        })
+            "vector_gate": None,
+        }
+        if vgate is not None:
+            ratio = gate_vk if gate_vk is not None else \
+                vgate["target"] + 1.0
+            row["vector_gate"] = {
+                "budget": vgate["budget"],
+                "target": vgate["target"],
+                "kernel": generic * kg,
+                "vector": generic * kg * ratio,
+                "vector_over_kernel": ratio,
+            }
+        rows.append(row)
     return rows
 
 
-class TestReportSchema:
-    def test_report_has_contract_fields(self):
-        report = bench.build_report(fake_rows(), warm=1, timed=2, reps=1)
+def fake_point():
+    return bench.build_point(fake_rows(), warm=1, timed=2, reps=1)
+
+
+class TestPointSchema:
+    def test_point_has_contract_fields(self):
+        point = fake_point()
+        for key in ("platform", "python", "implementation", "cpu_count"):
+            assert key in point["machine"]
+        assert point["config"]["machine_config"] == "scaled_nehalem"
+        for name in bench.WORKLOADS:
+            wl = point["workloads"][name]
+            assert set(wl["tiers"]) == TIER_NAMES
+            assert set(wl["ratios"]) == RATIO_NAMES
+        assert point["targets"]["kernel_over_fastlane"] == \
+            bench.KERNEL_OVER_FASTLANE_TARGET
+        assert point["targets"]["vector_over_kernel_stream"] == \
+            bench.VECTOR_OVER_KERNEL_STREAM_TARGET
+        assert point["targets"]["vector_over_kernel_chase"] == \
+            bench.VECTOR_OVER_KERNEL_CHASE_TARGET
+
+    def test_gated_workloads_record_their_gate_measurement(self):
+        point = fake_point()
+        gated = {
+            name: vgate
+            for name, (_f, _s, _g, vgate) in bench.WORKLOADS.items()
+            if vgate is not None
+        }
+        assert gated  # the suite must carry at least one vector gate
+        for name, vgate in gated.items():
+            gate = point["workloads"][name]["vector_gate"]
+            assert gate["budget"] == vgate["budget"]
+            assert gate["target"] == vgate["target"]
+            assert gate["vector_over_kernel"] > gate["target"]
+        ungated = set(bench.WORKLOADS) - set(gated)
+        for name in ungated:
+            assert point["workloads"][name]["vector_gate"] is None
+
+    def test_report_wraps_points(self):
+        report = bench.build_report([fake_point()])
         assert report["schema_version"] == bench.SCHEMA_VERSION
         assert report["benchmark"] == "bench_simspeed"
-        for key in ("platform", "python", "implementation", "cpu_count"):
-            assert key in report["machine"]
-        assert report["config"]["machine_config"] == "scaled_nehalem"
-        for name in bench.WORKLOADS:
-            wl = report["workloads"][name]
-            assert set(wl["tiers"]) == {"generic", "fastlane", "kernel"}
-            assert set(wl["ratios"]) == {
-                "fastlane_over_generic",
-                "kernel_over_fastlane",
-                "kernel_over_generic",
-            }
-        assert report["targets"]["kernel_over_fastlane"] == \
-            bench.KERNEL_OVER_FASTLANE_TARGET
+        assert len(report["points"]) == 1
 
     def test_report_is_json_serialisable(self):
-        report = bench.build_report(fake_rows(), warm=1, timed=2, reps=1)
+        report = bench.build_report([fake_point()])
         assert json.loads(json.dumps(report)) == report
 
     def test_checked_in_seed_matches_schema(self):
         seed_path = BENCH_PATH.parent.parent / "BENCH_simspeed.json"
         report = json.loads(seed_path.read_text())
         assert report["schema_version"] == bench.SCHEMA_VERSION
-        assert set(report["workloads"]) == set(bench.WORKLOADS)
+        assert report["points"]
+        # Every point names the same workload set the suite runs.
+        for point in report["points"]:
+            assert set(point["workloads"]) == set(bench.WORKLOADS)
+
+
+class TestTrajectory:
+    def test_migrate_v1_snapshot_becomes_point_zero(self):
+        v1 = {
+            "schema_version": 1,
+            "benchmark": "bench_simspeed",
+            "timestamp": "2026-08-06T00:00:00",
+            "machine": {},
+            "config": {},
+            "targets": {},
+            "workloads": {},
+        }
+        points = bench.migrate_points(v1)
+        assert len(points) == 1
+        assert "schema_version" not in points[0]
+        assert "benchmark" not in points[0]
+        assert points[0]["timestamp"] == "2026-08-06T00:00:00"
+
+    def test_migrate_v2_returns_points_as_is(self):
+        report = bench.build_report([fake_point(), fake_point()])
+        assert bench.migrate_points(report) == report["points"]
+
+    def test_write_fresh_file_has_one_point(self, tmp_path):
+        path = tmp_path / "bench.json"
+        count = bench.write_report(
+            path, fake_rows(), warm=1, timed=2, reps=1, append=True
+        )
+        assert count == 1
+        report = json.loads(path.read_text())
+        assert report["schema_version"] == bench.SCHEMA_VERSION
+        assert len(report["points"]) == 1
+
+    def test_append_accumulates_points(self, tmp_path):
+        path = tmp_path / "bench.json"
+        for expected in (1, 2, 3):
+            count = bench.write_report(
+                path, fake_rows(), warm=1, timed=2, reps=1, append=True
+            )
+            assert count == expected
+        assert len(json.loads(path.read_text())["points"]) == 3
+
+    def test_append_migrates_v1_file_in_place(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({
+            "schema_version": 1,
+            "benchmark": "bench_simspeed",
+            "timestamp": "t0",
+            "workloads": {},
+        }))
+        count = bench.write_report(
+            path, fake_rows(), warm=1, timed=2, reps=1, append=True
+        )
+        assert count == 2
+        report = json.loads(path.read_text())
+        assert report["schema_version"] == bench.SCHEMA_VERSION
+        assert report["points"][0]["timestamp"] == "t0"
+        assert set(report["points"][1]["workloads"]) == \
+            set(bench.WORKLOADS)
+
+    def test_overwrite_without_append_keeps_one_point(self, tmp_path):
+        path = tmp_path / "bench.json"
+        bench.write_report(
+            path, fake_rows(), warm=1, timed=2, reps=1, append=True
+        )
+        count = bench.write_report(
+            path, fake_rows(), warm=1, timed=2, reps=1, append=False
+        )
+        assert count == 1
+        assert len(json.loads(path.read_text())["points"]) == 1
 
 
 class TestGateLogic:
@@ -84,7 +219,8 @@ class TestGateLogic:
         assert any("over-fastlane" in f for f in failures)
         # Only the gated streaming benchmark enforces the kernel gate.
         gated = [
-            name for name, (_f, _s, g) in bench.WORKLOADS.items() if g
+            name for name, (_f, _s, g, _v) in bench.WORKLOADS.items()
+            if g
         ]
         assert all(f.split(":")[0] in gated for f in failures)
 
@@ -96,11 +232,54 @@ class TestGateLogic:
         failures = bench.check_gates(fake_rows(fg=1.5), smoke=False)
         assert any("streaming target" in f for f in failures)
 
+    def test_vector_below_gate_target_fails_each_gated_workload(self):
+        failures = bench.check_gates(
+            fake_rows(gate_vk=1.01), smoke=False
+        )
+        gated = [
+            name for name, (_f, _s, _g, v) in bench.WORKLOADS.items()
+            if v is not None
+        ]
+        vector_failures = [f for f in failures if "over-kernel" in f]
+        assert len(vector_failures) == len(gated)
+        for f in vector_failures:
+            assert "cycle budget" in f
+
+    def test_vector_gate_passes_exactly_at_target(self):
+        rows = fake_rows()
+        for row in rows:
+            if row["vector_gate"] is not None:
+                row["vector_gate"]["vector_over_kernel"] = \
+                    row["vector_gate"]["target"]
+        assert bench.check_gates(rows, smoke=False) == []
+
     def test_smoke_checks_ordering_only(self):
         # Below absolute targets but correctly ordered: smoke passes.
-        rows = fake_rows(kf=1.05, kg=1.3, fg=1.2)
+        rows = fake_rows(kf=1.05, kg=1.3, fg=1.2, vk=1.1)
         assert bench.check_gates(rows, smoke=True) == []
         assert bench.check_gates(rows, smoke=False) != []
         # An inversion fails even the smoke run.
-        inverted = fake_rows(kf=0.9, kg=0.8, fg=0.9)
+        inverted = fake_rows(kf=0.9, kg=0.8, fg=0.9, vk=0.9)
         assert bench.check_gates(inverted, smoke=True) != []
+
+    def test_smoke_vector_ordering_applies_to_gated_rows_only(self):
+        # Pointer-chase stands down to parity at the smoke budget, so
+        # vector-below-kernel there must not fail the smoke run; the
+        # amortised streaming benchmark still must stay ordered.
+        rows = fake_rows(vk=0.9)
+        failures = bench.check_gates(rows, smoke=True)
+        slower = [f for f in failures if "vector slower than kernel" in f]
+        gated = [
+            name for name, (_f, _s, g, _v) in bench.WORKLOADS.items()
+            if g
+        ]
+        assert len(slower) == len(gated)
+        assert all(f.split(":")[0] in gated for f in slower)
+
+    def test_smoke_ignores_vector_gate_measurements(self):
+        # Smoke rows carry no gate measurement at all; the checker
+        # must not require one.
+        rows = fake_rows()
+        for row in rows:
+            row["vector_gate"] = None
+        assert bench.check_gates(rows, smoke=True) == []
