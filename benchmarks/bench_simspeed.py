@@ -84,6 +84,11 @@ VECTOR_OVER_KERNEL_CHASE_TARGET = 1.5
 #: sink) over an untraced one.
 TRACE_OVERHEAD_TARGET = 0.02
 
+#: Maximum allowed slowdown of the full live-export stack — span
+#: profiling armed, ``/metrics`` endpoint serving, a scraper hitting
+#: it — over a bare run of the same workload.
+EXPORT_OVERHEAD_TARGET = 0.02
+
 #: Cycle budget of one ``core.run`` call in the main table.
 DEFAULT_BUDGET = 40_000.0
 
@@ -506,6 +511,123 @@ def measure_trace_overhead(
     return untraced, traced, min(min_ratio, median_pair)
 
 
+def _timed_stream_run(
+    registry=None, runs: int = 150, budget: float = DEFAULT_BUDGET
+) -> float:
+    """Seconds for ``runs`` vector-tier stream-llc ``core.run`` calls.
+
+    With ``registry`` the run executes inside ``activate_profiling``,
+    so the vector kernel's classify/commit spans are live — the
+    per-batch cost the export gate must bound.
+    """
+    from contextlib import nullcontext
+
+    from repro.arch.chip import MulticoreChip
+    from repro.obs import activate_profiling
+
+    chip = MulticoreChip(MachineConfig.scaled_nehalem(), seed=7)
+    spec = WORKLOADS["stream-llc"][0]()
+    workload = spec.instantiate(seed=3, base=1 << 34)
+    core = chip.core(0)
+    for _ in range(3):
+        core.run(workload, budget)
+        if workload.finished:
+            workload = spec.instantiate(seed=3, base=1 << 34)
+    scope = (
+        activate_profiling(registry) if registry is not None
+        else nullcontext()
+    )
+    with scope:
+        start = time.perf_counter()
+        for _ in range(runs):
+            core.run(workload, budget)
+            if workload.finished:
+                workload = spec.instantiate(seed=3, base=1 << 34)
+        return time.perf_counter() - start
+
+
+def measure_export_overhead(
+    repeats: int = 9, runs: int = 150
+) -> tuple[float, float, float]:
+    """(off_s, on_s, overhead_fraction) for the live-export stack.
+
+    The "on" world is the whole subsystem at once: span profiling
+    armed over the vector tier (classify/commit spans firing every
+    batch), a ``/metrics`` endpoint serving the registry, and a
+    background scraper polling it throughout — the worst realistic
+    cost of watching a campaign live.  Noise defences as in
+    :func:`measure_trace_overhead`: interleaved runs and the lower of
+    the best-of-N and median-paired estimators.
+    """
+    import threading
+    import urllib.request
+    from statistics import median
+
+    from repro.obs import MetricsExporter, MetricsRegistry
+
+    os.environ["REPRO_FAST_LANE"] = "1"
+    os.environ["REPRO_BULK_KERNEL"] = "1"
+    os.environ["REPRO_VECTOR_KERNEL"] = "1"
+    try:
+        _timed_stream_run(runs=runs)  # warm caches and imports
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        with MetricsExporter(registry.snapshot, port=0) as exporter:
+
+            def scraper() -> None:
+                while not stop.is_set():
+                    try:
+                        urllib.request.urlopen(
+                            exporter.url, timeout=2
+                        ).read()
+                    except OSError:
+                        pass
+                    stop.wait(0.05)
+
+            thread = threading.Thread(target=scraper, daemon=True)
+            thread.start()
+            try:
+                off_times = []
+                on_times = []
+                for _ in range(repeats):
+                    off_times.append(_timed_stream_run(runs=runs))
+                    on_times.append(
+                        _timed_stream_run(registry, runs=runs)
+                    )
+            finally:
+                stop.set()
+                thread.join(timeout=2.0)
+        off = min(off_times)
+        on = min(on_times)
+        min_ratio = on / off - 1.0
+        median_pair = median(
+            t / u for t, u in zip(on_times, off_times)
+        ) - 1.0
+        return off, on, min(min_ratio, median_pair)
+    finally:
+        os.environ.pop("REPRO_FAST_LANE", None)
+        os.environ.pop("REPRO_BULK_KERNEL", None)
+        os.environ.pop("REPRO_VECTOR_KERNEL", None)
+
+
+def record_export_overhead(path: Path, payload: dict) -> bool:
+    """Attach the export-overhead result to the trajectory's last point.
+
+    The measurement annotates the most recent throughput point (it
+    describes the same build) rather than appending a tier-less point
+    of its own.  Returns ``False`` when the file is absent or empty.
+    """
+    if not path.exists():
+        return False
+    report = json.loads(path.read_text())
+    points = migrate_points(report)
+    if not points:
+        return False
+    points[-1]["export_overhead"] = payload
+    path.write_text(json.dumps(build_report(points), indent=2) + "\n")
+    return True
+
+
 def bench_simspeed_smoke():
     """Pytest entry: tier ordering must hold (no absolute thresholds)."""
     rows = run_suite(warm=3, timed=10, reps=1, vector_gates=False)
@@ -551,6 +673,17 @@ def main(argv: list[str] | None = None) -> int:
             f"{TRACE_OVERHEAD_TARGET:.0%})"
         ),
     )
+    parser.add_argument(
+        "--export-overhead",
+        action="store_true",
+        help=(
+            "instead of the throughput suite, measure the live-export "
+            "overhead (span profiling + served + scraped /metrics) on "
+            f"stream-llc (must be < {EXPORT_OVERHEAD_TARGET:.0%}); "
+            "with --json, the result annotates the trajectory's last "
+            "point"
+        ),
+    )
     parser.add_argument("--warm", type=int, default=None,
                         help="warm-up run() calls per measurement")
     parser.add_argument("--timed", type=int, default=None,
@@ -576,6 +709,37 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"OK: tracing overhead < {TRACE_OVERHEAD_TARGET:.0%}")
+        return 0
+
+    if args.export_overhead:
+        off, on, overhead = measure_export_overhead()
+        print(
+            f"stream-llc vector tier: bare {off * 1000:.1f} ms, "
+            f"live-export {on * 1000:.1f} ms, overhead {overhead:+.2%}"
+        )
+        if args.json:
+            recorded = record_export_overhead(Path(args.json), {
+                "workload": "stream-llc",
+                "tier": "vector",
+                "bare_seconds": off,
+                "exported_seconds": on,
+                "overhead_fraction": overhead,
+                "target": EXPORT_OVERHEAD_TARGET,
+            })
+            print(
+                f"annotated last point of {args.json}"
+                if recorded
+                else f"no trajectory at {args.json} to annotate"
+            )
+        if overhead >= EXPORT_OVERHEAD_TARGET:
+            print(
+                f"FAIL: live-export overhead {overhead:.2%} >= "
+                f"{EXPORT_OVERHEAD_TARGET:.0%} budget"
+            )
+            return 1
+        print(
+            f"OK: live-export overhead < {EXPORT_OVERHEAD_TARGET:.0%}"
+        )
         return 0
 
     warm = args.warm if args.warm is not None else (3 if args.smoke else 10)

@@ -22,8 +22,11 @@ from __future__ import annotations
 from itertools import repeat as _repeat
 from typing import Sequence
 
+from time import perf_counter as _perf_counter
+
 from ..config import MachineConfig
 from ..errors import ConfigError
+from ..obs.profiling import PROFILER as _PROFILER
 from .cache import SetAssociativeCache, bulk_kernel_enabled
 from .replacement import make_policy
 from .vector_kernel import classify as _vector_classify
@@ -704,7 +707,20 @@ class CacheHierarchy:
         serving levels let the core price the whole batch before
         touching any state, or ``None`` when the batch is not provably
         uniform and must route through :meth:`access_many` instead.
+
+        When span profiling is armed (:mod:`repro.obs.profiling`) the
+        batch's wall-clock cost lands in
+        ``profile.vector_classify_seconds``; disabled, the check is a
+        single attribute read on the kernel's hottest seam.
         """
+        if _PROFILER.enabled:
+            started = _perf_counter()
+            plan = _vector_classify(self, core, addrs)
+            _PROFILER.observe(
+                "profile.vector_classify_seconds",
+                _perf_counter() - started,
+            )
+            return plan
         return _vector_classify(self, core, addrs)
 
     def vector_commit(self, core: int, plan, n_exec: int) -> bool:
@@ -713,7 +729,18 @@ class CacheHierarchy:
         ``False`` means the bulk update could not replay the sequential
         walk and nothing was mutated; the caller must re-route the
         untouched batch through the scalar ladder.
+
+        Profiled into ``profile.vector_commit_seconds`` when span
+        profiling is armed (see :meth:`vector_classify`).
         """
+        if _PROFILER.enabled:
+            started = _perf_counter()
+            committed = _vector_commit(self, core, plan, n_exec)
+            _PROFILER.observe(
+                "profile.vector_commit_seconds",
+                _perf_counter() - started,
+            )
+            return committed
         return _vector_commit(self, core, plan, n_exec)
 
     # -- inspection ----------------------------------------------------

@@ -185,8 +185,65 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="trace path (default results/traces/trace_<bench>__<config>.jsonl)",
     )
-    sub.add_parser(
+    stats = sub.add_parser(
         "stats", help="summarize cached campaign telemetry"
+    )
+    stats.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        help=(
+            "output format: human table, machine JSON, or the same "
+            "Prometheus exposition the live /metrics endpoint serves"
+        ),
+    )
+    watch = sub.add_parser(
+        "watch",
+        help="render in-flight campaign health from heartbeat beacons",
+    )
+    watch.add_argument(
+        "--dir",
+        default=None,
+        help="beacon directory (default REPRO_BEACON_DIR or "
+             "results/beacons)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (0 iff beacons were found) "
+             "instead of looping until the campaign finishes",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="redraw cadence in seconds (default 1.0)",
+    )
+    timeline = sub.add_parser(
+        "timeline",
+        help="replay a JSONL trace as a per-period detect/respond "
+             "timeline",
+    )
+    timeline.add_argument("path", help="JSONL trace file to replay")
+    timeline.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="event kind to include (repeatable; default every kind "
+             "except pmu_sample)",
+    )
+    timeline.add_argument(
+        "--start", type=int, default=None,
+        help="first period to include (inclusive)",
+    )
+    timeline.add_argument(
+        "--end", type=int, default=None,
+        help="last period to include (inclusive)",
+    )
+    timeline.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of periods printed",
     )
     spec = sub.add_parser(
         "spec",
@@ -283,9 +340,74 @@ def _dispatch(args: argparse.Namespace) -> int:
         trace_dir = args.trace_dir or "results/traces"
         os.makedirs(trace_dir, exist_ok=True)
         os.environ["REPRO_TRACE_DIR"] = trace_dir
+
+    # Beacon-reading commands never build (or need) a Campaign.
+    if args.command == "watch":
+        from .experiments.watch import WATCH_INTERVAL, watch_loop, watch_once
+
+        if args.once:
+            return watch_once(args.dir)
+        return watch_loop(
+            args.dir,
+            interval=(
+                args.interval if args.interval is not None
+                else WATCH_INTERVAL
+            ),
+        )
+
+    if args.command == "timeline":
+        from .experiments.telemetry import render_timeline
+        from .obs import read_jsonl
+
+        try:
+            records = read_jsonl(args.path)
+        except OSError as exc:
+            raise ConfigError(f"cannot read trace file: {exc}")
+        sys.stdout.write(
+            render_timeline(
+                records,
+                kinds=tuple(args.kind) if args.kind else None,
+                start=args.start,
+                end=args.end,
+                limit=args.limit,
+            )
+        )
+        return 0
+
     campaign = Campaign(
         settings, use_disk_cache=not args.no_cache, jobs=args.jobs
     )
+
+    # Live telemetry is opt-in via REPRO_METRICS_PORT: serve the
+    # campaign's merged registry over HTTP for the whole invocation,
+    # and default the beacon directory so warm-pool workers report in
+    # (and `repro-caer watch` has something to read).
+    from .obs import exporter_port
+
+    port = exporter_port()
+    if port is not None:
+        from .experiments.watch import DEFAULT_BEACON_DIR
+        from .obs import BEACON_DIR_ENV, start_exporter
+
+        os.environ.setdefault(BEACON_DIR_ENV, DEFAULT_BEACON_DIR)
+        exporter = start_exporter(campaign.export_snapshot, port=port)
+        print(
+            f"serving campaign metrics on {exporter.url} "
+            f"(beacons under {os.environ[BEACON_DIR_ENV]})",
+            file=sys.stderr,
+        )
+        try:
+            return _run_command(args, settings, campaign)
+        finally:
+            exporter.close()
+    return _run_command(args, settings, campaign)
+
+
+def _run_command(
+    args: argparse.Namespace,
+    settings: CampaignSettings,
+    campaign: Campaign,
+) -> int:
 
     if args.command == "list":
         print("figures: 1 2 3 6 7 8 9 10")
@@ -326,7 +448,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "stats":
         from .experiments.telemetry import campaign_stats
 
-        sys.stdout.write(campaign_stats(campaign))
+        sys.stdout.write(campaign_stats(campaign, fmt=args.format))
         return 0
 
     if args.command == "calibrate":

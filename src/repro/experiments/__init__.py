@@ -42,7 +42,14 @@ from .repeatability import repeatability_study
 from .report import generate_report, write_report
 from .scaling import scaling_study
 from .reporting import FigureTable, render_series
-from .telemetry import campaign_stats, trace_run
+from .telemetry import (
+    STATS_FORMATS,
+    campaign_stats,
+    campaign_stats_data,
+    render_timeline,
+    trace_run,
+)
+from .watch import collect_status, render_watch, watch_loop, watch_once
 
 __all__ = [
     "Campaign",
@@ -85,4 +92,11 @@ __all__ = [
     "repeatability_study",
     "trace_run",
     "campaign_stats",
+    "campaign_stats_data",
+    "STATS_FORMATS",
+    "render_timeline",
+    "collect_status",
+    "render_watch",
+    "watch_once",
+    "watch_loop",
 ]

@@ -32,7 +32,13 @@ from typing import Iterable
 from ..caer.metrics import utilization_gained
 from ..config import MachineConfig
 from ..errors import ConfigError, ExperimentError
-from ..obs import MetricsRegistry
+from ..obs import MetricsRegistry, merge_snapshots
+from ..obs.heartbeat import (
+    beacon_dir,
+    merge_beacon_metrics,
+    read_beacons,
+    write_beacon,
+)
 from ..runspec import (
     BATCH_BENCHMARK,
     CONFIGS,
@@ -445,6 +451,8 @@ class Campaign:
         :class:`RetryPolicy` and quarantined when persistent, leaving
         the rest of the campaign intact.
         """
+        benches = list(benches)
+        configs = list(configs)
         pairs: list[tuple[str, str]] = []
         for bench in benches:
             for config in configs:
@@ -465,7 +473,11 @@ class Campaign:
                     ).inc()
                     continue
                 pairs.append((bench, config))
+        runs_total = len(benches) * len(configs)
         if not pairs:
+            self._emit_beacon(
+                "done", runs_total=runs_total, runs_completed=0
+            )
             return 0
         if jobs is None:
             jobs = self.jobs
@@ -475,10 +487,15 @@ class Campaign:
             spec = self.spec_for(bench, config)
             by_digest[spec.digest] = (bench, config)
             specs.append(spec)
+        completed = 0
+        self._emit_beacon(
+            "running", runs_total=runs_total, runs_completed=0
+        )
 
         def _checkpoint(
             spec: RunSpec, outcome: RunOutcome, attempt: int
         ) -> None:
+            nonlocal completed
             bench, config = by_digest[spec.digest]
             self._store(RunSummary.from_outcome(bench, config, outcome))
             if self.journal is not None:
@@ -486,6 +503,12 @@ class Campaign:
                     spec.digest, bench, config, attempts=attempt
                 )
             self.metrics.counter("campaign.runs_simulated").inc()
+            completed += 1
+            self._emit_beacon(
+                "running",
+                runs_total=runs_total,
+                runs_completed=completed,
+            )
 
         def _label(spec: RunSpec) -> str:
             pair = by_digest.get(spec.digest)
@@ -510,6 +533,9 @@ class Campaign:
                     digest, bench, config,
                     attempts=record.attempts, error=record.error,
                 )
+        self._emit_beacon(
+            "done", runs_total=runs_total, runs_completed=completed
+        )
         return len(outcomes)
 
     def _check_quarantine(self, bench: str, config: str) -> None:
@@ -600,8 +626,56 @@ class Campaign:
         return timed, len(self._memory)
 
     def telemetry_snapshots(self) -> list[dict]:
-        """Per-run telemetry of every memoised run that carries one."""
+        """Per-run telemetry of every memoised run that carries one.
+
+        Iterates over a point-in-time copy of the memo table, so the
+        exporter's serving thread can call this while ``prefetch`` is
+        checkpointing new summaries into it.
+        """
         return [
-            s.telemetry for s in self._memory.values()
+            s.telemetry for s in list(self._memory.values())
             if s.telemetry is not None
         ]
+
+    # -- live telemetry ---------------------------------------------------
+
+    def _emit_beacon(
+        self, state: str, runs_total: int, runs_completed: int
+    ) -> None:
+        """Drop the ``campaign`` beacon (no-op without a beacon dir)."""
+        directory = beacon_dir()
+        if directory is None:
+            return
+        write_beacon(
+            directory,
+            "campaign",
+            {
+                "state": state,
+                "runs_total": runs_total,
+                "runs_completed": runs_completed,
+                "runs_cached": len(self._memory),
+                "quarantined": len(self.quarantined),
+                "cache_tag": self.settings.cache_tag(),
+            },
+        )
+
+    def export_snapshot(self) -> dict[str, dict]:
+        """One merged metrics snapshot for the live ``/metrics`` endpoint.
+
+        Folds together, in merge order: the campaign-level registry
+        (cache counters, ``campaign.runs_simulated``, executor spans),
+        every memoised run's telemetry registry (detector verdicts,
+        tier gauges, profiling spans — counters and histograms add
+        across runs), and the beacon fragment from any live workers.
+        Thread-safe to call from the exporter's serving thread: it only
+        reads snapshots and beacon files.
+        """
+        snapshots: list[dict[str, dict]] = [self.metrics.snapshot()]
+        for telemetry in self.telemetry_snapshots():
+            metrics = telemetry.get("metrics")
+            if isinstance(metrics, dict):
+                snapshots.append(metrics)
+        directory = beacon_dir()
+        if directory is not None:
+            snapshots.append(merge_beacon_metrics(read_beacons(directory)))
+        return merge_snapshots(snapshots)

@@ -38,7 +38,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ConfigError, ExperimentError, ReproError
-from ..obs import SECONDS_BUCKETS, JSONLSink, MetricsRegistry, Tracer
+from ..obs import (
+    SECONDS_BUCKETS,
+    SPAN_SECONDS_BUCKETS,
+    JSONLSink,
+    MetricsRegistry,
+    Tracer,
+)
 from ..runspec import RunOutcome, RunSpec, execute_run
 
 if TYPE_CHECKING:
@@ -269,6 +275,14 @@ def _run_specs_warm(
     def on_result(key: object, value: object, seconds: float) -> None:
         if span is not None:
             span.observe(seconds)
+        if metrics is not None:
+            # Dispatch-to-result wall clock of one warm-pool task: the
+            # worker-side leg of the span-profiling story (the engine
+            # and kernel legs travel back on run telemetry).
+            metrics.histogram(
+                "profile.worker_dispatch_seconds",
+                buckets=SPAN_SECONDS_BUCKETS,
+            ).observe(seconds)
 
     results = pool.map_specs(
         [(index, spec, None) for index, spec in enumerate(specs)],

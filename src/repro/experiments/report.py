@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 
 from ..errors import ReproError
+from ..obs import PROFILE_PREFIX, histogram_quantile, merge_snapshots
 from . import paperdata
 from .campaign import CACHE_EPOCH, Campaign
 from .figures import (
@@ -101,6 +102,7 @@ def generate_report(campaign: Campaign) -> str:
     out.write("## Campaign timing\n\n")
     out.write(_timing_section(campaign, elapsed))
     out.write(_telemetry_section(campaign))
+    out.write(_profiling_section(campaign))
     out.write(_quarantine_section(campaign))
     return out.getvalue()
 
@@ -204,6 +206,63 @@ def _telemetry_section(campaign: Campaign) -> str:
             f"this invocation.\n"
         )
     return out.getvalue()
+
+
+def _profiling_section(campaign: Campaign) -> str:
+    """Wall-clock span profile merged across every run's telemetry.
+
+    Spans are metrics, not trace events, so they carry real seconds;
+    the section renders the merged histograms (engine periods, vector
+    classify/commit, worker dispatch) with bucket-resolution quantiles.
+    Absent when profiling was off (``REPRO_PROFILE_SPANS=0``) or no
+    cached run carries telemetry.
+    """
+    merged = merge_snapshots(
+        s.get("metrics", {}) for s in campaign.telemetry_snapshots()
+    )
+    merged = merge_snapshots([merged, campaign.metrics.snapshot()])
+    spans = {
+        name: data
+        for name, data in sorted(merged.items())
+        if name.startswith(PROFILE_PREFIX)
+        and data.get("type") == "histogram"
+        and data.get("count", 0)
+    }
+    if not spans:
+        return ""
+    table = io.StringIO()
+    table.write(
+        f"{'span':<36} {'count':>8} {'mean':>10} {'p50':>10} "
+        f"{'p95':>10} {'max':>10}\n"
+    )
+    for name, data in spans.items():
+        count = data["count"]
+        mean = data["sum"] / count
+        p50 = histogram_quantile(data, 0.50)
+        p95 = histogram_quantile(data, 0.95)
+        peak = data.get("max") or 0.0
+        table.write(
+            f"{name:<36} {count:>8} {_seconds(mean):>10} "
+            f"{_seconds(p50):>10} {_seconds(p95):>10} "
+            f"{_seconds(peak):>10}\n"
+        )
+    return (
+        "\n## Span profile\n\n"
+        "Wall-clock histograms from the profiling layer (metrics-only "
+        "— traces stay clock-free). Quantiles are bucket upper "
+        "bounds.\n\n" + _code_block(table.getvalue())
+    )
+
+
+def _seconds(value: float | None) -> str:
+    """Human-scale seconds: µs/ms/s as magnitude warrants."""
+    if value is None:
+        return "n/a"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.2f}s"
 
 
 def write_report(

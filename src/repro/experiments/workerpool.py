@@ -45,6 +45,7 @@ from queue import Empty
 from typing import Callable, Sequence
 
 from ..faults.chaos import maybe_inject
+from ..obs.heartbeat import beacon_dir, write_beacon
 from ..runspec import RunSpec
 
 #: Gate (default on): ``0``/``false``/``off`` restores the cold
@@ -126,6 +127,78 @@ def _apply_env(env: dict[str, str]) -> None:
             os.environ[key] = value
 
 
+class _WorkerStatus:
+    """Per-worker heartbeat state: cumulative counters + beacon writes.
+
+    Entirely best-effort: every method swallows its own errors, because
+    a heartbeat must never fail (or slow) the task it describes.  The
+    beacon directory is re-read per task since ``REPRO_BEACON_DIR``
+    rides the per-task env snapshot like every other ``REPRO_*`` knob.
+    """
+
+    def __init__(self, worker_id: int):
+        self.name = f"worker-{worker_id}"
+        self.tasks_completed = 0
+        self.tasks_failed = 0
+        self.reused_dispatches = 0
+        self.detector_verdicts = 0.0
+        self.detector_positives = 0.0
+        self.last_span_seconds = 0.0
+
+    def _emit(self, state: str, digest: str | None) -> None:
+        directory = beacon_dir()
+        if directory is None:
+            return
+        write_beacon(
+            directory,
+            self.name,
+            {
+                "state": state,
+                "digest": digest,
+                "tasks_completed": self.tasks_completed,
+                "tasks_failed": self.tasks_failed,
+                "reused_dispatches": self.reused_dispatches,
+                "detector_verdicts": self.detector_verdicts,
+                "detector_positives": self.detector_positives,
+                "last_span_seconds": round(self.last_span_seconds, 6),
+            },
+        )
+
+    def task_started(self, digest: str, reused: bool) -> None:
+        try:
+            if reused:
+                self.reused_dispatches += 1
+            self._emit("running", digest)
+        except Exception:
+            pass
+
+    def task_finished(
+        self, ok: bool, result: object, seconds: float
+    ) -> None:
+        try:
+            if ok:
+                self.tasks_completed += 1
+            else:
+                self.tasks_failed += 1
+            self.last_span_seconds = seconds
+            telemetry = getattr(result, "telemetry", None)
+            if isinstance(telemetry, dict):
+                metrics = telemetry.get("metrics", {})
+
+                def counter(name: str) -> float:
+                    entry = metrics.get(name)
+                    return entry["value"] if entry else 0.0
+
+                positives = counter("caer.verdicts_positive")
+                self.detector_positives += positives
+                self.detector_verdicts += positives + counter(
+                    "caer.verdicts_negative"
+                )
+            self._emit("idle", None)
+        except Exception:
+            pass
+
+
 def _worker_main(worker_id: int, task_q, result_q, shm_name: str) -> None:
     """Worker loop: intern specs, execute, ship outcomes via the ring.
 
@@ -140,6 +213,7 @@ def _worker_main(worker_id: int, task_q, result_q, shm_name: str) -> None:
     shm = shared_memory.SharedMemory(name=shm_name)
     buf = shm.buf
     specs: dict[str, RunSpec] = {}
+    status = _WorkerStatus(worker_id)
     try:
         while True:
             msg = task_q.get()
@@ -154,6 +228,8 @@ def _worker_main(worker_id: int, task_q, result_q, shm_name: str) -> None:
                 spec = payload
                 specs[spec.digest] = spec
                 reused = False
+            status.task_started(spec.digest, reused)
+            started = time.perf_counter()
             try:
                 if attempt is not None:
                     maybe_inject(spec, attempt)
@@ -162,6 +238,9 @@ def _worker_main(worker_id: int, task_q, result_q, shm_name: str) -> None:
             except BaseException as exc:  # shipped, not swallowed
                 result = exc
                 ok = False
+            status.task_finished(
+                ok, result, time.perf_counter() - started
+            )
             try:
                 data = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
             except Exception as exc:

@@ -12,7 +12,17 @@ that behaviour inspectable without changing it:
   :class:`RingBufferSink`, and a rotating :class:`JSONLSink`;
 * :mod:`repro.obs.metrics` — counters, gauges, and histograms in a
   :class:`MetricsRegistry` whose snapshots ride on run summaries and
-  the campaign report.
+  the campaign report;
+* :mod:`repro.obs.export` — Prometheus text exposition over those
+  snapshots and the opt-in ``/metrics`` HTTP endpoint
+  (``REPRO_METRICS_PORT``);
+* :mod:`repro.obs.heartbeat` — best-effort progress beacons from
+  warm-pool workers and the campaign parent (``REPRO_BEACON_DIR``),
+  the substrate of ``repro-caer watch``;
+* :mod:`repro.obs.profiling` — wall-clock span histograms
+  (metrics-only, explicitly outside the no-wall-clock trace
+  contract) around engine periods, vector-kernel batches, and worker
+  dispatches.
 
 The contract instrumented code must keep: tracing is *transparent* —
 attaching any tracer or registry never changes a run's results (the
@@ -30,6 +40,22 @@ from .events import (
     RunSpecEvent,
     TraceEvent,
 )
+from .export import (
+    METRICS_PORT_ENV,
+    MetricsExporter,
+    exporter_port,
+    render_prometheus,
+    sanitize_metric_name,
+    start_exporter,
+)
+from .heartbeat import (
+    BEACON_DIR_ENV,
+    beacon_age,
+    beacon_dir,
+    merge_beacon_metrics,
+    read_beacons,
+    write_beacon,
+)
 from .metrics import (
     POW2_BUCKETS,
     SECONDS_BUCKETS,
@@ -37,7 +63,18 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    histogram_quantile,
     merge_snapshots,
+)
+from .profiling import (
+    PROFILE_ENV,
+    PROFILE_PREFIX,
+    PROFILER,
+    SPAN_SECONDS_BUCKETS,
+    ProfileSpan,
+    SpanProfiler,
+    activate_profiling,
+    spans_enabled,
 )
 from .tracer import (
     NULL_TRACER,
@@ -68,6 +105,30 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_snapshots",
+    "histogram_quantile",
     "POW2_BUCKETS",
     "SECONDS_BUCKETS",
+    # live export
+    "METRICS_PORT_ENV",
+    "MetricsExporter",
+    "exporter_port",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "start_exporter",
+    # heartbeats
+    "BEACON_DIR_ENV",
+    "beacon_age",
+    "beacon_dir",
+    "merge_beacon_metrics",
+    "read_beacons",
+    "write_beacon",
+    # span profiling
+    "PROFILE_ENV",
+    "PROFILE_PREFIX",
+    "PROFILER",
+    "SPAN_SECONDS_BUCKETS",
+    "ProfileSpan",
+    "SpanProfiler",
+    "activate_profiling",
+    "spans_enabled",
 ]

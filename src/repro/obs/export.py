@@ -1,0 +1,261 @@
+"""Live telemetry export: Prometheus text exposition over HTTP.
+
+The registry (:mod:`repro.obs.metrics`) snapshots into plain dicts;
+this module renders those snapshots in the Prometheus text exposition
+format (version 0.0.4) and, opt-in, serves them from a background HTTP
+endpoint so an in-flight campaign can be scraped mid-run:
+
+* :func:`render_prometheus` — counters become ``_total`` counters,
+  gauges pass through, histograms become cumulative ``_bucket{le=...}``
+  series with ``_sum``/``_count``, every family prefixed with
+  ``# HELP``/``# TYPE`` lines and namespaced ``repro_``;
+* :class:`MetricsExporter` — a daemon-thread HTTP server whose
+  ``/metrics`` handler calls a *provider* callable on every scrape, so
+  the payload always reflects the current merged registry (the
+  campaign's provider folds in per-run telemetry and worker heartbeats
+  as they arrive);
+* ``REPRO_METRICS_PORT`` — the CLI gate: when set, the campaign serves
+  its merged registry on that port (0 = any free port).
+
+Everything here is read-only over snapshots: serving metrics can never
+change a run, and the exporter-on/off bit-identity property tests pin
+that (`tests/obs/test_transparency.py`).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping
+
+from ..errors import ObservabilityError
+
+#: When set, ``repro-caer`` serves the campaign's merged metrics on
+#: this port (``0`` binds any free port); unset disables the endpoint.
+METRICS_PORT_ENV = "REPRO_METRICS_PORT"
+
+#: Namespace every exported metric name is prefixed with.
+NAMESPACE = "repro"
+
+#: Prometheus metric names: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+#: Exposition content type (text format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def exporter_port() -> int | None:
+    """The ``REPRO_METRICS_PORT`` setting, or ``None`` when unset.
+
+    ``0`` is valid (bind any free port); non-integers and negative
+    values raise :class:`ObservabilityError`.
+    """
+    value = os.environ.get(METRICS_PORT_ENV)
+    if value is None or not value.strip():
+        return None
+    try:
+        port = int(value)
+    except ValueError:
+        raise ObservabilityError(
+            f"{METRICS_PORT_ENV} must be an integer port, got {value!r}"
+        ) from None
+    if port < 0 or port > 65535:
+        raise ObservabilityError(
+            f"{METRICS_PORT_ENV} must be in [0, 65535], got {port}"
+        )
+    return port
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry name onto the Prometheus grammar.
+
+    Dots (the registry's namespace separator) and every other invalid
+    character become underscores; a name that would start with a digit
+    is prefixed with one.  ``sim.llc_misses_per_period.lbm-0`` →
+    ``sim_llc_misses_per_period_lbm_0``.
+    """
+    if not name:
+        raise ObservabilityError("metric name must be non-empty")
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if _INVALID_FIRST.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float | int | None) -> str:
+    """A float in exposition syntax (NaN for missing observations)."""
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping],
+    namespace: str = NAMESPACE,
+    help_text: Mapping[str, str] | None = None,
+) -> str:
+    """Render a registry snapshot as Prometheus text exposition.
+
+    ``snapshot`` is :meth:`~repro.obs.MetricsRegistry.snapshot` output
+    (or a :func:`~repro.obs.merge_snapshots` merge of several).
+    Counters gain the conventional ``_total`` suffix; histogram bucket
+    counts — stored per-bucket in the snapshot — are emitted as the
+    cumulative ``le``-labelled series Prometheus expects, closed by
+    ``le="+Inf"``.  Two registry names that sanitize to the same
+    exposition name keep only the first (sorted) occurrence, so the
+    output never declares a family twice.
+    """
+    prefix = sanitize_metric_name(namespace) + "_" if namespace else ""
+    help_text = help_text or {}
+    lines: list[str] = []
+    seen: set[str] = set()
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        base = prefix + sanitize_metric_name(name)
+        if kind == "counter":
+            base += "_total"
+        if base in seen:
+            continue
+        seen.add(base)
+        help_line = help_text.get(name, f"repro metric {name}")
+        if kind == "counter":
+            lines.append(f"# HELP {base} {help_line}")
+            lines.append(f"# TYPE {base} counter")
+            lines.append(f"{base} {_format_value(data['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {base} {help_line}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(data['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {base} {help_line}")
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, count in zip(data["buckets"], data["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{base}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            total = cumulative + data["counts"][len(data["buckets"])]
+            lines.append(f'{base}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{base}_sum {_format_value(data['sum'])}")
+            lines.append(f"{base}_count {data['count']}")
+        # unknown types are skipped: exposition must stay parseable
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+class MetricsExporter:
+    """A background ``/metrics`` endpoint over a snapshot provider.
+
+    ``provider`` is called on every scrape and must return a snapshot
+    dict (:meth:`~repro.obs.MetricsRegistry.snapshot` shape); the
+    campaign passes a closure that merges its registry, the per-run
+    telemetry gathered so far, and any worker heartbeats — so two
+    scrapes of an in-flight campaign observe monotonically advancing
+    completed-run counters.  The serving thread is a daemon: it never
+    keeps the process alive, and a provider exception surfaces as an
+    HTTP 500, never a crash of the campaign.
+    """
+
+    def __init__(
+        self,
+        provider: Callable[[], Mapping[str, Mapping]],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ):
+        self.provider = provider
+        exporter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.rstrip("/") in ("", "/metrics"):
+                    try:
+                        body = render_prometheus(exporter.provider())
+                    except Exception as exc:  # serve, never crash
+                        self.send_response(500)
+                        self.send_header("Content-Type", "text/plain")
+                        self.end_headers()
+                        self.wfile.write(
+                            f"provider error: {exc!r}\n".encode()
+                        )
+                        return
+                    payload = body.encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(payload)))
+                    self.end_headers()
+                    self.wfile.write(payload)
+                else:
+                    self.send_response(404)
+                    self.end_headers()
+
+            def log_message(self, *args: object) -> None:
+                """Scrapes are routine; keep stderr quiet."""
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        #: The actually bound port (meaningful when asked for port 0).
+        self.port = self._server.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsExporter":
+        """Begin serving on the daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"repro-metrics-exporter-{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "serving" if self._thread is not None else "stopped"
+        return f"MetricsExporter({self.url}, {state})"
+
+
+def start_exporter(
+    provider: Callable[[], Mapping[str, Mapping]],
+    port: int | None = None,
+) -> MetricsExporter | None:
+    """Start an exporter when ``REPRO_METRICS_PORT`` (or ``port``) asks.
+
+    Returns the running exporter, or ``None`` when no port is
+    configured — callers can unconditionally ``if exporter:`` around
+    the result.
+    """
+    if port is None:
+        port = exporter_port()
+    if port is None:
+        return None
+    return MetricsExporter(provider, port=port).start()

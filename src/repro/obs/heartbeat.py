@@ -1,0 +1,182 @@
+"""Campaign heartbeats: progress beacons from workers and the parent.
+
+The warm pool's result rings carry *outcomes*; beacons carry *status*.
+When ``REPRO_BEACON_DIR`` is set, every warm-pool worker writes a small
+JSON beacon file as it picks up and finishes each task, and the parent
+campaign writes a ``campaign`` beacon as runs checkpoint — so any other
+process (``repro-caer watch``, the Prometheus endpoint's provider) can
+reconstruct in-flight campaign health without touching the task queues.
+
+Beacons are plain JSON files, written atomically (unique temp name +
+rename, the campaign cache's pattern) so a reader never observes a torn
+payload; a corrupt or vanished beacon reads as absent, never as a
+crash.  Writers swallow every error: heartbeats are best-effort
+telemetry and must never fail a run.
+
+Each beacon payload carries ``beacon`` (its name), ``pid``, ``seq`` (a
+per-writer monotone counter, so watchers can detect progress without
+trusting clocks) and ``ts`` (wall-clock, for staleness display only —
+beacons never feed back into simulation, so the no-wall-clock trace
+contract is untouched).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+#: When set, workers and campaigns drop beacon files in this directory.
+BEACON_DIR_ENV = "REPRO_BEACON_DIR"
+
+#: Bump when the beacon payload schema changes shape.
+BEACON_VERSION = 1
+
+#: Beacons older than this many seconds render as stale in ``watch``.
+STALE_SECONDS = 30.0
+
+_seq = 0
+
+
+def beacon_dir() -> Path | None:
+    """The configured beacon directory, or ``None`` when disabled."""
+    value = os.environ.get(BEACON_DIR_ENV)
+    if not value or not value.strip():
+        return None
+    return Path(value)
+
+
+def write_beacon(
+    directory: str | os.PathLike, name: str, payload: dict
+) -> Path | None:
+    """Atomically write ``<name>.json`` under ``directory``.
+
+    Returns the written path, or ``None`` when anything went wrong —
+    beacons are best-effort and never raise.
+    """
+    global _seq
+    _seq += 1
+    record = {
+        "beacon": name,
+        "version": BEACON_VERSION,
+        "pid": os.getpid(),
+        "seq": _seq,
+        "ts": time.time(),
+        **payload,
+    }
+    try:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{name}.json"
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+    except Exception:
+        return None
+
+
+def read_beacons(directory: str | os.PathLike) -> dict[str, dict]:
+    """Every readable beacon under ``directory``, keyed by name.
+
+    Corrupt, torn, or concurrently-deleted files are skipped; a missing
+    directory reads as no beacons.
+    """
+    beacons: dict[str, dict] = {}
+    try:
+        entries = sorted(Path(directory).glob("*.json"))
+    except OSError:
+        return beacons
+    for path in entries:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict):
+            beacons[path.stem] = payload
+    return beacons
+
+
+def beacon_age(payload: dict, now: float | None = None) -> float:
+    """Seconds since the beacon was written (``inf`` when unstamped)."""
+    ts = payload.get("ts")
+    if not isinstance(ts, (int, float)):
+        return float("inf")
+    return max(0.0, (now if now is not None else time.time()) - ts)
+
+
+def merge_beacon_metrics(beacons: dict[str, dict]) -> dict[str, dict]:
+    """Fold beacons into a metrics-snapshot fragment for the exporter.
+
+    Worker beacons aggregate into pool-level instruments (completed /
+    failed / reuse totals, workers alive and running right now);
+    campaign beacons surface scheduled/completed/quarantined run
+    gauges.  The fragment merges like any registry snapshot, so the
+    endpoint serves one coherent namespace.
+    """
+    snapshot: dict[str, dict] = {}
+
+    def gauge(name: str, value: float) -> None:
+        snapshot[name] = {"type": "gauge", "value": float(value)}
+
+    def counter(name: str, value: float) -> None:
+        snapshot[name] = {"type": "counter", "value": float(value)}
+
+    workers = [
+        p for p in beacons.values() if p.get("beacon", "").startswith("worker")
+    ]
+    if workers:
+        gauge("workerpool.workers", len(workers))
+        gauge(
+            "workerpool.workers_running",
+            sum(1 for p in workers if p.get("state") == "running"),
+        )
+        counter(
+            "workerpool.tasks_completed",
+            sum(p.get("tasks_completed", 0) for p in workers),
+        )
+        counter(
+            "workerpool.tasks_failed",
+            sum(p.get("tasks_failed", 0) for p in workers),
+        )
+        counter(
+            "workerpool.spec_reuse",
+            sum(p.get("reused_dispatches", 0) for p in workers),
+        )
+        counter(
+            "workerpool.detector_verdicts",
+            sum(p.get("detector_verdicts", 0) for p in workers),
+        )
+        counter(
+            "workerpool.detector_positives",
+            sum(p.get("detector_positives", 0) for p in workers),
+        )
+    campaign = beacons.get("campaign")
+    if campaign is not None:
+        for key, name in (
+            ("runs_total", "campaign.beacon_runs_total"),
+            ("runs_completed", "campaign.beacon_runs_completed"),
+            ("runs_cached", "campaign.beacon_runs_cached"),
+            ("quarantined", "campaign.beacon_quarantined"),
+        ):
+            value = campaign.get(key)
+            if isinstance(value, (int, float)):
+                gauge(name, value)
+        gauge(
+            "campaign.beacon_running",
+            1.0 if campaign.get("state") == "running" else 0.0,
+        )
+    return snapshot

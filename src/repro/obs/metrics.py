@@ -181,10 +181,15 @@ class MetricsRegistry:
         return sorted(self._metrics)
 
     def snapshot(self) -> dict[str, dict]:
-        """Plain-data view of every metric, JSON-serialisable."""
+        """Plain-data view of every metric, JSON-serialisable.
+
+        Sorts a point-in-time copy of the table, so a concurrent
+        reader (the live exporter's serving thread) never trips over
+        an instrument being registered mid-iteration.
+        """
         return {
             name: metric.snapshot()
-            for name, metric in sorted(self._metrics.items())
+            for name, metric in sorted(list(self._metrics.items()))
         }
 
     def __len__(self) -> int:
@@ -225,6 +230,31 @@ def merge_snapshots(snapshots: Iterable[dict[str, dict]]) -> dict[str, dict]:
             else:  # gauge and anything unrecognised: last wins
                 merged[name] = json_copy(data)
     return merged
+
+
+def histogram_quantile(snapshot: dict, q: float) -> float:
+    """Bucket-resolution quantile of a *snapshot* histogram entry.
+
+    The same estimate :meth:`Histogram.quantile` computes, but over the
+    plain-dict form that rides on run telemetry and report merges
+    (the overflow bucket reports the observed maximum).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1]: {q}")
+    count = snapshot.get("count", 0)
+    if not count:
+        return 0.0
+    buckets = snapshot["buckets"]
+    maximum = snapshot.get("max") or 0.0
+    rank = q * count
+    seen = 0
+    for index, bucket_count in enumerate(snapshot["counts"]):
+        seen += bucket_count
+        if seen >= rank and bucket_count:
+            if index < len(buckets):
+                return buckets[index]
+            return maximum
+    return maximum
 
 
 def json_copy(data: dict) -> dict:

@@ -31,7 +31,7 @@ from typing import Protocol
 
 from ..caer.runtime import caer_factory
 from ..errors import ConfigError, SchedulingError
-from ..obs import MetricsRegistry, RunSpecEvent, Tracer
+from ..obs import MetricsRegistry, RunSpecEvent, Tracer, activate_profiling
 from ..sim.engine import SimulationEngine
 from ..sim.process import SimProcess
 from ..sim.results import RunResult
@@ -273,13 +273,18 @@ def execute_run(
     driven only by its picklable arguments, touching no shared state.
     A fresh :class:`MetricsRegistry` is attached per run; its snapshot
     (plus derived scalars and the spec identity) rides back on the
-    outcome's ``telemetry``.
+    outcome's ``telemetry``.  Span profiling is armed around the run
+    (unless ``REPRO_PROFILE_SPANS=0``), so the wall-clock histograms —
+    engine periods, vector-kernel batches — ride back in the same
+    snapshot; they are excluded from outcome equality like every other
+    telemetry field.
     """
     from ..caer.metrics import utilization_gained
 
     started = time.perf_counter()
     metrics = MetricsRegistry()
-    result = execute(spec, tracer=tracer, metrics=metrics)
+    with activate_profiling(metrics):
+        result = execute(spec, tracer=tracer, metrics=metrics)
     ls = result.latency_sensitive()
     gained = (
         utilization_gained(result) if result.batch_processes() else 0.0

@@ -33,6 +33,7 @@ from ..arch.pmu import PMUSample
 from ..errors import SchedulingError, SimulationError
 from ..faults import FaultInjector, FaultPlan, FaultyPerfmonSession
 from ..obs import NULL_TRACER, MetricsRegistry, PhaseEvent, PMUSampleEvent, Tracer
+from ..obs.profiling import PROFILER
 from ..perfmon.session import PerfmonSession
 from .clock import SimClock
 from .process import ProcessState, SimProcess
@@ -215,7 +216,13 @@ class SimulationEngine:
         states_at_start = {
             name: proc.state for name, proc in self.processes.items()
         }
-        self._execute_slices(period)
+        # Wall-clock span profiling (metrics-only; trace events stay
+        # free of host time).  Disabled, this is one attribute read.
+        if PROFILER.enabled:
+            with PROFILER.span("profile.engine_period_seconds"):
+                self._execute_slices(period)
+        else:
+            self._execute_slices(period)
         self.chip.memory.end_period(self.chip.machine.period_cycles)
         self._probe_and_record(period, states_at_start)
         self._apply_pending_pauses()

@@ -35,7 +35,7 @@ from ..arch.pmu import PMUSample
 from ..config import MachineConfig
 from ..errors import SchedulingError, SimulationError
 from ..faults import FaultInjector, FaultPlan
-from ..obs import NULL_TRACER, MetricsRegistry, Tracer
+from ..obs import NULL_TRACER, PROFILER, MetricsRegistry, Tracer
 from ..sim.engine import PeriodHook
 from ..sim.process import ProcessState, SimProcess
 from ..sim.results import ProcessResult, RunResult
@@ -253,7 +253,11 @@ class StatisticalEngine:
                 raise SimulationError(
                     f"run exceeded max_periods={self.max_periods}"
                 )
-            self._step_period()
+            if PROFILER.enabled:
+                with PROFILER.span("profile.engine_period_seconds"):
+                    self._step_period()
+            else:
+                self._step_period()
         self.result.total_periods = self.period
         self._finalise()
         return self.result

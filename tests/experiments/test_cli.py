@@ -236,3 +236,205 @@ class TestTraceCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "no cached runs" in out
+
+
+class TestStatsFormats:
+    def test_json_format_is_machine_readable(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["stats", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["cached"] == 0
+        assert "cache_tag" in data
+
+    def test_prometheus_format_reuses_the_renderer(self, capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(["stats", "--format", "prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Empty cache still walks _load, so the miss counter serves.
+        assert "# TYPE repro_campaign_cache_misses_total counter" in out
+
+    def test_unknown_format_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.main(["stats", "--format", "yaml"])
+
+
+class TestWatchCommand:
+    def test_once_without_beacons_exits_1(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_BEACON_DIR", str(tmp_path / "beacons")
+        )
+        code = cli.main(["watch", "--once"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no beacons" in out
+
+    def test_once_with_beacons_exits_0(self, capsys, tmp_path,
+                                       monkeypatch):
+        from repro.obs import write_beacon
+
+        beacons = tmp_path / "beacons"
+        monkeypatch.setenv("REPRO_BEACON_DIR", str(beacons))
+        write_beacon(beacons, "campaign", {
+            "state": "running", "runs_total": 10, "runs_completed": 4,
+            "runs_cached": 4, "quarantined": 0, "cache_tag": "t",
+        })
+        write_beacon(beacons, "worker-0", {
+            "state": "running", "digest": "abc123def456",
+            "tasks_completed": 4, "tasks_failed": 0,
+            "reused_dispatches": 1, "detector_verdicts": 7.0,
+            "detector_positives": 2.0,
+        })
+        code = cli.main(["watch", "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4/10 runs" in out
+        assert "worker-0" in out
+        assert "running abc123def456" in out
+
+    def test_dir_flag_overrides_env(self, capsys, tmp_path, monkeypatch):
+        from repro.obs import write_beacon
+
+        monkeypatch.setenv("REPRO_BEACON_DIR", str(tmp_path / "empty"))
+        chosen = tmp_path / "chosen"
+        write_beacon(chosen, "campaign", {"state": "done"})
+        code = cli.main(["watch", "--once", "--dir", str(chosen)])
+        assert code == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_loop_exits_0_on_done_beacon(self, capsys, tmp_path,
+                                         monkeypatch):
+        from repro.experiments.watch import watch_loop
+        from repro.obs import write_beacon
+
+        beacons = tmp_path / "beacons"
+        write_beacon(beacons, "campaign", {
+            "state": "done", "runs_total": 2, "runs_completed": 2,
+        })
+        assert watch_loop(str(beacons), interval=0.01) == 0
+
+    def test_loop_bounded_iterations_without_beacons(self, tmp_path,
+                                                     capsys):
+        from repro.experiments.watch import watch_loop
+
+        code = watch_loop(
+            str(tmp_path / "nothing"), interval=0.01, max_iterations=2
+        )
+        assert code == 1
+
+
+class TestTimelineCommand:
+    @pytest.fixture()
+    def trace_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "trace.jsonl"
+        assert cli.main([
+            "--length", "0.02", "trace", "mcf", "shutter",
+            "--output", str(path),
+        ]) == 0
+        return path
+
+    def test_renders_detect_then_respond(self, capsys, trace_path):
+        capsys.readouterr()
+        code = cli.main(["timeline", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert re.search(r"period \d+\n(  .+\n)+", out)
+        assert "detect" in out
+        # Within any period carrying both, detection precedes response.
+        respond_periods = re.findall(
+            r"period (\d+)\n(?:  .*\n)*?  respond", out
+        )
+        assert respond_periods  # shutter responds at least once
+        assert "pmu" not in out  # high-volume kind is opt-in
+
+    def test_kind_filter_and_period_range(self, capsys, trace_path):
+        capsys.readouterr()
+        code = cli.main([
+            "timeline", str(trace_path),
+            "--kind", "pmu_sample", "--start", "0", "--end", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pmu" in out
+        assert "detect" not in out
+        periods = [
+            int(m) for m in re.findall(r"^period (\d+)$", out, re.M)
+        ]
+        assert periods and all(0 <= p <= 3 for p in periods)
+
+    def test_limit_elides_and_says_so(self, capsys, trace_path):
+        capsys.readouterr()
+        code = cli.main(["timeline", str(trace_path), "--limit", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len(re.findall(r"^period \d+$", out, re.M)) == 2
+        assert "more periods elided" in out
+
+    def test_unknown_kind_is_one_line_error(self, capsys, trace_path):
+        capsys.readouterr()
+        code = cli.main(["timeline", str(trace_path), "--kind", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "bogus" in captured.err
+
+    def test_missing_file_is_one_line_error(self, capsys, tmp_path):
+        code = cli.main(["timeline", str(tmp_path / "absent.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+
+class TestExporterWiring:
+    def test_metrics_port_serves_during_command(self, capsys, tmp_path,
+                                                monkeypatch):
+        """REPRO_METRICS_PORT wires the endpoint around any campaign
+        command: the endpoint serves while the command runs, is
+        announced on stderr, and is torn down afterwards."""
+        import urllib.request
+
+        import repro.obs as obs
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_METRICS_PORT", "0")
+        monkeypatch.setenv(
+            "REPRO_BEACON_DIR", str(tmp_path / "beacons")
+        )
+        holder = {}
+        original_start = obs.start_exporter
+
+        def capturing_start(provider, port=None):
+            holder["exporter"] = original_start(provider, port=port)
+            return holder["exporter"]
+
+        monkeypatch.setattr(obs, "start_exporter", capturing_start)
+        original_run = cli._run_command
+
+        def scraping_run(args, settings, campaign):
+            url = holder["exporter"].url
+            with urllib.request.urlopen(url, timeout=5) as response:
+                holder["body"] = response.read().decode()
+            return original_run(args, settings, campaign)
+
+        monkeypatch.setattr(cli, "_run_command", scraping_run)
+        assert cli.main(["stats"]) == 0
+        captured = capsys.readouterr()
+        assert re.search(
+            r"http://127\.0\.0\.1:\d+/metrics", captured.err
+        )
+        # The mid-command scrape yielded well-formed exposition (the
+        # campaign registry may be empty before the cache walk, but a
+        # scrape must succeed and parse).
+        assert "body" in holder
+        for line in holder["body"].splitlines():
+            assert line.startswith(("# HELP", "# TYPE", "repro_"))
+        # After main() returns the socket is released.
+        with pytest.raises(Exception):
+            urllib.request.urlopen(holder["exporter"].url, timeout=1)

@@ -222,6 +222,69 @@ class TestPoolFailureHandling:
         finally:
             pool.close()
 
+    def test_trace_dir_propagates_to_warm_workers(
+        self, monkeypatch, tmp_path
+    ):
+        """Regression: ``REPRO_TRACE_DIR`` set after the pool forked
+        must still produce worker-side trace files, byte-identical to
+        a serially traced run of the same spec."""
+        from repro.experiments.executor import (
+            TRACE_DIR_ENV,
+            _execute_spec,
+        )
+
+        spec = FAST.run_spec("444.namd", "rule")
+        pool = SpecWorkerPool(jobs=1)
+        try:
+            # Warm the worker with an untraced dispatch first, so the
+            # trace env var demonstrably postdates the fork.
+            assert not isinstance(
+                pool.map_specs([(0, spec, None)])[0], WorkerFailure
+            )
+            warm_dir = tmp_path / "warm"
+            monkeypatch.setenv(TRACE_DIR_ENV, str(warm_dir))
+            outcome = pool.map_specs([(1, spec, None)])[1]
+            assert not isinstance(outcome, WorkerFailure)
+        finally:
+            pool.close()
+        traces = sorted(warm_dir.glob("*.jsonl"))
+        assert len(traces) == 1
+
+        serial_dir = tmp_path / "serial"
+        monkeypatch.setenv(TRACE_DIR_ENV, str(serial_dir))
+        serial_outcome = _execute_spec(spec)
+        assert serial_outcome == outcome
+        serial_traces = sorted(serial_dir.glob("*.jsonl"))
+        assert len(serial_traces) == 1
+        assert traces[0].name == serial_traces[0].name
+        assert traces[0].read_bytes() == serial_traces[0].read_bytes()
+
+    def test_workers_drop_beacons_when_directed(
+        self, monkeypatch, tmp_path
+    ):
+        """``REPRO_BEACON_DIR`` rides the per-task env like any other
+        ``REPRO_*`` knob; workers report cumulative task counters."""
+        from repro.obs.heartbeat import BEACON_DIR_ENV, read_beacons
+
+        pool = SpecWorkerPool(jobs=1)
+        try:
+            spec = FAST.run_spec("444.namd", "rule")
+            monkeypatch.setenv(BEACON_DIR_ENV, str(tmp_path))
+            pool.map_specs([(0, spec, None)])
+            pool.map_specs([(1, spec, None)])
+        finally:
+            pool.close()
+        beacons = read_beacons(tmp_path)
+        assert "worker-0" in beacons
+        payload = beacons["worker-0"]
+        assert payload["state"] == "idle"
+        assert payload["tasks_completed"] == 2
+        assert payload["tasks_failed"] == 0
+        assert payload["reused_dispatches"] == 1
+        # A rule-governed run issues verdicts; they surface in the
+        # beacon's cumulative detector counters.
+        assert payload["detector_verdicts"] > 0
+
     def test_close_is_idempotent(self):
         pool = SpecWorkerPool(jobs=2)
         pool.close()

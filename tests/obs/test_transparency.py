@@ -82,3 +82,56 @@ def test_metrics_alone_are_also_transparent():
     snap = metrics.snapshot()
     assert snap["caer.periods"]["value"] == baseline.total_periods
     assert snap["sim.periods"]["value"] == baseline.total_periods
+
+
+def test_live_export_leaves_runs_bit_identical(tmp_path, monkeypatch):
+    """The exporter-on world must equal the exporter-off world.
+
+    With the endpoint serving (and being scraped), beacons enabled,
+    and span profiling armed, executing the same spec must produce a
+    bit-identical :class:`RunOutcome` — live telemetry is read-only
+    over runs.
+    """
+    import urllib.request
+
+    from repro.obs import PROFILE_ENV, start_exporter
+    from repro.obs.heartbeat import BEACON_DIR_ENV
+    from repro.runspec import RunSpec, execute_run
+
+    spec = RunSpec(
+        victim="429.mcf",
+        contenders=(),
+        machine=MachineConfig.tiny(),
+        length=LENGTH,
+        backend="sim",
+    )
+    monkeypatch.delenv(BEACON_DIR_ENV, raising=False)
+    monkeypatch.setenv(PROFILE_ENV, "0")
+    off = execute_run(spec)
+
+    monkeypatch.setenv(BEACON_DIR_ENV, str(tmp_path / "beacons"))
+    monkeypatch.delenv(PROFILE_ENV, raising=False)
+    registry = MetricsRegistry()
+    exporter = start_exporter(registry.snapshot, port=0)
+    try:
+        registry.counter("campaign.runs_simulated").inc()
+        body = urllib.request.urlopen(exporter.url, timeout=5).read()
+        assert b"repro_campaign_runs_simulated_total 1" in body
+        on = execute_run(spec)
+    finally:
+        exporter.close()
+
+    # RunOutcome equality excludes wall_seconds/telemetry by design;
+    # the full bit-identity claim covers every compared field plus the
+    # series payloads.
+    assert on == off
+    assert on.miss_series == off.miss_series
+    assert on.instruction_series == off.instruction_series
+    # ...and the exporter-on run did carry profiling spans, proving
+    # the armed world was actually exercised.
+    assert any(
+        name.startswith("profile.") for name in on.telemetry["metrics"]
+    )
+    assert not any(
+        name.startswith("profile.") for name in off.telemetry["metrics"]
+    )
