@@ -7,6 +7,13 @@ contention online with one of two heuristics — Burst-Shutter
 the batch applications (red-light/green-light or soft-locking, §5).
 A random detector (§6.4) serves as the accuracy baseline.
 
+Detectors and responses are *plugins*: :mod:`repro.caer.registry`
+holds open registries keyed by the names ``CaerConfig`` uses, and
+ships a zoo beyond the paper's pair — a learned GMM fence, a
+non-parametric CDF/quantile tail detector, and a proactive detector
+driven by the :mod:`repro.analytic` co-location model.  Register your
+own with :func:`register_detector` / :func:`register_response`.
+
 Typical use::
 
     from repro.caer import CaerConfig, caer_factory
@@ -26,7 +33,9 @@ from .analysis import (
     score_verdicts,
     summarise_decisions,
 )
+from .cdf_detector import CdfQuantileDetector
 from .detector import ContentionDetector, DetectorStep, Observation
+from .gmm_detector import GmmFenceDetector, fit_two_gaussians
 from .metrics import (
     accuracy_vs_random,
     effective_utilization_gained,
@@ -35,8 +44,17 @@ from .metrics import (
     utilization,
     utilization_gained,
 )
+from .proactive import AnalyticProactiveDetector, predicted_miss_fence
 from .profile_detector import ProfileDetector
 from .random_detector import RandomDetector
+from .registry import (
+    build_detector,
+    build_response,
+    detector_names,
+    register_detector,
+    register_response,
+    response_names,
+)
 from .response import (
     CachePartition,
     FrequencyScaling,
@@ -58,6 +76,17 @@ __all__ = [
     "RuleBasedDetector",
     "RandomDetector",
     "ProfileDetector",
+    "GmmFenceDetector",
+    "CdfQuantileDetector",
+    "AnalyticProactiveDetector",
+    "fit_two_gaussians",
+    "predicted_miss_fence",
+    "register_detector",
+    "register_response",
+    "detector_names",
+    "response_names",
+    "build_detector",
+    "build_response",
     "ResponsePolicy",
     "RedLightGreenLight",
     "SoftLock",

@@ -1,0 +1,95 @@
+"""A CDF/quantile detection heuristic (statistical, non-parametric).
+
+The cpu-cycle-contention detector family compares each new sample
+against the *empirical CDF* of its own recent history: a period whose
+cycle (here: LLC-miss) count lands in the distribution's upper tail is
+flagged as contended, with no parametric model and no absolute
+threshold to tune.  This detector is that shape on CAER's substrate:
+
+* a bounded window keeps the last ``window`` per-period LLC-miss
+  counts of the latency-sensitive side (the *raw* per-period counts,
+  not the communication table's rolling mean — the tail signal is what
+  the mean smooths away);
+* each period the current count's empirical quantile rank is computed
+  against that history **before** the count joins the window (so a
+  sustained burst cannot immediately re-normalise itself);
+* contention is asserted when the rank reaches ``quantile`` — the
+  observation is in the distribution's upper tail — and the batch side
+  is itself active above ``noise_floor`` (both-sides logic, as in the
+  paper's Algorithm 2: an idle batch cannot be the cause).
+
+No verdict is issued until ``min_samples`` history periods exist
+(``assertion=None``, like Burst-Shutter mid-cycle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigError
+from .detector import ContentionDetector, DetectorStep, Observation
+
+
+class CdfQuantileDetector(ContentionDetector):
+    """Upper-tail rank of the current period against its own history."""
+
+    name = "cdf-quantile"
+
+    def __init__(
+        self,
+        window: int = 64,
+        quantile: float = 0.85,
+        min_samples: int = 12,
+        noise_floor: float = 0.0,
+    ):
+        if window < 4:
+            raise ConfigError(f"window must be >= 4: {window}")
+        if not 0.0 < quantile <= 1.0:
+            raise ConfigError(
+                f"quantile must be in (0, 1]: {quantile}"
+            )
+        if min_samples < 2 or min_samples > window:
+            raise ConfigError(
+                f"min_samples must be in [2, window]: {min_samples}"
+            )
+        if noise_floor < 0:
+            raise ConfigError(f"noise_floor must be >= 0: {noise_floor}")
+        self.window = window
+        self.quantile = quantile
+        self.min_samples = min_samples
+        self.noise_floor = noise_floor
+        self.trace_threshold = quantile
+        self._history: deque[float] = deque(maxlen=window)
+        self.verdicts: list[bool] = []
+
+    def rank(self, value: float) -> float:
+        """Empirical CDF of ``value`` against the current history."""
+        if not self._history:
+            return 0.0
+        below = sum(1 for x in self._history if x <= value)
+        return below / len(self._history)
+
+    def step(self, obs: Observation) -> DetectorStep:
+        """Rank this period's misses in the tail of its own history."""
+        value = obs.neighbor_misses
+        if len(self._history) < self.min_samples:
+            self._history.append(value)
+            return DetectorStep(pause_self=False)
+        rank = self.rank(value)
+        contending = (
+            rank >= self.quantile
+            and value > self.noise_floor
+            and obs.own_mean > self.noise_floor
+        )
+        self._history.append(value)
+        self.verdicts.append(contending)
+        return DetectorStep(pause_self=False, assertion=contending)
+
+    def reset(self) -> None:
+        """Keep the history; the CDF is the detector's whole memory."""
+
+    def __repr__(self) -> str:
+        return (
+            f"CdfQuantileDetector(window={self.window}, "
+            f"q={self.quantile}, min={self.min_samples})"
+        )

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..arch.pmu import PMUSample
-from ..config import MachineConfig, default_usage_threshold
+from ..config import MachineConfig
 from ..errors import ConfigError
 from ..obs import (
     NULL_TRACER,
@@ -38,19 +38,46 @@ from ..obs import (
 )
 from ..sim.engine import SimulationEngine
 from ..sim.process import AppClass
+from . import registry
 from .detector import ContentionDetector, Observation
-from .profile_detector import ProfileDetector
-from .random_detector import RandomDetector
-from .response import (
-    CachePartition,
-    FrequencyScaling,
-    RedLightGreenLight,
-    ResponsePolicy,
-    SoftLock,
-)
-from .rulebased import RuleBasedDetector
-from .shutter import BurstShutterDetector
+from .response import ResponsePolicy
 from .table import DEFAULT_WINDOW_SIZE, CommunicationTable
+
+#: JSON-scalar types allowed as plugin-parameter values: anything else
+#: would break the config's hashability or its canonical JSON form.
+_PARAM_SCALARS = (str, int, float, bool, type(None))
+
+
+def _freeze_params(field_name: str, value: object) -> tuple:
+    """Normalise a plugin-parameter mapping to a sorted tuple of pairs.
+
+    Accepts a dict (the natural way to write one) or any iterable of
+    ``(key, value)`` pairs (the frozen form), validating that keys are
+    strings and values JSON scalars so the config stays hashable and
+    its canonical form digestible.
+    """
+    if isinstance(value, dict):
+        items = list(value.items())
+    else:
+        try:
+            items = [(k, v) for k, v in value]  # type: ignore[misc]
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"{field_name} must be a mapping or iterable of "
+                f"(key, value) pairs, got {value!r}"
+            ) from None
+    for key, val in items:
+        if not isinstance(key, str) or not key:
+            raise ConfigError(
+                f"{field_name} keys must be non-empty strings, "
+                f"got {key!r}"
+            )
+        if not isinstance(val, _PARAM_SCALARS):
+            raise ConfigError(
+                f"{field_name}[{key!r}] must be a JSON scalar "
+                f"(str/int/float/bool/None), got {type(val).__name__}"
+            )
+    return tuple(sorted(items))
 
 
 @dataclass(frozen=True)
@@ -61,6 +88,14 @@ class CaerConfig:
     individual knobs are exposed for the tuning-space ablations.  A
     ``usage_thresh`` of ``None`` resolves to the paper's 1500
     misses/ms converted to the target machine's period length.
+
+    ``detector``/``response`` name entries in the
+    :mod:`repro.caer.registry` plugin registries; the paper's knobs
+    stay first-class fields, while registered plugins read their
+    free-form knobs from the open ``detector_params`` /
+    ``response_params`` mappings (stored canonically as sorted
+    key/value pairs so the config stays hashable; both participate in
+    the run-spec digest like every other field).
     """
 
     detector: str = "rule-based"
@@ -89,6 +124,21 @@ class CaerConfig:
     # offline-profile oracle knobs (related-work comparator)
     baseline_misses: float | None = None
     profile_tolerance: float = 0.25
+    # open plugin-parameter mappings (registry detectors/responses)
+    detector_params: tuple = ()
+    response_params: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "detector_params",
+            _freeze_params("detector_params", self.detector_params),
+        )
+        object.__setattr__(
+            self,
+            "response_params",
+            _freeze_params("response_params", self.response_params),
+        )
 
     @classmethod
     def shutter(cls, **overrides: object) -> "CaerConfig":
@@ -154,13 +204,24 @@ class CaerConfig:
 
         Every field rides along so a run spec's content digest covers
         the whole policy by construction — adding a knob to this config
-        automatically widens every cache key that embeds it.
+        automatically widens every cache key that embeds it.  The
+        plugin-parameter mappings serialise as JSON objects (their
+        in-memory form is the hashable sorted-pair tuple).
         """
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        data["detector_params"] = dict(self.detector_params)
+        data["response_params"] = dict(self.response_params)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CaerConfig":
-        """Rebuild a config from :meth:`to_dict` output (validating)."""
+        """Rebuild a config from :meth:`to_dict` output (validating).
+
+        Accepts spec-version-2 payloads, which predate the plugin
+        registries: their ``caer`` objects simply lack the
+        ``detector_params``/``response_params`` keys and deserialise
+        with empty mappings.
+        """
         try:
             return cls(**data)
         except TypeError as exc:
@@ -171,65 +232,25 @@ class CaerConfig:
     # -- component construction ------------------------------------------
 
     def build_detector(self, machine: MachineConfig) -> ContentionDetector:
-        """Instantiate the configured detection heuristic."""
-        if self.detector == "shutter":
-            noise = self.noise_thresh
-            if noise is None:
-                # Moves smaller than the "heavy usage" threshold are
-                # indistinguishable from noise at this machine's scale.
-                noise = default_usage_threshold(machine)
-            return BurstShutterDetector(
-                switch_point=self.switch_point,
-                end_point=self.end_point,
-                impact_factor=self.impact_factor,
-                noise_thresh=noise,
-                mode=self.shutter_mode,
-            )
-        if self.detector == "rule-based":
-            return RuleBasedDetector(self._resolve_thresh(machine))
-        if self.detector == "random":
-            return RandomDetector(self.probability, seed=self.seed)
-        if self.detector == "profile":
-            if self.baseline_misses is None:
-                raise ConfigError(
-                    "the profile detector needs baseline_misses from a "
-                    "solo profiling run"
-                )
-            return ProfileDetector(
-                self.baseline_misses,
-                tolerance=self.profile_tolerance,
-                noise_floor=default_usage_threshold(machine),
-            )
-        raise ConfigError(f"unknown detector {self.detector!r}")
+        """Instantiate the configured detection heuristic.
+
+        Resolution goes through :func:`repro.caer.registry.build_detector`,
+        so any registered plugin is constructible here; unknown names
+        raise :class:`ConfigError` listing the registered choices.
+        """
+        return registry.build_detector(self, machine)
 
     def build_response(self, machine: MachineConfig) -> ResponsePolicy:
-        """Instantiate the configured response policy."""
-        if self.response == "rlgl":
-            return RedLightGreenLight(
-                length=self.response_length,
-                adaptive=self.adaptive,
-                max_length=self.max_response_length,
-            )
-        if self.response == "soft-lock":
-            return SoftLock(
-                self._resolve_thresh(machine),
-                max_hold=self.soft_lock_max_hold,
-            )
-        if self.response == "dvfs":
-            return FrequencyScaling(
-                scale=self.dvfs_scale, length=self.response_length
-            )
-        if self.response == "partition":
-            return CachePartition(
-                quota=self.partition_quota,
-                length=self.response_length,
-            )
-        raise ConfigError(f"unknown response {self.response!r}")
+        """Instantiate the configured response policy (via the registry)."""
+        return registry.build_response(self, machine)
 
-    def _resolve_thresh(self, machine: MachineConfig) -> float:
-        if self.usage_thresh is not None:
-            return self.usage_thresh
-        return default_usage_threshold(machine)
+    def detector_param(self, key: str, default: object = None) -> object:
+        """Fetch one free-form detector knob (factories' accessor)."""
+        return dict(self.detector_params).get(key, default)
+
+    def response_param(self, key: str, default: object = None) -> object:
+        """Fetch one free-form response knob (factories' accessor)."""
+        return dict(self.response_params).get(key, default)
 
     @property
     def label(self) -> str:
@@ -254,6 +275,10 @@ class CaerRuntime:
     ):
         machine = engine.chip.machine
         self.config = config
+        #: registry name the detector was resolved under — emitted in
+        #: trace events so timeline/stats tooling keys on the config's
+        #: vocabulary even for plugins whose class name differs.
+        self.detector_name = config.detector
         self.tracer = (
             tracer if tracer is not None
             else getattr(engine, "tracer", NULL_TRACER)
@@ -345,7 +370,7 @@ class CaerRuntime:
         if self.tracer.enabled:
             self.tracer.emit(DetectionEvent(
                 period=period,
-                detector=self.detector.name,
+                detector=self.detector_name,
                 state=reason,
                 own_misses=obs.own_misses,
                 neighbor_misses=obs.neighbor_misses,
@@ -368,7 +393,7 @@ class CaerRuntime:
             if self._state != state_before:
                 self.tracer.emit(PhaseEvent(
                     period=period, scope="caer",
-                    subject=self.detector.name, phase=self._state,
+                    subject=self.detector_name, phase=self._state,
                 ))
         self.table.directives.pause_batch = pause
         self.table.directives.batch_speed = speed

@@ -162,6 +162,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed of the fault plans' RNG streams (default 0)",
     )
+    shootout = sub.add_parser(
+        "shootout",
+        help="score every registered detector against the profile "
+             "oracle (accuracy / penalty / utilization)",
+    )
+    shootout.add_argument(
+        "--victim", default="429.mcf",
+        help="latency-sensitive benchmark under test (default 429.mcf)",
+    )
+    shootout.add_argument(
+        "--intensity",
+        type=float,
+        action="append",
+        default=None,
+        metavar="I",
+        help="fault intensity to average accuracy over (repeatable; "
+             "must include 0; default 0 0.5)",
+    )
+    shootout.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="detector to score (repeatable; default every "
+             "registered detector)",
+    )
+    shootout.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plans' RNG streams (default 0)",
+    )
+    sub.add_parser(
+        "plugins",
+        help="list the registered detectors, responses, and backends",
+    )
     sub.add_parser(
         "repeatability", help="seed-stability study"
     )
@@ -178,7 +212,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("bench", help="benchmark name (e.g. mcf)")
     trace.add_argument(
-        "config", help="solo, raw, shutter, rule, or random"
+        "config",
+        help="solo, a paper tag (raw/shutter/rule/random), any "
+             "registered detector name, or '<detector>+<response>'",
     )
     trace.add_argument(
         "--output",
@@ -255,7 +291,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     spec.add_argument(
         "config", nargs="?", default="solo",
-        help="solo, raw, shutter, rule, or random (default solo)",
+        help="solo, a paper tag (raw/shutter/rule/random), any "
+             "registered detector name, or '<detector>+<response>' "
+             "(default solo)",
     )
     spec.add_argument(
         "--file",
@@ -410,11 +448,27 @@ def _run_command(
 ) -> int:
 
     if args.command == "list":
+        from .caer import registry
+
         print("figures: 1 2 3 6 7 8 9 10")
         print("ablations:", " ".join(sorted(ABLATIONS)))
         print("extensions: scaling crossval contenders faults "
-              "repeatability report trace stats spec")
+              "shootout repeatability report trace stats spec plugins")
         print("backends:", " ".join(backend_names()))
+        print("detectors:", " ".join(registry.detector_names()))
+        print("responses:", " ".join(registry.response_names()))
+        return 0
+
+    if args.command == "plugins":
+        from .caer import registry
+
+        print("detectors:", " ".join(registry.detector_names()))
+        print("responses:", " ".join(registry.response_names()))
+        print("backends:", " ".join(backend_names()))
+        print(
+            "config tags: solo raw shutter rule random, any detector "
+            "name, or '<detector>+<response>'"
+        )
         return 0
 
     if args.command == "spec":
@@ -500,6 +554,33 @@ def _run_command(
                 settings,
                 victim=resolve_benchmark_name(args.victim),
                 intensities=intensities,
+                jobs=args.jobs,
+                fault_seed=args.fault_seed,
+            ),
+            args,
+        )
+        return 0
+
+    if args.command == "shootout":
+        from .experiments.shootout import (
+            DEFAULT_INTENSITIES,
+            detector_shootout,
+        )
+        from .workloads import resolve_benchmark_name
+
+        intensities = (
+            tuple(args.intensity)
+            if args.intensity
+            else DEFAULT_INTENSITIES
+        )
+        _emit(
+            detector_shootout(
+                settings,
+                victim=resolve_benchmark_name(args.victim),
+                intensities=intensities,
+                detectors=(
+                    tuple(args.detector) if args.detector else None
+                ),
                 jobs=args.jobs,
                 fault_seed=args.fault_seed,
             ),

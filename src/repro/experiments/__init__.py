@@ -41,6 +41,7 @@ from .contenders import contender_study
 from .repeatability import repeatability_study
 from .report import generate_report, write_report
 from .scaling import scaling_study
+from .shootout import detector_shootout, shootout_config
 from .reporting import FigureTable, render_series
 from .telemetry import (
     STATS_FORMATS,
@@ -66,6 +67,8 @@ __all__ = [
     "QuarantineRecord",
     "CampaignJournal",
     "fault_sweep",
+    "detector_shootout",
+    "shootout_config",
     "FigureTable",
     "render_series",
     "figure1",

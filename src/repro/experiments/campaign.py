@@ -74,8 +74,9 @@ __all__ = [
 
 #: Bump when simulation semantics change so cached results invalidate.
 #: (7: spec version 2 — the fault plan joined the digest — and
-#: statistical-backend telemetry became CAER-aware.)
-CACHE_EPOCH = 7
+#: statistical-backend telemetry became CAER-aware.  8: spec version 3
+#: — the CAER plugin-parameter mappings joined the digest.)
+CACHE_EPOCH = 8
 
 #: When set (to anything truthy), a campaign ignores quarantine records
 #: inherited from its journal and gives previously failing specs a

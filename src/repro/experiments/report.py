@@ -33,6 +33,7 @@ from .figures import (
     figure10,
 )
 from .headline import headline_numbers
+from .shootout import detector_shootout
 
 
 def _code_block(text: str) -> str:
@@ -97,6 +98,16 @@ def generate_report(campaign: Campaign) -> str:
 
     out.write("## Figure 3 — time series\n\n")
     out.write(_render_section(lambda: _figure3_section(campaign)))
+
+    out.write("## Detector shootout\n\n")
+    out.write(
+        _render_section(
+            lambda: _code_block(
+                detector_shootout(settings=settings).render()
+            )
+        )
+    )
+    out.write("\n")
 
     elapsed = time.perf_counter() - started
     out.write("## Campaign timing\n\n")

@@ -33,7 +33,10 @@ from .campaign import (
     derive_telemetry,
 )
 
-#: Every config ``trace`` accepts: solo plus the co-location matrix.
+#: The configs ``stats`` enumerates from the cache: solo plus the
+#: paper's co-location matrix.  (``trace`` additionally accepts any
+#: registered detector name — see
+#: :func:`repro.runspec.resolve_caer_config`.)
 TRACE_CONFIGS = ("solo",) + CONFIGS
 
 #: Output formats ``stats`` can render.
@@ -59,11 +62,9 @@ def trace_run(
     registry) for unknown names — the CLI turns those into one-line
     messages.
     """
-    if config not in TRACE_CONFIGS:
-        raise ExperimentError(
-            f"config must be one of {', '.join(TRACE_CONFIGS)}; "
-            f"got {config!r}"
-        )
+    # Config validation happens inside the spec build:
+    # resolve_caer_config accepts the paper tags plus any registered
+    # detector name and raises listing every choice otherwise.
     spec = settings.run_spec(bench, config)
     output = Path(output)
     metrics = MetricsRegistry()

@@ -35,13 +35,17 @@ from ..sim.scenario import DEFAULT_LAUNCH_STAGGER
 
 #: Version tag of the canonical JSON form.  Bump on incompatible
 #: payload changes; :meth:`RunSpec.from_dict` rejects versions outside
-#: :data:`COMPATIBLE_VERSIONS`.  (2: optional ``faults`` plan.)
-SPEC_VERSION = 2
+#: :data:`COMPATIBLE_VERSIONS`.  (2: optional ``faults`` plan.
+#: 3: CAER plugin-parameter mappings.)
+SPEC_VERSION = 3
 
 #: Payload versions :meth:`RunSpec.from_dict` still accepts.  Version 1
 #: predates the fault plan; its payloads simply have no ``faults`` key
-#: and deserialise with ``faults=None``.
-COMPATIBLE_VERSIONS = (1, 2)
+#: and deserialise with ``faults=None``.  Version 2 predates the CAER
+#: plugin registries; its ``caer`` payloads lack the
+#: ``detector_params``/``response_params`` keys and deserialise with
+#: empty mappings.
+COMPATIBLE_VERSIONS = (1, 2, 3)
 
 #: The contender used throughout the paper's experiments (§6.1).
 BATCH_BENCHMARK = "470.lbm"
@@ -51,7 +55,15 @@ CONFIGS = ("raw", "shutter", "rule", "random")
 
 
 def resolve_caer_config(config: str) -> CaerConfig | None:
-    """Map a config tag to the CAER setup the paper evaluates."""
+    """Map a config tag to a CAER setup.
+
+    The paper's tags (:data:`CONFIGS`) resolve to their exact §6
+    setups.  Beyond those, any detector in the
+    :mod:`repro.caer.registry` is addressable as ``"<detector>"`` or
+    ``"<detector>+<response>"`` (response defaulting to ``soft-lock``),
+    so registered plugins reach the CLI and experiment drivers without
+    edits here.  Unknown tags raise listing every accepted choice.
+    """
     if config == "raw":
         return None
     if config == "shutter":
@@ -60,7 +72,25 @@ def resolve_caer_config(config: str) -> CaerConfig | None:
         return CaerConfig.rule_based()
     if config == "random":
         return CaerConfig.random_baseline()
-    raise ExperimentError(f"unknown co-location config {config!r}")
+    from ..caer import registry
+
+    detector, _, response = config.partition("+")
+    if detector in registry.detector_names():
+        response = response or "soft-lock"
+        if response not in registry.response_names():
+            raise ExperimentError(
+                f"unknown response {response!r} in config {config!r} "
+                f"(registered responses: "
+                f"{', '.join(registry.response_names())})"
+            )
+        return CaerConfig(detector=detector, response=response)
+    choices = ", ".join(
+        dict.fromkeys(CONFIGS + registry.detector_names())
+    )
+    raise ExperimentError(
+        f"unknown co-location config {config!r} "
+        f"(accepted: {choices}, optionally '<detector>+<response>')"
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,224 @@
+"""The detector/response plugin registries and the params plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer import registry
+from repro.caer.cdf_detector import CdfQuantileDetector
+from repro.caer.detector import ContentionDetector, DetectorStep
+from repro.caer.gmm_detector import GmmFenceDetector
+from repro.caer.proactive import AnalyticProactiveDetector
+from repro.caer.profile_detector import ProfileDetector
+from repro.caer.random_detector import RandomDetector
+from repro.caer.response import (
+    CachePartition,
+    FrequencyScaling,
+    RedLightGreenLight,
+    SoftLock,
+)
+from repro.caer.rulebased import RuleBasedDetector
+from repro.caer.runtime import CaerConfig
+from repro.caer.shutter import BurstShutterDetector
+from repro.config import MachineConfig, default_usage_threshold
+from repro.errors import ConfigError
+
+MACHINE = MachineConfig.tiny()
+
+
+class _StubDetector(ContentionDetector):
+    name = "stub"
+
+    def __init__(self, knob=0.0):
+        self.knob = knob
+
+    def step(self, obs):
+        return DetectorStep(pause_self=False, assertion=False)
+
+    def reset(self):
+        pass
+
+
+@pytest.fixture
+def scratch_name():
+    """A registry name that is guaranteed unregistered afterwards."""
+    name = "test-scratch"
+    yield name
+    registry._DETECTORS.pop(name, None)
+    registry._RESPONSES.pop(name, None)
+
+
+class TestRegistration:
+    def test_builtins_are_registered(self):
+        assert set(registry.detector_names()) >= {
+            "shutter", "rule-based", "random", "profile",
+            "gmm-fence", "cdf-quantile", "proactive-analytic",
+        }
+        assert set(registry.response_names()) >= {
+            "rlgl", "soft-lock", "dvfs", "partition",
+        }
+
+    def test_names_are_sorted(self):
+        assert list(registry.detector_names()) == sorted(
+            registry.detector_names()
+        )
+
+    def test_register_and_build(self, scratch_name):
+        registry.register_detector(
+            scratch_name,
+            lambda config, machine: _StubDetector(
+                knob=config.detector_param("knob", 1.5)
+            ),
+        )
+        assert scratch_name in registry.detector_names()
+        config = CaerConfig(
+            detector=scratch_name, detector_params={"knob": 7.0}
+        )
+        detector = config.build_detector(MACHINE)
+        assert isinstance(detector, _StubDetector)
+        assert detector.knob == 7.0
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ConfigError, match="replace=True"):
+            registry.register_detector(
+                "shutter", lambda config, machine: _StubDetector()
+            )
+        with pytest.raises(ConfigError, match="replace=True"):
+            registry.register_response(
+                "rlgl", lambda config, machine: None
+            )
+
+    def test_replace_true_overrides(self, scratch_name):
+        registry.register_detector(
+            scratch_name, lambda config, machine: _StubDetector(knob=1)
+        )
+        registry.register_detector(
+            scratch_name,
+            lambda config, machine: _StubDetector(knob=2),
+            replace=True,
+        )
+        detector = CaerConfig(detector=scratch_name).build_detector(
+            MACHINE
+        )
+        assert detector.knob == 2
+
+    def test_empty_name_refused(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            registry.register_detector(
+                "", lambda config, machine: _StubDetector()
+            )
+
+    def test_unknown_detector_lists_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            CaerConfig(detector="psychic").build_detector(MACHINE)
+        message = str(excinfo.value)
+        for name in registry.detector_names():
+            assert name in message
+
+    def test_unknown_response_lists_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            CaerConfig(response="prayer").build_response(MACHINE)
+        message = str(excinfo.value)
+        for name in registry.response_names():
+            assert name in message
+
+
+class TestBuiltinFactories:
+    """Every built-in name constructs its pre-refactor class."""
+
+    @pytest.mark.parametrize(
+        "config, expected",
+        [
+            (CaerConfig.shutter(), BurstShutterDetector),
+            (CaerConfig.rule_based(), RuleBasedDetector),
+            (CaerConfig.random_baseline(), RandomDetector),
+            (CaerConfig.profile_oracle(100.0), ProfileDetector),
+            (CaerConfig(detector="gmm-fence"), GmmFenceDetector),
+            (CaerConfig(detector="cdf-quantile"), CdfQuantileDetector),
+            (
+                CaerConfig(detector="proactive-analytic"),
+                AnalyticProactiveDetector,
+            ),
+        ],
+    )
+    def test_detector_types(self, config, expected):
+        assert isinstance(config.build_detector(MACHINE), expected)
+
+    @pytest.mark.parametrize(
+        "config, expected",
+        [
+            (CaerConfig(response="rlgl"), RedLightGreenLight),
+            (CaerConfig(response="soft-lock"), SoftLock),
+            (CaerConfig.dvfs(), FrequencyScaling),
+            (CaerConfig.partition(), CachePartition),
+        ],
+    )
+    def test_response_types(self, config, expected):
+        assert isinstance(config.build_response(MACHINE), expected)
+
+    def test_profile_without_baseline_rejected(self):
+        with pytest.raises(ConfigError, match="baseline_misses"):
+            CaerConfig(detector="profile").build_detector(MACHINE)
+
+    def test_gmm_fence_floors_at_usage_thresh(self):
+        config = CaerConfig(
+            detector="gmm-fence", usage_thresh=123.0
+        )
+        detector = config.build_detector(MACHINE)
+        assert detector.noise_floor == 123.0
+
+    def test_proactive_fence_param(self):
+        config = CaerConfig(
+            detector="proactive-analytic",
+            detector_params={"fence": 42.0, "horizon": 2},
+        )
+        detector = config.build_detector(MACHINE)
+        assert detector.fence == 42.0
+        assert detector.horizon == 2
+
+    def test_default_threshold_resolution(self):
+        detector = CaerConfig.rule_based().build_detector(MACHINE)
+        assert detector.usage_thresh == default_usage_threshold(MACHINE)
+
+
+class TestParamsPlumbing:
+    def test_dict_input_frozen_sorted(self):
+        config = CaerConfig(detector_params={"b": 1, "a": 2})
+        assert config.detector_params == (("a", 2), ("b", 1))
+
+    def test_pairs_input_accepted(self):
+        config = CaerConfig(response_params=(("x", 1.0),))
+        assert config.response_param("x") == 1.0
+
+    def test_param_accessor_default(self):
+        config = CaerConfig()
+        assert config.detector_param("missing", 9) == 9
+        assert config.response_param("missing") is None
+
+    def test_config_stays_hashable(self):
+        config = CaerConfig(detector_params={"k": 1})
+        assert hash(config) == hash(
+            CaerConfig(detector_params={"k": 1})
+        )
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty string"):
+            CaerConfig(detector_params={3: 1})
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(ConfigError, match="JSON scalar"):
+            CaerConfig(detector_params={"k": [1, 2]})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            CaerConfig(detector_params=7)
+
+    def test_round_trips_through_dict(self):
+        config = CaerConfig(
+            detector="cdf-quantile",
+            detector_params={"quantile": 0.9},
+            response_params={"hold": 3},
+        )
+        payload = config.to_dict()
+        assert payload["detector_params"] == {"quantile": 0.9}
+        assert CaerConfig.from_dict(payload) == config

@@ -1,0 +1,84 @@
+"""The detector shootout driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer import registry
+from repro.caer.runtime import CaerConfig
+from repro.errors import ExperimentError
+from repro.experiments import CampaignSettings, detector_shootout
+from repro.experiments.shootout import shootout_config
+
+# Burst-Shutter needs enough periods for several full shutter cycles
+# to land verdicts; 0.2 (~200 periods) is the shortest length where
+# every heuristic has settled.
+SETTINGS = CampaignSettings(length=0.2, backend="statistical")
+
+
+class TestShootoutConfig:
+    def test_shutter_keeps_paper_setup(self):
+        assert shootout_config(
+            "shutter", 100.0, "429.mcf"
+        ) == CaerConfig.shutter()
+
+    def test_random_keeps_baseline_setup(self):
+        assert shootout_config(
+            "random", 100.0, "429.mcf"
+        ) == CaerConfig.random_baseline()
+
+    def test_profile_gets_baseline_and_informed_thresh(self):
+        config = shootout_config("profile", 100.0, "429.mcf")
+        assert config.baseline_misses == 100.0
+        assert config.usage_thresh == pytest.approx(125.0)
+
+    def test_rule_based_gets_informed_thresh(self):
+        config = shootout_config("rule-based", 200.0, "429.mcf")
+        assert config.detector == "rule-based"
+        assert config.usage_thresh == pytest.approx(250.0)
+        assert config.response == "soft-lock"
+
+    def test_proactive_gets_victim_param(self):
+        config = shootout_config(
+            "proactive-analytic", 100.0, "444.namd"
+        )
+        assert config.detector_param("victim") == "444.namd"
+
+
+class TestDetectorShootout:
+    def test_rejects_empty_intensities(self):
+        with pytest.raises(ExperimentError, match="intensity"):
+            detector_shootout(SETTINGS, intensities=())
+
+    def test_rejects_missing_clean_intensity(self):
+        with pytest.raises(ExperimentError, match="0.0"):
+            detector_shootout(SETTINGS, intensities=(0.5,))
+
+    def test_rejects_unknown_detector_listing_choices(self):
+        with pytest.raises(ExperimentError, match="gmm-fence"):
+            detector_shootout(SETTINGS, detectors=("psychic",))
+
+    def test_scores_every_registered_detector(self):
+        """One row per registered detector, random strictly worst."""
+        table = detector_shootout(SETTINGS, intensities=(0.0,), jobs=2)
+        rows = dict(zip(table.row_names, table.columns["acc"]))
+        assert set(rows) == set(registry.detector_names())
+        floor = rows.pop("random")
+        assert 0.0 <= floor <= 1.0
+        for name, accuracy in rows.items():
+            assert accuracy > floor, (
+                f"{name} ({accuracy}) must beat random ({floor})"
+            )
+        # The closed loop measurably throttled somebody: every scored
+        # run reports a defined penalty and utilization column.
+        assert len(table.columns["penalty"]) == len(table.row_names)
+        assert len(table.columns["util"]) == len(table.row_names)
+
+    def test_subset_and_ordering(self):
+        table = detector_shootout(
+            SETTINGS,
+            intensities=(0.0,),
+            detectors=("rule-based", "random"),
+            jobs=1,
+        )
+        assert table.row_names == ["rule-based", "random"]

@@ -103,8 +103,21 @@ class TestCanonicalForm:
         payload = colocated_spec().to_dict()
         payload["version"] = 1
         payload.pop("faults")
+        payload["caer"].pop("detector_params")
+        payload["caer"].pop("response_params")
         spec = RunSpec.from_dict(payload)
         assert spec.faults is None
+
+    def test_version_2_payload_still_accepted(self):
+        """v2 caer payloads predate the plugin-parameter mappings."""
+        payload = colocated_spec().to_dict()
+        payload["version"] = 2
+        payload["caer"].pop("detector_params")
+        payload["caer"].pop("response_params")
+        spec = RunSpec.from_dict(payload)
+        assert spec.caer is not None
+        assert spec.caer.detector_params == ()
+        assert spec.caer.response_params == ()
 
 
 class TestDigest:
@@ -121,6 +134,10 @@ class TestDigest:
                                           relaunch=False),)},
             {"caer": None},
             {"caer": CaerConfig.shutter()},
+            {"caer": CaerConfig.rule_based(
+                detector_params={"train_periods": 16})},
+            {"caer": CaerConfig.rule_based(
+                response_params={"hold": 5})},
             {"seed": 1},
             {"length": 0.04},
             {"slices_per_period": 4},
@@ -165,6 +182,24 @@ class TestPaperSpecs:
         assert spec.config_tag == tag
         assert spec.describe() == f"(429.mcf, {tag})"
 
-    def test_unknown_tag_rejected(self):
-        with pytest.raises(ExperimentError, match="unknown"):
+    def test_unknown_tag_rejected_listing_choices(self):
+        with pytest.raises(ExperimentError, match="shutter"):
             paper_run_spec("429.mcf", "psychic", MACHINE)
+
+    @pytest.mark.parametrize(
+        "name", ["gmm-fence", "cdf-quantile", "proactive-analytic"]
+    )
+    def test_registry_detector_names_resolve(self, name):
+        spec = paper_run_spec("429.mcf", name, MACHINE)
+        assert spec.caer is not None
+        assert spec.caer.detector == name
+        assert spec.caer.response == "soft-lock"
+
+    def test_detector_plus_response_syntax(self):
+        spec = paper_run_spec("429.mcf", "gmm-fence+rlgl", MACHINE)
+        assert spec.caer.detector == "gmm-fence"
+        assert spec.caer.response == "rlgl"
+
+    def test_unknown_response_rejected_listing_choices(self):
+        with pytest.raises(ExperimentError, match="soft-lock"):
+            paper_run_spec("429.mcf", "gmm-fence+prayer", MACHINE)
