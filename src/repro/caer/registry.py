@@ -147,12 +147,24 @@ def _shutter_factory(
         # Moves smaller than the "heavy usage" threshold are
         # indistinguishable from noise at this machine's scale.
         noise = default_usage_threshold(machine)
+    from .shutter import DEFAULT_DISPERSION, DEFAULT_SPIKE_CAP
+
     return BurstShutterDetector(
         switch_point=config.switch_point,
         end_point=config.end_point,
         impact_factor=config.impact_factor,
         noise_thresh=noise,
         mode=config.shutter_mode,
+        # Fault-hardening knobs ride on the open parameter mapping so
+        # the paper's exact §6 setup (all defaults) stays bit-identical.
+        fault_filter=bool(config.detector_param("fault_filter", False)),
+        debounce=int(config.detector_param("debounce", 1)),
+        spike_cap=float(
+            config.detector_param("spike_cap", DEFAULT_SPIKE_CAP)
+        ),
+        dispersion=float(
+            config.detector_param("dispersion", DEFAULT_DISPERSION)
+        ),
     )
 
 

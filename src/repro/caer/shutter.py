@@ -25,9 +25,26 @@ accesses — and therefore fewer misses — per period, even while its miss
 neighbour, so the default ``mode="two-sided"`` asserts contention on a
 significant move in either direction; ``mode="spike"`` reproduces the
 paper's literal one-sided test for comparison (see DESIGN.md).
+
+Two opt-in hardening knobs (off by default, so the paper's setup stays
+bit-identical) recover the heuristic under PMU signal faults
+(:mod:`repro.faults`), whose artefacts are phase-*internal* outliers —
+a dropped or delayed read delivers a zero sample, a saturated counter
+pegs orders of magnitude above the phase's real level — while genuine
+contention moves the whole phase *between* phases:
+
+* ``fault_filter`` discards fault-signature samples (zero reads in an
+  otherwise-active phase, samples far above the phase median) before
+  comparing averages, and *abstains* from the verdict entirely when a
+  phase retains no trustworthy sample — an unreadable cycle should not
+  become a coin-flip;
+* ``debounce`` asserts the majority of the last N raw verdicts, so one
+  residual corrupted cycle cannot flip the runtime's response.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from ..errors import ConfigError
 from .detector import ContentionDetector, DetectorStep, Observation
@@ -38,6 +55,13 @@ DEFAULT_IMPACT_FACTOR = 0.05
 #: Default absolute spike floor, in misses/period: moves smaller than
 #: the paper's "heavy usage" threshold are treated as noise.
 DEFAULT_NOISE_THRESH = 20.0
+#: Default outlier ceiling of the fault filter: a sample more than this
+#: many times the phase median reads as a saturated/accumulated counter.
+DEFAULT_SPIKE_CAP = 4.0
+#: Default significance multiplier of the fault filter's adaptive
+#: floor: the between-phase move must exceed this many standard errors
+#: of the within-phase scatter before it counts as evidence.
+DEFAULT_DISPERSION = 2.0
 
 
 class BurstShutterDetector(ContentionDetector):
@@ -52,6 +76,10 @@ class BurstShutterDetector(ContentionDetector):
         impact_factor: float = DEFAULT_IMPACT_FACTOR,
         noise_thresh: float = DEFAULT_NOISE_THRESH,
         mode: str = "two-sided",
+        fault_filter: bool = False,
+        debounce: int = 1,
+        spike_cap: float = DEFAULT_SPIKE_CAP,
+        dispersion: float = DEFAULT_DISPERSION,
     ):
         if mode not in ("two-sided", "spike"):
             raise ConfigError(
@@ -68,17 +96,30 @@ class BurstShutterDetector(ContentionDetector):
             raise ConfigError(f"impact_factor must be >= 0: {impact_factor}")
         if noise_thresh < 0:
             raise ConfigError(f"noise_thresh must be >= 0: {noise_thresh}")
+        if debounce < 1:
+            raise ConfigError(f"debounce must be >= 1: {debounce}")
+        if spike_cap <= 1.0:
+            raise ConfigError(f"spike_cap must be > 1: {spike_cap}")
+        if dispersion < 0:
+            raise ConfigError(f"dispersion must be >= 0: {dispersion}")
         self.switch_point = switch_point
         self.end_point = end_point
         self.impact_factor = impact_factor
         self.noise_thresh = noise_thresh
         self.trace_threshold = noise_thresh
         self.mode = mode
+        self.fault_filter = fault_filter
+        self.debounce = debounce
+        self.spike_cap = spike_cap
+        self.dispersion = dispersion
         self._count = 0
         self._steady: list[float] = []
         self._burst: list[float] = []
-        #: verdict history, for tests and the decision log
+        #: raw per-cycle verdicts (pre-debounce), for tests and the
+        #: decision log; abstained cycles append nothing
         self.verdicts: list[bool] = []
+        #: recent raw verdicts the debounce majority votes over
+        self._history: deque[bool] = deque(maxlen=debounce)
 
     def step(self, obs: Observation) -> DetectorStep:
         """One period of the settle/shutter/burst cycle.
@@ -107,25 +148,88 @@ class BurstShutterDetector(ContentionDetector):
         if self._count <= end:
             return DetectorStep(pause_self=False)
         verdict = self._compare()
-        self.verdicts.append(verdict)
         self.reset()
+        if verdict is None:
+            # Fault filter rejected a whole phase: abstain rather than
+            # guess.  No assertion is emitted, so the runtime simply
+            # starts the next detection cycle.
+            return DetectorStep(pause_self=False)
+        self.verdicts.append(verdict)
+        if self.debounce > 1:
+            self._history.append(verdict)
+            verdict = (
+                sum(self._history) * 2 > len(self._history)
+            )
         return DetectorStep(pause_self=False, assertion=verdict)
 
-    def _compare(self) -> bool:
-        steady_average = sum(self._steady) / len(self._steady)
-        burst_average = sum(self._burst) / len(self._burst)
+    def _trusted(self, samples: list[float]) -> list[float] | None:
+        """The phase samples minus fault signatures (``None`` = unusable).
+
+        Inside one phase the batch state is constant, so the real
+        signal is roughly level; PMU faults instead produce zero reads
+        (dropped/delayed delivery) and huge outliers (saturated or
+        accumulation-doubled counters).  Both are judged against the
+        phase's own median, never against the other phase — the
+        between-phase difference *is* the signal being protected.
+        """
+        active = sorted(s for s in samples if s > 0.0)
+        if not active:
+            # Every read was zero: either a genuinely silent neighbour
+            # (below any threshold, harmless) or a fully dropped phase.
+            # Keep the zeros; the comparison can only say "no move".
+            return samples
+        median = active[len(active) // 2]
+        if median <= self.noise_thresh:
+            # Too quiet to tell artefacts from signal; leave untouched.
+            return samples
+        ceiling = self.spike_cap * median
+        kept = [s for s in samples if 0.0 < s <= ceiling]
+        # The median always survives its own ceiling, so "nothing left"
+        # really means "one sample left": a phase that thin supports
+        # neither a robust average nor a scatter estimate.
+        return kept if len(kept) >= 2 else None
+
+    def _compare(self) -> bool | None:
+        steady, burst = self._steady, self._burst
+        floor = self.noise_thresh
+        if self.fault_filter:
+            trusted_steady = self._trusted(steady)
+            trusted_burst = self._trusted(burst)
+            if trusted_steady is None or trusted_burst is None:
+                return None
+            steady, burst = trusted_steady, trusted_burst
+            # Adaptive significance floor: multiplicative counter noise
+            # moves the phase averages apart without any real contention,
+            # but it also scatters the samples *within* each phase.  A
+            # clean signal is near-level inside a phase, so this gate is
+            # inert on it; under heavy noise the between-phase move must
+            # beat the within-phase standard error to count as evidence.
+            floor = max(floor, self.dispersion * self._phase_sem(steady, burst))
+        steady_average = sum(steady) / len(steady)
+        burst_average = sum(burst) / len(burst)
         spike = burst_average - steady_average
         spiked = (
-            spike > self.noise_thresh
+            spike > floor
             and burst_average > steady_average * (1.0 + self.impact_factor)
         )
         if self.mode == "spike":
             return spiked
         dropped = (
-            -spike > self.noise_thresh
+            -spike > floor
             and burst_average < steady_average * (1.0 - self.impact_factor)
         )
         return spiked or dropped
+
+    @staticmethod
+    def _phase_sem(steady: list[float], burst: list[float]) -> float:
+        """Standard error of the between-phase difference of means."""
+        total = 0.0
+        for samples in (steady, burst):
+            n = len(samples)
+            mean = sum(samples) / n
+            var = sum((s - mean) ** 2 for s in samples) / n
+            total += var / n
+        return total ** 0.5
 
     def reset(self) -> None:
         """Start a fresh settle/shutter/burst cycle."""

@@ -192,6 +192,80 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed of the fault plans' RNG streams (default 0)",
     )
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet layer: chaos-frontier sweep (default) or a single "
+             "placement episode over simulated CAER nodes",
+    )
+    fleet.add_argument(
+        "--nodes", type=int, default=None,
+        help="simulated nodes in the fleet (default 4)",
+    )
+    fleet.add_argument(
+        "--ticks", type=int, default=None,
+        help="episode horizon in fleet ticks (default 48)",
+    )
+    fleet.add_argument(
+        "--config", choices=("raw", "shutter", "rule", "random"),
+        default="rule",
+        help="CAER config every node runs (default rule)",
+    )
+    fleet.add_argument(
+        "--victim", default="429.mcf",
+        help="latency-sensitive benchmark on the nodes (default "
+             "429.mcf)",
+    )
+    fleet.add_argument(
+        "--intensity",
+        type=float,
+        action="append",
+        default=None,
+        metavar="I",
+        help="node-fault intensity (repeatable for the sweep; with "
+             "--episode the first value is used; default sweep "
+             "0 0.1 0.2 0.4 0.7 1.0)",
+    )
+    fleet.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the node fault plans (default 0)",
+    )
+    fleet.add_argument(
+        "--repeats", type=int, default=None,
+        help="fault seeds averaged per sweep row (default 3)",
+    )
+    fleet.add_argument(
+        "--episode",
+        action="store_true",
+        help="run one fleet episode and print its SLO report instead "
+             "of the sweep",
+    )
+    fleet.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="fleet journal file for crash-safe episode resume "
+             "(--episode only)",
+    )
+    fleet.add_argument(
+        "--beacon-dir", default=None, metavar="DIR",
+        help="write per-node heartbeat beacons here (--episode only; "
+             "default REPRO_BEACON_DIR when set)",
+    )
+    quarantine = sub.add_parser(
+        "quarantine",
+        help="list or clear quarantined runs and fleet nodes",
+    )
+    quarantine.add_argument(
+        "action", choices=("list", "clear"),
+        help="list the quarantine, or clear it (journalled)",
+    )
+    quarantine.add_argument(
+        "--digest", default=None, metavar="DIGEST",
+        help="with clear: lift only this digest (default: all)",
+    )
+    quarantine.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="operate on an explicit journal file (e.g. a fleet "
+             "journal) instead of the campaign's",
+    )
     sub.add_parser(
         "plugins",
         help="list the registered detectors, responses, and backends",
@@ -453,7 +527,8 @@ def _run_command(
         print("figures: 1 2 3 6 7 8 9 10")
         print("ablations:", " ".join(sorted(ABLATIONS)))
         print("extensions: scaling crossval contenders faults "
-              "shootout repeatability report trace stats spec plugins")
+              "shootout fleet quarantine repeatability report trace "
+              "stats spec plugins")
         print("backends:", " ".join(backend_names()))
         print("detectors:", " ".join(registry.detector_names()))
         print("responses:", " ".join(registry.response_names()))
@@ -588,6 +663,12 @@ def _run_command(
         )
         return 0
 
+    if args.command == "fleet":
+        return _run_fleet(args, campaign)
+
+    if args.command == "quarantine":
+        return _run_quarantine(args, campaign)
+
     if args.command == "repeatability":
         from .experiments.repeatability import repeatability_study
 
@@ -625,6 +706,145 @@ def _run_command(
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _run_fleet(args: argparse.Namespace, campaign: Campaign) -> int:
+    """The ``fleet`` subcommand: chaos frontier, or one episode."""
+    from .experiments.fleetchaos import (
+        DEFAULT_INTENSITIES,
+        DEFAULT_REPEATS,
+        chaos_frontier,
+    )
+    from .faults.nodes import NodeFaultPlan
+    from .fleet import (
+        FleetEpisode,
+        FleetJournal,
+        FleetSpec,
+        build_profiles,
+        render_fleet_report,
+    )
+    from .workloads import resolve_benchmark_name
+
+    spec = FleetSpec(
+        config=args.config,
+        victims=(resolve_benchmark_name(args.victim),),
+        **{
+            key: value
+            for key, value in (
+                ("nodes", args.nodes),
+                ("ticks", args.ticks),
+            )
+            if value is not None
+        },
+    )
+    # Calibration runs ride the campaign cache, shared with the paper
+    # figures; prefetch fans any missing ones across workers.
+    campaign.prefetch(spec.victims, ["solo", spec.config], jobs=args.jobs)
+    if not args.episode:
+        intensities = (
+            tuple(args.intensity)
+            if args.intensity
+            else DEFAULT_INTENSITIES
+        )
+        table = chaos_frontier(
+            campaign,
+            spec=spec,
+            intensities=intensities,
+            fault_seed=args.fault_seed,
+            repeats=(
+                args.repeats if args.repeats is not None
+                else DEFAULT_REPEATS
+            ),
+        )
+        _emit(table, args)
+        return 0
+    intensity = args.intensity[0] if args.intensity else 0.0
+    if intensity:
+        spec = dataclasses.replace(
+            spec,
+            node_faults=NodeFaultPlan.scaled(
+                intensity, seed=args.fault_seed
+            ),
+        )
+    journal = (
+        FleetJournal(args.journal, spec.digest)
+        if args.journal
+        else None
+    )
+    from .obs.heartbeat import beacon_dir
+
+    beacons = args.beacon_dir or beacon_dir()
+    profiles = build_profiles(campaign, spec)
+    episode = FleetEpisode(
+        spec, profiles, journal=journal, beacon_dir=beacons
+    )
+    result = episode.run()
+    sys.stdout.write(render_fleet_report(result))
+    return 0
+
+
+def _run_quarantine(args: argparse.Namespace, campaign: Campaign) -> int:
+    """The ``quarantine`` subcommand: list/clear runs and fleet nodes."""
+    if args.journal:
+        from .experiments.resilience import CampaignJournal
+
+        journal = CampaignJournal(args.journal)
+        records = [
+            {
+                "digest": digest,
+                "label": (
+                    f"({record.get('bench', '?')}, "
+                    f"{record.get('config', '?')})"
+                ),
+                "attempts": record.get("attempts", 0),
+                "error": record.get("error", "unknown failure"),
+            }
+            for digest, record in sorted(journal.quarantined.items())
+        ]
+        if args.action == "list":
+            if not records:
+                print("quarantine is empty")
+                return 0
+            for record in records:
+                print(
+                    f"{record['digest']}  {record['label']}  "
+                    f"attempts={record['attempts']}  {record['error']}"
+                )
+            return 0
+        cleared = 0
+        for record in records:
+            if args.digest and record["digest"] != args.digest:
+                continue
+            journal.record_cleared(record["digest"])
+            cleared += 1
+        if args.digest and not cleared:
+            print(f"digest {args.digest} is not quarantined")
+            return 1
+        print(f"cleared {cleared} quarantine record(s)")
+        return 0
+    if args.action == "list":
+        records = campaign.quarantine_report()
+        if not records:
+            print("quarantine is empty")
+            return 0
+        for record in records:
+            print(
+                f"{record.digest}  {record.label}  "
+                f"attempts={record.attempts}  {record.error}"
+            )
+        return 0
+    if args.digest:
+        record = campaign.quarantined.pop(args.digest, None)
+        if record is None:
+            print(f"digest {args.digest} is not quarantined")
+            return 1
+        if campaign.journal is not None:
+            campaign.journal.record_cleared(args.digest)
+        print("cleared 1 quarantine record(s)")
+        return 0
+    cleared = campaign.clear_quarantine()
+    print(f"cleared {cleared} quarantine record(s)")
+    return 0
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from .campaign import (
 )
 from .executor import fan_out, resolve_jobs, run_many, run_specs
 from .faults import fault_sweep
+from .fleetchaos import chaos_frontier
 from .resilience import (
     CampaignJournal,
     QuarantineRecord,
@@ -67,6 +68,7 @@ __all__ = [
     "QuarantineRecord",
     "CampaignJournal",
     "fault_sweep",
+    "chaos_frontier",
     "detector_shootout",
     "shootout_config",
     "FigureTable",

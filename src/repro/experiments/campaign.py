@@ -36,7 +36,7 @@ from ..obs import MetricsRegistry, merge_snapshots
 from ..obs.heartbeat import (
     beacon_dir,
     merge_beacon_metrics,
-    read_beacons,
+    scan_beacons,
     write_beacon,
 )
 from ..runspec import (
@@ -678,5 +678,8 @@ class Campaign:
                 snapshots.append(metrics)
         directory = beacon_dir()
         if directory is not None:
-            snapshots.append(merge_beacon_metrics(read_beacons(directory)))
+            beacons, invalid = scan_beacons(directory)
+            snapshots.append(
+                merge_beacon_metrics(beacons, invalid=invalid)
+            )
         return merge_snapshots(snapshots)

@@ -33,6 +33,7 @@ from .figures import (
     figure10,
 )
 from .headline import headline_numbers
+from .fleetchaos import chaos_frontier
 from .shootout import detector_shootout
 
 
@@ -109,12 +110,36 @@ def generate_report(campaign: Campaign) -> str:
     )
     out.write("\n")
 
+    out.write("## Chaos frontier — fleet layer\n\n")
+    out.write(_render_section(lambda: _fleet_section(campaign)))
+    out.write("\n")
+
     elapsed = time.perf_counter() - started
     out.write("## Campaign timing\n\n")
     out.write(_timing_section(campaign, elapsed))
     out.write(_telemetry_section(campaign))
     out.write(_profiling_section(campaign))
     out.write(_quarantine_section(campaign))
+    return out.getvalue()
+
+
+def _fleet_section(campaign: Campaign) -> str:
+    """Chaos frontier of the fleet layer, sized for a report run.
+
+    A single fault seed per intensity keeps the section cheap; the
+    standalone ``repro-caer fleet`` sweep averages over repeats.
+    """
+    table = chaos_frontier(campaign, repeats=1)
+    out = io.StringIO()
+    out.write(
+        "Simulated fleet of nodes running the campaign's calibrated "
+        "solo/colocated profiles under seed-driven node faults "
+        "(crash, telemetry blackout, straggler). Placement is "
+        "journal-backed, so jobs are never lost; the frontier shows "
+        "LS SLO attainment and batch throughput degrading with fault "
+        "intensity.\n\n"
+    )
+    out.write(_code_block(table.render()))
     return out.getvalue()
 
 

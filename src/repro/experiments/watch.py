@@ -23,7 +23,8 @@ from ..obs.heartbeat import (
     BEACON_DIR_ENV,
     STALE_SECONDS,
     beacon_age,
-    read_beacons,
+    beacon_field,
+    scan_beacons,
 )
 
 #: Where ``watch`` looks when ``REPRO_BEACON_DIR`` is unset: the same
@@ -41,27 +42,47 @@ def resolve_beacon_dir(directory: str | None = None) -> str:
     return os.environ.get(BEACON_DIR_ENV) or DEFAULT_BEACON_DIR
 
 
+def _kind(payload: dict) -> str:
+    kind = payload.get("beacon", "")
+    return kind if isinstance(kind, str) else ""
+
+
 def collect_status(directory: str, now: float | None = None) -> dict:
-    """Read beacons and classify them into a status dict."""
-    beacons = read_beacons(directory)
+    """Read beacons and classify them into a status dict.
+
+    Corrupt or torn beacon files are skipped and surfaced as
+    ``invalid`` — a sick writer degrades the display, never crashes
+    the watcher.
+    """
+    beacons, invalid = scan_beacons(directory)
     now = now if now is not None else time.time()
     campaign = beacons.get("campaign")
+    fleet = beacons.get("fleet")
     workers = {
         name: payload
         for name, payload in sorted(beacons.items())
-        if payload.get("beacon", "").startswith("worker")
+        if _kind(payload).startswith("worker")
+    }
+    nodes = {
+        name: payload
+        for name, payload in sorted(beacons.items())
+        if _kind(payload).startswith("node-")
     }
     stale = all(
         beacon_age(p, now) > STALE_SECONDS for p in beacons.values()
     ) if beacons else False
+    done_beacon = campaign if campaign is not None else fleet
     return {
         "directory": directory,
         "now": now,
         "campaign": campaign,
+        "fleet": fleet,
         "workers": workers,
+        "nodes": nodes,
+        "invalid": invalid,
         "any": bool(beacons),
         "all_stale": stale,
-        "done": bool(campaign) and campaign.get("state") == "done",
+        "done": bool(done_beacon) and done_beacon.get("state") == "done",
     }
 
 
@@ -83,11 +104,15 @@ def render_watch(status: dict) -> str:
             f"with {BEACON_DIR_ENV} set (or REPRO_METRICS_PORT, which "
             f"defaults it)\n"
         )
+        if status["invalid"]:
+            out.write(
+                f"{status['invalid']} corrupt beacon file(s) skipped\n"
+            )
         return out.getvalue()
     campaign = status["campaign"]
     if campaign is not None:
-        total = campaign.get("runs_total", 0) or 0
-        completed = campaign.get("runs_completed", 0) or 0
+        total = beacon_field(campaign, "runs_total")
+        completed = beacon_field(campaign, "runs_completed")
         bar = ""
         if total:
             filled = int(round(20 * min(1.0, completed / total)))
@@ -95,13 +120,42 @@ def render_watch(status: dict) -> str:
         out.write(
             f"campaign {campaign.get('cache_tag', '?')} "
             f"{campaign.get('state', '?')}: "
-            f"{completed}/{total} runs this prefetch{bar} "
-            f"({campaign.get('runs_cached', 0)} cached, "
-            f"{campaign.get('quarantined', 0)} quarantined) "
+            f"{completed:.0f}/{total:.0f} runs this prefetch{bar} "
+            f"({beacon_field(campaign, 'runs_cached'):.0f} cached, "
+            f"{beacon_field(campaign, 'quarantined'):.0f} quarantined) "
             f"— {_age_text(campaign, now)}\n"
         )
-    else:
+    elif not status["fleet"]:
         out.write("campaign beacon absent (workers only)\n")
+    fleet = status["fleet"]
+    if fleet is not None:
+        out.write(
+            f"fleet {fleet.get('state', '?')}: "
+            f"tick {beacon_field(fleet, 'tick'):.0f}, "
+            f"{beacon_field(fleet, 'jobs_done'):.0f}"
+            f"/{beacon_field(fleet, 'jobs_total'):.0f} jobs done "
+            f"({beacon_field(fleet, 'jobs_waiting'):.0f} waiting, "
+            f"{beacon_field(fleet, 'migrations'):.0f} migrations, "
+            f"{beacon_field(fleet, 'nodes_dead'):.0f} dead, "
+            f"{beacon_field(fleet, 'nodes_quarantined'):.0f} "
+            f"quarantined) — {_age_text(fleet, now)}\n"
+        )
+    nodes = status["nodes"]
+    if nodes:
+        out.write(f"nodes: {len(nodes)} reporting\n")
+        for name, payload in nodes.items():
+            flags = []
+            if beacon_field(payload, "contended"):
+                flags.append("CONTENDED")
+            if beacon_field(payload, "straggler"):
+                flags.append("straggler")
+            out.write(
+                f"  {name:<10} "
+                f"jobs={beacon_field(payload, 'jobs_running'):.0f} "
+                f"tick={beacon_field(payload, 'tick'):.0f} "
+                f"{' '.join(flags):<20} "
+                f"— {_age_text(payload, now)}\n"
+            )
     workers = status["workers"]
     if workers:
         running = sum(
@@ -117,13 +171,17 @@ def render_watch(status: dict) -> str:
             )
             out.write(
                 f"  {name:<10} {doing:<21} "
-                f"done={payload.get('tasks_completed', 0)} "
-                f"failed={payload.get('tasks_failed', 0)} "
-                f"reused={payload.get('reused_dispatches', 0)} "
-                f"verdicts={payload.get('detector_verdicts', 0):.0f} "
-                f"(+{payload.get('detector_positives', 0):.0f}) "
+                f"done={beacon_field(payload, 'tasks_completed'):.0f} "
+                f"failed={beacon_field(payload, 'tasks_failed'):.0f} "
+                f"reused={beacon_field(payload, 'reused_dispatches'):.0f} "
+                f"verdicts={beacon_field(payload, 'detector_verdicts'):.0f} "
+                f"(+{beacon_field(payload, 'detector_positives'):.0f}) "
                 f"— {_age_text(payload, now)}\n"
             )
+    if status["invalid"]:
+        out.write(
+            f"{status['invalid']} corrupt beacon file(s) skipped\n"
+        )
     if status["all_stale"]:
         out.write(
             f"all beacons older than {STALE_SECONDS:.0f}s — the "

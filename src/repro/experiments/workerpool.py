@@ -14,8 +14,12 @@ pool of worker processes alive across batches:
 * **Zero-copy results** — each worker owns a
   :class:`multiprocessing.shared_memory.SharedMemory` SPSC ring
   buffer; outcomes come back as pickled payloads written straight into
-  the ring (the queue then carries only a tiny header), falling back
-  to queue pickling when a payload outgrows the free ring space.
+  the ring (the worker's result pipe then carries only a tiny header),
+  falling back to pipe pickling when a payload outgrows the free ring
+  space.  Result pipes are strictly per-worker: no lock is ever shared
+  between worker processes, so a worker dying mid-send (chaos ``die``,
+  OOM kill) can corrupt only its own channel — never wedge the
+  others'.
 * **Per-task environment forwarding** — the ``REPRO_*`` environment is
   snapshotted at dispatch and replayed in the worker, so env-driven
   behaviour (chaos, tracing, tier gates) tracks the parent exactly as
@@ -40,8 +44,8 @@ import pickle
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from multiprocessing import get_context, shared_memory
-from queue import Empty
 from typing import Callable, Sequence
 
 from ..faults.chaos import maybe_inject
@@ -83,7 +87,7 @@ def warm_pool_enabled() -> bool:
 # writer per cursor makes the protocol race-free: the worker only
 # writes payload bytes the parent has already consumed (head - tail is
 # the unread span), and the parent only reads bytes the header message
-# on the result queue has announced.
+# on the worker's result pipe has announced.
 
 def _ring_write(buf, data: bytes) -> bool:
     """Append ``data`` to the ring; False when it does not fit."""
@@ -199,14 +203,19 @@ class _WorkerStatus:
             pass
 
 
-def _worker_main(worker_id: int, task_q, result_q, shm_name: str) -> None:
+def _worker_main(
+    worker_id: int, task_q, result_conn, shm_name: str
+) -> None:
     """Worker loop: intern specs, execute, ship outcomes via the ring.
 
     Result messages are ``(worker_id, key, ok, reused, in_ring,
     payload)`` where ``payload`` is the pickled byte count when
     ``in_ring`` else the pickled bytes themselves.  ``ok=False``
     payloads unpickle to the raised exception, preserving the cold
-    path's per-run failure identities.
+    path's per-run failure identities.  ``result_conn`` is this
+    worker's private pipe end — sends are synchronous in this thread
+    (no feeder thread, no shared lock), so a death at any instant
+    leaves every other worker's result path untouched.
     """
     from .executor import _execute_spec
 
@@ -249,7 +258,7 @@ def _worker_main(worker_id: int, task_q, result_q, shm_name: str) -> None:
                     RuntimeError(f"unpicklable result: {exc!r}")
                 )
             in_ring = _ring_write(buf, data)
-            result_q.put((
+            result_conn.send((
                 worker_id, key, ok, reused, in_ring,
                 len(data) if in_ring else data,
             ))
@@ -281,6 +290,8 @@ class _Worker:
 
     process: object
     task_q: object
+    #: parent read end of this worker's private result pipe
+    conn: object
     shm: shared_memory.SharedMemory
     known: set[str] = field(default_factory=set)
     #: (key, spec, attempt) currently executing, None when idle
@@ -303,7 +314,6 @@ class SpecWorkerPool:
         self.jobs = jobs
         self._ring_bytes = ring_bytes
         self._ctx = get_context("fork")
-        self._result_q = self._ctx.Queue()
         self._workers: dict[int, _Worker] = {}
         self._next_id = 0
         self._closed = False
@@ -326,15 +336,19 @@ class SpecWorkerPool:
         )
         shm.buf[0:_HEADER] = b"\x00" * _HEADER
         task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(wid, task_q, self._result_q, shm.name),
+            args=(wid, task_q, send_conn, shm.name),
             daemon=True,
             name=f"repro-spec-worker-{wid}",
         )
         process.start()
+        # Drop the parent's copy of the write end so a worker death
+        # shows up as EOF on the read end instead of a silent stall.
+        send_conn.close()
         self._workers[wid] = _Worker(
-            process=process, task_q=task_q, shm=shm
+            process=process, task_q=task_q, conn=recv_conn, shm=shm
         )
         return wid
 
@@ -348,6 +362,7 @@ class SpecWorkerPool:
             worker.process.kill()
             worker.process.join(timeout=2.0)
         worker.task_q.close()
+        worker.conn.close()
         worker.shm.close()
         try:
             worker.shm.unlink()
@@ -367,7 +382,6 @@ class SpecWorkerPool:
                     pass
         for wid in list(self._workers):
             self._retire(wid, kill=self._workers[wid].busy is not None)
-        self._result_q.close()
 
     # -- dispatch ------------------------------------------------------
 
@@ -447,11 +461,19 @@ class SpecWorkerPool:
                         wait = min(
                             wait, max(worker.deadline - now, 0.001)
                         )
-                try:
-                    msg = self._result_q.get(timeout=wait)
-                except Empty:
-                    msg = None
-                if msg is not None:
+                ready = mp_connection.wait(
+                    [w.conn for w in self._workers.values()],
+                    timeout=wait,
+                )
+                messages = []
+                for conn in ready:
+                    try:
+                        messages.append(conn.recv())
+                    except (EOFError, OSError):
+                        # The worker died; the liveness sweep below
+                        # retires and replaces it.
+                        pass
+                for msg in messages:
                     wid, key, ok, _reused, in_ring, payload = msg
                     worker = self._workers.get(wid)
                     if worker is None or worker.busy is None \
@@ -477,6 +499,13 @@ class SpecWorkerPool:
                 for wid in list(self._workers):
                     worker = self._workers[wid]
                     if worker.busy is None:
+                        if not worker.process.is_alive():
+                            # Died between tasks: no task to fail, but
+                            # replace it so its EOF'd pipe doesn't turn
+                            # every wait() into a spin.
+                            self._retire(wid, kill=False)
+                            self._spawn()
+                            self.respawns += 1
                         continue
                     key, _spec, _attempt = worker.busy
                     if not worker.process.is_alive():

@@ -14,11 +14,22 @@ Two arms, one package:
   test-only saboteur of the executor itself (worker crashes, hangs,
   interrupts) used to exercise retry/quarantine/resume.
 
+A third arm lifts the first one level up: **node faults**
+(:mod:`repro.faults.nodes`) describe whole-node failures — crashes,
+telemetry blackouts, stragglers — for the fleet layer
+(:mod:`repro.fleet`), with the same frozen/seeded/digest-visible
+contract as :class:`FaultPlan`.
+
 See ``docs/robustness.md`` for the fault taxonomy and semantics.
 """
 
 from .chaos import CHAOS_ENV, HANG_SECONDS, ChaosSpec, maybe_inject
 from .injector import STUCK_RECOVERY, FaultChannel, FaultInjector
+from .nodes import (
+    NODE_SCALE_COEFFICIENTS,
+    NodeFaultPlan,
+    NodeFaultSchedule,
+)
 from .plan import (
     DEFAULT_SATURATION_CAP,
     SCALE_COEFFICIENTS,
@@ -30,6 +41,9 @@ __all__ = [
     "FaultPlan",
     "DEFAULT_SATURATION_CAP",
     "SCALE_COEFFICIENTS",
+    "NodeFaultPlan",
+    "NodeFaultSchedule",
+    "NODE_SCALE_COEFFICIENTS",
     "FaultInjector",
     "FaultChannel",
     "STUCK_RECOVERY",

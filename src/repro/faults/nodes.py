@@ -1,0 +1,216 @@
+"""Node-level fault plans: `repro.faults` lifted one level up.
+
+:class:`~repro.faults.FaultPlan` perturbs the PMU signal path *inside*
+one machine; a :class:`NodeFaultPlan` perturbs the *fleet substrate*
+the placement controller governs — whole nodes crash, their telemetry
+goes dark while they keep computing, or they straggle at a fraction of
+their provisioned speed.  Same design contract as the signal plans:
+
+* **Frozen, hashable value objects** carried on the fleet spec and
+  therefore digest-visible — a faulty episode can never share an
+  identity with a clean one.
+* **Deterministic**: every node draws its fault timeline from a stream
+  seeded by ``(plan.seed, node id)``, so the same plan replays the
+  same crashes/blackouts/stragglers across repeats and hosts.
+* **One intensity knob**: :meth:`NodeFaultPlan.scaled` maps a single
+  ``intensity`` in [0, 1] to a plan whose kinds grow together, which
+  is what the chaos-frontier sweep drives.
+
+The plan is expanded ahead of time into a :class:`NodeFaultSchedule` —
+a per-tick truth table — so episode execution never consumes RNG state
+mid-flight and resume/replay stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+from ..errors import FaultPlanError
+
+#: Canonical per-kind coefficients of :meth:`NodeFaultPlan.scaled`:
+#: per-tick probabilities at intensity 1.0.  Crash dominates the sweep
+#: narrative but stays rare per tick (it is permanent); blackouts and
+#: stragglers are transient and proportionally more common.
+NODE_SCALE_COEFFICIENTS = {
+    "crash_rate": 0.02,
+    "blackout_rate": 0.06,
+    "straggler_rate": 0.08,
+}
+
+_RATE_FIELDS = (
+    "crash_rate",
+    "blackout_rate",
+    "blackout_recovery",
+    "straggler_rate",
+    "straggler_recovery",
+)
+
+
+@dataclass(frozen=True)
+class NodeFaultSchedule:
+    """One node's pre-drawn fault timeline over an episode.
+
+    ``crash_at`` is the tick the node dies (``None`` = survives the
+    episode; a crash is permanent).  ``blackout`` and ``straggler``
+    are per-tick flags for the transient, sticky states: a blacked-out
+    node keeps computing but emits no heartbeat; a straggling node
+    heartbeats normally but makes progress at the plan's
+    ``straggler_factor``.
+    """
+
+    crash_at: int | None
+    blackout: tuple[bool, ...]
+    straggler: tuple[bool, ...]
+
+    def crashed(self, tick: int) -> bool:
+        return self.crash_at is not None and tick >= self.crash_at
+
+    def dark(self, tick: int) -> bool:
+        """Whether the node's telemetry is invisible at ``tick``."""
+        if self.crashed(tick):
+            return True
+        return tick < len(self.blackout) and self.blackout[tick]
+
+    def slowed(self, tick: int) -> bool:
+        return tick < len(self.straggler) and self.straggler[tick]
+
+
+@dataclass(frozen=True)
+class NodeFaultPlan:
+    """Seeded perturbations of the fleet's node substrate.
+
+    * ``crash_rate`` — per-tick probability a node dies permanently
+      (process gone: no heartbeat, no progress, placements fail).
+    * ``blackout_rate`` / ``blackout_recovery`` — per-tick probability
+      telemetry goes dark / recovers; progress continues in the dark.
+    * ``straggler_rate`` / ``straggler_recovery`` — per-tick
+      probability a node starts / stops running at ``straggler_factor``
+      of its provisioned speed.
+    * ``seed`` — root of the per-node fault streams.
+
+    All rates live in ``[0, 1]``; ``straggler_factor`` in ``(0, 1]``.
+    A plan with every rate at zero (:meth:`is_null`) schedules nothing
+    and episodes under it are bit-identical to fault-free ones.
+    """
+
+    crash_rate: float = 0.0
+    blackout_rate: float = 0.0
+    blackout_recovery: float = 0.35
+    straggler_rate: float = 0.0
+    straggler_recovery: float = 0.3
+    straggler_factor: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if not 0.0 < self.straggler_factor <= 1.0:
+            raise FaultPlanError(
+                f"straggler_factor must be in (0, 1], "
+                f"got {self.straggler_factor}"
+            )
+
+    def is_null(self) -> bool:
+        """Whether this plan can never schedule a fault."""
+        return (
+            self.crash_rate == 0.0
+            and self.blackout_rate == 0.0
+            and self.straggler_rate == 0.0
+        )
+
+    # -- serialization (mirrors the FaultPlan conventions) ----------------
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NodeFaultPlan":
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise FaultPlanError(
+                f"bad node fault plan payload {data!r}: {exc}"
+            ) from None
+
+    @classmethod
+    def scaled(cls, intensity: float, seed: int = 0) -> "NodeFaultPlan":
+        """The canonical plan at ``intensity`` in [0, 1].
+
+        Every fault kind grows linearly with the single knob (see
+        :data:`NODE_SCALE_COEFFICIENTS`), which is what the fleet
+        chaos-frontier sweep drives.  ``intensity=0`` yields a null
+        plan.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise FaultPlanError(
+                f"intensity must be in [0, 1], got {intensity}"
+            )
+        return cls(
+            seed=seed,
+            **{
+                name: coefficient * intensity
+                for name, coefficient in NODE_SCALE_COEFFICIENTS.items()
+            },
+        )
+
+    def describe(self) -> str:
+        """Short human label, e.g. ``nodefaults(crash=0.004,seed=0)``."""
+        if self.is_null():
+            return f"nodefaults(null,seed={self.seed})"
+        parts = [
+            f"{name.removesuffix('_rate')}={getattr(self, name):g}"
+            for name in ("crash_rate", "blackout_rate", "straggler_rate")
+            if getattr(self, name)
+        ]
+        return f"nodefaults({','.join(parts)},seed={self.seed})"
+
+    # -- expansion into a per-node timeline -------------------------------
+
+    def schedule(self, node_id: int, ticks: int) -> NodeFaultSchedule:
+        """Draw ``node_id``'s fault timeline for a ``ticks``-long episode.
+
+        The stream is seeded by ``(plan.seed, node_id)`` only, so the
+        same node replays the same timeline regardless of fleet size or
+        which other nodes exist — string seeding makes the draw stable
+        across platforms and Python builds.
+        """
+        if ticks < 0:
+            raise FaultPlanError(f"ticks must be >= 0, got {ticks}")
+        if self.is_null():
+            return NodeFaultSchedule(
+                crash_at=None,
+                blackout=(False,) * ticks,
+                straggler=(False,) * ticks,
+            )
+        rng = random.Random(f"nodefaults:{self.seed}:{node_id}")
+        crash_at: int | None = None
+        dark = False
+        slow = False
+        blackout: list[bool] = []
+        straggler: list[bool] = []
+        for tick in range(ticks):
+            if crash_at is None and rng.random() < self.crash_rate:
+                crash_at = tick
+            if dark:
+                if rng.random() < self.blackout_recovery:
+                    dark = False
+            elif rng.random() < self.blackout_rate:
+                dark = True
+            if slow:
+                if rng.random() < self.straggler_recovery:
+                    slow = False
+            elif rng.random() < self.straggler_rate:
+                slow = True
+            blackout.append(dark)
+            straggler.append(slow)
+        return NodeFaultSchedule(
+            crash_at=crash_at,
+            blackout=tuple(blackout),
+            straggler=tuple(straggler),
+        )

@@ -1,0 +1,53 @@
+"""The fleet layer: contention-aware placement over simulated nodes.
+
+The paper governs one 2-core machine; this package is its §7 outlook —
+"a datacenter of CAER machines" — grown on top of the existing stack:
+
+* each **node** (:mod:`repro.fleet.node`) is one paper-shaped machine
+  whose behaviour is calibrated from real campaign runs (the same
+  :class:`~repro.experiments.campaign.Campaign` results the figures
+  use, so per-node physics is bit-identical to the single-machine
+  experiments);
+* the **placement controller** (:mod:`repro.fleet.controller`) admits
+  latency-sensitive and batch jobs onto nodes, evicts/migrates batch
+  work on sustained CAER-reported contention, and fails over around
+  node faults — dead nodes reschedule their stranded jobs, dark
+  telemetry is treated as contention, flapping nodes are quarantined;
+* the **episode** (:mod:`repro.fleet.episode`) ties spec + nodes +
+  controller + journal + beacons into one deterministic, resumable
+  simulation with a fleet-wide SLO-vs-throughput report.
+
+Node-level faults ride on :class:`~repro.faults.NodeFaultPlan`; the
+chaos-frontier sweep lives in
+:mod:`repro.experiments.fleetchaos`.
+"""
+
+from .controller import PlacementController
+from .episode import (
+    FleetEpisode,
+    FleetJournal,
+    FleetResult,
+    render_fleet_report,
+)
+from .node import FleetNode
+from .spec import (
+    FLEET_SPEC_VERSION,
+    FleetJob,
+    FleetSpec,
+    NodeRunProfile,
+    build_profiles,
+)
+
+__all__ = [
+    "FLEET_SPEC_VERSION",
+    "FleetSpec",
+    "FleetJob",
+    "NodeRunProfile",
+    "build_profiles",
+    "FleetNode",
+    "PlacementController",
+    "FleetEpisode",
+    "FleetJournal",
+    "FleetResult",
+    "render_fleet_report",
+]

@@ -1,0 +1,349 @@
+"""The placement controller: admission, migration, failover.
+
+The controller sees the fleet only through heartbeats — never the
+nodes' local truth — so every robustness decision is made from the
+telemetry a real cluster scheduler would have:
+
+* **admission** — one LS job and one batch job per node at most (the
+  paper's 2-core co-location); LS placements take the lowest-id
+  healthy node, batch placements prefer an empty node and only then
+  co-locate onto a currently-quiet LS node;
+* **contention response** — a node whose heartbeats report contention
+  for ``sustain_ticks`` consecutive ticks gets its batch job evicted
+  and rescheduled elsewhere (the fleet-level analogue of CAER's
+  respond-then-release loop);
+* **degraded modes** — a node silent past ``suspect_after`` ticks is
+  *treated as contended* (dark telemetry is never trusted blindly);
+  past ``dead_after`` it is declared dead and every job stranded on it
+  is rescheduled at its last-reported progress — journal-backed, so
+  nothing is ever lost;
+* **flap control** — evictions and dead-node reinstatements count
+  against ``flap_threshold``; a flapping node is quarantined out of
+  the placement pool (and recorded in the journal like a quarantined
+  run);
+* **retry/backoff** — a failed dispatch (the node crashed since its
+  last heartbeat) re-queues the job under the PR-4
+  :class:`~repro.experiments.resilience.RetryPolicy` backoff schedule,
+  re-interpreted in ticks.  The attempt counter only clamps the
+  backoff — jobs are never dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..experiments.resilience import RetryPolicy
+from .node import FleetNode
+from .spec import FleetJob, FleetSpec
+
+#: Placement backoff schedule, in ticks (clamped to the last entry).
+PLACEMENT_BACKOFF = (1.0, 2.0, 4.0)
+
+
+@dataclass
+class JobState:
+    """One job as the controller tracks it."""
+
+    job: FleetJob
+    status: str = "waiting"  # waiting | placed | done
+    node: int | None = None
+    progress: float = 0.0
+    attempts: int = 0
+    next_attempt_tick: int = 0
+    completion_tick: int | None = None
+    rescheduled: int = 0
+
+
+@dataclass
+class NodeView:
+    """What the controller believes about one node."""
+
+    node_id: int
+    last_seen: int | None = None
+    declared_dead: bool = False
+    quarantined: bool = False
+    contended_streak: int = 0
+    evictions: int = 0
+    reinstatements: int = 0
+    straggler: bool = False
+    contended: bool = field(default=False)
+
+    def flap_score(self) -> int:
+        return self.evictions + self.reinstatements
+
+    def silent_ticks(self, tick: int) -> int:
+        if self.last_seen is None:
+            return tick + 1
+        return tick - self.last_seen
+
+
+class PlacementController:
+    """Admits, migrates, and fails over jobs from heartbeats alone."""
+
+    def __init__(self, spec: FleetSpec, journal=None):
+        self.spec = spec
+        self.journal = journal
+        self.jobs: dict[str, JobState] = {
+            job.id: JobState(job=job) for job in spec.jobs()
+        }
+        self.views: dict[int, NodeView] = {
+            node_id: NodeView(node_id=node_id)
+            for node_id in range(spec.nodes)
+        }
+        self.policy = RetryPolicy(
+            max_attempts=spec.max_place_attempts,
+            backoff=PLACEMENT_BACKOFF,
+        )
+        # fleet-wide robustness counters (the report's raw material)
+        self.migrations = 0
+        self.jobs_rescheduled = 0
+        self.placements_failed = 0
+
+    # -- observe: fold heartbeats into beliefs ----------------------------
+
+    def observe(
+        self,
+        tick: int,
+        heartbeats: dict[int, dict | None],
+        nodes: dict[int, FleetNode],
+    ) -> None:
+        """Update node views and job states from this tick's heartbeats."""
+        for node_id in sorted(heartbeats):
+            payload = heartbeats[node_id]
+            if payload is None:
+                continue
+            view = self.views[node_id]
+            view.last_seen = tick
+            if view.declared_dead:
+                # Back from the dead: a blackout outlived ``dead_after``.
+                # Reinstate the node but count the flap.
+                view.declared_dead = False
+                view.reinstatements += 1
+                self._maybe_quarantine(view)
+            view.contended = bool(payload.get("contended"))
+            view.straggler = bool(payload.get("straggler"))
+            if view.contended:
+                view.contended_streak += 1
+            else:
+                view.contended_streak = 0
+            self._fold_completions(tick, node_id, payload, nodes)
+            self._reconcile(tick, node_id, payload, nodes)
+
+    def _fold_completions(
+        self,
+        tick: int,
+        node_id: int,
+        payload: dict,
+        nodes: dict[int, FleetNode],
+    ) -> None:
+        completed = payload.get("completed") or {}
+        for job_id in sorted(completed):
+            state = self.jobs.get(job_id)
+            if state is None or state.status == "done":
+                continue
+            # Credit at the *report* tick, not the node-local finish
+            # tick: work finished during a blackout only counts for the
+            # SLO once the controller can actually see it.
+            state.status = "done"
+            state.progress = state.job.service
+            state.completion_tick = tick
+            if state.node is not None and state.node != node_id:
+                # A reschedule raced the dark node to completion; drop
+                # the redundant copy still running elsewhere.
+                nodes[state.node].drop(job_id)
+            state.node = node_id
+            if self.journal is not None:
+                self.journal.record_job_done(
+                    job_id=job_id,
+                    bench=state.job.bench,
+                    kind=state.job.kind,
+                    tick=tick,
+                    stretch=self._stretch(state),
+                )
+
+    def _reconcile(
+        self,
+        tick: int,
+        node_id: int,
+        payload: dict,
+        nodes: dict[int, FleetNode],
+    ) -> None:
+        reported = payload.get("jobs") or {}
+        for job_id in sorted(reported):
+            state = self.jobs.get(job_id)
+            if state is None:
+                continue
+            if state.status == "placed" and state.node == node_id:
+                # Fresher truth than the controller's copy.
+                state.progress = max(state.progress, float(reported[job_id]))
+            else:
+                # Stale copy from before a reschedule: the job now
+                # lives elsewhere (or finished).  Merge its progress —
+                # work done in the dark is still work — and drop it.
+                if state.status != "done":
+                    state.progress = max(
+                        state.progress, float(reported[job_id])
+                    )
+                nodes[node_id].drop(job_id)
+
+    # -- detect: silence, death, sustained contention, flapping -----------
+
+    def detect(self, tick: int, nodes: dict[int, FleetNode]) -> None:
+        """Apply the failover policy to this tick's beliefs."""
+        spec = self.spec
+        for node_id in sorted(self.views):
+            view = self.views[node_id]
+            if view.declared_dead:
+                continue
+            silent = view.silent_ticks(tick)
+            if silent > spec.dead_after:
+                self._declare_dead(tick, view, nodes)
+                continue
+            if silent > spec.suspect_after:
+                # Dark telemetry is treated as contention, never
+                # trusted blindly: the streak grows in absentia.
+                view.contended_streak += 1
+            if view.contended_streak >= spec.sustain_ticks:
+                self._evict_batch(tick, view, nodes)
+
+    def _declare_dead(
+        self, tick: int, view: NodeView, nodes: dict[int, FleetNode]
+    ) -> None:
+        view.declared_dead = True
+        view.contended_streak = 0
+        for state in self._jobs_on(view.node_id):
+            state.status = "waiting"
+            state.node = None
+            state.rescheduled += 1
+            state.next_attempt_tick = tick + 1
+            self.jobs_rescheduled += 1
+
+    def _evict_batch(
+        self, tick: int, view: NodeView, nodes: dict[int, FleetNode]
+    ) -> None:
+        for state in self._jobs_on(view.node_id):
+            if state.job.kind != "batch":
+                continue
+            progress = nodes[view.node_id].evict(state.job.id, tick)
+            if progress is not None:
+                state.progress = max(state.progress, progress)
+            state.status = "waiting"
+            state.node = None
+            state.rescheduled += 1
+            # Don't re-place onto the same contention immediately.
+            state.next_attempt_tick = tick + 1
+            self.migrations += 1
+        view.evictions += 1
+        view.contended_streak = 0
+        self._maybe_quarantine(view)
+
+    def _maybe_quarantine(self, view: NodeView) -> None:
+        if view.quarantined:
+            return
+        if view.flap_score() < self.spec.flap_threshold:
+            return
+        view.quarantined = True
+        if self.journal is not None:
+            self.journal.record_quarantined(
+                digest=f"node-{view.node_id}",
+                bench=f"node-{view.node_id}",
+                config="fleet",
+                attempts=view.flap_score(),
+                error=(
+                    f"flapping node: {view.evictions} evictions, "
+                    f"{view.reinstatements} reinstatements"
+                ),
+            )
+        # A quarantined node's remaining jobs move elsewhere.
+        for state in self._jobs_on(view.node_id):
+            state.status = "waiting"
+            state.node = None
+            state.rescheduled += 1
+            self.jobs_rescheduled += 1
+
+    def _jobs_on(self, node_id: int) -> list[JobState]:
+        return [
+            state
+            for state in self.jobs.values()
+            if state.status == "placed" and state.node == node_id
+        ]
+
+    # -- place: admission with retry/backoff ------------------------------
+
+    def place(self, tick: int, nodes: dict[int, FleetNode]) -> None:
+        """Try to place every eligible waiting job."""
+        for state in self._waiting(tick):
+            node_id = self._pick_node(tick, state.job)
+            if node_id is None:
+                continue
+            ok = nodes[node_id].assign(
+                state.job, tick, progress=state.progress
+            )
+            if not ok:
+                # The dispatch RPC failed: the node crashed since its
+                # last heartbeat.  Back off and let silence detection
+                # catch up with it.
+                self.placements_failed += 1
+                state.attempts += 1
+                retry = min(state.attempts + 1, self.policy.max_attempts)
+                delay = max(1, int(self.policy.delay_before(retry)))
+                state.next_attempt_tick = tick + delay
+                continue
+            state.status = "placed"
+            state.node = node_id
+            state.attempts = 0
+
+    def _waiting(self, tick: int) -> list[JobState]:
+        ready = [
+            state
+            for state in self.jobs.values()
+            if state.status == "waiting"
+            and tick >= state.job.arrival
+            and tick >= state.next_attempt_tick
+        ]
+        # LS first (the SLO side of the trade), then batch; stable by
+        # job id so placement order is deterministic.
+        ready.sort(key=lambda s: (s.job.kind != "ls", s.job.id))
+        return ready
+
+    def _pick_node(self, tick: int, job: FleetJob) -> int | None:
+        placed: dict[int, dict[str, bool]] = {
+            node_id: {"ls": False, "batch": False}
+            for node_id in self.views
+        }
+        for state in self.jobs.values():
+            if state.status == "placed" and state.node is not None:
+                placed[state.node][state.job.kind] = True
+        candidates = [
+            view
+            for node_id, view in sorted(self.views.items())
+            if not view.declared_dead
+            and not view.quarantined
+            and view.silent_ticks(tick) <= self.spec.suspect_after
+        ]
+        if job.kind == "ls":
+            for view in candidates:
+                if not placed[view.node_id]["ls"]:
+                    return view.node_id
+            return None
+        # Batch: an empty node beats co-location; co-location onto a
+        # currently-contended or suspect node is never chosen.
+        for view in candidates:
+            slots = placed[view.node_id]
+            if not slots["ls"] and not slots["batch"]:
+                return view.node_id
+        for view in candidates:
+            slots = placed[view.node_id]
+            if slots["ls"] and not slots["batch"] and (
+                view.contended_streak == 0
+            ):
+                return view.node_id
+        return None
+
+    # -- reporting helpers -------------------------------------------------
+
+    def _stretch(self, state: JobState) -> float:
+        if state.completion_tick is None:
+            return float("inf")
+        elapsed = state.completion_tick - state.job.arrival + 1
+        return elapsed / state.job.service

@@ -1,0 +1,281 @@
+"""One fleet episode: spec + nodes + controller + journal + beacons.
+
+The episode is the fleet-level analogue of a campaign run: fully
+deterministic per spec (no wall clock anywhere in the result, all
+randomness seeded through the spec), journal-backed (completed jobs
+are recorded as they land and never re-executed on resume — the PR-4
+crash-safe contract one level up) and observable (per-node heartbeats
+and a fleet summary flow into the PR-7 beacon directory, so
+``repro-caer watch`` shows live per-node state).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..experiments.resilience import CampaignJournal
+from ..faults.nodes import NodeFaultPlan
+from .controller import PlacementController
+from .node import FleetNode
+from .spec import FleetSpec, NodeRunProfile
+
+
+class FleetJournal(CampaignJournal):
+    """A campaign journal namespaced to one fleet episode.
+
+    Job completions are recorded under ``<fleet-digest-prefix>:<job
+    id>`` keys, so a journal file can be shared across episodes (and
+    with run-level records) without any chance of cross-episode
+    replay.  Extra fields (``tick``, ``stretch``, ``kind``) ride on
+    the standard record shape; :class:`CampaignJournal`'s loader keeps
+    whole records, so nothing is lost round-tripping.
+    """
+
+    def __init__(self, path: str | os.PathLike, fleet_digest: str):
+        self.fleet_digest = fleet_digest
+        super().__init__(path)
+
+    def job_key(self, job_id: str) -> str:
+        return f"{self.fleet_digest[:12]}:{job_id}"
+
+    def record_job_done(
+        self, job_id: str, bench: str, kind: str, tick: int, stretch: float
+    ) -> None:
+        """Mark one fleet job as completed (crash-safe, idempotent)."""
+        key = self.job_key(job_id)
+        record = {
+            "status": "done",
+            "digest": key,
+            "bench": bench,
+            "config": kind,
+            "attempts": 1,
+            "tick": tick,
+            "stretch": round(stretch, 4),
+        }
+        self._append(record)
+        self.completed[key] = record
+        self.quarantined.pop(key, None)
+
+    def completed_job(self, job_id: str) -> dict | None:
+        """This episode's completion record for ``job_id``, if any."""
+        return self.completed.get(self.job_key(job_id))
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """The episode's fleet-wide outcome (JSON-serialisable, clockless)."""
+
+    spec_digest: str
+    ticks: int
+    jobs_total: int
+    ls_total: int
+    ls_completed: int
+    ls_within_slo: int
+    slo_attainment: float
+    batch_total: int
+    batch_completed: int
+    batch_progress: float
+    batch_throughput: float
+    jobs_lost: int
+    jobs_rescheduled: int
+    migrations: int
+    placements_failed: int
+    nodes_dead: int
+    nodes_quarantined: int
+    jobs_resumed: int
+
+    def to_dict(self) -> dict:
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+
+class FleetEpisode:
+    """Drives one episode tick by tick."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        profiles: dict[str, NodeRunProfile],
+        journal: FleetJournal | None = None,
+        beacon_dir: str | os.PathLike | None = None,
+    ):
+        missing = [b for b in spec.victims if b not in profiles]
+        if missing:
+            raise ValueError(
+                f"profiles missing for victims: {', '.join(missing)}"
+            )
+        self.spec = spec
+        self.profiles = profiles
+        self.journal = journal
+        self.beacon_dir = beacon_dir
+        plan = spec.node_faults or NodeFaultPlan()
+        self.nodes: dict[int, FleetNode] = {
+            node_id: FleetNode(
+                node_id,
+                profiles,
+                plan.schedule(node_id, spec.ticks),
+                seed=spec.seed,
+                straggler_factor=plan.straggler_factor,
+            )
+            for node_id in range(spec.nodes)
+        }
+        self.controller = PlacementController(spec, journal=journal)
+        #: jobs already completed in the journal before this process
+        #: started — the resume seam; they are never re-executed.
+        self.jobs_resumed = 0
+        if journal is not None:
+            for job_id, state in self.controller.jobs.items():
+                record = journal.completed_job(job_id)
+                if record is not None:
+                    state.status = "done"
+                    state.progress = state.job.service
+                    state.completion_tick = int(record.get("tick", 0))
+                    self.jobs_resumed += 1
+
+    def step(self, tick: int) -> None:
+        """One fleet tick: nodes advance, the controller reacts."""
+        heartbeats = {
+            node_id: node.tick(tick)
+            for node_id, node in sorted(self.nodes.items())
+        }
+        self.controller.observe(tick, heartbeats, self.nodes)
+        self.controller.detect(tick, self.nodes)
+        self.controller.place(tick, self.nodes)
+        self._emit_beacons(tick, heartbeats, done=False)
+
+    def run(self, until_tick: int | None = None) -> FleetResult:
+        """Run to the horizon (or ``until_tick``, for resume tests)."""
+        end = self.spec.ticks
+        if until_tick is not None:
+            end = max(0, min(until_tick, end))
+        for tick in range(end):
+            self.step(tick)
+        result = self.result(end)
+        self._emit_beacons(max(0, end - 1), None, done=True)
+        return result
+
+    # -- outcome ----------------------------------------------------------
+
+    def result(self, ticks: int | None = None) -> FleetResult:
+        """Condense controller state into the fleet-wide outcome."""
+        spec = self.spec
+        ticks = spec.ticks if ticks is None else max(1, ticks)
+        states = list(self.controller.jobs.values())
+        ls = [s for s in states if s.job.kind == "ls"]
+        batch = [s for s in states if s.job.kind == "batch"]
+        within = [
+            s
+            for s in ls
+            if s.status == "done"
+            and self.controller._stretch(s) <= spec.slo_stretch
+        ]
+        batch_progress = sum(
+            min(s.progress, s.job.service) for s in batch
+        )
+        tracked = sum(
+            1 for s in states if s.status in ("waiting", "placed", "done")
+        )
+        views = self.controller.views.values()
+        return FleetResult(
+            spec_digest=spec.digest,
+            ticks=ticks,
+            jobs_total=len(states),
+            ls_total=len(ls),
+            ls_completed=sum(1 for s in ls if s.status == "done"),
+            ls_within_slo=len(within),
+            slo_attainment=(len(within) / len(ls)) if ls else 1.0,
+            batch_total=len(batch),
+            batch_completed=sum(
+                1 for s in batch if s.status == "done"
+            ),
+            batch_progress=batch_progress,
+            batch_throughput=batch_progress / ticks,
+            jobs_lost=len(states) - tracked,
+            jobs_rescheduled=self.controller.jobs_rescheduled,
+            migrations=self.controller.migrations,
+            placements_failed=self.controller.placements_failed,
+            nodes_dead=sum(1 for v in views if v.declared_dead),
+            nodes_quarantined=sum(1 for v in views if v.quarantined),
+            jobs_resumed=self.jobs_resumed,
+        )
+
+    # -- observability ----------------------------------------------------
+
+    def _emit_beacons(
+        self,
+        tick: int,
+        heartbeats: dict[int, dict | None] | None,
+        done: bool,
+    ) -> None:
+        if self.beacon_dir is None:
+            return
+        from ..obs.heartbeat import write_beacon
+
+        if heartbeats:
+            for node_id, payload in heartbeats.items():
+                if payload is None:
+                    # Dark or dead: no beacon, exactly as a real dark
+                    # node would go silent — watch renders staleness.
+                    continue
+                write_beacon(
+                    self.beacon_dir,
+                    f"node-{node_id}",
+                    {
+                        "node": node_id,
+                        "tick": tick,
+                        "state": "running",
+                        "jobs_running": len(payload.get("jobs") or {}),
+                        "contended": 1 if payload.get("contended") else 0,
+                        "straggler": 1 if payload.get("straggler") else 0,
+                    },
+                )
+        views = self.controller.views.values()
+        states = self.controller.jobs.values()
+        write_beacon(
+            self.beacon_dir,
+            "fleet",
+            {
+                "tick": tick,
+                "state": "done" if done else "running",
+                "nodes": self.spec.nodes,
+                "nodes_dead": sum(1 for v in views if v.declared_dead),
+                "nodes_quarantined": sum(
+                    1 for v in views if v.quarantined
+                ),
+                "jobs_total": len(self.controller.jobs),
+                "jobs_done": sum(
+                    1 for s in states if s.status == "done"
+                ),
+                "jobs_waiting": sum(
+                    1 for s in states if s.status == "waiting"
+                ),
+                "migrations": self.controller.migrations,
+            },
+        )
+
+
+def render_fleet_report(result: FleetResult) -> str:
+    """The episode's human-readable SLO-vs-throughput summary."""
+    lines = [
+        f"fleet episode {result.spec_digest[:12]} — "
+        f"{result.ticks} ticks, {result.jobs_total} jobs",
+        f"LS SLO attainment: {result.slo_attainment:.0%} "
+        f"({result.ls_within_slo}/{result.ls_total} within stretch; "
+        f"{result.ls_completed} completed)",
+        f"batch throughput: {result.batch_throughput:.3f} progress/tick "
+        f"({result.batch_completed}/{result.batch_total} batch jobs "
+        f"completed)",
+        f"jobs lost: {result.jobs_lost} "
+        f"(rescheduled: {result.jobs_rescheduled}, "
+        f"migrations: {result.migrations}, "
+        f"failed placements: {result.placements_failed})",
+        f"nodes: {result.nodes_dead} dead, "
+        f"{result.nodes_quarantined} quarantined",
+    ]
+    if result.jobs_resumed:
+        lines.append(
+            f"resumed: {result.jobs_resumed} jobs from the journal"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,171 @@
+"""One simulated fleet node: a paper-shaped machine with local jobs.
+
+A node hosts at most one latency-sensitive job and one batch job — the
+paper's 2-core co-location, one level up.  Per-tick progress rates come
+from the calibrated :class:`~repro.fleet.spec.NodeRunProfile` (real
+campaign runs), and the node's CAER runtime is abstracted to the
+profile's detector trigger rate: each tick the node is co-located, it
+reports contention with that probability, drawn from a stream seeded by
+``(episode seed, node id)`` so episodes replay bit-identically.
+
+Faults act exactly where they would physically:
+
+* a **crashed** node makes no progress, emits no heartbeat, and
+  refuses new assignments (the controller's dispatch fails);
+* a **blacked-out** node keeps computing but emits no heartbeat — the
+  controller must reason about it from silence;
+* a **straggling** node heartbeats normally but progresses at the
+  fault plan's ``straggler_factor``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..faults.nodes import NodeFaultSchedule
+from .spec import FleetJob, NodeRunProfile
+
+
+@dataclass
+class _LocalJob:
+    """A job as the node itself sees it."""
+
+    job: FleetJob
+    progress: float = 0.0
+    done_at: int | None = field(default=None)
+
+
+class FleetNode:
+    """One node's local truth: jobs, progress, faults, heartbeats."""
+
+    def __init__(
+        self,
+        node_id: int,
+        profiles: dict[str, NodeRunProfile],
+        schedule: NodeFaultSchedule,
+        seed: int = 0,
+        straggler_factor: float = 0.5,
+    ):
+        self.node_id = node_id
+        self.profiles = profiles
+        self.schedule = schedule
+        self.straggler_factor = straggler_factor
+        self._rng = random.Random(f"node:{seed}:{node_id}")
+        #: active jobs, keyed by job id
+        self.jobs: dict[str, _LocalJob] = {}
+        #: completed job id -> (tick it finished, final progress);
+        #: retained so heartbeats keep reporting completions that
+        #: happened during a telemetry blackout
+        self.completed: dict[str, tuple[int, float]] = {}
+
+    # -- controller-facing RPCs -------------------------------------------
+
+    def assign(self, job: FleetJob, tick: int, progress: float = 0.0) -> bool:
+        """Place ``job`` here; ``False`` = the dispatch RPC failed.
+
+        A crashed node cannot acknowledge, which is exactly how the
+        controller discovers crashes that happened since the last
+        heartbeat.  ``progress`` carries over on migration/reschedule.
+        """
+        if self.schedule.crashed(tick):
+            return False
+        if job.id in self.completed:
+            # The node already ran this to completion (a reschedule
+            # raced a blackout); re-acknowledge without re-running.
+            return True
+        self.jobs[job.id] = _LocalJob(job=job, progress=progress)
+        return True
+
+    def evict(self, job_id: str, tick: int) -> float | None:
+        """Remove a job, returning its accrued progress (migration).
+
+        An unreachable node (crashed or dark) cannot service the evict
+        RPC: the stale copy keeps running in the dark and is dropped by
+        reconciliation when the node next reports.
+        """
+        if self.schedule.crashed(tick) or self.schedule.dark(tick):
+            return None
+        local = self.jobs.pop(job_id, None)
+        return None if local is None else local.progress
+
+    def drop(self, job_id: str) -> None:
+        """Discard a stale copy (the job completed or moved elsewhere)."""
+        self.jobs.pop(job_id, None)
+
+    # -- simulation -------------------------------------------------------
+
+    def _ls_job(self) -> _LocalJob | None:
+        for local in self.jobs.values():
+            if local.job.kind == "ls":
+                return local
+        return None
+
+    def _batch_job(self) -> _LocalJob | None:
+        for local in self.jobs.values():
+            if local.job.kind == "batch":
+                return local
+        return None
+
+    def tick(self, tick: int) -> dict | None:
+        """Advance one tick; the heartbeat payload, or ``None`` if dark.
+
+        Progress accrues during a blackout (the machine keeps
+        computing; only its telemetry is gone) but not after a crash.
+        The contention draw is consumed every live tick regardless of
+        placement, so a node's fault/contention timeline never depends
+        on scheduling history.
+        """
+        if self.schedule.crashed(tick):
+            return None
+        draw = self._rng.random()
+        ls = self._ls_job()
+        batch = self._batch_job()
+        colocated = ls is not None and batch is not None
+        profile = self.profiles.get(ls.job.bench) if ls is not None else None
+        contended = (
+            colocated
+            and profile is not None
+            and draw < profile.trigger_rate
+        )
+        slowdown = (
+            self.straggler_factor if self.schedule.slowed(tick) else 1.0
+        )
+        if ls is not None:
+            rate = (
+                profile.ls_progress
+                if colocated and profile is not None
+                else 1.0
+            )
+            self._advance(ls, rate * slowdown, tick)
+        if batch is not None:
+            rate = (
+                profile.batch_progress
+                if colocated and profile is not None
+                else 1.0
+            )
+            self._advance(batch, rate * slowdown, tick)
+        if self.schedule.dark(tick):
+            return None
+        return {
+            "node": self.node_id,
+            "tick": tick,
+            "jobs": {
+                job_id: local.progress
+                for job_id, local in self.jobs.items()
+            },
+            "completed": {
+                job_id: done_at
+                for job_id, (done_at, _) in self.completed.items()
+            },
+            "contended": contended,
+            "straggler": self.schedule.slowed(tick),
+        }
+
+    def _advance(self, local: _LocalJob, rate: float, tick: int) -> None:
+        local.progress += rate
+        if local.progress >= local.job.service:
+            local.progress = local.job.service
+            local.done_at = tick
+            self.completed[local.job.id] = (tick, local.progress)
+            del self.jobs[local.job.id]

@@ -1,0 +1,330 @@
+"""The declarative fleet specification and node calibration profiles.
+
+A :class:`FleetSpec` plays the role :class:`~repro.runspec.RunSpec`
+plays one level down: a frozen, hashable, canonically-serialisable
+description of one fleet episode — node count, tick horizon, the job
+mix, the CAER config every node runs, the SLO contract, the node-level
+fault plan, and every controller knob.  Its SHA-256 digest keys the
+fleet journal, so resumed episodes can never consume another
+episode's completions.
+
+Nodes are calibrated, not re-simulated: :func:`build_profiles` derives
+each victim's per-tick rates from the *same campaign runs the paper
+figures use* (solo and co-located under the spec's config).  With the
+fleet layer off, those runs are bit-identical to today's campaign
+runs by construction — the fleet merely reads their summaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..faults.nodes import NodeFaultPlan
+from ..runspec import BATCH_BENCHMARK
+
+#: Version tag of the fleet spec's canonical JSON form.
+FLEET_SPEC_VERSION = 1
+
+#: Job kinds the placement controller understands.
+JOB_KINDS = ("ls", "batch")
+
+#: Fallback detector trigger rate when a run summary predates the
+#: telemetry layer (cached before PR-7): a coin-flip contention signal.
+DEFAULT_TRIGGER_RATE = 0.5
+
+
+@dataclass(frozen=True)
+class FleetJob:
+    """One unit of admitted work.
+
+    ``service`` is the ticks of progress the job needs at full speed
+    (rate 1.0/tick); co-location and stragglers stretch the wall-tick
+    time accordingly.  ``arrival`` is the first tick the controller may
+    place it.
+    """
+
+    id: str
+    kind: str
+    bench: str
+    arrival: int
+    service: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ConfigError(
+                f"job kind must be one of {JOB_KINDS}, got {self.kind!r}"
+            )
+        if not self.id:
+            raise ConfigError("job id must be non-empty")
+        if self.arrival < 0:
+            raise ConfigError(
+                f"arrival must be >= 0, got {self.arrival}"
+            )
+        if self.service <= 0:
+            raise ConfigError(
+                f"service must be > 0, got {self.service}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A complete description of one fleet episode.
+
+    Every result-affecting knob is a field, and every field reaches
+    the digest — the :class:`~repro.runspec.RunSpec` discipline, one
+    level up.  ``node_faults`` is the seed-driven chaos plan (``None``
+    = a healthy fleet); the controller knobs encode the failover
+    policy:
+
+    * ``suspect_after`` — heartbeat-less ticks before a node's silence
+      counts as contention (dark telemetry is never trusted blindly);
+    * ``dead_after`` — heartbeat-less ticks before the node is declared
+      dead and its stranded jobs rescheduled (journal-backed, zero
+      loss);
+    * ``sustain_ticks`` — consecutive contended heartbeats before the
+      node's batch job is evicted (migrated elsewhere);
+    * ``flap_threshold`` — evictions + dead-node reinstatements before
+      a node is quarantined out of the placement pool;
+    * ``max_place_attempts`` — caps the placement retry *backoff*
+      schedule (jobs are never dropped; the attempt counter only
+      clamps how far the backoff stretches).
+    """
+
+    nodes: int = 4
+    ticks: int = 48
+    ls_jobs: int = 3
+    #: enough batch work to keep the fleet busy most of the horizon, so
+    #: fault-induced delays show up in throughput instead of vanishing
+    #: into slack
+    batch_jobs: int = 20
+    victims: tuple[str, ...] = ("429.mcf",)
+    batch_bench: str = BATCH_BENCHMARK
+    config: str = "rule"
+    ls_service: float = 10.0
+    batch_service: float = 8.0
+    slo_stretch: float = 2.0
+    node_faults: NodeFaultPlan | None = None
+    seed: int = 0
+    suspect_after: int = 2
+    dead_after: int = 4
+    sustain_ticks: int = 3
+    flap_threshold: int = 3
+    max_place_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError(f"nodes must be >= 1, got {self.nodes}")
+        if self.ticks < 1:
+            raise ConfigError(f"ticks must be >= 1, got {self.ticks}")
+        if self.ls_jobs < 0 or self.batch_jobs < 0:
+            raise ConfigError("job counts must be >= 0")
+        if not self.victims:
+            raise ConfigError("victims must be non-empty")
+        if not isinstance(self.victims, tuple):
+            object.__setattr__(self, "victims", tuple(self.victims))
+        if self.ls_service <= 0 or self.batch_service <= 0:
+            raise ConfigError("service times must be > 0")
+        if self.slo_stretch < 1.0:
+            raise ConfigError(
+                f"slo_stretch must be >= 1, got {self.slo_stretch}"
+            )
+        if self.suspect_after < 1:
+            raise ConfigError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
+        if self.dead_after <= self.suspect_after:
+            raise ConfigError(
+                f"dead_after ({self.dead_after}) must exceed "
+                f"suspect_after ({self.suspect_after})"
+            )
+        if self.sustain_ticks < 1:
+            raise ConfigError(
+                f"sustain_ticks must be >= 1, got {self.sustain_ticks}"
+            )
+        if self.flap_threshold < 1:
+            raise ConfigError(
+                f"flap_threshold must be >= 1, got {self.flap_threshold}"
+            )
+        if self.max_place_attempts < 1:
+            raise ConfigError(
+                f"max_place_attempts must be >= 1, "
+                f"got {self.max_place_attempts}"
+            )
+
+    # -- the admitted job mix ---------------------------------------------
+
+    def jobs(self) -> tuple[FleetJob, ...]:
+        """The episode's deterministic job arrivals.
+
+        Arrivals spread over the first half of the horizon so late
+        jobs still have headroom to meet the SLO; latency-sensitive
+        jobs cycle through ``victims``.  Pure function of the spec —
+        no RNG — so the mix is trivially reproducible.
+        """
+        jobs: list[FleetJob] = []
+        for index in range(self.ls_jobs):
+            jobs.append(
+                FleetJob(
+                    id=f"ls-{index}",
+                    kind="ls",
+                    bench=self.victims[index % len(self.victims)],
+                    arrival=(index * self.ticks) // max(1, 2 * self.ls_jobs),
+                    service=self.ls_service,
+                )
+            )
+        for index in range(self.batch_jobs):
+            jobs.append(
+                FleetJob(
+                    id=f"batch-{index}",
+                    kind="batch",
+                    bench=self.batch_bench,
+                    arrival=(index * self.ticks)
+                    // max(1, 2 * self.batch_jobs),
+                    service=self.batch_service,
+                )
+            )
+        return tuple(jobs)
+
+    # -- canonical serialization ------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["victims"] = list(self.victims)
+        payload["node_faults"] = (
+            None if self.node_faults is None else self.node_faults.to_dict()
+        )
+        payload["version"] = FLEET_SPEC_VERSION
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        payload = dict(data)
+        version = payload.pop("version", FLEET_SPEC_VERSION)
+        if version != FLEET_SPEC_VERSION:
+            raise ConfigError(
+                f"unsupported fleet spec version {version!r} "
+                f"(this library speaks {FLEET_SPEC_VERSION})"
+            )
+        try:
+            payload["victims"] = tuple(payload.get("victims", ()))
+            faults = payload.get("node_faults")
+            payload["node_faults"] = (
+                None if faults is None else NodeFaultPlan.from_dict(faults)
+            )
+            return cls(**payload)
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(
+                f"bad fleet spec payload: {exc!r}"
+            ) from None
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 content digest of the canonical JSON form."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        faults = (
+            "clean" if self.node_faults is None or self.node_faults.is_null()
+            else self.node_faults.describe()
+        )
+        return (
+            f"fleet({self.nodes} nodes x {self.ticks} ticks, "
+            f"{self.ls_jobs} ls + {self.batch_jobs} batch, "
+            f"{self.config}, {faults})"
+        )
+
+
+@dataclass(frozen=True)
+class NodeRunProfile:
+    """Per-tick rates of one victim benchmark on a paper-shaped node.
+
+    Calibrated from real campaign runs (see :func:`build_profiles`):
+
+    * ``ls_progress`` — the LS job's progress per tick while
+      co-located with the batch contender under the node's CAER
+      config (solo rate is 1.0 by normalisation);
+    * ``batch_progress`` — the batch job's progress per tick while
+      co-located (the campaign's utilization-gained fraction);
+    * ``trigger_rate`` — the CAER detector's per-period trigger rate
+      on that pairing, used as the per-tick probability the node's
+      heartbeat reports contention.
+    """
+
+    bench: str
+    ls_progress: float
+    batch_progress: float
+    trigger_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ls_progress <= 1.0:
+            raise ConfigError(
+                f"ls_progress must be in (0, 1], got {self.ls_progress}"
+            )
+        if not 0.0 <= self.batch_progress <= 1.0:
+            raise ConfigError(
+                f"batch_progress must be in [0, 1], "
+                f"got {self.batch_progress}"
+            )
+        if not 0.0 <= self.trigger_rate <= 1.0:
+            raise ConfigError(
+                f"trigger_rate must be in [0, 1], "
+                f"got {self.trigger_rate}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _trigger_rate(summary) -> float:
+    """The detector trigger rate a run summary reports (or fallback)."""
+    telemetry = getattr(summary, "telemetry", None)
+    if isinstance(telemetry, dict):
+        derived = telemetry.get("derived")
+        if isinstance(derived, dict):
+            rate = derived.get("detector_trigger_rate")
+            if isinstance(rate, (int, float)):
+                return min(1.0, max(0.0, float(rate)))
+    return DEFAULT_TRIGGER_RATE
+
+
+def build_profiles(source, spec: FleetSpec) -> dict[str, NodeRunProfile]:
+    """Calibrate every victim's node profile from campaign runs.
+
+    ``source`` is anything with the campaign's ``solo(bench)`` /
+    ``colocated(bench, config)`` summary methods — a real
+    :class:`~repro.experiments.campaign.Campaign` (cache-backed, so a
+    fleet episode shares runs with the figures) or a test stub.  The
+    LS rate is the solo/co-located completion-period ratio: a job that
+    takes 22% longer co-located progresses at 1/1.22 per tick.
+    """
+    profiles: dict[str, NodeRunProfile] = {}
+    for bench in spec.victims:
+        solo = source.solo(bench)
+        colo = source.colocated(bench, spec.config)
+        if solo.completion_periods <= 0 or colo.completion_periods <= 0:
+            raise ConfigError(
+                f"cannot calibrate {bench!r}: run never completed"
+            )
+        profiles[bench] = NodeRunProfile(
+            bench=bench,
+            ls_progress=min(
+                1.0, solo.completion_periods / colo.completion_periods
+            ),
+            batch_progress=min(
+                1.0, max(0.0, colo.utilization_gained)
+            ),
+            trigger_rate=_trigger_rate(colo),
+        )
+    return profiles

@@ -52,8 +52,10 @@ from .heartbeat import (
     BEACON_DIR_ENV,
     beacon_age,
     beacon_dir,
+    beacon_field,
     merge_beacon_metrics,
     read_beacons,
+    scan_beacons,
     write_beacon,
 )
 from .metrics import (
@@ -121,6 +123,8 @@ __all__ = [
     "beacon_dir",
     "merge_beacon_metrics",
     "read_beacons",
+    "scan_beacons",
+    "beacon_field",
     "write_beacon",
     # span profiling
     "PROFILE_ENV",

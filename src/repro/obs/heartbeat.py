@@ -88,26 +88,42 @@ def write_beacon(
         return None
 
 
-def read_beacons(directory: str | os.PathLike) -> dict[str, dict]:
-    """Every readable beacon under ``directory``, keyed by name.
+def scan_beacons(
+    directory: str | os.PathLike,
+) -> tuple[dict[str, dict], int]:
+    """``(readable beacons, skipped count)`` under ``directory``.
 
-    Corrupt, torn, or concurrently-deleted files are skipped; a missing
-    directory reads as no beacons.
+    Corrupt, torn, or non-object beacon files are *skipped and
+    counted* — the cache layer's corrupt-entry-equals-miss policy
+    applied to telemetry, with the count surfaced so a sick writer is
+    visible instead of silently absent.  Concurrently-deleted files
+    and a missing directory read as no beacons (not as corruption).
     """
     beacons: dict[str, dict] = {}
+    skipped = 0
     try:
         entries = sorted(Path(directory).glob("*.json"))
     except OSError:
-        return beacons
+        return beacons, skipped
     for path in entries:
         try:
             with open(path) as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            continue  # writer renamed/cleaned it mid-scan
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            skipped += 1
             continue
         if isinstance(payload, dict):
             beacons[path.stem] = payload
-    return beacons
+        else:
+            skipped += 1
+    return beacons, skipped
+
+
+def read_beacons(directory: str | os.PathLike) -> dict[str, dict]:
+    """Every readable beacon under ``directory``, keyed by name."""
+    return scan_beacons(directory)[0]
 
 
 def beacon_age(payload: dict, now: float | None = None) -> float:
@@ -118,14 +134,48 @@ def beacon_age(payload: dict, now: float | None = None) -> float:
     return max(0.0, (now if now is not None else time.time()) - ts)
 
 
-def merge_beacon_metrics(beacons: dict[str, dict]) -> dict[str, dict]:
+def beacon_field(payload: dict, key: str, default: float = 0.0) -> float:
+    """A numeric beacon field, defensively coerced.
+
+    Beacon payloads cross a filesystem boundary from arbitrary writer
+    versions; a field that should be a number can arrive as a string,
+    null, or garbage.  Anything non-coercible reads as ``default`` —
+    ingestion must degrade, never crash.
+    """
+    value = payload.get(key, default)
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return default
+    return default
+
+
+def _beacon_kind(payload) -> str:
+    if not isinstance(payload, dict):
+        return ""
+    kind = payload.get("beacon", "")
+    return kind if isinstance(kind, str) else ""
+
+
+def merge_beacon_metrics(
+    beacons: dict[str, dict], invalid: int = 0
+) -> dict[str, dict]:
     """Fold beacons into a metrics-snapshot fragment for the exporter.
 
     Worker beacons aggregate into pool-level instruments (completed /
     failed / reuse totals, workers alive and running right now);
     campaign beacons surface scheduled/completed/quarantined run
-    gauges.  The fragment merges like any registry snapshot, so the
-    endpoint serves one coherent namespace.
+    gauges; fleet and per-node beacons surface fleet-wide placement
+    health.  The fragment merges like any registry snapshot, so the
+    endpoint serves one coherent namespace.  Every numeric field is
+    defensively coerced (:func:`beacon_field`) and ``invalid`` — the
+    skipped-file count from :func:`scan_beacons` — is exported as
+    ``beacons.invalid``, so corrupt telemetry is visible, not fatal.
     """
     snapshot: dict[str, dict] = {}
 
@@ -135,8 +185,11 @@ def merge_beacon_metrics(beacons: dict[str, dict]) -> dict[str, dict]:
     def counter(name: str, value: float) -> None:
         snapshot[name] = {"type": "counter", "value": float(value)}
 
+    if invalid:
+        counter("beacons.invalid", invalid)
     workers = [
-        p for p in beacons.values() if p.get("beacon", "").startswith("worker")
+        p for p in beacons.values()
+        if _beacon_kind(p).startswith("worker")
     ]
     if workers:
         gauge("workerpool.workers", len(workers))
@@ -146,26 +199,26 @@ def merge_beacon_metrics(beacons: dict[str, dict]) -> dict[str, dict]:
         )
         counter(
             "workerpool.tasks_completed",
-            sum(p.get("tasks_completed", 0) for p in workers),
+            sum(beacon_field(p, "tasks_completed") for p in workers),
         )
         counter(
             "workerpool.tasks_failed",
-            sum(p.get("tasks_failed", 0) for p in workers),
+            sum(beacon_field(p, "tasks_failed") for p in workers),
         )
         counter(
             "workerpool.spec_reuse",
-            sum(p.get("reused_dispatches", 0) for p in workers),
+            sum(beacon_field(p, "reused_dispatches") for p in workers),
         )
         counter(
             "workerpool.detector_verdicts",
-            sum(p.get("detector_verdicts", 0) for p in workers),
+            sum(beacon_field(p, "detector_verdicts") for p in workers),
         )
         counter(
             "workerpool.detector_positives",
-            sum(p.get("detector_positives", 0) for p in workers),
+            sum(beacon_field(p, "detector_positives") for p in workers),
         )
     campaign = beacons.get("campaign")
-    if campaign is not None:
+    if isinstance(campaign, dict):
         for key, name in (
             ("runs_total", "campaign.beacon_runs_total"),
             ("runs_completed", "campaign.beacon_runs_completed"),
@@ -178,5 +231,42 @@ def merge_beacon_metrics(beacons: dict[str, dict]) -> dict[str, dict]:
         gauge(
             "campaign.beacon_running",
             1.0 if campaign.get("state") == "running" else 0.0,
+        )
+    nodes = [
+        p for p in beacons.values()
+        if _beacon_kind(p).startswith("node-")
+    ]
+    if nodes:
+        gauge("fleet.nodes_reporting", len(nodes))
+        gauge(
+            "fleet.nodes_contended",
+            sum(1 for p in nodes if beacon_field(p, "contended")),
+        )
+        gauge(
+            "fleet.nodes_straggling",
+            sum(1 for p in nodes if beacon_field(p, "straggler")),
+        )
+        gauge(
+            "fleet.jobs_running",
+            sum(beacon_field(p, "jobs_running") for p in nodes),
+        )
+    fleet = beacons.get("fleet")
+    if isinstance(fleet, dict):
+        for key, name in (
+            ("tick", "fleet.tick"),
+            ("nodes", "fleet.nodes"),
+            ("nodes_dead", "fleet.nodes_dead"),
+            ("nodes_quarantined", "fleet.nodes_quarantined"),
+            ("jobs_total", "fleet.jobs_total"),
+            ("jobs_done", "fleet.jobs_done"),
+            ("jobs_waiting", "fleet.jobs_waiting"),
+            ("migrations", "fleet.migrations"),
+        ):
+            value = fleet.get(key)
+            if isinstance(value, (int, float)):
+                gauge(name, value)
+        gauge(
+            "fleet.running",
+            1.0 if fleet.get("state") == "running" else 0.0,
         )
     return snapshot

@@ -1,0 +1,171 @@
+"""Burst-Shutter fault hardening: filter, abstention, debounce, gate.
+
+The knobs are opt-in; the first test class pins that the default
+configuration (the paper's §6 setup) is bit-identical with and without
+the hardening code present, and the rest exercise each knob against
+hand-built fault signatures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caer.detector import Observation
+from repro.caer.registry import build_detector
+from repro.caer.runtime import CaerConfig
+from repro.caer.shutter import BurstShutterDetector
+from repro.config import MachineConfig
+from repro.errors import ConfigError
+
+
+def _obs(misses: float, period: int = 0) -> Observation:
+    return Observation(
+        own_misses=0.0,
+        neighbor_misses=misses,
+        own_mean=0.0,
+        neighbor_mean=misses,
+        period=period,
+    )
+
+
+def run_cycle(detector, steady, burst):
+    """Drive one full settle/shutter/burst cycle; the verdict step."""
+    assert len(steady) == detector.switch_point
+    assert len(burst) == detector.end_point - detector.switch_point
+    detector.step(_obs(0.0))  # settle
+    for sample in steady:
+        detector.step(_obs(sample))
+    step = None
+    for sample in burst:
+        step = detector.step(_obs(sample))
+    return step
+
+
+def make(**kwargs) -> BurstShutterDetector:
+    return BurstShutterDetector(
+        switch_point=3, end_point=6, noise_thresh=20.0, **kwargs
+    )
+
+
+class TestCleanSignalEquivalence:
+    @pytest.mark.parametrize(
+        "steady,burst,expected",
+        [
+            ([100, 100, 100], [160, 160, 160], True),
+            ([100, 100, 100], [102, 101, 102], False),
+            ([160, 160, 160], [100, 100, 100], True),  # two-sided
+        ],
+    )
+    def test_hardened_matches_default_on_clean_cycles(
+        self, steady, burst, expected
+    ):
+        plain = make()
+        hardened = make(fault_filter=True, debounce=1)
+        assert run_cycle(plain, steady, burst).assertion is expected
+        assert run_cycle(hardened, steady, burst).assertion is expected
+
+    def test_defaults_leave_knobs_off(self):
+        detector = BurstShutterDetector()
+        assert detector.fault_filter is False
+        assert detector.debounce == 1
+
+
+class TestFaultFilter:
+    def test_discards_zero_and_saturated_samples(self):
+        # Ground truth: no contention.  A dropped read (0) and a
+        # saturated counter (900) fabricate a between-phase move that
+        # fools the unfiltered comparison.
+        steady, burst = [100, 0, 100], [100, 900, 100]
+        assert run_cycle(make(), steady, burst).assertion is True
+        hardened = make(fault_filter=True)
+        assert run_cycle(hardened, steady, burst).assertion is False
+
+    def test_abstains_when_a_phase_is_unusable(self):
+        hardened = make(fault_filter=True)
+        # Two dropped reads leave one trustworthy burst sample: the
+        # cycle abstains instead of guessing.
+        step = run_cycle(hardened, [100, 100, 100], [0, 0, 900])
+        assert step.assertion is None
+        assert hardened.verdicts == []
+
+    def test_quiet_phases_left_untouched(self):
+        # Below the noise threshold artefacts and signal are
+        # indistinguishable; the filter must not manufacture a verdict.
+        hardened = make(fault_filter=True)
+        step = run_cycle(hardened, [5, 0, 5], [6, 0, 6])
+        assert step.assertion is False
+
+    def test_dispersion_gate_blocks_noise_driven_moves(self):
+        # Heavy multiplicative noise scatters samples inside each phase
+        # and shifts the phase means apart without real contention; the
+        # between-phase move (50) clears the static floor (20) but not
+        # 2x the within-phase standard error (~124).
+        steady = [100, 300, 100, 300, 100]
+        burst = [150, 350, 150, 350, 150]
+        plain = BurstShutterDetector(noise_thresh=20.0)
+        hardened = BurstShutterDetector(
+            noise_thresh=20.0, fault_filter=True
+        )
+        assert run_cycle(plain, steady, burst).assertion is True
+        assert run_cycle(hardened, steady, burst).assertion is False
+
+
+class TestDebounce:
+    def test_majority_vote_suppresses_single_glitch(self):
+        detector = make(debounce=3)
+        cycles = [
+            ([100, 100, 100], [101, 100, 101]),  # raw False
+            ([100, 0, 100], [100, 900, 100]),    # fault-driven True
+            ([100, 100, 100], [102, 101, 102]),  # raw False
+        ]
+        assertions = [
+            run_cycle(detector, steady, burst).assertion
+            for steady, burst in cycles
+        ]
+        assert detector.verdicts == [False, True, False]
+        # The corrupted middle cycle never reaches the response layer.
+        assert assertions == [False, False, False]
+
+    def test_sustained_signal_passes_through(self):
+        detector = make(debounce=3)
+        for _ in range(3):
+            step = run_cycle(
+                detector, [100, 100, 100], [160, 160, 160]
+            )
+        assert step.assertion is True
+
+
+class TestValidationAndPlumbing:
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"debounce": 0}, "debounce"),
+            ({"spike_cap": 1.0}, "spike_cap"),
+            ({"dispersion": -0.1}, "dispersion"),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            BurstShutterDetector(**kwargs)
+
+    def test_registry_threads_params_through(self):
+        config = CaerConfig.shutter(
+            detector_params={
+                "fault_filter": True,
+                "debounce": 3,
+                "spike_cap": 6.0,
+                "dispersion": 1.5,
+            }
+        )
+        detector = build_detector(config, MachineConfig.tiny())
+        assert detector.fault_filter is True
+        assert detector.debounce == 3
+        assert detector.spike_cap == 6.0
+        assert detector.dispersion == 1.5
+
+    def test_registry_defaults_keep_paper_setup(self):
+        detector = build_detector(
+            CaerConfig.shutter(), MachineConfig.tiny()
+        )
+        assert detector.fault_filter is False
+        assert detector.debounce == 1

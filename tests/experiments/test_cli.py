@@ -438,3 +438,136 @@ class TestExporterWiring:
         # After main() returns the socket is released.
         with pytest.raises(Exception):
             urllib.request.urlopen(holder["exporter"].url, timeout=1)
+
+
+class TestFleetCommand:
+    @staticmethod
+    def _base(tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        return [
+            "--length", "0.05", "--backend", "statistical", "fleet",
+            "--nodes", "2", "--ticks", "12",
+        ]
+
+    def test_episode_reports_slo_and_zero_loss(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        args = self._base(tmp_path, monkeypatch)
+        code = cli.main(args + ["--episode", "--intensity", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LS SLO attainment:" in out
+        assert "jobs lost: 0" in out
+
+    def test_episode_resumes_from_journal(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        journal = tmp_path / "fleet.jsonl"
+        args = self._base(tmp_path, monkeypatch) + [
+            "--episode", "--journal", str(journal),
+        ]
+        assert cli.main(args) == 0
+        first = capsys.readouterr().out
+        assert "resumed:" not in first
+        assert journal.exists()
+        # Second invocation resumes every journalled completion.
+        assert cli.main(args) == 0
+        second = capsys.readouterr().out
+        assert "resumed:" in second
+
+    def test_sweep_renders_chaos_frontier(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        args = self._base(tmp_path, monkeypatch)
+        code = cli.main(args + [
+            "--intensity", "0", "--intensity", "0.2",
+            "--repeats", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Chaos frontier" in out
+        assert "i=0.2" in out
+        assert "lost" in out
+
+    def test_episode_emits_beacons(self, tmp_path, monkeypatch):
+        from repro.obs import scan_beacons
+
+        beacons = tmp_path / "beacons"
+        args = self._base(tmp_path, monkeypatch)
+        code = cli.main(args + [
+            "--episode", "--beacon-dir", str(beacons),
+        ])
+        assert code == 0
+        found, invalid = scan_beacons(beacons)
+        assert invalid == 0
+        assert found["fleet"]["state"] == "done"
+        assert any(name.startswith("node-") for name in found)
+
+
+class TestQuarantineCommand:
+    def test_list_empty(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli.main(["quarantine", "list"]) == 0
+        assert "quarantine is empty" in capsys.readouterr().out
+
+    def test_journal_list_and_clear(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments.resilience import CampaignJournal
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "journal.jsonl"
+        journal = CampaignJournal(path)
+        journal.record_quarantined(
+            digest="node-3", bench="node-3", config="fleet",
+            attempts=4, error="flapping node",
+        )
+        journal.record_quarantined(
+            digest="abc123", bench="429.mcf", config="rule",
+            attempts=3, error="boom",
+        )
+        assert cli.main(
+            ["quarantine", "list", "--journal", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "node-3" in out and "flapping node" in out
+        assert "abc123" in out
+
+        assert cli.main([
+            "quarantine", "clear", "--journal", str(path),
+            "--digest", "node-3",
+        ]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert set(CampaignJournal(path).quarantined) == {"abc123"}
+
+        assert cli.main(
+            ["quarantine", "clear", "--journal", str(path)]
+        ) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert not CampaignJournal(path).quarantined
+
+    def test_clear_unknown_digest_fails(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = cli.main(
+            ["quarantine", "clear", "--digest", "deadbeef"]
+        )
+        assert code == 1
+        assert "not quarantined" in capsys.readouterr().out
+
+    def test_journal_clear_unknown_digest_fails(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = tmp_path / "journal.jsonl"
+        path.write_text("")
+        code = cli.main([
+            "quarantine", "clear", "--journal", str(path),
+            "--digest", "deadbeef",
+        ])
+        assert code == 1
+        assert "not quarantined" in capsys.readouterr().out
+
+    def test_listed_in_extensions(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet" in out and "quarantine" in out

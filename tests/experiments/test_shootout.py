@@ -17,10 +17,17 @@ SETTINGS = CampaignSettings(length=0.2, backend="statistical")
 
 
 class TestShootoutConfig:
-    def test_shutter_keeps_paper_setup(self):
-        assert shootout_config(
-            "shutter", 100.0, "429.mcf"
-        ) == CaerConfig.shutter()
+    def test_shutter_keeps_paper_setup_plus_hardening(self):
+        config = shootout_config("shutter", 100.0, "429.mcf")
+        # The §6 knobs are untouched; only the opt-in fault hardening
+        # rides on the parameter mapping for the robustness sweep.
+        assert config == CaerConfig.shutter(
+            detector_params={"fault_filter": True, "debounce": 3}
+        )
+        baseline = CaerConfig.shutter()
+        assert config.switch_point == baseline.switch_point
+        assert config.end_point == baseline.end_point
+        assert config.impact_factor == baseline.impact_factor
 
     def test_random_keeps_baseline_setup(self):
         assert shootout_config(
@@ -82,3 +89,25 @@ class TestDetectorShootout:
             jobs=1,
         )
         assert table.row_names == ["rule-based", "random"]
+
+    def test_shutter_holds_random_floor_under_heavy_faults(self):
+        """The fault-hardened shutter never dips below random.
+
+        The historical fragility: at fault intensity 1.0 the raw
+        shutter's accuracy collapsed under the random floor (every
+        noise-driven phase move read as contention).  The shootout
+        arms ``fault_filter``/``debounce`` on the shutter row, so its
+        mean accuracy across the swept intensities — including full
+        intensity — must clear the coin-flip baseline.
+        """
+        table = detector_shootout(
+            SETTINGS,
+            intensities=(0.0, 1.0),
+            detectors=("shutter", "random"),
+            jobs=2,
+        )
+        rows = dict(zip(table.row_names, table.columns["acc_mean"]))
+        assert rows["shutter"] > rows["random"], (
+            f"hardened shutter ({rows['shutter']}) must beat the "
+            f"random floor ({rows['random']}) across intensities"
+        )

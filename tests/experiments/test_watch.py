@@ -1,0 +1,79 @@
+"""``watch`` status collection and rendering under degraded telemetry."""
+
+from __future__ import annotations
+
+from repro.experiments.watch import collect_status, render_watch
+from repro.obs import write_beacon
+
+
+class TestCollectStatus:
+    def test_counts_corrupt_beacons(self, tmp_path):
+        write_beacon(tmp_path, "campaign", {"state": "running"})
+        (tmp_path / "worker-0.json").write_text("{torn")
+        status = collect_status(str(tmp_path), now=0.0)
+        assert status["invalid"] == 1
+        assert status["any"]
+
+    def test_classifies_fleet_and_nodes(self, tmp_path):
+        write_beacon(tmp_path, "fleet", {"state": "running", "tick": 3})
+        write_beacon(
+            tmp_path, "node-0", {"tick": 3, "contended": 1}
+        )
+        status = collect_status(str(tmp_path))
+        assert status["fleet"]["state"] == "running"
+        assert set(status["nodes"]) == {"node-0"}
+        assert status["campaign"] is None
+
+    def test_done_follows_fleet_beacon_without_campaign(self, tmp_path):
+        write_beacon(tmp_path, "fleet", {"state": "done"})
+        assert collect_status(str(tmp_path))["done"]
+
+
+class TestRenderWatch:
+    def test_reports_skipped_corrupt_files(self, tmp_path):
+        write_beacon(tmp_path, "campaign", {
+            "state": "running", "runs_total": 4, "runs_completed": 1,
+        })
+        (tmp_path / "worker-0.json").write_text("not json")
+        text = render_watch(collect_status(str(tmp_path)))
+        assert "1 corrupt beacon file(s) skipped" in text
+
+    def test_corrupt_only_directory_still_renders(self, tmp_path):
+        (tmp_path / "campaign.json").write_text("{torn")
+        text = render_watch(collect_status(str(tmp_path)))
+        assert "no beacons" in text
+        assert "1 corrupt beacon file(s) skipped" in text
+
+    def test_fleet_and_node_lines(self, tmp_path):
+        write_beacon(tmp_path, "fleet", {
+            "state": "running",
+            "tick": 7,
+            "jobs_done": 5,
+            "jobs_total": 23,
+            "jobs_waiting": 3,
+            "migrations": 2,
+            "nodes_dead": 1,
+            "nodes_quarantined": 0,
+        })
+        write_beacon(tmp_path, "node-0", {
+            "tick": 7, "jobs_running": 2, "contended": 1,
+            "straggler": 0,
+        })
+        write_beacon(tmp_path, "node-1", {
+            "tick": 7, "jobs_running": 1, "contended": 0,
+            "straggler": 1,
+        })
+        text = render_watch(collect_status(str(tmp_path)))
+        assert "fleet running: tick 7, 5/23 jobs done" in text
+        assert "nodes: 2 reporting" in text
+        assert "CONTENDED" in text
+        assert "straggler" in text
+
+    def test_garbage_numeric_fields_render_as_zero(self, tmp_path):
+        write_beacon(tmp_path, "campaign", {
+            "state": "running",
+            "runs_total": "not-a-number",
+            "runs_completed": None,
+        })
+        text = render_watch(collect_status(str(tmp_path)))
+        assert "0/0 runs" in text

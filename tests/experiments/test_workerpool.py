@@ -374,3 +374,22 @@ class TestResilientParity:
         assert not outcomes
         record = quarantined[spec.digest]
         assert "degraded to crash" in record.error
+
+    def test_repeated_chaos_rounds_keep_respawning(self, monkeypatch):
+        """The pool survives round after round of worker deaths.
+
+        Each round's first attempts kill their workers; the pool
+        replaces them and the retries land cleanly — with no respawn
+        cap creeping in and no quarantine leaking across rounds.
+        """
+        monkeypatch.setenv(CHAOS_ENV, "die:1")
+        monkeypatch.setenv("REPRO_WARM_POOL", "1")
+        specs = self.specs()
+        for round_number in range(1, 4):
+            outcomes, quarantined = run_specs_resilient(
+                specs, jobs=2, policy=EAGER
+            )
+            assert not quarantined, f"round {round_number} quarantined"
+            assert set(outcomes) == {spec.digest for spec in specs}
+            # Two dead workers replaced per round, cumulatively.
+            assert get_pool(2).respawns == 2 * round_number

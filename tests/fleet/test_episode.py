@@ -1,0 +1,245 @@
+"""Fleet episodes: determinism, failover, zero loss, resume, beacons.
+
+Node profiles are stubbed (no campaign runs) so every test drives the
+placement/failover machinery directly; calibration from real campaign
+summaries is covered in ``test_spec.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.faults import NodeFaultPlan, NodeFaultSchedule
+from repro.fleet import (
+    FleetEpisode,
+    FleetJournal,
+    FleetSpec,
+    NodeRunProfile,
+    render_fleet_report,
+)
+from repro.obs import scan_beacons
+
+PROFILES = {
+    "429.mcf": NodeRunProfile(
+        bench="429.mcf",
+        ls_progress=0.8,
+        batch_progress=0.6,
+        trigger_rate=0.4,
+    )
+}
+
+SPEC = FleetSpec(
+    nodes=3,
+    ticks=24,
+    ls_jobs=2,
+    batch_jobs=4,
+    ls_service=8.0,
+    batch_service=6.0,
+)
+
+
+def _quiet(ticks: int) -> NodeFaultSchedule:
+    return NodeFaultSchedule(
+        crash_at=None,
+        blackout=(False,) * ticks,
+        straggler=(False,) * ticks,
+    )
+
+
+def _blackout(ticks: int, dark: range) -> NodeFaultSchedule:
+    return NodeFaultSchedule(
+        crash_at=None,
+        blackout=tuple(t in dark for t in range(ticks)),
+        straggler=(False,) * ticks,
+    )
+
+
+class TestCleanEpisode:
+    def test_completes_everything_without_loss(self):
+        result = FleetEpisode(SPEC, PROFILES).run()
+        assert result.jobs_lost == 0
+        assert result.ls_completed == SPEC.ls_jobs
+        assert result.batch_completed == SPEC.batch_jobs
+        assert result.slo_attainment == 1.0
+        assert result.nodes_dead == 0
+
+    def test_bit_identical_repeats(self):
+        first = FleetEpisode(SPEC, PROFILES).run()
+        second = FleetEpisode(SPEC, PROFILES).run()
+        assert first.to_dict() == second.to_dict()
+        # Clockless by contract: the result survives JSON untouched.
+        assert json.loads(json.dumps(first.to_dict())) == first.to_dict()
+
+    def test_rejects_missing_profiles(self):
+        with pytest.raises(ValueError, match="profiles missing"):
+            FleetEpisode(SPEC, {})
+
+
+class TestChaoticEpisode:
+    def test_bit_identical_under_faults(self):
+        spec = dataclasses.replace(
+            SPEC, node_faults=NodeFaultPlan.scaled(0.6, seed=11)
+        )
+        first = FleetEpisode(spec, PROFILES).run()
+        second = FleetEpisode(spec, PROFILES).run()
+        assert first.to_dict() == second.to_dict()
+
+    def test_crash_reschedules_stranded_jobs_without_loss(self):
+        episode = FleetEpisode(SPEC, PROFILES)
+        episode.nodes[0].schedule = NodeFaultSchedule(
+            crash_at=4,
+            blackout=(False,) * SPEC.ticks,
+            straggler=(False,) * SPEC.ticks,
+        )
+        result = episode.run()
+        assert result.nodes_dead == 1
+        assert result.jobs_rescheduled >= 1
+        assert result.jobs_lost == 0
+        # The LS job stranded on the crashed node still finishes on a
+        # surviving node.
+        assert result.ls_completed == SPEC.ls_jobs
+
+    def test_blackout_completions_credited_on_return(self):
+        # Node 2 hosts batch-1 solo from tick 3, goes dark before it
+        # finishes, and completes it during the blackout.  The
+        # controller declares it dead (rescheduling a redundant copy),
+        # then reinstates it when telemetry returns and credits the
+        # original completion — nothing runs twice to the books.
+        episode = FleetEpisode(SPEC, PROFILES)
+        episode.nodes[2].schedule = _blackout(
+            SPEC.ticks, range(5, 16)
+        )
+        result = episode.run()
+        assert result.jobs_lost == 0
+        assert result.batch_completed == SPEC.batch_jobs
+        # Back from the dead by the horizon: reinstated, not dead.
+        assert result.nodes_dead == 0
+
+    def test_dark_node_treated_as_contended_and_evicted(self):
+        # Silence past ``suspect_after`` grows the contention streak,
+        # so a co-located batch job is migrated off a dark node even
+        # though the evict RPC itself cannot reach it.
+        spec = dataclasses.replace(
+            SPEC, suspect_after=1, sustain_ticks=2, dead_after=8
+        )
+        episode = FleetEpisode(spec, PROFILES)
+        # Node 1 hosts batch-0 from tick 0 and ls-1 from tick 6; dark
+        # ticks 8..11 keeps it suspect without crossing dead_after.
+        episode.nodes[1].schedule = _blackout(spec.ticks, range(8, 12))
+        result = episode.run()
+        assert result.migrations >= 1
+        assert result.jobs_lost == 0
+
+    def test_flapping_node_quarantined_and_journalled(self, tmp_path):
+        flappy = {
+            "429.mcf": NodeRunProfile(
+                bench="429.mcf",
+                ls_progress=0.8,
+                batch_progress=0.6,
+                trigger_rate=1.0,
+            )
+        }
+        spec = FleetSpec(
+            nodes=2,
+            ticks=16,
+            ls_jobs=1,
+            batch_jobs=2,
+            ls_service=8.0,
+            batch_service=6.0,
+            sustain_ticks=1,
+            flap_threshold=1,
+        )
+        journal = FleetJournal(tmp_path / "fleet.jsonl", spec.digest)
+        result = FleetEpisode(spec, flappy, journal=journal).run()
+        assert result.nodes_quarantined >= 1
+        assert any(
+            key.startswith("node-") for key in journal.quarantined
+        )
+        # Quarantine never loses work: unplaceable jobs stay tracked.
+        assert result.jobs_lost == 0
+
+
+class TestJournalResume:
+    def test_mid_episode_resume_skips_completed_jobs(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        first = FleetEpisode(
+            SPEC, PROFILES, journal=FleetJournal(path, SPEC.digest)
+        )
+        first.run(until_tick=10)
+        completed = {
+            job_id
+            for job_id, state in first.controller.jobs.items()
+            if state.status == "done"
+        }
+        assert completed, "the partial episode should finish something"
+
+        resumed = FleetEpisode(
+            SPEC, PROFILES, journal=FleetJournal(path, SPEC.digest)
+        )
+        assert resumed.jobs_resumed == len(completed)
+        for job_id in completed:
+            assert resumed.controller.jobs[job_id].status == "done"
+        result = resumed.run()
+        assert result.jobs_resumed == len(completed)
+        assert result.jobs_lost == 0
+        assert result.ls_completed == SPEC.ls_jobs
+        assert result.batch_completed == SPEC.batch_jobs
+
+    def test_resumed_jobs_never_reassigned(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        FleetEpisode(
+            SPEC, PROFILES, journal=FleetJournal(path, SPEC.digest)
+        ).run(until_tick=10)
+        resumed = FleetEpisode(
+            SPEC, PROFILES, journal=FleetJournal(path, SPEC.digest)
+        )
+        done = {
+            job_id
+            for job_id, state in resumed.controller.jobs.items()
+            if state.status == "done"
+        }
+        resumed.run()
+        for node in resumed.nodes.values():
+            assert not done & set(node.completed)
+
+    def test_journal_namespaced_by_fleet_digest(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        FleetEpisode(
+            SPEC, PROFILES, journal=FleetJournal(path, SPEC.digest)
+        ).run()
+        other_spec = dataclasses.replace(SPEC, seed=99)
+        other = FleetEpisode(
+            other_spec,
+            PROFILES,
+            journal=FleetJournal(path, other_spec.digest),
+        )
+        assert other.jobs_resumed == 0
+
+
+class TestBeaconsAndReport:
+    def test_episode_emits_node_and_fleet_beacons(self, tmp_path):
+        beacons_dir = tmp_path / "beacons"
+        FleetEpisode(SPEC, PROFILES, beacon_dir=beacons_dir).run()
+        beacons, invalid = scan_beacons(beacons_dir)
+        assert invalid == 0
+        assert beacons["fleet"]["state"] == "done"
+        assert beacons["fleet"]["jobs_total"] == (
+            SPEC.ls_jobs + SPEC.batch_jobs
+        )
+        assert any(name.startswith("node-") for name in beacons)
+
+    def test_render_fleet_report_shape(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        FleetEpisode(
+            SPEC, PROFILES, journal=FleetJournal(path, SPEC.digest)
+        ).run(until_tick=10)
+        resumed = FleetEpisode(
+            SPEC, PROFILES, journal=FleetJournal(path, SPEC.digest)
+        )
+        text = render_fleet_report(resumed.run())
+        assert "LS SLO attainment:" in text
+        assert "jobs lost: 0" in text
+        assert "resumed:" in text

@@ -1,0 +1,106 @@
+"""Node-level fault plans: determinism, scaling, schedule semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    NODE_SCALE_COEFFICIENTS,
+    NodeFaultPlan,
+    NodeFaultSchedule,
+)
+
+
+class TestNodeFaultPlan:
+    def test_default_plan_is_null(self):
+        assert NodeFaultPlan().is_null()
+
+    def test_scaled_zero_is_null(self):
+        assert NodeFaultPlan.scaled(0.0).is_null()
+
+    def test_scaled_rates_follow_coefficients(self):
+        plan = NodeFaultPlan.scaled(0.5, seed=7)
+        for name, coefficient in NODE_SCALE_COEFFICIENTS.items():
+            assert getattr(plan, name) == pytest.approx(
+                coefficient * 0.5
+            )
+        assert plan.seed == 7
+
+    @pytest.mark.parametrize("intensity", [-0.1, 1.5])
+    def test_scaled_rejects_out_of_range(self, intensity):
+        with pytest.raises(FaultPlanError, match="intensity"):
+            NodeFaultPlan.scaled(intensity)
+
+    @pytest.mark.parametrize(
+        "field", ["crash_rate", "blackout_rate", "straggler_rate"]
+    )
+    def test_rates_validated(self, field):
+        with pytest.raises(FaultPlanError, match=field):
+            NodeFaultPlan(**{field: 1.5})
+
+    def test_straggler_factor_validated(self):
+        with pytest.raises(FaultPlanError, match="straggler_factor"):
+            NodeFaultPlan(straggler_factor=0.0)
+
+    def test_roundtrip(self):
+        plan = NodeFaultPlan.scaled(0.7, seed=3)
+        assert NodeFaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError, match="payload"):
+            NodeFaultPlan.from_dict({"crash_rate": 0.1, "nope": 1})
+
+    def test_describe_null_and_scaled(self):
+        assert "null" in NodeFaultPlan().describe()
+        text = NodeFaultPlan.scaled(1.0, seed=2).describe()
+        assert "crash=" in text and "seed=2" in text
+
+
+class TestSchedule:
+    def test_null_plan_schedules_nothing(self):
+        schedule = NodeFaultPlan().schedule(0, 16)
+        assert schedule.crash_at is None
+        assert schedule.blackout == (False,) * 16
+        assert schedule.straggler == (False,) * 16
+        assert not any(schedule.dark(t) for t in range(16))
+
+    def test_deterministic_per_plan_and_node(self):
+        plan = NodeFaultPlan.scaled(1.0, seed=5)
+        assert plan.schedule(2, 64) == plan.schedule(2, 64)
+
+    def test_node_streams_are_independent(self):
+        plan = NodeFaultPlan.scaled(1.0, seed=5)
+        timelines = {plan.schedule(n, 64) for n in range(8)}
+        assert len(timelines) > 1
+
+    def test_seed_changes_the_timeline(self):
+        a = NodeFaultPlan.scaled(1.0, seed=0).schedule(0, 64)
+        b = NodeFaultPlan.scaled(1.0, seed=1).schedule(0, 64)
+        assert a != b
+
+    def test_crash_is_permanent_and_dark(self):
+        schedule = NodeFaultSchedule(
+            crash_at=3, blackout=(False,) * 8, straggler=(False,) * 8
+        )
+        assert not schedule.crashed(2)
+        assert schedule.crashed(3)
+        assert schedule.crashed(7)
+        assert schedule.dark(5)
+        assert not schedule.dark(1)
+
+    def test_blackout_and_straggler_flags(self):
+        schedule = NodeFaultSchedule(
+            crash_at=None,
+            blackout=(False, True, False),
+            straggler=(False, False, True),
+        )
+        assert schedule.dark(1) and not schedule.dark(0)
+        assert schedule.slowed(2) and not schedule.slowed(1)
+        # Beyond the drawn horizon nothing is scheduled.
+        assert not schedule.dark(10)
+        assert not schedule.slowed(10)
+
+    def test_negative_ticks_rejected(self):
+        with pytest.raises(FaultPlanError, match="ticks"):
+            NodeFaultPlan.scaled(0.5).schedule(0, -1)

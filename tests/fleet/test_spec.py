@@ -1,0 +1,150 @@
+"""FleetSpec: digests, job mixes, validation, profile calibration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import NodeFaultPlan
+from repro.fleet import FleetSpec, NodeRunProfile, build_profiles
+from repro.fleet.spec import DEFAULT_TRIGGER_RATE, FleetJob
+
+
+class TestFleetJob:
+    def test_validates_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            FleetJob(id="x", kind="gpu", bench="b", arrival=0, service=1.0)
+
+    def test_validates_service(self):
+        with pytest.raises(ConfigError, match="service"):
+            FleetJob(id="x", kind="ls", bench="b", arrival=0, service=0.0)
+
+
+class TestFleetSpec:
+    def test_digest_stable_and_sensitive(self):
+        spec = FleetSpec()
+        assert spec.digest == FleetSpec().digest
+        assert spec.digest != dataclasses.replace(spec, nodes=5).digest
+        faulty = dataclasses.replace(
+            spec, node_faults=NodeFaultPlan.scaled(0.2)
+        )
+        assert faulty.digest != spec.digest
+
+    def test_roundtrip_with_fault_plan(self):
+        spec = dataclasses.replace(
+            FleetSpec(),
+            node_faults=NodeFaultPlan.scaled(0.4, seed=9),
+            victims=("429.mcf", "470.lbm"),
+        )
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_future_version(self):
+        payload = FleetSpec().to_dict()
+        payload["version"] = 99
+        with pytest.raises(ConfigError, match="version"):
+            FleetSpec.from_dict(payload)
+
+    def test_jobs_deterministic_and_shaped(self):
+        spec = FleetSpec(ls_jobs=3, batch_jobs=5, ticks=40)
+        jobs = spec.jobs()
+        assert jobs == spec.jobs()
+        assert len(jobs) == 8
+        kinds = {job.kind for job in jobs}
+        assert kinds == {"ls", "batch"}
+        # Arrivals land in the first half of the horizon so every job
+        # has SLO headroom.
+        assert all(job.arrival < spec.ticks // 2 for job in jobs)
+        ls = [job for job in jobs if job.kind == "ls"]
+        assert all(job.bench == spec.victims[0] for job in ls)
+
+    def test_dead_after_must_exceed_suspect_after(self):
+        with pytest.raises(ConfigError, match="dead_after"):
+            FleetSpec(suspect_after=3, dead_after=3)
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigError, match="nodes"):
+            FleetSpec(nodes=0)
+        with pytest.raises(ConfigError, match="slo_stretch"):
+            FleetSpec(slo_stretch=0.5)
+        with pytest.raises(ConfigError, match="victims"):
+            FleetSpec(victims=())
+
+    def test_describe_mentions_shape_and_faults(self):
+        clean = FleetSpec().describe()
+        assert "clean" in clean and "4 nodes" in clean
+        chaotic = dataclasses.replace(
+            FleetSpec(), node_faults=NodeFaultPlan.scaled(0.5)
+        ).describe()
+        assert "nodefaults" in chaotic
+
+
+class TestNodeRunProfile:
+    def test_validates_ranges(self):
+        with pytest.raises(ConfigError, match="ls_progress"):
+            NodeRunProfile(
+                bench="b", ls_progress=0.0, batch_progress=0.5,
+                trigger_rate=0.5,
+            )
+        with pytest.raises(ConfigError, match="trigger_rate"):
+            NodeRunProfile(
+                bench="b", ls_progress=0.8, batch_progress=0.5,
+                trigger_rate=1.5,
+            )
+
+
+@dataclasses.dataclass
+class _StubSummary:
+    completion_periods: int
+    utilization_gained: float = 0.0
+    telemetry: dict | None = None
+
+
+class _StubSource:
+    """Campaign stand-in serving canned solo/colocated summaries."""
+
+    def __init__(self, solo: _StubSummary, colo: _StubSummary):
+        self._solo = solo
+        self._colo = colo
+
+    def solo(self, bench):
+        return self._solo
+
+    def colocated(self, bench, config):
+        return self._colo
+
+
+class TestBuildProfiles:
+    def test_calibrates_from_run_summaries(self):
+        source = _StubSource(
+            _StubSummary(completion_periods=100),
+            _StubSummary(
+                completion_periods=125,
+                utilization_gained=0.6,
+                telemetry={
+                    "derived": {"detector_trigger_rate": 0.3}
+                },
+            ),
+        )
+        profiles = build_profiles(source, FleetSpec())
+        profile = profiles["429.mcf"]
+        assert profile.ls_progress == pytest.approx(0.8)
+        assert profile.batch_progress == pytest.approx(0.6)
+        assert profile.trigger_rate == pytest.approx(0.3)
+
+    def test_trigger_rate_falls_back_without_telemetry(self):
+        source = _StubSource(
+            _StubSummary(completion_periods=100),
+            _StubSummary(completion_periods=110),
+        )
+        profiles = build_profiles(source, FleetSpec())
+        assert profiles["429.mcf"].trigger_rate == DEFAULT_TRIGGER_RATE
+
+    def test_rejects_never_completed_runs(self):
+        source = _StubSource(
+            _StubSummary(completion_periods=0),
+            _StubSummary(completion_periods=100),
+        )
+        with pytest.raises(ConfigError, match="calibrate"):
+            build_profiles(source, FleetSpec())

@@ -1,0 +1,125 @@
+"""Beacon ingestion hardening: corrupt files counted, fields coerced.
+
+``write_beacon``'s happy path and the worker/campaign aggregation live
+in ``test_export.py``; this module pins the defensive half — a sick or
+byzantine beacon writer degrades the telemetry, never crashes it, and
+the degradation is *visible* (skipped files are counted and exported).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    beacon_field,
+    merge_beacon_metrics,
+    scan_beacons,
+    write_beacon,
+)
+
+
+class TestScanBeacons:
+    def test_counts_corrupt_files_and_keeps_good_ones(self, tmp_path):
+        write_beacon(tmp_path, "worker-0", {"state": "idle"})
+        (tmp_path / "worker-1.json").write_text("{torn")
+        (tmp_path / "worker-2.json").write_bytes(b"\xff\xfe garbage")
+        beacons, skipped = scan_beacons(tmp_path)
+        assert set(beacons) == {"worker-0"}
+        assert skipped == 2
+
+    def test_non_object_payload_counts_as_corrupt(self, tmp_path):
+        (tmp_path / "fleet.json").write_text("[1, 2, 3]")
+        beacons, skipped = scan_beacons(tmp_path)
+        assert beacons == {}
+        assert skipped == 1
+
+    def test_missing_directory_reads_clean(self, tmp_path):
+        assert scan_beacons(tmp_path / "never") == ({}, 0)
+
+
+class TestBeaconField:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (3, 3.0),
+            (2.5, 2.5),
+            (True, 1.0),
+            ("7", 7.0),
+            ("7.5", 7.5),
+        ],
+    )
+    def test_coerces_numericish_values(self, value, expected):
+        assert beacon_field({"k": value}, "k") == expected
+
+    @pytest.mark.parametrize(
+        "value", ["not-a-number", None, [], {"nested": 1}]
+    )
+    def test_garbage_reads_as_default(self, value):
+        assert beacon_field({"k": value}, "k", default=9.0) == 9.0
+
+    def test_missing_key_reads_as_default(self):
+        assert beacon_field({}, "k") == 0.0
+
+
+class TestMergeHardening:
+    def test_invalid_count_exported(self):
+        merged = merge_beacon_metrics({}, invalid=3)
+        assert merged["beacons.invalid"]["value"] == 3.0
+
+    def test_corrupt_worker_fields_degrade_to_zero(self):
+        merged = merge_beacon_metrics(
+            {
+                "worker-0": {
+                    "beacon": "worker-0",
+                    "state": "running",
+                    "tasks_completed": "not-a-number",
+                    "tasks_failed": None,
+                },
+            }
+        )
+        assert merged["workerpool.tasks_completed"]["value"] == 0.0
+        assert merged["workerpool.tasks_failed"]["value"] == 0.0
+        assert merged["workerpool.workers_running"]["value"] == 1.0
+
+    def test_fleet_and_node_beacons_fold_into_gauges(self):
+        merged = merge_beacon_metrics(
+            {
+                "fleet": {
+                    "beacon": "fleet",
+                    "state": "running",
+                    "tick": 7,
+                    "nodes": 4,
+                    "nodes_dead": 1,
+                    "jobs_total": 23,
+                    "jobs_done": 9,
+                    "migrations": 2,
+                },
+                "node-0": {
+                    "beacon": "node-0",
+                    "contended": 1,
+                    "straggler": 0,
+                    "jobs_running": 2,
+                },
+                "node-1": {
+                    "beacon": "node-1",
+                    "contended": 0,
+                    "straggler": 1,
+                    "jobs_running": "1",
+                },
+            }
+        )
+        assert merged["fleet.tick"]["value"] == 7.0
+        assert merged["fleet.nodes_dead"]["value"] == 1.0
+        assert merged["fleet.jobs_done"]["value"] == 9.0
+        assert merged["fleet.migrations"]["value"] == 2.0
+        assert merged["fleet.running"]["value"] == 1.0
+        assert merged["fleet.nodes_reporting"]["value"] == 2.0
+        assert merged["fleet.nodes_contended"]["value"] == 1.0
+        assert merged["fleet.nodes_straggling"]["value"] == 1.0
+        assert merged["fleet.jobs_running"]["value"] == 3.0
+
+    def test_non_dict_campaign_beacon_ignored(self):
+        # A beacon *named* campaign whose payload slot was replaced by
+        # garbage upstream must not crash the merge.
+        merged = merge_beacon_metrics({"campaign": "garbage"})
+        assert "campaign.beacon_running" not in merged
