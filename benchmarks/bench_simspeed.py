@@ -16,17 +16,33 @@ execution tier:
   classify-then-commit batches with vectorized tag probes and bulk
   fills, counter and stat deltas flushed once per batch.
 
-All four produce bit-identical results (the differential suite in
-``tests/arch/test_bulk_kernel.py`` proves it); only wall-clock differs.
+Every tier additionally runs with the tier-5 ownership kernel on
+(``REPRO_OWNER_ARRAYS=1``: array-backed L3 owner bitmasks instead of
+the dict-of-sets walk) and the batched private fill
+(``REPRO_VECTOR_FILLS=1``) — both production defaults.  The
+**ownership gates** quantify that layer directly: the current vector
+tier against a rebuilt PR-6 "legacy" vector tier
+(``REPRO_OWNER_ARRAYS=0 REPRO_VECTOR_FILLS=0``), both at the standard
+40 K budget.
+
+All tiers produce bit-identical results (the differential suites in
+``tests/arch/test_bulk_kernel.py`` and
+``tests/arch/test_owner_store.py`` prove it); only wall-clock differs.
 
 The vector gates compare vector against kernel per workload at that
 workload's amortisation budget: ``stream-llc`` at the default 40 K
 cycles (large consecutive batches exist there already), and
 ``pointer-chase`` at a longer budget — a 40 K chase period holds only
-a ~200-access batch, too small to amortise numpy dispatch, and the
-engine's batch-size guard deliberately stands the vector tier down to
-parity there (so the chase column of the main table is
-informational).
+a ~200-access batch, which the PR-6 vector tier could not amortise
+(its engage threshold is 384 expected accesses, so it stands down to
+the bulk kernel there).  The tier-5 build moves the measured engage
+break-even down to ~128: batches arrive as array slices from the
+pattern layer and the owner bitmask column replaces the per-line
+dict walk, so the ~200-access chase batches of a standard budget now
+profit from the vector path.  The pointer-chase ownership gate at
+40 K measures exactly that regime — the engaged tier-5 vector kernel
+against the legacy tier's stand-down floor; the long-budget
+vector-vs-kernel chase gate is kept unchanged for continuity.
 
 Run standalone for the acceptance check::
 
@@ -80,6 +96,12 @@ KERNEL_OVER_GENERIC_TARGET = 3.0
 VECTOR_OVER_KERNEL_STREAM_TARGET = 3.0
 VECTOR_OVER_KERNEL_CHASE_TARGET = 1.5
 
+#: Ownership (tier-5) gates: the current vector tier over the rebuilt
+#: PR-6 legacy vector tier (dict ownership walks, scalar private
+#: fills), both at the standard 40 K budget.
+OWNER_OVER_LEGACY_STREAM_TARGET = 1.3
+OWNER_OVER_LEGACY_CHASE_TARGET = 1.2
+
 #: Maximum allowed slowdown of a fully traced engine run (ring-buffer
 #: sink) over an untraced one.
 TRACE_OVERHEAD_TARGET = 0.02
@@ -97,21 +119,40 @@ DEFAULT_BUDGET = 40_000.0
 #: what the vectorized scatter fill needs to amortise its dispatch.
 CHASE_GATE_BUDGET = 360_000.0
 
-#: tier -> (REPRO_FAST_LANE, REPRO_BULK_KERNEL, REPRO_VECTOR_KERNEL)
+#: Environment variables a tier tuple maps onto, in order.
+_ENV_KEYS = (
+    "REPRO_FAST_LANE",
+    "REPRO_BULK_KERNEL",
+    "REPRO_VECTOR_KERNEL",
+    "REPRO_OWNER_ARRAYS",
+    "REPRO_VECTOR_FILLS",
+)
+
+#: tier -> (REPRO_FAST_LANE, REPRO_BULK_KERNEL, REPRO_VECTOR_KERNEL,
+#: REPRO_OWNER_ARRAYS, REPRO_VECTOR_FILLS).  The tier-5 gates stay on
+#: everywhere (production defaults); tiers without a flat L3 simply
+#: ignore them.
 TIERS = {
-    "generic": ("0", "0", "0"),
-    "fastlane": ("1", "0", "0"),
-    "kernel": ("1", "1", "0"),
-    "vector": ("1", "1", "1"),
+    "generic": ("0", "0", "0", "1", "1"),
+    "fastlane": ("1", "0", "0", "1", "1"),
+    "kernel": ("1", "1", "0", "1", "1"),
+    "vector": ("1", "1", "1", "1", "1"),
 }
 
+#: The PR-6 vector tier, rebuilt: numpy classify/commit but dict
+#: ownership walks and scalar private fills.  Comparator for the
+#: ownership gates.
+LEGACY_VECTOR_ENV = ("1", "1", "1", "0", "0")
+
 #: name -> (factory, streaming gate applies, kernel gate applies,
-#: vector gate spec or None).  ``stream-llc`` is *the* streaming
-#: benchmark of the acceptance criteria: a cyclic sweep well past the
-#: L3, every fourth access a fresh line.  ``stream-l2`` stresses the
-#: L3-hit walk (informational for the kernel and vector gates: the
-#: walk is a handful of C-level operations either way, so the batched
-#: win is structurally smaller there).
+#: vector gate spec or None, ownership gate spec or None).
+#: ``stream-llc`` is *the* streaming benchmark of the acceptance
+#: criteria: a cyclic sweep well past the L3, every fourth access a
+#: fresh line.  ``stream-l2`` stresses the L3-hit walk (informational
+#: for the kernel and vector gates: the walk is a handful of C-level
+#: operations either way, so the batched win is structurally smaller
+#: there — and it barely touches L3 ownership, so it carries no
+#: ownership gate either).
 WORKLOADS = {
     "stream-llc": (
         lambda: synthetic.streamer(lines=70_000, instructions=1e9),
@@ -119,11 +160,14 @@ WORKLOADS = {
         True,
         {"target": VECTOR_OVER_KERNEL_STREAM_TARGET,
          "budget": DEFAULT_BUDGET},
+        {"target": OWNER_OVER_LEGACY_STREAM_TARGET,
+         "budget": DEFAULT_BUDGET},
     ),
     "stream-l2": (
         lambda: synthetic.streamer(lines=512, instructions=1e9),
         True,
         False,
+        None,
         None,
     ),
     "pointer-chase": (
@@ -132,12 +176,14 @@ WORKLOADS = {
         False,
         {"target": VECTOR_OVER_KERNEL_CHASE_TARGET,
          "budget": CHASE_GATE_BUDGET},
+        {"target": OWNER_OVER_LEGACY_CHASE_TARGET,
+         "budget": DEFAULT_BUDGET},
     ),
 }
 
 
 def measure(
-    tier: str,
+    tier: str | tuple,
     factory,
     warm: int,
     timed: int,
@@ -146,44 +192,80 @@ def measure(
 ) -> float:
     """Best-of-``reps`` accesses/second for one execution tier.
 
-    The gates are read at object construction, so the chip is built
-    after setting the environment; the workload restarts when it
-    finishes so the measured stream is steady-state.  Best-of-N is the
-    standard defence against interpreter and scheduler noise (only
-    slowdowns are spurious).
+    ``tier`` is a name from :data:`TIERS` or a raw five-element env
+    tuple (e.g. :data:`LEGACY_VECTOR_ENV`).  The gates are read at
+    object construction, so the chip is built after setting the
+    environment; the workload restarts when it finishes so the
+    measured stream is steady-state.  Best-of-N is the standard
+    defence against interpreter and scheduler noise (only slowdowns
+    are spurious).
     """
-    fast, bulk, vector = TIERS[tier]
-    os.environ["REPRO_FAST_LANE"] = fast
-    os.environ["REPRO_BULK_KERNEL"] = bulk
-    os.environ["REPRO_VECTOR_KERNEL"] = vector
+    env = TIERS[tier] if isinstance(tier, str) else tier
+    best = 0.0
+    for _ in range(max(1, reps)):
+        best = max(best, _measure_once(env, factory, warm, timed, budget))
+    return best
+
+
+def _measure_once(
+    env: tuple, factory, warm: int, timed: int, budget: float
+) -> float:
+    """One warm-up + timed measurement of one tier (accesses/second)."""
+    for key, value in zip(_ENV_KEYS, env):
+        os.environ[key] = value
     try:
         from repro.arch.chip import MulticoreChip
 
-        best = 0.0
-        for _ in range(max(1, reps)):
-            chip = MulticoreChip(MachineConfig.scaled_nehalem(), seed=7)
-            spec = factory()
-            workload = spec.instantiate(seed=3, base=1 << 34)
-            core = chip.core(0)
-            for _ in range(warm):
-                core.run(workload, budget)
-                if workload.finished:
-                    workload = spec.instantiate(seed=3, base=1 << 34)
-            start = time.perf_counter()
-            accesses_before = core.accesses_issued
-            for _ in range(timed):
-                core.run(workload, budget)
-                if workload.finished:
-                    workload = spec.instantiate(seed=3, base=1 << 34)
-            elapsed = time.perf_counter() - start
-            best = max(
-                best, (core.accesses_issued - accesses_before) / elapsed
-            )
-        return best
+        chip = MulticoreChip(MachineConfig.scaled_nehalem(), seed=7)
+        spec = factory()
+        workload = spec.instantiate(seed=3, base=1 << 34)
+        core = chip.core(0)
+        for _ in range(warm):
+            core.run(workload, budget)
+            if workload.finished:
+                workload = spec.instantiate(seed=3, base=1 << 34)
+        start = time.perf_counter()
+        accesses_before = core.accesses_issued
+        for _ in range(timed):
+            core.run(workload, budget)
+            if workload.finished:
+                workload = spec.instantiate(seed=3, base=1 << 34)
+        elapsed = time.perf_counter() - start
+        return (core.accesses_issued - accesses_before) / elapsed
     finally:
-        os.environ.pop("REPRO_FAST_LANE", None)
-        os.environ.pop("REPRO_BULK_KERNEL", None)
-        os.environ.pop("REPRO_VECTOR_KERNEL", None)
+        for key in _ENV_KEYS:
+            os.environ.pop(key, None)
+
+
+def measure_pair(
+    tier_a: str | tuple,
+    tier_b: str | tuple,
+    factory,
+    warm: int,
+    timed: int,
+    budget: float = DEFAULT_BUDGET,
+    reps: int = 3,
+) -> tuple[float, float]:
+    """Best-of-``reps`` for two tiers with their reps interleaved.
+
+    A gate that divides two throughputs is only as trustworthy as the
+    measurement *pair*: taking all of tier A's reps, then all of tier
+    B's, lets slow scheduler drift land entirely on one side of the
+    ratio.  Alternating A/B per rep exposes both tiers to the same
+    noise environment, so best-of-N cancels drift instead of baking
+    it into the comparison.
+    """
+    env_a = TIERS[tier_a] if isinstance(tier_a, str) else tier_a
+    env_b = TIERS[tier_b] if isinstance(tier_b, str) else tier_b
+    best_a = best_b = 0.0
+    for _ in range(max(1, reps)):
+        best_a = max(
+            best_a, _measure_once(env_a, factory, warm, timed, budget)
+        )
+        best_b = max(
+            best_b, _measure_once(env_b, factory, warm, timed, budget)
+        )
+    return best_a, best_b
 
 
 def run_suite(
@@ -193,11 +275,14 @@ def run_suite(
 
     ``vector_gates=False`` (smoke runs) skips the separate
     long-budget kernel-vs-vector measurements; the main table still
-    carries all four tiers at the default budget.
+    carries all four tiers at the default budget.  The ownership
+    gates run in both modes: they measure the new and the legacy
+    vector tiers as one interleaved pair at the standard budget,
+    which is cheap and keeps the ratio drift-free.
     """
     rows = []
-    for name, (factory, is_streaming, kernel_gated,
-               vgate) in WORKLOADS.items():
+    for name, (factory, is_streaming, kernel_gated, vgate,
+               ogate) in WORKLOADS.items():
         tiers = {
             tier: measure(tier, factory, warm, timed, reps=reps)
             for tier in TIERS
@@ -220,7 +305,23 @@ def run_suite(
                     tiers["vector"] / tiers["generic"],
             },
             "vector_gate": None,
+            "ownership_gate": None,
         }
+        if ogate is not None:
+            # Fresh interleaved pair instead of reusing the main
+            # table's vector number: the gate is a ratio, and the two
+            # sides must share one noise environment (measure_pair).
+            vector, legacy = measure_pair(
+                "vector", LEGACY_VECTOR_ENV, factory, warm, timed,
+                budget=ogate["budget"], reps=reps,
+            )
+            row["ownership_gate"] = {
+                "budget": ogate["budget"],
+                "target": ogate["target"],
+                "legacy_vector": legacy,
+                "vector": vector,
+                "vector_over_legacy": vector / legacy,
+            }
         if vgate is not None and vector_gates:
             if vgate["budget"] == DEFAULT_BUDGET:
                 kernel, vector = tiers["kernel"], tiers["vector"]
@@ -275,6 +376,16 @@ def render(rows: list[dict]) -> str:
                 f"({gate['vector_over_kernel']:.2f}x, target "
                 f"{gate['target']}x)"
             )
+        ogate = row.get("ownership_gate")
+        if ogate is not None:
+            lines.append(
+                f"{'':<14} ownership gate @ {ogate['budget']:.0f} "
+                f"cycles: legacy vector "
+                f"{ogate['legacy_vector']:.0f}/s, vector "
+                f"{ogate['vector']:.0f}/s "
+                f"({ogate['vector_over_legacy']:.2f}x, target "
+                f"{ogate['target']}x)"
+            )
     return "\n".join(lines)
 
 
@@ -315,6 +426,13 @@ def check_gates(rows: list[dict], smoke: bool) -> list[str]:
                     f"{name}: vector slower than kernel "
                     f"({r['vector_over_kernel']:.2f}x)"
                 )
+            ogate = row.get("ownership_gate")
+            if ogate is not None and \
+                    ogate["vector_over_legacy"] <= 1.0:
+                failures.append(
+                    f"{name}: vector slower than legacy vector "
+                    f"({ogate['vector_over_legacy']:.2f}x)"
+                )
             continue
         if row["streaming"] and \
                 r["fastlane_over_generic"] < STREAMING_TARGET:
@@ -342,6 +460,14 @@ def check_gates(rows: list[dict], smoke: bool) -> list[str]:
                 f"{name}: vector {gate['vector_over_kernel']:.2f}x "
                 f"below the {gate['target']}x over-kernel target "
                 f"(at {gate['budget']:.0f}-cycle budget)"
+            )
+        ogate = row.get("ownership_gate")
+        if ogate is not None and \
+                ogate["vector_over_legacy"] < ogate["target"]:
+            failures.append(
+                f"{name}: vector {ogate['vector_over_legacy']:.2f}x "
+                f"below the {ogate['target']}x over-legacy-vector "
+                f"target (at {ogate['budget']:.0f}-cycle budget)"
             )
     return failures
 
@@ -372,6 +498,25 @@ def build_point(rows: list[dict], warm: int, timed: int,
                 VECTOR_OVER_KERNEL_STREAM_TARGET,
             "vector_over_kernel_chase":
                 VECTOR_OVER_KERNEL_CHASE_TARGET,
+            "owner_over_legacy_stream":
+                OWNER_OVER_LEGACY_STREAM_TARGET,
+            "owner_over_legacy_chase":
+                OWNER_OVER_LEGACY_CHASE_TARGET,
+        },
+        # Which REPRO_* kernel gates each measured column ran under —
+        # without this, trajectory points from different builds are
+        # not comparable (a "vector" column could mean dict or array
+        # ownership depending on the era).
+        "kernel_gates": {
+            name: dict(zip(
+                ("fast_lane", "bulk_kernel", "vector_kernel",
+                 "owner_arrays", "vector_fills"),
+                (value == "1" for value in env),
+            ))
+            for name, env in (
+                list(TIERS.items())
+                + [("legacy_vector", LEGACY_VECTOR_ENV)]
+            )
         },
         "workloads": {
             row["workload"]: {
@@ -380,6 +525,7 @@ def build_point(rows: list[dict], warm: int, timed: int,
                 "tiers": row["tiers"],
                 "ratios": row["ratios"],
                 "vector_gate": row.get("vector_gate"),
+                "ownership_gate": row.get("ownership_gate"),
             }
             for row in rows
         },
@@ -429,9 +575,8 @@ def profile_streaming_run(top: int = 20) -> None:
     import cProfile
     import pstats
 
-    os.environ["REPRO_FAST_LANE"] = "1"
-    os.environ["REPRO_BULK_KERNEL"] = "1"
-    os.environ["REPRO_VECTOR_KERNEL"] = "1"
+    for key, value in zip(_ENV_KEYS, TIERS["vector"]):
+        os.environ[key] = value
     try:
         from repro.arch.chip import MulticoreChip
 
@@ -450,9 +595,8 @@ def profile_streaming_run(top: int = 20) -> None:
         profiler.disable()
         pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
     finally:
-        os.environ.pop("REPRO_FAST_LANE", None)
-        os.environ.pop("REPRO_BULK_KERNEL", None)
-        os.environ.pop("REPRO_VECTOR_KERNEL", None)
+        for key in _ENV_KEYS:
+            os.environ.pop(key, None)
 
 
 def _timed_engine_run(tracer=None, length: float = 0.05) -> float:
@@ -565,9 +709,8 @@ def measure_export_overhead(
 
     from repro.obs import MetricsExporter, MetricsRegistry
 
-    os.environ["REPRO_FAST_LANE"] = "1"
-    os.environ["REPRO_BULK_KERNEL"] = "1"
-    os.environ["REPRO_VECTOR_KERNEL"] = "1"
+    for key, value in zip(_ENV_KEYS, TIERS["vector"]):
+        os.environ[key] = value
     try:
         _timed_stream_run(runs=runs)  # warm caches and imports
         registry = MetricsRegistry()
@@ -605,9 +748,8 @@ def measure_export_overhead(
         ) - 1.0
         return off, on, min(min_ratio, median_pair)
     finally:
-        os.environ.pop("REPRO_FAST_LANE", None)
-        os.environ.pop("REPRO_BULK_KERNEL", None)
-        os.environ.pop("REPRO_VECTOR_KERNEL", None)
+        for key in _ENV_KEYS:
+            os.environ.pop(key, None)
 
 
 def record_export_overhead(path: Path, payload: dict) -> bool:
@@ -768,7 +910,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{KERNEL_OVER_FASTLANE_TARGET}x fastlane / "
             f"{KERNEL_OVER_GENERIC_TARGET}x generic, vector >= "
             f"{VECTOR_OVER_KERNEL_STREAM_TARGET}x kernel on streaming / "
-            f"{VECTOR_OVER_KERNEL_CHASE_TARGET}x on pointer-chase"
+            f"{VECTOR_OVER_KERNEL_CHASE_TARGET}x on pointer-chase, "
+            f"ownership >= {OWNER_OVER_LEGACY_STREAM_TARGET}x legacy "
+            f"vector on streaming / {OWNER_OVER_LEGACY_CHASE_TARGET}x "
+            f"on pointer-chase"
         )
     )
     return 0

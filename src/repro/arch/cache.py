@@ -71,6 +71,45 @@ def vector_kernel_enabled() -> bool:
     return os.environ.get("REPRO_VECTOR_KERNEL", "1") != "0"
 
 
+def owner_arrays_enabled() -> bool:
+    """Whether the array-backed L3 ownership store is on (default yes).
+
+    ``REPRO_OWNER_ARRAYS=0`` reverts the hierarchy to the dict-of-sets
+    owner map — the reference tier the bitmask column is proven
+    bit-identical against by the differential suite, and the
+    configuration ``bench_simspeed`` uses to rebuild the PR-6 vector
+    tier.  Only meaningful on a flat, inclusive L3 (see
+    ``CacheHierarchy._owner_arrays`` for the full predicate); like the
+    other gates, the flag is read at object construction.
+    """
+    return os.environ.get("REPRO_OWNER_ARRAYS", "1") != "0"
+
+
+def vector_fills_enabled() -> bool:
+    """Whether the batched private-level fill verb is on (default yes).
+
+    ``REPRO_VECTOR_FILLS=0`` keeps the mid-size private fills on the
+    scalar loop (and the vector tier's stand-down threshold at its
+    PR-6 value), which together with ``REPRO_OWNER_ARRAYS=0`` rebuilds
+    the PR-6 vector tier exactly — the baseline of the ownership
+    gates in ``bench_simspeed``.  Read at object construction.
+    """
+    return os.environ.get("REPRO_VECTOR_FILLS", "1") != "0"
+
+
+def debug_invariants_enabled() -> bool:
+    """Whether the opt-in ownership invariant checks are armed.
+
+    ``REPRO_DEBUG_INVARIANTS=1`` makes the hierarchy assert, after
+    every batch, that the active ownership store (dict or bitmask
+    column) agrees with the L3 resident set and that the per-core
+    occupancy vector equals the per-core owner-bit counts — the
+    self-check the differential suite drives.  Off by default: the
+    check walks the whole L3.  Read at object construction.
+    """
+    return os.environ.get("REPRO_DEBUG_INVARIANTS", "0") != "0"
+
+
 #: Sentinel tag for an unoccupied flat-array slot.  Line addresses are
 #: non-negative, so the sentinel can never collide with a real line.
 _EMPTY = -1
@@ -195,6 +234,14 @@ class SetAssociativeCache:
         self._vector = (
             self._flat and vector_storage and vector_kernel_enabled()
         )
+        #: Optional per-slot owner bitmask column, parallel to
+        #: ``_tags`` (bit ``c`` set = core ``c`` owns the line in that
+        #: slot).  Allocated by :meth:`attach_owner_column` — the
+        #: hierarchy requests it for the shared L3 only, when the
+        #: array-backed ownership store is active.  Every permutation
+        #: of the tag array (move-to-tail shifts, invalidation
+        #: compaction, the kernels' batched updates) must mirror it.
+        self._owner_tags: "array | list[int] | None" = None
         self._sets: list[list[int]] | None
         if self._flat:
             # Flat storage: each set owns the slot range
@@ -248,6 +295,35 @@ class SetAssociativeCache:
                 self.fill = (  # type: ignore[method-assign]
                     self._fill_lru_list
                 )
+
+    def attach_owner_column(self) -> None:
+        """Allocate the per-slot owner bitmask column (flat caches only).
+
+        The container type matches ``_tags`` so the scalar verbs mirror
+        it with the same slice operations, and the vector kernel gets a
+        zero-copy numpy view (:meth:`_owner_view`) when the storage is
+        ``array('q')``-backed.  Idempotent.
+        """
+        if not self._flat:
+            raise ValueError(
+                f"{self.name}: owner column requires flat LRU storage"
+            )
+        if self._owner_tags is not None:
+            return
+        nslots = self._num_sets * self._assoc
+        if self._vector:
+            self._owner_tags = array("q", bytes(8 * nslots))
+        else:
+            self._owner_tags = [0] * nslots
+
+    def _owner_view(self) -> np.ndarray:
+        """Fresh zero-copy int64 view of the owner column.
+
+        Same lifetime contract as :meth:`_vector_views`: drop the view
+        before any scalar verb performs a slice assignment on the
+        backing ``array('q')``.
+        """
+        return np.frombuffer(self._owner_tags, dtype=np.int64)
 
     # -- hot path ------------------------------------------------------
 
@@ -336,9 +412,14 @@ class SetAssociativeCache:
         assoc = self._assoc
         base = si * assoc
         fill = self._fill_counts[si]
+        ot = self._owner_tags
         if fill < assoc:  # head == 0: contiguous, physical == logical
             top = base + fill
             way = tags.index(addr, base, top)
+            if ot is not None:
+                ob = ot[way]
+                ot[way:top - 1] = ot[way + 1:top]
+                ot[top - 1] = ob
             tags[way:top - 1] = tags[way + 1:top]
             tags[top - 1] = addr
         else:
@@ -346,10 +427,20 @@ class SetAssociativeCache:
             way = tags.index(addr, base, base + assoc)
             tail = base + (head - 1 if head else assoc - 1)
             if way <= tail:
+                if ot is not None:
+                    ob = ot[way]
+                    ot[way:tail] = ot[way + 1:tail + 1]
+                    ot[tail] = ob
                 tags[way:tail] = tags[way + 1:tail + 1]
                 tags[tail] = addr
             else:
                 end = base + assoc - 1
+                if ot is not None:
+                    ob = ot[way]
+                    ot[way:end] = ot[way + 1:end + 1]
+                    ot[end] = ot[base]
+                    ot[base:tail] = ot[base + 1:tail + 1]
+                    ot[tail] = ob
                 tags[way:end] = tags[way + 1:end + 1]
                 tags[end] = tags[base]
                 tags[base:tail] = tags[base + 1:tail + 1]
@@ -428,16 +519,27 @@ class SetAssociativeCache:
         fill = self._fill_counts[si]
         tags = self._tags
         head = self._heads[si]
+        ot = self._owner_tags
         if fill >= assoc and head:
             # De-rotate into logical order, drop addr, store contiguous.
             order = tags[base + head:base + assoc] + tags[base:base + head]
-            order.remove(addr)
+            way = order.index(addr)
+            del order[way]
             order.append(_EMPTY)
+            if ot is not None:
+                oorder = (ot[base + head:base + assoc]
+                          + ot[base:base + head])
+                del oorder[way]
+                oorder.append(0)
+                ot[base:base + assoc] = oorder
             tags[base:base + assoc] = order
             self._heads[si] = 0
         else:
             top = base + fill
             way = tags.index(addr, base, top)
+            if ot is not None:
+                ot[way:top - 1] = ot[way + 1:top]
+                ot[top - 1] = 0
             tags[way:top - 1] = tags[way + 1:top]
             tags[top - 1] = _EMPTY
         fill -= 1
@@ -531,12 +633,18 @@ class SetAssociativeCache:
                 )
                 self._heads[:] = array("q", bytes(8 * self._num_sets))
                 self._mru[:] = [_EMPTY] * self._num_sets
+                if self._owner_tags is not None:
+                    self._owner_tags[:] = array(
+                        "q", bytes(8 * len(self._owner_tags))
+                    )
             else:
                 n = len(self._tags)
                 self._tags[:] = [_EMPTY] * n
                 self._fill_counts[:] = [0] * self._num_sets
                 self._heads[:] = [0] * self._num_sets
                 self._mru[:] = [_EMPTY] * self._num_sets
+                if self._owner_tags is not None:
+                    self._owner_tags[:] = [0] * n
             self._resident.clear()
             return
         for contents in self._sets:

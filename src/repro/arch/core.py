@@ -44,6 +44,17 @@ _KERNEL_MIN_BATCH = 8
 #: executed it), so a later phase change re-engages the vector path.
 _VECTOR_MIN_EST = 384
 
+#: The stand-down floor for the tier-5 build (``REPRO_VECTOR_FILLS``
+#: doubles as its construction-time marker): with batches served as
+#: array slices by the pattern layer and the owner bitmask column
+#: replacing the per-line dict walk, the commit's fixed dispatch cost
+#: amortises far sooner — the measured engage break-even on the
+#: pointer-chase shape sits between ~100 and ~150 accesses, so the
+#: ~200-access batches of a standard 40 K budget now profit from the
+#: vector tier.  Below the floor the scalar bulk kernel — still over
+#: the array-backed ownership store — remains the fastest path.
+_VECTOR_MIN_EST_BATCHED = 128
+
 
 class Core:
     """One core: executes a process against the shared hierarchy."""
@@ -79,6 +90,12 @@ class Core:
         # Running estimate of how many accesses one cycle budget
         # executes, sizing the vector kernel's batches (see run()).
         self._vector_est = 512
+        # Per-core stand-down floor: lower when the hierarchy's
+        # batched private fill is available (tier-5 commit).
+        self._vector_min_est = (
+            _VECTOR_MIN_EST_BATCHED
+            if hierarchy._vector_fills else _VECTOR_MIN_EST
+        )
 
     def run(self, process: "object", cycle_budget: float,
             start_cycle: float = 0.0) -> float:
@@ -154,7 +171,7 @@ class Core:
                 costs = (0.0, cpa, c2, c3, c4)
                 worst = max(cpa, c2, c3, c4)
                 vector = (hierarchy.vector_kernel_ok(cid)
-                          and self._vector_est >= _VECTOR_MIN_EST)
+                          and self._vector_est >= self._vector_min_est)
                 if vector:
                     take_array = phase.take_addresses_array
                     vec_classify = hierarchy.vector_classify

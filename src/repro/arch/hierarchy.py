@@ -27,7 +27,13 @@ from time import perf_counter as _perf_counter
 from ..config import MachineConfig
 from ..errors import ConfigError
 from ..obs.profiling import PROFILER as _PROFILER
-from .cache import SetAssociativeCache, bulk_kernel_enabled
+from .cache import (
+    SetAssociativeCache,
+    bulk_kernel_enabled,
+    debug_invariants_enabled,
+    owner_arrays_enabled,
+    vector_fills_enabled,
+)
 from .replacement import make_policy
 from .vector_kernel import classify as _vector_classify
 from .vector_kernel import commit as _vector_commit
@@ -139,6 +145,31 @@ class CacheHierarchy:
         # for back-invalidation targeting and per-core occupancy stats.
         self._l3_owners: dict[int, set[int]] = {}
         self._occupancy = [0] * n
+        # Tier-5 ownership store: a per-slot owner bitmask column on
+        # the flat L3 (bit c = core c owns the line in that slot)
+        # replacing the dict-of-sets walks with index math the batched
+        # kernels can gather/scatter.  Requires flat storage (the
+        # column is slot-indexed), an inclusive L3 (the only
+        # configuration whose eviction fan-out is hot enough to earn
+        # the column; non-inclusive hierarchies refuse the array path
+        # and stay on the reference dict), and core count within an
+        # int64's non-sign bits.  The dict stays the reference tier
+        # (`REPRO_OWNER_ARRAYS=0`), proven bit-identical by the
+        # differential suite.
+        self._owner_arrays = (
+            owner_arrays_enabled()
+            and self.l3._flat
+            and machine.l3_inclusive
+            and n <= 63
+        )
+        if self._owner_arrays:
+            self.l3.attach_owner_column()
+        # Whether the vector kernel may use the batched index-math
+        # private fill (REPRO_VECTOR_FILLS; the PR-6 reconstruction
+        # knob of bench_simspeed's ownership gates).
+        self._vector_fills = vector_fills_enabled()
+        # Opt-in self-checks after every batch (differential suite).
+        self._debug_invariants = debug_invariants_enabled()
         # Prebound per-core hot-path verbs (picks up the caches'
         # LRU-specialized rebindings); one list index replaces two
         # attribute lookups and a method bind per access.
@@ -178,10 +209,29 @@ class CacheHierarchy:
         counters.l2_misses += 1
         if self._l3_probe(addr):
             counters.l3_hits += 1
-            owners = self._l3_owners.get(addr)
-            if owners is not None and core not in owners:
-                owners.add(core)
-                self._occupancy[core] += 1
+            if self._owner_arrays:
+                # The probe just made the line MRU, so its slot is the
+                # logical tail of its set — O(1) index math, no lookup.
+                l3 = self.l3
+                assoc = l3._assoc
+                si = addr & l3._set_mask
+                fill = l3._fill_counts[si]
+                if fill < assoc:
+                    slot = si * assoc + fill - 1
+                else:
+                    head = l3._heads[si]
+                    slot = si * assoc + (head - 1 if head else assoc - 1)
+                ot = l3._owner_tags
+                bit = 1 << core
+                ob = ot[slot]
+                if not ob & bit:
+                    ot[slot] = ob | bit
+                    self._occupancy[core] += 1
+            else:
+                owners = self._l3_owners.get(addr)
+                if owners is not None and core not in owners:
+                    owners.add(core)
+                    self._occupancy[core] += 1
             self._fill_private(core, addr)
             return L3_HIT
         counters.l3_misses += 1
@@ -210,7 +260,10 @@ class CacheHierarchy:
         """
         if not self.bulk_kernel_ok(core):
             access = self.access
-            return [access(core, a) for a in addrs]
+            levels = [access(core, a) for a in addrs]
+            if self._debug_invariants:
+                self.check_owner_invariants()
+            return levels
         l1 = self.l1[core]
         l2 = self.l2[core]
         l3 = self.l3
@@ -257,6 +310,9 @@ class CacheHierarchy:
         owners_get = owners_map.get
         owners_pop = owners_map.pop
         occupancy = self._occupancy
+        owner_arrays = self._owner_arrays
+        l3_owner = l3._owner_tags
+        own_bit = 1 << core
         counters_all = self.counters
         inclusive = self._inclusive
         l1_caches = self.l1
@@ -386,6 +442,10 @@ class CacheHierarchy:
                 if fill < l3_assoc:
                     top = base3 + fill
                     w = l3_tags.index(addr, base3, top)
+                    if owner_arrays:
+                        ob = l3_owner[w]
+                        l3_owner[w:top - 1] = l3_owner[w + 1:top]
+                        l3_owner[top - 1] = ob
                     l3_tags[w:top - 1] = l3_tags[w + 1:top]
                     l3_tags[top - 1] = addr
                 else:
@@ -393,10 +453,21 @@ class CacheHierarchy:
                     w = l3_tags.index(addr, base3, base3 + l3_assoc)
                     tail = base3 + (head - 1 if head else l3_assoc - 1)
                     if w <= tail:
+                        if owner_arrays:
+                            ob = l3_owner[w]
+                            l3_owner[w:tail] = l3_owner[w + 1:tail + 1]
+                            l3_owner[tail] = ob
                         l3_tags[w:tail] = l3_tags[w + 1:tail + 1]
                         l3_tags[tail] = addr
                     else:
                         end = base3 + l3_assoc - 1
+                        if owner_arrays:
+                            ob = l3_owner[w]
+                            l3_owner[w:end] = l3_owner[w + 1:end + 1]
+                            l3_owner[end] = l3_owner[base3]
+                            l3_owner[base3:tail] = \
+                                l3_owner[base3 + 1:tail + 1]
+                            l3_owner[tail] = ob
                         l3_tags[w:end] = l3_tags[w + 1:end + 1]
                         l3_tags[end] = l3_tags[base3]
                         l3_tags[base3:tail] = l3_tags[base3 + 1:tail + 1]
@@ -407,10 +478,24 @@ class CacheHierarchy:
                 hit = False
             if hit:
                 nh3 += 1
-                owners = owners_get(addr)
-                if owners is not None and core not in owners:
-                    owners.add(core)
-                    occupancy[core] += 1
+                if owner_arrays:
+                    # The hit line is now its set's logical tail.
+                    fill = l3_fill[si3]
+                    if fill < l3_assoc:
+                        slot = si3 * l3_assoc + fill - 1
+                    else:
+                        head = l3_heads[si3]
+                        slot = si3 * l3_assoc + \
+                            (head - 1 if head else l3_assoc - 1)
+                    ob = l3_owner[slot]
+                    if not ob & own_bit:
+                        l3_owner[slot] = ob | own_bit
+                        occupancy[core] += 1
+                else:
+                    owners = owners_get(addr)
+                    if owners is not None and core not in owners:
+                        owners.add(core)
+                        occupancy[core] += 1
                 level = 3
             else:
                 nm3 += 1
@@ -427,8 +512,63 @@ class CacheHierarchy:
                     l3_heads[si3] = head + 1 if head + 1 < l3_assoc else 0
                     l3_res_discard(victim)
                     ev3 += 1
-                    owners = owners_pop(victim, None)
-                    if owners is None:
+                    if owner_arrays:
+                        # The victim's owner mask sits in the slot the
+                        # new tag just overwrote; decode it before
+                        # replacing it with our own bit.
+                        vmask = l3_owner[slot]
+                        if vmask == own_bit:
+                            # Dominant case: evicting our own line.
+                            # The mask carries over unchanged and the
+                            # occupancy -1/+1 cancels.
+                            if inclusive:
+                                inv = False
+                                if victim in l2_res:
+                                    l2_invalidate(victim)
+                                    inv = True
+                                if victim in l1_res:
+                                    l1_invalidate(victim)
+                                    inv = True
+                                if inv:
+                                    counters_core.back_invalidations += 1
+                        elif vmask == 0:
+                            l3_owner[slot] = own_bit
+                            occupancy[core] += 1
+                        else:
+                            m = vmask
+                            owner = 0
+                            while m:
+                                if m & 1:
+                                    occupancy[owner] -= 1
+                                    if owner == core:
+                                        if inclusive:
+                                            inv = False
+                                            if victim in l2_res:
+                                                l2_invalidate(victim)
+                                                inv = True
+                                            if victim in l1_res:
+                                                l1_invalidate(victim)
+                                                inv = True
+                                            if inv:
+                                                counters_core.back_invalidations += 1
+                                    else:
+                                        counters_all[owner].lines_stolen += 1
+                                        if inclusive:
+                                            invalidated = l2_caches[
+                                                owner
+                                            ].invalidate(victim)
+                                            invalidated |= l1_caches[
+                                                owner
+                                            ].invalidate(victim)
+                                            if invalidated:
+                                                counters_all[
+                                                    owner
+                                                ].back_invalidations += 1
+                                m >>= 1
+                                owner += 1
+                            l3_owner[slot] = own_bit
+                            occupancy[core] += 1
+                    elif (owners := owners_pop(victim, None)) is None:
                         owners_map[addr] = {core}
                         occupancy[core] += 1
                     elif len(owners) == 1 and core in owners:
@@ -487,7 +627,10 @@ class CacheHierarchy:
                 else:
                     l3_tags[base3 + fill] = addr
                     l3_fill[si3] = fill + 1
-                    owners_map[addr] = {core}
+                    if owner_arrays:
+                        l3_owner[base3 + fill] = own_bit
+                    else:
+                        owners_map[addr] = {core}
                     occupancy[core] += 1
                 l3_res_add(addr)
                 l3_mru[si3] = addr
@@ -552,6 +695,8 @@ class CacheHierarchy:
         stats.misses += nm3
         stats.fills += fl3
         stats.evictions += ev3
+        if self._debug_invariants:
+            self.check_owner_invariants()
         return levels
 
     def _prefetch(self, core: int, addr: int) -> None:
@@ -606,14 +751,18 @@ class CacheHierarchy:
         if quota is not None and self._occupancy[core] >= quota:
             self._evict_own_line(core, addr)
         victim = self.l3.fill(addr)
+        if victim is not None and self._writebacks_enabled \
+                and victim in self._dirty:
+            # Dirty eviction: the line travels back to memory,
+            # consuming channel bandwidth.
+            self._dirty.discard(victim)
+            self.counters[core].writebacks += 1
+            if self.memory is not None:
+                self.memory.access(0.0)
+        if self._owner_arrays:
+            self._fill_l3_owner_array(core, addr, victim)
+            return
         if victim is not None:
-            if self._writebacks_enabled and victim in self._dirty:
-                # Dirty eviction: the line travels back to memory,
-                # consuming channel bandwidth.
-                self._dirty.discard(victim)
-                self.counters[core].writebacks += 1
-                if self.memory is not None:
-                    self.memory.access(0.0)
             victim_owners = self._l3_owners.pop(victim, set())
             for owner in victim_owners:
                 self._occupancy[owner] -= 1
@@ -627,6 +776,46 @@ class CacheHierarchy:
         self._l3_owners[addr] = {core}
         self._occupancy[core] += 1
 
+    def _fill_l3_owner_array(
+        self, core: int, addr: int, victim: int | None
+    ) -> None:
+        """Owner bookkeeping for a just-filled L3 line (array store).
+
+        ``SetAssociativeCache.fill`` never touches the owner column, so
+        on eviction the victim's bitmask is still sitting in the slot
+        the new tag landed in — decode it there, fan out the occupancy
+        pops / stolen-line counts / back-invalidations, then claim the
+        slot with this core's bit.
+        """
+        l3 = self.l3
+        si = addr & l3._set_mask
+        assoc = l3._assoc
+        fill = l3._fill_counts[si]
+        if fill < assoc:
+            slot = si * assoc + fill - 1
+        else:
+            head = l3._heads[si]
+            slot = si * assoc + (head - 1 if head else assoc - 1)
+        owner_tags = l3._owner_tags
+        assert owner_tags is not None
+        if victim is not None:
+            m = owner_tags[slot]
+            owner = 0
+            while m:
+                if m & 1:
+                    self._occupancy[owner] -= 1
+                    if owner != core:
+                        self.counters[owner].lines_stolen += 1
+                    if self._inclusive:
+                        invalidated = self.l2[owner].invalidate(victim)
+                        invalidated |= self.l1[owner].invalidate(victim)
+                        if invalidated:
+                            self.counters[owner].back_invalidations += 1
+                m >>= 1
+                owner += 1
+        owner_tags[slot] = 1 << core
+        self._occupancy[core] += 1
+
     def _evict_own_line(self, core: int, addr: int) -> None:
         """Pre-evict one of ``core``'s own lines from ``addr``'s set.
 
@@ -636,6 +825,48 @@ class CacheHierarchy:
         set, the fill proceeds normally (the quota is soft).
         """
         set_index = addr & (self.l3.geometry.num_sets - 1)
+        if self._owner_arrays:
+            # Walk the set's slots in logical LRU order and pick the
+            # first line carrying this core's owner bit (same order the
+            # dict path sees through ``set_contents``).
+            l3 = self.l3
+            assoc = l3._assoc
+            base = set_index * assoc
+            fill = l3._fill_counts[set_index]
+            head = l3._heads[set_index] if fill >= assoc else 0
+            count = fill if fill < assoc else assoc
+            owner_tags = l3._owner_tags
+            assert owner_tags is not None
+            tags = l3._tags
+            bit = 1 << core
+            for p in range(count):
+                slot = base + (head + p) % assoc
+                mask = owner_tags[slot]
+                candidate = tags[slot]
+                if mask & bit and candidate != addr:
+                    # ``invalidate`` compacts the owner column in
+                    # lockstep, so decode the mask first.
+                    l3.invalidate(candidate)
+                    m = mask
+                    owner = 0
+                    while m:
+                        if m & 1:
+                            self._occupancy[owner] -= 1
+                            if self._inclusive:
+                                invalidated = self.l2[owner].invalidate(
+                                    candidate
+                                )
+                                invalidated |= self.l1[owner].invalidate(
+                                    candidate
+                                )
+                                if invalidated and owner != core:
+                                    self.counters[
+                                        owner
+                                    ].back_invalidations += 1
+                        m >>= 1
+                        owner += 1
+                    return
+            return
         for candidate in self.l3.set_contents(set_index):
             owners = self._l3_owners.get(candidate)
             if owners is not None and core in owners and \
@@ -740,14 +971,79 @@ class CacheHierarchy:
                 "profile.vector_commit_seconds",
                 _perf_counter() - started,
             )
-            return committed
-        return _vector_commit(self, core, plan, n_exec)
+        else:
+            committed = _vector_commit(self, core, plan, n_exec)
+        if committed and self._debug_invariants:
+            self.check_owner_invariants()
+        return committed
 
     # -- inspection ----------------------------------------------------
 
     def l3_occupancy(self, core: int) -> int:
         """L3 lines currently attributed to ``core`` (owner-set based)."""
         return self._occupancy[core]
+
+    def l3_owner_sets(self) -> dict[int, set[int]]:
+        """Reconstruct ``addr -> owning cores`` from the active store.
+
+        Store-agnostic inspection seam: the dict tier returns a deep
+        copy of ``_l3_owners``; the array tier decodes each occupied
+        slot's bitmask.  Differential tests compare the two directly.
+        """
+        if not self._owner_arrays:
+            return {a: set(o) for a, o in self._l3_owners.items()}
+        l3 = self.l3
+        owner_tags = l3._owner_tags
+        assert owner_tags is not None
+        tags = l3._tags
+        assoc = l3._assoc
+        out: dict[int, set[int]] = {}
+        for si in range(l3._num_sets):
+            base = si * assoc
+            for slot in range(base, base + l3._fill_counts[si]):
+                m = owner_tags[slot]
+                owners: set[int] = set()
+                owner = 0
+                while m:
+                    if m & 1:
+                        owners.add(owner)
+                    m >>= 1
+                    owner += 1
+                out[tags[slot]] = owners
+        return out
+
+    def check_owner_invariants(self) -> None:
+        """Assert the L3 ownership store is internally consistent.
+
+        Opt-in via ``REPRO_DEBUG_INVARIANTS=1`` (checked after every
+        batch and committed vector plan) and called directly by the
+        differential suite.  Verifies, for whichever store is active:
+
+        - the owner map covers exactly the L3-resident lines;
+        - every resident line has at least one owner;
+        - per-core owner-bit counts equal ``_occupancy`` (which also
+          forces sum(occupancy) == total owner bits).
+        """
+        owners_by_addr = self.l3_owner_sets()
+        resident = self.l3.resident_lines()
+        if set(owners_by_addr) != resident:
+            extra = sorted(set(owners_by_addr) - resident)[:8]
+            missing = sorted(resident - set(owners_by_addr))[:8]
+            raise AssertionError(
+                "owner map and L3 resident set disagree: "
+                f"owned-not-resident={extra} resident-not-owned={missing}"
+            )
+        counts = [0] * self.machine.num_cores
+        for addr, owners in owners_by_addr.items():
+            if not owners:
+                raise AssertionError(f"L3 line {addr} has no owner")
+            for owner in owners:
+                counts[owner] += 1
+        if counts != self._occupancy:
+            raise AssertionError(
+                "per-core occupancy drifted from owner bits: "
+                f"occupancy={self._occupancy} owner-bit counts={counts}"
+            )
 
     def l3_occupancy_fraction(self, core: int) -> float:
         """``core``'s share of total L3 capacity, in [0, 1]."""

@@ -193,12 +193,13 @@ def _plan_fill_g(cache, c: np.ndarray, views):
     """Plan one level's bulk fill of miss stream ``c`` (no mutation).
 
     The general, argsort-grouped form.  Returns ``(cs, u, f, h,
-    counts, starts, slots, surv_mask, victims, total, evictions)``
-    where ``cs`` are the accesses stably sorted by set (so each set's
-    insertions keep batch order), ``slots`` each insertion's physical
-    slot, ``surv_mask`` the insertions still resident at batch end
-    (``None`` means all survive), and ``victims`` the pre-batch lines
-    evicted.
+    counts, starts, slots, surv_mask, victims, total, evictions,
+    vslots)`` where ``cs`` are the accesses stably sorted by set (so
+    each set's insertions keep batch order), ``slots`` each
+    insertion's physical slot, ``surv_mask`` the insertions still
+    resident at batch end (``None`` means all survive), ``victims``
+    the pre-batch lines evicted, and ``vslots`` the slots those
+    victims occupied (where the owner-bitmask tier finds their masks).
     """
     tags_np, fill_np, heads_np = views
     a = cache._assoc
@@ -230,7 +231,8 @@ def _plan_fill_g(cache, c: np.ndarray, views):
     # assoc).  Later overwrites (occ >= assoc) evict lines inserted by
     # this very batch, which never reach the resident set.
     victim_mask = (occf >= a) & (occ < a)
-    victims = tags_np[slots[victim_mask]]
+    vslots = slots[victim_mask]
+    victims = tags_np[vslots]
     total = f + counts
     if int(counts[counts.argmax()]) <= a:
         # Every insertion survives the batch (the committed-L3 case).
@@ -239,13 +241,13 @@ def _plan_fill_g(cache, c: np.ndarray, views):
         surv_mask = occ >= (np.repeat(counts, counts) - a)
     evictions = int(np.maximum(0, total - a).sum())
     return cs, u, f, h, counts, starts, slots, surv_mask, victims, \
-        total, evictions
+        total, evictions, vslots
 
 
 def _apply_fill_g(cache, plan, views) -> int:
     """Commit a :func:`_plan_fill_g` plan; return the eviction delta."""
     cs, u, f, h, counts, starts, slots, surv_mask, victims, total, \
-        evictions = plan
+        evictions, _vslots = plan
     tags_np, fill_np, heads_np = views
     a = cache._assoc
     if surv_mask is None:
@@ -347,6 +349,112 @@ def _fill_scalar(cache, miss_list: list) -> int:
     return evictions
 
 
+#: Minimum collapsed-stream length for the batched private fill: below
+#: this the grouped per-set slice updates lose to the scalar loop
+#: (tuned on the pointer-chase shape; see bench_simspeed).  The verb
+#: owns the window up to ``2 * capacity`` where :func:`_fill_dense`
+#: takes over.
+_FILL_BATCH_MIN = 384
+
+
+def _fill_batch(cache, c: np.ndarray, miss_list: list, m: int) -> int:
+    """Batched index-math twin of :func:`_fill_scalar`.
+
+    The private-level gap between :func:`_fill_dense` (wants ``m >=
+    2 * capacity``) and the scalar loop: the chase shapes collapse to
+    a few hundred distinct misses per batch — too short to replace the
+    whole level, long enough that per-address Python costs dominate.
+    Numpy index math groups the stream by set; each set is then
+    finished with O(1) list-slice operations — one window rotation
+    and one row write — instead of ~ten list and set operations per
+    address, so the cost scales with the level's *set count*, not
+    with ``m``.  Same bit-identical contract as every other fill
+    verb; returns the eviction delta.
+    """
+    a = cache._assoc
+    si = c & cache._set_mask
+    order = si.argsort(kind="stable")
+    ss = si[order]
+    first = np.empty(m, dtype=bool)
+    first[0] = True
+    np.not_equal(ss[1:], ss[:-1], out=first[1:])
+    starts_np = np.nonzero(first)[0]
+    u_list = ss[starts_np].tolist()
+    starts = starts_np.tolist()
+    starts.append(m)
+    cs_list = c[order].tolist()
+    tags = cache._tags
+    fills = cache._fill_counts
+    heads = cache._heads
+    mru = cache._mru
+    vict_list: list = []
+    surv_list: list = []
+    evictions = 0
+    for gi, s in enumerate(u_list):
+        seg = cs_list[starts[gi]:starts[gi + 1]]
+        k = len(seg)
+        fill = fills[s]
+        total = fill + k
+        base = s * a
+        if total <= a:
+            # Stays within the ways: partial rows are a plain prefix
+            # (head 0), so the insertions append as one slice write.
+            tags[base + fill:base + total] = seg
+            fills[s] = total
+            surv_list += seg
+            mru[s] = seg[-1]
+            continue
+        evictions += total - a
+        head = heads[s]
+        mru[s] = seg[-1]
+        if fill == a and k < a:
+            # Steady state: the k oldest lines (the circular run
+            # starting at ``head``) are overwritten in place —
+            # insertion i lands at slot (head + i) % a.
+            end = head + k
+            if end <= a:
+                vict_list += tags[base + head:base + end]
+                tags[base + head:base + end] = seg
+            else:
+                end -= a
+                vict_list += tags[base + head:base + a]
+                vict_list += tags[base:base + end]
+                split = a - head
+                tags[base + head:base + a] = seg[:split]
+                tags[base:base + end] = seg[split:]
+            surv_list += seg
+            heads[s] = end if end < a else 0
+        elif k >= a:
+            # The whole row is replaced by the last ``a`` insertions.
+            vict_list += tags[base:base + a] if fill == a \
+                else tags[base:base + fill]
+            seg = seg[k - a:]
+            surv_list += seg
+            hn = (head + total) % a
+            # Physical row = survivors rotated so index ``hn`` holds
+            # the oldest surviving line.
+            tags[base:base + a] = (seg[a - hn:] + seg[:a - hn]
+                                   if hn else seg)
+            heads[s] = hn
+            fills[s] = a
+        else:
+            # Overflowing partial set (head 0, fill < a, k < a): only
+            # during warm-up.  Build the combined window explicitly.
+            win = tags[base:base + fill]
+            vict_list += win[:total - a]
+            surv_list += seg
+            new_win = (win + seg)[total - a:]
+            hn = total % a
+            tags[base:base + a] = (new_win[a - hn:] + new_win[:a - hn]
+                                   if hn else new_win)
+            heads[s] = hn
+            fills[s] = a
+    resident = cache._resident
+    resident.difference_update(vict_list)
+    resident.update(surv_list)
+    return evictions
+
+
 def _fill_dense(cache, c: np.ndarray, miss_list: list, m: int) -> int:
     """Fill a private level from a miss stream much larger than it.
 
@@ -426,7 +534,7 @@ def _plan_l3_consec(cache, c: np.ndarray, views):
     Only valid when ``m >= num_sets`` and no set overflows its ways
     (the caller checks ``m // num_sets + 1 <= assoc``), so every
     insertion survives.  Returns ``(slots, victims, total, last_i,
-    evictions)``.
+    evictions, vslots)``.
     """
     tags_np, fill_np, heads_np = views
     a = cache._assoc
@@ -439,7 +547,8 @@ def _plan_l3_consec(cache, c: np.ndarray, views):
     occf = fill_np[si] + occ
     slots = si * a + (heads_np[si] + occf) % a
     victim_mask = occf >= a
-    victims = tags_np[slots[victim_mask]]
+    vslots = slots[victim_mask]
+    victims = tags_np[vslots]
     counts = np.full(nsets, m // nsets, dtype=np.int64)
     rem = m - (m // nsets) * nsets
     if rem:
@@ -450,12 +559,12 @@ def _plan_l3_consec(cache, c: np.ndarray, views):
     evictions = int(victims.shape[0])
     first_i = (_ar(nsets) - c0) % nsets
     last_i = first_i + (counts - 1) * nsets
-    return slots, victims, total, last_i, evictions
+    return slots, victims, total, last_i, evictions, vslots
 
 
 def _apply_l3_consec(cache, c, plan, views, miss_list) -> int:
     """Commit a :func:`_plan_l3_consec` plan; return the evictions."""
-    slots, victims, total, last_i, evictions = plan
+    slots, victims, total, last_i, evictions, _vslots = plan
     tags_np, fill_np, heads_np = views
     a = cache._assoc
     tags_np[slots] = c
@@ -481,13 +590,17 @@ class _MixedL3Plan:
         self.evictions = evictions
 
 
-def _plan_mixed_l3(cache, c: np.ndarray, hit: np.ndarray, views):
+def _plan_mixed_l3(cache, c: np.ndarray, hit: np.ndarray, views,
+                   own_col=None, own_bit: int = 0):
     """Plan and validate an L3 update mixing hits and misses.
 
     No mutation.  Returns ``None`` when an L3 set receives more lines
     than it has ways, or when a predicted hit fails validation (the
     sequential walk would have evicted the line first) — the caller
-    must fall back to the scalar kernel.
+    must fall back to the scalar kernel.  With ``own_col`` (the L3
+    owner-bitmask view) the stratum-(c) replays also evolve each set's
+    owner row in lockstep on extracted copies, recording the victims'
+    masks and how many hit lines gained this core's bit.
     """
     tags_np, fill_np, heads_np = views
     a = cache._assoc
@@ -537,13 +650,23 @@ def _plan_mixed_l3(cache, c: np.ndarray, hit: np.ndarray, views):
         head = int(heads_np[s])
         mru = cache._mru[s]
         tags = tags_np[base:base + a].tolist()
+        own_row = (own_col[base:base + a].tolist()
+                   if own_col is not None else None)
         vict: list[int] = []
-        ev = nh = nm = 0
+        vict_masks: list[int] = []
+        ev = nh = nm = gained = 0
         for addr, pred in zip(ops_addr, ops_hit):
             if mru == addr:
                 if not pred:
                     return None
                 nh += 1
+                if own_row is not None:
+                    # The MRU line sits at the logical tail.
+                    t = (fill - 1 if fill < a
+                         else (head - 1 if head else a - 1))
+                    if not own_row[t] & own_bit:
+                        own_row[t] |= own_bit
+                        gained += 1
                 continue
             try:
                 w = tags.index(addr, 0, fill if fill < a else a)
@@ -554,21 +677,40 @@ def _plan_mixed_l3(cache, c: np.ndarray, hit: np.ndarray, views):
                     return None
                 # Move-to-tail, wrap-aware when the window is rotated.
                 if fill < a:
-                    tags[w:fill - 1] = tags[w + 1:fill]
-                    tags[fill - 1] = addr
+                    t = fill - 1
+                    if own_row is not None:
+                        ob = own_row[w]
+                        own_row[w:t] = own_row[w + 1:fill]
+                        own_row[t] = ob
+                    tags[w:t] = tags[w + 1:fill]
+                    tags[t] = addr
                 else:
                     tail = head - 1 if head else a - 1
+                    t = tail
                     if w <= tail:
+                        if own_row is not None:
+                            ob = own_row[w]
+                            own_row[w:tail] = own_row[w + 1:tail + 1]
+                            own_row[tail] = ob
                         tags[w:tail] = tags[w + 1:tail + 1]
                         tags[tail] = addr
                     else:
                         end = a - 1
+                        if own_row is not None:
+                            ob = own_row[w]
+                            own_row[w:end] = own_row[w + 1:end + 1]
+                            own_row[end] = own_row[0]
+                            own_row[0:tail] = own_row[1:tail + 1]
+                            own_row[tail] = ob
                         tags[w:end] = tags[w + 1:end + 1]
                         tags[end] = tags[0]
                         tags[0:tail] = tags[1:tail + 1]
                         tags[tail] = addr
                 mru = addr
                 nh += 1
+                if own_row is not None and not own_row[t] & own_bit:
+                    own_row[t] |= own_bit
+                    gained += 1
             else:
                 if pred:
                     # An earlier in-batch fill evicted this predicted
@@ -578,27 +720,53 @@ def _plan_mixed_l3(cache, c: np.ndarray, hit: np.ndarray, views):
                 if fill >= a:
                     vict.append(tags[head])
                     tags[head] = addr
+                    if own_row is not None:
+                        vict_masks.append(own_row[head])
+                        own_row[head] = own_bit
                     head = head + 1 if head + 1 < a else 0
                     ev += 1
                 else:
                     tags[fill] = addr
+                    if own_row is not None:
+                        own_row[fill] = own_bit
                     fill += 1
                 mru = addr
-        replays.append((s, tags, fill, head, mru, vict, ev, nm))
+        replays.append((s, tags, fill, head, mru, vict, ev, nm,
+                        own_row, vict_masks, gained))
         victims.extend(vict)
         evictions += ev
     return _MixedL3Plan(plan_a, sets_b, addr_b, replays, victims,
                         evictions)
 
 
-def _apply_mixed_l3(cache, mixed: _MixedL3Plan, views) -> None:
-    """Commit a validated :class:`_MixedL3Plan`."""
+def _apply_mixed_l3(cache, mixed: _MixedL3Plan, views,
+                    own_col=None, own_bit: int = 0):
+    """Commit a validated :class:`_MixedL3Plan`.
+
+    With ``own_col`` the owner-bitmask column is updated in lockstep
+    — stratum (a) scatters this core's bit over the inserted slots
+    (gathering the victims' masks first), stratum (b) mirrors the
+    move-to-tail roll and ORs the bit into each hit line, stratum (c)
+    writes back the replayed owner rows.  Returns ``(gained,
+    vict_masks)``: how many pre-resident hit lines gained the bit, and
+    the victims' owner masks aligned with ``mixed.victims``.
+    """
     tags_np, fill_np, heads_np = views
     a = cache._assoc
     resident = cache._resident
     mru_list = cache._mru
+    gained = 0
+    vict_masks: list[int] = []
     if mixed.plan_a is not None:
+        if own_col is not None:
+            # Victim masks live in the slots the inserts overwrite:
+            # gather before the scatter claims them.  Every insertion
+            # survives (set counts are capped at the ways), so the
+            # scatter covers all planned slots.
+            vict_masks.extend(own_col[mixed.plan_a[11]].tolist())
         _apply_fill_g(cache, mixed.plan_a, views)
+        if own_col is not None:
+            own_col[mixed.plan_a[6]] = own_bit
     sets_b = mixed.sets_b
     if sets_b.size:
         # Bulk move-to-tail: gather each set's window in LRU order,
@@ -617,20 +785,37 @@ def _apply_mixed_l3(cache, mixed: _MixedL3Plan, views) -> None:
         rolled = np.empty_like(logical)
         rolled[:, :-1] = logical[:, 1:]
         rolled[:, -1] = logical[:, -1]
-        out = np.where((ways[None, :] >= p[:, None]) & valid,
-                       rolled, logical)
-        out[_ar(k), length - 1] = addr_b
+        roll_mask = (ways[None, :] >= p[:, None]) & valid
+        out = np.where(roll_mask, rolled, logical)
+        rows = _ar(k)
+        out[rows, length - 1] = addr_b
         tags_np[phys.ravel()] = out.ravel()
+        if own_col is not None:
+            ologic = own_col[phys]
+            ohit = ologic[rows, p]
+            orolled = np.empty_like(ologic)
+            orolled[:, :-1] = ologic[:, 1:]
+            orolled[:, -1] = ologic[:, -1]
+            oout = np.where(roll_mask, orolled, ologic)
+            oout[rows, length - 1] = ohit | own_bit
+            own_col[phys.ravel()] = oout.ravel()
+            gained += int(np.count_nonzero((ohit & own_bit) == 0))
         for s, addr in zip(sets_b.tolist(), addr_b.tolist()):
             mru_list[s] = addr
-    for s, tags, fill, head, mru, vict, _ev, _nm in mixed.replays:
+    for s, tags, fill, head, mru, vict, _ev, _nm, own_row, vmasks, \
+            g in mixed.replays:
         base = s * a
         tags_np[base:base + a] = tags
+        if own_col is not None:
+            own_col[base:base + a] = own_row
+            vict_masks.extend(vmasks)
+            gained += g
         fill_np[s] = fill
         heads_np[s] = head
         mru_list[s] = mru
         if vict:
             resident.difference_update(vict)
+    return gained, vict_masks
 
 
 def commit(hierarchy, core: int, plan: BatchPlan, n_exec: int) -> bool:
@@ -669,6 +854,10 @@ def commit(hierarchy, core: int, plan: BatchPlan, n_exec: int) -> bool:
     # would keep the array('q') buffers exported and break the scalar
     # verbs' slice assignments (see SetAssociativeCache._vector_views).
     views3 = l3._vector_views()
+    owner_arrays = hierarchy._owner_arrays
+    own_bit = 1 << core
+    own_col = (np.frombuffer(l3._owner_tags, dtype=np.int64)
+               if owner_arrays else None)
     mixed = plan3 = None
     consec3 = False
     miss_list = None
@@ -689,7 +878,7 @@ def commit(hierarchy, core: int, plan: BatchPlan, n_exec: int) -> bool:
             victims3 = plan3[8]
         victims_list = victims3.tolist()
     else:
-        mixed = _plan_mixed_l3(l3, c, hit, views3)
+        mixed = _plan_mixed_l3(l3, c, hit, views3, own_col, own_bit)
         if mixed is None:
             return False
         victims_list = mixed.victims
@@ -725,11 +914,14 @@ def commit(hierarchy, core: int, plan: BatchPlan, n_exec: int) -> bool:
     # executed collapsed access misses them (classify proved the batch
     # disjoint from both resident sets), and their capacities are small
     # enough that scalar fills beat the numpy dispatch overhead.
+    vector_fills = hierarchy._vector_fills
     cap1 = l1._num_sets * l1._assoc
     if consec12 and m >= cap1:
         ev1 = _fill_replace_py(l1, exec_list, m)
     elif m >= 2 * cap1:
         ev1 = _fill_dense(l1, c, exec_list, m)
+    elif vector_fills and m >= _FILL_BATCH_MIN:
+        ev1 = _fill_batch(l1, c, exec_list, m)
     else:
         ev1 = _fill_scalar(l1, exec_list)
     cap2 = l2._num_sets * l2._assoc
@@ -737,77 +929,147 @@ def commit(hierarchy, core: int, plan: BatchPlan, n_exec: int) -> bool:
         ev2 = _fill_replace_py(l2, exec_list, m)
     elif m >= 2 * cap2:
         ev2 = _fill_dense(l2, c, exec_list, m)
+    elif vector_fills and m >= _FILL_BATCH_MIN:
+        ev2 = _fill_batch(l2, c, exec_list, m)
     else:
         ev2 = _fill_scalar(l2, exec_list)
     l3_resident = l3._resident
+    gained3 = 0
+    vmasks3 = None
+    vict_masks: list[int] = []
     if mixed is None:
+        if own_col is not None:
+            # The victims' owner masks sit in the slots the inserts
+            # overwrite; gather before the scatter claims them.
+            vmasks3 = own_col[plan3[5 if consec3 else 11]]
         if consec3:
             ev3 = _apply_l3_consec(l3, c, plan3, views3, miss_list)
             l3_resident.difference_update(victims_list)
             l3_resident.update(miss_list)
+            if own_col is not None:
+                own_col[plan3[0]] = own_bit
         else:
             ev3 = _apply_fill_g(l3, plan3, views3)
+            if own_col is not None:
+                # Every insertion survives (set counts capped at the
+                # ways, checked above), so the scatter covers all slots.
+                own_col[plan3[6]] = own_bit
     else:
-        _apply_mixed_l3(l3, mixed, views3)
+        applied = _apply_mixed_l3(l3, mixed, views3, own_col, own_bit)
+        gained3, vict_masks = applied
         ev3 = mixed.evictions
         miss_list = c[~hit].tolist()
         l3_resident.update(miss_list)
     del views3
-    owners_map = hierarchy._l3_owners
     occupancy = hierarchy._occupancy
-    if nh3:
-        # Hit lines gain this core as a sharer.  Every validated hit
-        # precedes any eviction of its line, so sharer updates land
-        # before the victim pops below — the scalar chronology.
-        owners_get = owners_map.get
-        for addr in c[hit].tolist():
-            owners = owners_get(addr)
-            if owners is not None and core not in owners:
-                owners.add(core)
-                occupancy[core] += 1
-    pool: list = []
-    if victims_list:
-        popped = list(map(owners_map.pop, victims_list,
-                          _it_repeat(())))
-        merged = set().union(*popped)
-        if not merged or merged == {core}:
-            # Every victim was solely ours (or untracked): one
-            # aggregate occupancy decrement, no steals, and the popped
-            # {core} singletons are recycled for the new lines below —
-            # the scalar walk's object reuse, batched.
-            # Each non-empty record is the {core} singleton, so the
-            # pool length is also the occupancy delta.
-            pool = list(filter(None, popped))
-            occupancy[core] -= len(pool)
-        else:
-            l1_caches = hierarchy.l1
-            l2_caches = hierarchy.l2
-            for victim, owners in zip(victims_list, popped):
-                for owner in owners:
-                    occupancy[owner] -= 1
-                    if owner != core:
-                        counters_all[owner].lines_stolen += 1
-                        if inclusive:
-                            # The owner's caches are untouched by this
-                            # batch, so the scalar invalidations land
-                            # on exactly the state the sequential walk
-                            # would have seen.
-                            invalidated = (
-                                l2_caches[owner].invalidate(victim))
-                            invalidated |= (
-                                l1_caches[owner].invalidate(victim))
-                            if invalidated:
-                                counters_all[owner] \
-                                    .back_invalidations += 1
-                    # owner == core: the inclusive check above proved
-                    # the victim is absent from our own L1/L2, so only
-                    # the occupancy decrement applies.
     nm3 = m - nh3
-    if miss_list:
-        if len(pool) < nm3:
-            pool.extend([{core} for _ in range(nm3 - len(pool))])
-        owners_map.update(zip(miss_list, pool))
-        occupancy[core] += nm3
+    if owner_arrays:
+        # Same linearization as the dict walk below: hit sharers
+        # first, victim pops second, miss inserts last (every
+        # validated hit precedes any eviction of its line).  The bit
+        # scatters already happened alongside the tag applies; what is
+        # left is the occupancy/steal/back-invalidation fan-out.
+        occupancy[core] += gained3
+        if victims_list:
+            if vmasks3 is not None:
+                foreign = bool((vmasks3 & ~own_bit).any())
+                vm_list = vmasks3.tolist() if foreign else None
+                own_count = int(np.count_nonzero(vmasks3))
+            else:
+                merged = 0
+                for mask in vict_masks:
+                    merged |= mask
+                foreign = bool(merged & ~own_bit)
+                vm_list = vict_masks
+                own_count = sum(1 for mask in vict_masks if mask)
+            if not foreign:
+                # Every victim was solely ours (or untracked): one
+                # aggregate occupancy decrement, no steals, and — the
+                # inclusive check above proved our own L1/L2 clean —
+                # no back-invalidations.
+                occupancy[core] -= own_count
+            else:
+                l1_caches = hierarchy.l1
+                l2_caches = hierarchy.l2
+                for victim, mask in zip(victims_list, vm_list):
+                    owner = 0
+                    while mask:
+                        if mask & 1:
+                            occupancy[owner] -= 1
+                            if owner != core:
+                                counters_all[owner].lines_stolen += 1
+                                if inclusive:
+                                    invalidated = (l2_caches[owner]
+                                                   .invalidate(victim))
+                                    invalidated |= (l1_caches[owner]
+                                                    .invalidate(victim))
+                                    if invalidated:
+                                        counters_all[owner] \
+                                            .back_invalidations += 1
+                            # owner == core: only the decrement (the
+                            # victim is absent from our own L1/L2).
+                        mask >>= 1
+                        owner += 1
+        if miss_list:
+            occupancy[core] += nm3
+    else:
+        owners_map = hierarchy._l3_owners
+        if nh3:
+            # Hit lines gain this core as a sharer.  Every validated
+            # hit precedes any eviction of its line, so sharer updates
+            # land before the victim pops below — the scalar
+            # chronology.
+            owners_get = owners_map.get
+            for addr in c[hit].tolist():
+                owners = owners_get(addr)
+                if owners is not None and core not in owners:
+                    owners.add(core)
+                    occupancy[core] += 1
+        pool: list = []
+        if victims_list:
+            popped = list(map(owners_map.pop, victims_list,
+                              _it_repeat(())))
+            merged = set().union(*popped)
+            if not merged or merged == {core}:
+                # Every victim was solely ours (or untracked): one
+                # aggregate occupancy decrement, no steals, and the
+                # popped {core} singletons are recycled for the new
+                # lines below — the scalar walk's object reuse,
+                # batched.  Each non-empty record is the {core}
+                # singleton, so the pool length is also the occupancy
+                # delta.
+                pool = list(filter(None, popped))
+                occupancy[core] -= len(pool)
+            else:
+                l1_caches = hierarchy.l1
+                l2_caches = hierarchy.l2
+                for victim, owners in zip(victims_list, popped):
+                    for owner in owners:
+                        occupancy[owner] -= 1
+                        if owner != core:
+                            counters_all[owner].lines_stolen += 1
+                            if inclusive:
+                                # The owner's caches are untouched by
+                                # this batch, so the scalar
+                                # invalidations land on exactly the
+                                # state the sequential walk would have
+                                # seen.
+                                invalidated = (
+                                    l2_caches[owner].invalidate(victim))
+                                invalidated |= (
+                                    l1_caches[owner].invalidate(victim))
+                                if invalidated:
+                                    counters_all[owner] \
+                                        .back_invalidations += 1
+                        # owner == core: the inclusive check above
+                        # proved the victim is absent from our own
+                        # L1/L2, so only the occupancy decrement
+                        # applies.
+        if miss_list:
+            if len(pool) < nm3:
+                pool.extend([{core} for _ in range(nm3 - len(pool))])
+            owners_map.update(zip(miss_list, pool))
+            occupancy[core] += nm3
     # -- flush batch-local deltas --------------------------------------
     nh1 = n_exec - m
     counters_core = counters_all[core]

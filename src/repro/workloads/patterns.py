@@ -226,39 +226,70 @@ class PointerChaseSpec(PatternSpec):
 
 
 class _PointerChase(AccessPattern):
-    __slots__ = ("_next", "_base", "_current")
+    __slots__ = ("_cycle", "_cycle_arr", "_pos", "_n")
 
     def __init__(self, rng: np.random.Generator, lines: int, base: int):
-        # Build one cycle covering all lines (Sattolo's algorithm via
-        # shuffled successor assignment on a random ordering).
+        # One cycle covering all lines.  The successor chain built by
+        # shuffled successor assignment (succ[order[i]] = order[i+1],
+        # wrapping) visits the lines in exactly the shuffled ordering,
+        # so the emitted address sequence IS that ordering repeated —
+        # materialise it once and serve slices, instead of walking a
+        # successor table one dependent load at a time.  The simulated
+        # semantics are untouched (same addresses, and the *simulated*
+        # chain is still dependent — that lives in the phase's
+        # ``overlap``, not in how the generator produces the stream).
         order = rng.permutation(lines)
-        succ = np.empty(lines, dtype=np.int64)
-        succ[order[:-1]] = order[1:]
-        succ[order[-1]] = order[0]
-        self._next = succ.tolist()
-        self._base = base
-        self._current = int(order[0])
+        arr = order.astype(np.int64) + base
+        self._cycle = arr.tolist()
+        self._cycle_arr = arr
+        self._pos = 0
+        self._n = lines
 
     def next_address(self) -> int:
-        current = self._current
-        self._current = self._next[current]
-        return self._base + current
+        pos = self._pos
+        self._pos = pos + 1 if pos + 1 < self._n else 0
+        return self._cycle[pos]
 
     def next_addresses(self, n: int) -> list[int]:
-        # A dependent chain cannot be vectorised, but hoisting the
-        # attribute loads out of the per-address loop still pays.
-        succ = self._next
-        base = self._base
-        current = self._current
-        out = [0] * n
-        for i in range(n):
-            out[i] = base + current
-            current = succ[current]
-        self._current = current
+        cycle = self._cycle
+        ln = self._n
+        pos = self._pos
+        end = pos + n
+        if end < ln:
+            self._pos = end
+            return cycle[pos:end]
+        out = cycle[pos:]
+        end -= ln
+        while end >= ln:
+            out += cycle
+            end -= ln
+        out += cycle[:end]
+        self._pos = end
+        return out
+
+    def next_addresses_array(self, n: int) -> np.ndarray:
+        arr = self._cycle_arr
+        ln = self._n
+        pos = self._pos
+        end = pos + n
+        if end < ln:
+            self._pos = end
+            # Copy: callers may hold the batch across later draws.
+            return arr[pos:end].copy()
+        out = np.empty(n, dtype=np.int64)
+        k = ln - pos
+        out[:k] = arr[pos:]
+        end -= ln
+        while end >= ln:
+            out[k:k + ln] = arr
+            k += ln
+            end -= ln
+        out[k:] = arr[:end]
+        self._pos = end
         return out
 
     def footprint_lines(self) -> int:
-        return len(self._next)
+        return self._n
 
 
 # -- zipf --------------------------------------------------------------

@@ -37,20 +37,29 @@ def tiny_machine(**overrides) -> MachineConfig:
 
 
 @contextmanager
-def tier_env(fast: str = "1", bulk: str = "1", vector: str = "0"):
+def tier_env(fast: str = "1", bulk: str = "1", vector: str = "0",
+             owner: str = "1", fills: str = "1"):
     """Pin the execution-tier env flags for the enclosed block.
 
     A context manager (not a fixture) so hypothesis-driven tests can
     re-enter it per generated input.  ``vector`` defaults off so the
     existing kernel-tier differentials stay pinned one tier down; the
-    tier-4 tests pass ``vector="1"`` explicitly.
+    tier-4 tests pass ``vector="1"`` explicitly.  ``owner``/``fills``
+    pin the tier-5 ownership store and batched private fill (both
+    default-on in production); the block also arms
+    ``REPRO_DEBUG_INVARIANTS`` so every batch self-checks the
+    ownership store on top of the differential comparison.
     """
     keys = ("REPRO_FAST_LANE", "REPRO_BULK_KERNEL",
-            "REPRO_VECTOR_KERNEL")
+            "REPRO_VECTOR_KERNEL", "REPRO_OWNER_ARRAYS",
+            "REPRO_VECTOR_FILLS", "REPRO_DEBUG_INVARIANTS")
     saved = {k: os.environ.get(k) for k in keys}
     os.environ["REPRO_FAST_LANE"] = fast
     os.environ["REPRO_BULK_KERNEL"] = bulk
     os.environ["REPRO_VECTOR_KERNEL"] = vector
+    os.environ["REPRO_OWNER_ARRAYS"] = owner
+    os.environ["REPRO_VECTOR_FILLS"] = fills
+    os.environ["REPRO_DEBUG_INVARIANTS"] = "1"
     try:
         yield
     finally:
@@ -85,7 +94,7 @@ def snapshot(h: CacheHierarchy) -> dict:
         ],
         "owners": {
             addr: sorted(owners)
-            for addr, owners in h._l3_owners.items()
+            for addr, owners in h.l3_owner_sets().items()
         },
     }
 
@@ -616,17 +625,21 @@ class TestEndToEndTiers:
 
     def test_run_result_identical_across_tiers(self):
         results = {}
-        for name, (fast, bulk, vector) in [
+        for name, env in [
             ("generic", ("0", "0", "0")),
             ("fastlane", ("1", "0", "0")),
             ("kernel", ("1", "1", "0")),
             ("vector", ("1", "1", "1")),
+            # The PR-6 vector tier reconstruction: dict ownership and
+            # scalar private fills under the same classify/commit.
+            ("vector_legacy", ("1", "1", "1", "0", "0")),
         ]:
-            with tier_env(fast, bulk, vector):
+            with tier_env(*env):
                 results[name] = self._run()
         assert results["fastlane"] == results["generic"]
         assert results["kernel"] == results["generic"]
         assert results["vector"] == results["generic"]
+        assert results["vector_legacy"] == results["generic"]
 
     def test_traced_run_identical_on_vector_tier(self, tmp_path):
         # Attaching metrics (and so the obs plumbing) must not perturb

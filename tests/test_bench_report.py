@@ -38,15 +38,18 @@ def fake_rows(
     fg: float = 2.2,
     vk: float = 3.5,
     gate_vk: float | None = None,
+    gate_ol: float | None = None,
 ):
     """Synthetic suite rows with the given ratios on every workload.
 
     ``vk`` is the default-budget vector/kernel ratio; ``gate_vk``
     overrides the ratio measured at each workload's own gate budget
-    (defaults to comfortably above every target).
+    (defaults to comfortably above every target); ``gate_ol``
+    overrides the ownership gates' vector-over-legacy ratio likewise.
     """
     rows = []
-    for name, (_f, streaming, gated, vgate) in bench.WORKLOADS.items():
+    for name, (_f, streaming, gated, vgate,
+               ogate) in bench.WORKLOADS.items():
         generic = 100_000.0
         row = {
             "workload": name,
@@ -66,6 +69,7 @@ def fake_rows(
                 "vector_over_generic": kg * vk,
             },
             "vector_gate": None,
+            "ownership_gate": None,
         }
         if vgate is not None:
             ratio = gate_vk if gate_vk is not None else \
@@ -76,6 +80,17 @@ def fake_rows(
                 "kernel": generic * kg,
                 "vector": generic * kg * ratio,
                 "vector_over_kernel": ratio,
+            }
+        if ogate is not None:
+            ratio = gate_ol if gate_ol is not None else \
+                ogate["target"] + 0.5
+            vector = row["tiers"]["vector"]
+            row["ownership_gate"] = {
+                "budget": ogate["budget"],
+                "target": ogate["target"],
+                "legacy_vector": vector / ratio,
+                "vector": vector,
+                "vector_over_legacy": ratio,
             }
         rows.append(row)
     return rows
@@ -101,12 +116,33 @@ class TestPointSchema:
             bench.VECTOR_OVER_KERNEL_STREAM_TARGET
         assert point["targets"]["vector_over_kernel_chase"] == \
             bench.VECTOR_OVER_KERNEL_CHASE_TARGET
+        assert point["targets"]["owner_over_legacy_stream"] == \
+            bench.OWNER_OVER_LEGACY_STREAM_TARGET
+        assert point["targets"]["owner_over_legacy_chase"] == \
+            bench.OWNER_OVER_LEGACY_CHASE_TARGET
+
+    def test_point_records_kernel_gates_per_tier(self):
+        # Satellite of the tier-5 PR: a trajectory point must say
+        # which REPRO_* kernel gates each measured column ran under.
+        gates = fake_point()["kernel_gates"]
+        assert set(gates) == set(bench.TIERS) | {"legacy_vector"}
+        flags = {"fast_lane", "bulk_kernel", "vector_kernel",
+                 "owner_arrays", "vector_fills"}
+        for column in gates.values():
+            assert set(column) == flags
+            assert all(isinstance(v, bool) for v in column.values())
+        assert gates["vector"]["owner_arrays"]
+        assert gates["vector"]["vector_fills"]
+        assert not gates["legacy_vector"]["owner_arrays"]
+        assert not gates["legacy_vector"]["vector_fills"]
+        assert gates["legacy_vector"]["vector_kernel"]
+        assert not gates["generic"]["fast_lane"]
 
     def test_gated_workloads_record_their_gate_measurement(self):
         point = fake_point()
         gated = {
             name: vgate
-            for name, (_f, _s, _g, vgate) in bench.WORKLOADS.items()
+            for name, (_f, _s, _g, vgate, _o) in bench.WORKLOADS.items()
             if vgate is not None
         }
         assert gated  # the suite must carry at least one vector gate
@@ -118,6 +154,23 @@ class TestPointSchema:
         ungated = set(bench.WORKLOADS) - set(gated)
         for name in ungated:
             assert point["workloads"][name]["vector_gate"] is None
+
+    def test_ownership_gated_workloads_record_their_measurement(self):
+        point = fake_point()
+        gated = {
+            name: ogate
+            for name, (_f, _s, _g, _v, ogate) in bench.WORKLOADS.items()
+            if ogate is not None
+        }
+        # Both acceptance workloads carry an ownership gate.
+        assert set(gated) == {"stream-llc", "pointer-chase"}
+        for name, ogate in gated.items():
+            gate = point["workloads"][name]["ownership_gate"]
+            assert gate["budget"] == ogate["budget"]
+            assert gate["target"] == ogate["target"]
+            assert gate["vector_over_legacy"] > gate["target"]
+        for name in set(bench.WORKLOADS) - set(gated):
+            assert point["workloads"][name]["ownership_gate"] is None
 
     def test_report_wraps_points(self):
         report = bench.build_report([fake_point()])
@@ -219,7 +272,7 @@ class TestGateLogic:
         assert any("over-fastlane" in f for f in failures)
         # Only the gated streaming benchmark enforces the kernel gate.
         gated = [
-            name for name, (_f, _s, g, _v) in bench.WORKLOADS.items()
+            name for name, (_f, _s, g, _v, _o) in bench.WORKLOADS.items()
             if g
         ]
         assert all(f.split(":")[0] in gated for f in failures)
@@ -237,10 +290,13 @@ class TestGateLogic:
             fake_rows(gate_vk=1.01), smoke=False
         )
         gated = [
-            name for name, (_f, _s, _g, v) in bench.WORKLOADS.items()
+            name for name, (_f, _s, _g, v, _o) in bench.WORKLOADS.items()
             if v is not None
         ]
-        vector_failures = [f for f in failures if "over-kernel" in f]
+        vector_failures = [
+            f for f in failures
+            if "over-kernel" in f and "legacy" not in f
+        ]
         assert len(vector_failures) == len(gated)
         for f in vector_failures:
             assert "cycle budget" in f
@@ -252,6 +308,38 @@ class TestGateLogic:
                 row["vector_gate"]["vector_over_kernel"] = \
                     row["vector_gate"]["target"]
         assert bench.check_gates(rows, smoke=False) == []
+
+    def test_ownership_below_target_fails_each_gated_workload(self):
+        failures = bench.check_gates(fake_rows(gate_ol=1.05),
+                                     smoke=False)
+        ownership_failures = [
+            f for f in failures if "over-legacy-vector" in f
+        ]
+        gated = [
+            name for name, (_f, _s, _g, _v, o) in bench.WORKLOADS.items()
+            if o is not None
+        ]
+        assert len(ownership_failures) == len(gated)
+        assert all(
+            f.split(":")[0] in gated for f in ownership_failures
+        )
+
+    def test_ownership_gate_passes_exactly_at_target(self):
+        rows = fake_rows()
+        for row in rows:
+            if row["ownership_gate"] is not None:
+                row["ownership_gate"]["vector_over_legacy"] = \
+                    row["ownership_gate"]["target"]
+        assert bench.check_gates(rows, smoke=False) == []
+
+    def test_smoke_checks_ownership_ordering(self):
+        # Below the absolute target but still faster than legacy:
+        # smoke passes.  An inversion fails even the smoke run.
+        assert bench.check_gates(fake_rows(gate_ol=1.05),
+                                 smoke=True) == []
+        failures = bench.check_gates(fake_rows(gate_ol=0.95),
+                                     smoke=True)
+        assert any("legacy vector" in f for f in failures)
 
     def test_smoke_checks_ordering_only(self):
         # Below absolute targets but correctly ordered: smoke passes.
@@ -270,7 +358,7 @@ class TestGateLogic:
         failures = bench.check_gates(rows, smoke=True)
         slower = [f for f in failures if "vector slower than kernel" in f]
         gated = [
-            name for name, (_f, _s, g, _v) in bench.WORKLOADS.items()
+            name for name, (_f, _s, g, _v, _o) in bench.WORKLOADS.items()
             if g
         ]
         assert len(slower) == len(gated)
